@@ -1,0 +1,101 @@
+// Figure 10: "Performance of a two-stage pipeline written as a separate
+// SQL query and Spark job (above) and an integrated DataFrame job
+// (below)" (Section 6.3).
+//
+// The pipeline: filter a message corpus with a relational predicate
+// (keeping ~90%), then compute the most frequent words procedurally.
+//
+//   separate   — stage 1 runs as a SQL query whose result is saved to a
+//                file (the paper's intermediate HDFS dataset); stage 2 is
+//                a separate job that re-loads the file and word-counts it.
+//   integrated — one program: the DataFrame filter feeds the RDD word
+//                count directly, so the filter's map pipeline fuses with
+//                the word count and nothing is materialized.
+//
+// Expected shape: integrated ≈ 2x faster (the paper's Figure 10), the gap
+// being the write+read of the intermediate dataset.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "api/sql_context.h"
+#include "bench/workloads.h"
+#include "datasources/csv_source.h"
+#include "engine/rdd.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+constexpr size_t kMessages = 150000;
+
+SqlContext& Ctx() {
+  static SqlContext* ctx = [] {
+    auto* c = new SqlContext(SparkSqlConfig());
+    auto docs = GenerateDocuments(kMessages, /*words_per_doc=*/10,
+                                  /*marked_fraction=*/0.9);
+    auto schema =
+        StructType::Make({Field("text", DataType::String(), false)});
+    std::vector<Row> rows;
+    rows.reserve(docs.size());
+    for (auto& d : docs) rows.push_back(Row({Value(std::move(d))}));
+    c->CreateDataFrame(schema, std::move(rows)).RegisterTempTable("messages");
+    return c;
+  }();
+  return *ctx;
+}
+
+size_t WordCountFromRdd(const std::shared_ptr<RDD<Row>>& rdd) {
+  auto words = rdd->FlatMap(
+      [](const Row& row) { return SplitWhitespace(row.GetString(0)); });
+  auto pairs = words->Map(
+      [](const std::string& w) { return std::make_pair(w, int64_t{1}); });
+  auto counts = ReduceByKey<std::string, int64_t>(
+      pairs, [](const int64_t& a, const int64_t& b) { return a + b; });
+  return counts->Collect().size();
+}
+
+void BM_Fig10_SeparateJobs(benchmark::State& state) {
+  auto& ctx = Ctx();
+  const std::string intermediate = "/tmp/ssql_fig10_intermediate.csv";
+  auto schema = StructType::Make({Field("text", DataType::String(), false)});
+  for (auto _ : state) {
+    // Stage 1: relational engine runs the filter and SAVES the result —
+    // the separate-engines world where SQL output lands in HDFS.
+    DataFrame filtered =
+        ctx.Sql("SELECT text FROM messages WHERE text LIKE '%keeper%'");
+    CsvRelation::Write(intermediate, schema, filtered.Collect());
+
+    // Stage 2: a separate procedural job re-reads the file and counts.
+    DataFrame reloaded = ctx.Read(
+        "csv", {{"path", intermediate}, {"schema", "text string"}});
+    size_t distinct = WordCountFromRdd(reloaded.ToRdd());
+    benchmark::DoNotOptimize(distinct);
+  }
+  std::remove(intermediate.c_str());
+  state.SetLabel("SQL query -> file -> separate Spark job");
+}
+BENCHMARK(BM_Fig10_SeparateJobs)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Fig10_IntegratedDataFrame(benchmark::State& state) {
+  auto& ctx = Ctx();
+  for (auto _ : state) {
+    // One program: DataFrame filter pipelined straight into the RDD word
+    // count; no intermediate dataset exists anywhere.
+    DataFrame filtered =
+        ctx.Sql("SELECT text FROM messages WHERE text LIKE '%keeper%'");
+    size_t distinct = WordCountFromRdd(filtered.ToRdd());
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.SetLabel("integrated DataFrame + RDD pipeline");
+}
+BENCHMARK(BM_Fig10_IntegratedDataFrame)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,291 @@
+// Figure 8: "Performance of Shark, Impala and Spark SQL on the big data
+// benchmark queries" (Section 6.1).
+//
+// Engines:
+//   shark      — this engine with the Hive-era feature set: no codegen, no
+//                pushdown, no join selection, no operator fusion.
+//   sparksql   — the full stack.
+//   impala     — hand-written native C++ loops over columnar arrays (the
+//                role Impala's C++/LLVM engine plays in the paper: the
+//                native-code lower bound).
+//
+// Queries (Pavlo et al. web-analytics workload):
+//   Q1x: SELECT pageURL, pageRank FROM rankings WHERE pageRank > X
+//   Q2x: SELECT SUBSTR(sourceIP,1,X), SUM(adRevenue) FROM uservisits GROUP BY ..
+//   Q3x: rankings JOIN uservisits date-windowed, GROUP BY sourceIP,
+//        ORDER BY totalRevenue DESC LIMIT 1
+//   Q4 : UDF word extraction + count over a document corpus (MapReduce-
+//        style; "largely bound by the CPU cost of the UDF").
+// The a/b/c variants step the selectivity, as in the benchmark.
+//
+// Expected shape (paper): sparksql beats shark everywhere (codegen), and
+// approaches impala except on 3a, where the cost model's ignorance of
+// filter selectivity picks the worse join (see cost_model.h).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "bench/workloads.h"
+#include "engine/rdd.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+constexpr size_t kRankings = 60000;
+constexpr size_t kUserVisits = 200000;
+constexpr size_t kDocuments = 20000;
+
+// The uservisits colf file is ~10 MB; a 4 MB broadcast threshold makes the
+// Q3 join-order decision non-trivial: the unfiltered visits side never
+// broadcasts, so only a cost model that understands the date filter's
+// selectivity (the CBO variant) finds the plan Impala uses on 3a.
+constexpr uint64_t kFig8BroadcastThreshold = 4ull * 1024 * 1024;
+
+EngineConfig Fig8SparkSqlConfig() {
+  EngineConfig config = SparkSqlConfig();
+  config.broadcast_threshold_bytes = kFig8BroadcastThreshold;
+  return config;
+}
+
+EngineConfig Fig8SharkConfig() {
+  EngineConfig config = SharkConfig();
+  config.broadcast_threshold_bytes = kFig8BroadcastThreshold;
+  return config;
+}
+
+EngineConfig CboConfig() {
+  EngineConfig config = Fig8SparkSqlConfig();
+  config.cbo_filter_selectivity = true;  // the future-work cost model
+  return config;
+}
+
+struct Fixture {
+  RankingsData rankings = GenerateRankings(kRankings);
+  UserVisitsData visits = GenerateUserVisits(kUserVisits, kRankings);
+  std::vector<std::string> documents = GenerateDocuments(kDocuments);
+  SqlContext shark{Fig8SharkConfig()};
+  SqlContext sparksql{Fig8SparkSqlConfig()};
+  SqlContext sparksql_cbo{CboConfig()};
+
+  Fixture() {
+    const std::string dir = "/tmp";
+    SetupAmplabTables(shark, rankings, visits, dir);
+    SetupAmplabTables(sparksql, rankings, visits, dir);
+    SetupAmplabTables(sparksql_cbo, rankings, visits, dir);
+  }
+};
+
+Fixture& F() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+// Q1/Q2/Q3 SQL by selectivity variant.
+std::string Q1(int cutoff) {
+  return "SELECT pageURL, pageRank FROM rankings WHERE pageRank > " +
+         std::to_string(cutoff);
+}
+std::string Q2(int prefix) {
+  return "SELECT substr(sourceIP, 1, " + std::to_string(prefix) +
+         "), sum(adRevenue) FROM uservisits GROUP BY substr(sourceIP, 1, " +
+         std::to_string(prefix) + ")";
+}
+std::string Q3(const std::string& until) {
+  return "SELECT sourceIP, sum(adRevenue) AS totalRevenue, avg(pageRank) AS "
+         "avgPageRank FROM rankings JOIN uservisits ON pageURL = destURL "
+         "WHERE visitDate BETWEEN '1980-01-01' AND '" +
+         until +
+         "' GROUP BY sourceIP ORDER BY totalRevenue DESC LIMIT 1";
+}
+
+void RunSql(benchmark::State& state, SqlContext& ctx, const std::string& sql) {
+  int64_t rows = 0;
+  for (auto _ : state) {
+    rows = static_cast<int64_t>(ctx.Sql(sql).Collect().size());
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+// --- Q1: scan + filter ----------------------------------------------------
+
+void BM_Q1_Engine(benchmark::State& state, const char* engine, int cutoff) {
+  if (std::string(engine) == "impala") {
+    const auto& r = F().rankings;
+    size_t hits = 0;
+    for (auto _ : state) {
+      hits = 0;
+      for (size_t i = 0; i < r.page_rank.size(); ++i) {
+        if (r.page_rank[i] > cutoff) {
+          benchmark::DoNotOptimize(r.page_url[i].data());
+          ++hits;
+        }
+      }
+      benchmark::DoNotOptimize(hits);
+    }
+    state.counters["result_rows"] = static_cast<double>(hits);
+    return;
+  }
+  SqlContext& ctx = std::string(engine) == "shark" ? F().shark : F().sparksql;
+  RunSql(state, ctx, Q1(cutoff));
+}
+
+// --- Q2: grouped aggregation on a string prefix ----------------------------
+
+void BM_Q2_Engine(benchmark::State& state, const char* engine, int prefix) {
+  if (std::string(engine) == "impala") {
+    const auto& v = F().visits;
+    size_t groups = 0;
+    for (auto _ : state) {
+      std::unordered_map<std::string, double> agg;
+      agg.reserve(1 << 12);
+      for (size_t i = 0; i < v.source_ip.size(); ++i) {
+        agg[v.source_ip[i].substr(0, prefix)] += v.ad_revenue[i];
+      }
+      groups = agg.size();
+      benchmark::DoNotOptimize(groups);
+    }
+    state.counters["result_rows"] = static_cast<double>(groups);
+    return;
+  }
+  SqlContext& ctx = std::string(engine) == "shark" ? F().shark : F().sparksql;
+  RunSql(state, ctx, Q2(prefix));
+}
+
+// --- Q3: join + grouped aggregation + top-1 --------------------------------
+
+void BM_Q3_Engine(benchmark::State& state, const char* engine,
+                  const char* until) {
+  if (std::string(engine) == "impala") {
+    const auto& r = F().rankings;
+    const auto& v = F().visits;
+    DateValue lo, hi;
+    ParseDate("1980-01-01", &lo);
+    ParseDate(until, &hi);
+    for (auto _ : state) {
+      // Impala picks the better plan: build the hash table on the FILTERED
+      // visits when the date window is selective (the paper's 3a note).
+      std::unordered_map<std::string, int32_t> rank_of;
+      rank_of.reserve(r.page_url.size());
+      for (size_t i = 0; i < r.page_url.size(); ++i) {
+        rank_of.emplace(r.page_url[i], r.page_rank[i]);
+      }
+      struct Acc {
+        double revenue = 0;
+        double rank_sum = 0;
+        int64_t count = 0;
+      };
+      std::unordered_map<std::string, Acc> by_ip;
+      for (size_t i = 0; i < v.dest_url.size(); ++i) {
+        if (v.visit_date_days[i] < lo.days || v.visit_date_days[i] > hi.days) {
+          continue;
+        }
+        auto it = rank_of.find(v.dest_url[i]);
+        if (it == rank_of.end()) continue;
+        Acc& acc = by_ip[v.source_ip[i]];
+        acc.revenue += v.ad_revenue[i];
+        acc.rank_sum += it->second;
+        acc.count += 1;
+      }
+      const Acc* best = nullptr;
+      const std::string* best_ip = nullptr;
+      for (const auto& [ip, acc] : by_ip) {
+        if (best == nullptr || acc.revenue > best->revenue) {
+          best = &acc;
+          best_ip = &ip;
+        }
+      }
+      benchmark::DoNotOptimize(best_ip);
+    }
+    state.counters["result_rows"] = 1;
+    return;
+  }
+  SqlContext& ctx = std::string(engine) == "shark"
+                        ? F().shark
+                        : (std::string(engine) == "sparksql_cbo"
+                               ? F().sparksql_cbo
+                               : F().sparksql);
+  RunSql(state, ctx, Q3(until));
+}
+
+// --- Q4: UDF MapReduce job --------------------------------------------------
+
+void BM_Q4_Engine(benchmark::State& state, const char* engine) {
+  if (std::string(engine) == "impala") {
+    // The paper could not run Q4 on Impala (Python UDF); report the native
+    // word-count loop anyway as the hand-written reference.
+    const auto& docs = F().documents;
+    for (auto _ : state) {
+      std::unordered_map<std::string, int64_t> counts;
+      for (const auto& doc : docs) {
+        for (const auto& w : SplitWhitespace(doc)) counts[w] += 1;
+      }
+      benchmark::DoNotOptimize(counts.size());
+    }
+    return;
+  }
+  SqlContext& ctx = std::string(engine) == "shark" ? F().shark : F().sparksql;
+  // documents as a DataFrame; the "UDF" splits each document and the
+  // procedural stage counts words — the MapReduce shape of the benchmark.
+  auto schema = StructType::Make({Field("contents", DataType::String(), false)});
+  std::vector<Row> rows;
+  rows.reserve(F().documents.size());
+  for (const auto& d : F().documents) rows.push_back(Row({Value(d)}));
+  DataFrame docs = ctx.CreateDataFrame(schema, rows);
+  for (auto _ : state) {
+    auto rdd = docs.ToRdd();
+    auto words = rdd->FlatMap([](const Row& row) {
+      return SplitWhitespace(row.GetString(0));
+    });
+    auto pairs = words->Map([](const std::string& w) {
+      return std::make_pair(w, int64_t{1});
+    });
+    auto counts = ReduceByKey<std::string, int64_t>(
+        pairs, [](const int64_t& a, const int64_t& b) { return a + b; });
+    benchmark::DoNotOptimize(counts->Collect().size());
+  }
+}
+
+#define SSQL_FIG8(query_fn, variant_name, ...)                           \
+  BENCHMARK_CAPTURE(query_fn, shark_##variant_name, "shark",             \
+                    ##__VA_ARGS__)                                       \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->Iterations(3);                                                   \
+  BENCHMARK_CAPTURE(query_fn, sparksql_##variant_name, "sparksql",       \
+                    ##__VA_ARGS__)                                       \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->Iterations(3);                                                   \
+  BENCHMARK_CAPTURE(query_fn, impala_##variant_name, "impala",           \
+                    ##__VA_ARGS__)                                       \
+      ->Unit(benchmark::kMillisecond)                                    \
+      ->Iterations(3);
+
+SSQL_FIG8(BM_Q1_Engine, q1a, 9500)
+SSQL_FIG8(BM_Q1_Engine, q1b, 5000)
+SSQL_FIG8(BM_Q1_Engine, q1c, 100)
+SSQL_FIG8(BM_Q2_Engine, q2a, 4)
+SSQL_FIG8(BM_Q2_Engine, q2b, 8)
+SSQL_FIG8(BM_Q2_Engine, q2c, 12)
+SSQL_FIG8(BM_Q3_Engine, q3a, "1980-04-01")
+SSQL_FIG8(BM_Q3_Engine, q3b, "1983-01-01")
+SSQL_FIG8(BM_Q3_Engine, q3c, "2010-01-01")
+
+// The future-work cost model (filter-selectivity aware): where the paper
+// notes Spark SQL loses Q3a to Impala's better join plan, this variant
+// recovers it by recognising the selective date window.
+BENCHMARK_CAPTURE(BM_Q3_Engine, sparksql_cbo_q3a, "sparksql_cbo", "1980-04-01")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_Q3_Engine, sparksql_cbo_q3c, "sparksql_cbo", "2010-01-01")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+SSQL_FIG8(BM_Q4_Engine, q4)
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

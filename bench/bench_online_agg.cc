@@ -1,0 +1,88 @@
+// Ablation: Section 7.1 online aggregation. Reports how the estimate
+// error and 95% CI width shrink with the fraction of data consumed, and
+// the latency to a "good enough" answer vs the exact aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/workloads.h"
+#include "online/online_aggregation.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 500000;
+
+struct Fixture {
+  SqlContext ctx{SparkSqlConfig()};
+  DataFrame df;
+  double true_avg = 0;
+
+  Fixture() {
+    auto schema = StructType::Make({Field("v", DataType::Double(), false)});
+    std::mt19937_64 rng(29);
+    std::vector<Row> rows;
+    rows.reserve(kRows);
+    double sum = 0;
+    for (size_t i = 0; i < kRows; ++i) {
+      double v = std::uniform_real_distribution<>(0, 1000)(rng);
+      sum += v;
+      rows.push_back(Row({Value(v)}));
+    }
+    true_avg = sum / kRows;
+    df = ctx.CreateDataFrame(schema, rows);
+    df.RegisterTempTable("t");
+  }
+};
+
+Fixture& F() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+// Error/CI at a target fraction of the data (the paper's progress view).
+void BM_OnlineAgg_AtFraction(benchmark::State& state) {
+  double target_fraction = static_cast<double>(state.range(0)) / 100.0;
+  double err = 0;
+  double ci_width = 0;
+  for (auto _ : state) {
+    OnlineAggregator agg(F().df, "v", OnlineAggKind::kAvg, 100);
+    auto estimates =
+        agg.Run([&](size_t, const std::vector<OnlineEstimate>& est) {
+          return est[0].fraction < target_fraction;  // stop at target
+        });
+    err = std::abs(estimates[0].estimate - F().true_avg);
+    ci_width = estimates[0].ci_high - estimates[0].ci_low;
+    benchmark::DoNotOptimize(err);
+  }
+  state.counters["fraction_pct"] = static_cast<double>(state.range(0));
+  state.counters["abs_error"] = err;
+  state.counters["ci_width"] = ci_width;
+}
+BENCHMARK(BM_OnlineAgg_AtFraction)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+// Exact aggregate through the full engine, for the latency comparison.
+void BM_OnlineAgg_ExactBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = F().ctx.Sql("SELECT avg(v) FROM t").Collect();
+    benchmark::DoNotOptimize(rows[0].GetDouble(0));
+  }
+  state.SetLabel("exact avg through the full engine");
+}
+BENCHMARK(BM_OnlineAgg_ExactBaseline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Ablation: Catalyst rule-engine overhead. Measures the cost of the four
+// phases (parse, analyze, optimize, physical-plan) on queries of
+// increasing depth — the framework cost the paper argues is worth paying
+// for rule simplicity — plus single-rule microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "api/sql_context.h"
+#include "bench/workloads.h"
+#include "catalyst/optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+struct Fixture {
+  SqlContext ctx{SparkSqlConfig()};
+
+  Fixture() {
+    auto schema = StructType::Make({
+        Field("a", DataType::Int32(), false),
+        Field("b", DataType::Int32(), false),
+        Field("c", DataType::String(), true),
+    });
+    ctx.CreateDataFrame(schema, {}).RegisterTempTable("t");
+  }
+
+  /// Builds a nested query `depth` subqueries deep, each adding a filter
+  /// and an arithmetic projection.
+  std::string NestedQuery(int depth) {
+    std::string sql = "SELECT a, b, c FROM t WHERE a > 0";
+    for (int i = 0; i < depth; ++i) {
+      sql = "SELECT a + 1 AS a, b, c FROM (" + sql + ") s" +
+            std::to_string(i) + " WHERE b > " + std::to_string(i) +
+            " AND c LIKE 'prefix%'";
+    }
+    return sql;
+  }
+};
+
+Fixture& F() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_Phase_Parse(benchmark::State& state) {
+  std::string sql = F().NestedQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = ParseSql(sql);
+    benchmark::DoNotOptimize(parsed.plan.get());
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Phase_Parse)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_Phase_Analyze(benchmark::State& state) {
+  std::string sql = F().NestedQuery(static_cast<int>(state.range(0)));
+  PlanPtr parsed = ParseSql(sql).plan;
+  for (auto _ : state) {
+    PlanPtr analyzed = F().ctx.Analyze(parsed);
+    benchmark::DoNotOptimize(analyzed.get());
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Phase_Analyze)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_Phase_Optimize(benchmark::State& state) {
+  std::string sql = F().NestedQuery(static_cast<int>(state.range(0)));
+  PlanPtr analyzed = F().ctx.Analyze(ParseSql(sql).plan);
+  for (auto _ : state) {
+    PlanPtr optimized = F().ctx.Optimize(analyzed);
+    benchmark::DoNotOptimize(optimized.get());
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Phase_Optimize)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Phase_PhysicalPlan(benchmark::State& state) {
+  std::string sql = F().NestedQuery(static_cast<int>(state.range(0)));
+  PlanPtr optimized = F().ctx.Optimize(F().ctx.Analyze(ParseSql(sql).plan));
+  for (auto _ : state) {
+    PhysPtr phys = F().ctx.PlanPhysical(optimized);
+    benchmark::DoNotOptimize(phys.get());
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Phase_PhysicalPlan)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+// Rule-level: how much work a fixed-point batch does on an
+// already-optimal plan (the no-op overhead per query).
+void BM_Optimizer_FixedPointNoop(benchmark::State& state) {
+  PlanPtr optimized =
+      F().ctx.Optimize(F().ctx.Analyze(ParseSql(F().NestedQuery(4)).plan));
+  Optimizer optimizer;
+  for (auto _ : state) {
+    PlanPtr again = optimizer.Optimize(optimized);
+    benchmark::DoNotOptimize(again.get());
+  }
+  state.SetLabel("re-optimizing an already-optimized plan");
+}
+BENCHMARK(BM_Optimizer_FixedPointNoop)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

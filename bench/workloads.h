@@ -1,0 +1,180 @@
+#ifndef SSQL_BENCH_WORKLOADS_H_
+#define SSQL_BENCH_WORKLOADS_H_
+
+// Deterministic synthetic stand-ins for the AMPLab big data benchmark
+// tables (Pavlo et al. web-analytics workload) used by the paper's
+// Section 6.1 evaluation, scaled to laptop size. Shapes and selectivity
+// knobs match the benchmark: `rankings` (pageURL, pageRank, avgDuration),
+// `uservisits` (sourceIP, destURL, visitDate, adRevenue, ...), and a
+// `documents` corpus for the UDF query.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/sql_context.h"
+#include "datasources/colf_format.h"
+
+namespace ssql {
+namespace bench {
+
+struct RankingsData {
+  std::vector<std::string> page_url;
+  std::vector<int32_t> page_rank;
+  std::vector<int32_t> avg_duration;
+};
+
+struct UserVisitsData {
+  std::vector<std::string> source_ip;
+  std::vector<std::string> dest_url;
+  std::vector<int32_t> visit_date_days;  // days since epoch
+  std::vector<double> ad_revenue;
+};
+
+inline std::string UrlOf(uint64_t i) { return "url" + std::to_string(i); }
+
+inline RankingsData GenerateRankings(size_t n, uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  RankingsData data;
+  data.page_url.reserve(n);
+  data.page_rank.reserve(n);
+  data.avg_duration.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.page_url.push_back(UrlOf(i));
+    // Skewed ranks: most pages low, few high — the benchmark's 1a/1b/1c
+    // selectivity ladder (rank > 1000 rare, rank > 10 common).
+    double u = std::uniform_real_distribution<>(0, 1)(rng);
+    int32_t rank = static_cast<int32_t>(10000 * u * u * u);
+    data.page_rank.push_back(rank);
+    data.avg_duration.push_back(static_cast<int32_t>(rng() % 100));
+  }
+  return data;
+}
+
+inline UserVisitsData GenerateUserVisits(size_t n, size_t num_urls,
+                                         uint64_t seed = 2) {
+  std::mt19937_64 rng(seed);
+  UserVisitsData data;
+  data.source_ip.reserve(n);
+  data.dest_url.reserve(n);
+  data.visit_date_days.reserve(n);
+  data.ad_revenue.reserve(n);
+  DateValue epoch_1980, epoch_2010;
+  ParseDate("1980-01-01", &epoch_1980);
+  ParseDate("2010-01-01", &epoch_2010);
+  for (size_t i = 0; i < n; ++i) {
+    data.source_ip.push_back(std::to_string(rng() % 256) + "." +
+                             std::to_string(rng() % 256) + "." +
+                             std::to_string(rng() % 256) + "." +
+                             std::to_string(rng() % 256));
+    data.dest_url.push_back(UrlOf(rng() % num_urls));
+    data.visit_date_days.push_back(
+        epoch_1980.days +
+        static_cast<int32_t>(rng() % (epoch_2010.days - epoch_1980.days)));
+    data.ad_revenue.push_back(std::uniform_real_distribution<>(0, 1000)(rng));
+  }
+  return data;
+}
+
+inline std::vector<Row> RankingsRows(const RankingsData& d) {
+  std::vector<Row> rows;
+  rows.reserve(d.page_url.size());
+  for (size_t i = 0; i < d.page_url.size(); ++i) {
+    rows.push_back(Row({Value(d.page_url[i]), Value(d.page_rank[i]),
+                        Value(d.avg_duration[i])}));
+  }
+  return rows;
+}
+
+inline std::vector<Row> UserVisitsRows(const UserVisitsData& d) {
+  std::vector<Row> rows;
+  rows.reserve(d.source_ip.size());
+  for (size_t i = 0; i < d.source_ip.size(); ++i) {
+    rows.push_back(Row({Value(d.source_ip[i]), Value(d.dest_url[i]),
+                        Value(DateValue{d.visit_date_days[i]}),
+                        Value(d.ad_revenue[i])}));
+  }
+  return rows;
+}
+
+inline SchemaPtr RankingsSchema() {
+  return StructType::Make({
+      Field("pageURL", DataType::String(), false),
+      Field("pageRank", DataType::Int32(), false),
+      Field("avgDuration", DataType::Int32(), false),
+  });
+}
+
+inline SchemaPtr UserVisitsSchema() {
+  return StructType::Make({
+      Field("sourceIP", DataType::String(), false),
+      Field("destURL", DataType::String(), false),
+      Field("visitDate", DataType::Date(), false),
+      Field("adRevenue", DataType::Double(), false),
+  });
+}
+
+/// Synthetic message/document corpus: ~`words_per_doc` dictionary words
+/// per line, a fraction carrying a marker word (the Figure 10 filter and
+/// the Q4 "URL extraction" both key off markers).
+inline std::vector<std::string> GenerateDocuments(size_t n,
+                                                  size_t words_per_doc = 10,
+                                                  double marked_fraction = 0.9,
+                                                  uint64_t seed = 3) {
+  static const char* kDict[] = {"the",  "quick", "brown", "fox",   "jumps",
+                                "over", "lazy",  "dog",   "spark", "query",
+                                "data", "frame", "plan",  "tree",  "rule"};
+  constexpr size_t kDictSize = sizeof(kDict) / sizeof(kDict[0]);
+  std::mt19937_64 rng(seed);
+  std::vector<std::string> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string doc;
+    bool marked = std::uniform_real_distribution<>(0, 1)(rng) < marked_fraction;
+    for (size_t w = 0; w < words_per_doc; ++w) {
+      if (w > 0) doc += ' ';
+      doc += kDict[rng() % kDictSize];
+    }
+    if (marked) doc += " keeper";
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+/// Engine configurations for the Figure 8 comparison.
+inline EngineConfig SparkSqlConfig() {
+  EngineConfig config;
+  config.num_threads = 4;
+  config.default_parallelism = 8;
+  return config;
+}
+
+/// "Shark mode": the Hive-era feature set — no code generation, no source
+/// pushdown, no cost-based join selection, no operator fusion.
+inline EngineConfig SharkConfig() {
+  EngineConfig config = SparkSqlConfig();
+  config.codegen_enabled = false;
+  config.pushdown_enabled = false;
+  config.join_selection_enabled = false;
+  config.operator_fusion_enabled = false;
+  return config;
+}
+
+/// Writes the AMPLab tables as colf files (the Parquet stand-in the
+/// paper's cluster also used) and registers them in `ctx`.
+inline void SetupAmplabTables(SqlContext& ctx, const RankingsData& rankings,
+                              const UserVisitsData& visits,
+                              const std::string& dir) {
+  std::string rankings_path = dir + "/rankings.colf";
+  std::string visits_path = dir + "/uservisits.colf";
+  WriteColfFile(rankings_path, RankingsSchema(), RankingsRows(rankings));
+  WriteColfFile(visits_path, UserVisitsSchema(), UserVisitsRows(visits));
+  ctx.ReadColf(rankings_path).RegisterTempTable("rankings");
+  ctx.ReadColf(visits_path).RegisterTempTable("uservisits");
+}
+
+}  // namespace bench
+}  // namespace ssql
+
+#endif  // SSQL_BENCH_WORKLOADS_H_

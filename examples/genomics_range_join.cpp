@@ -1,0 +1,66 @@
+// Section 7.2 end to end: the computational-genomics range join.
+//
+// Runs the paper's overlapping-regions query both ways — with the
+// interval-tree planning rule (the ~100-line ADAM extension) and with the
+// naive nested-loop plan — prints both physical plans, checks the answers
+// agree, and times the difference.
+//
+//   cmake --build build --target genomics_range_join &&
+//   ./build/examples/genomics_range_join
+
+#include <chrono>
+#include <iostream>
+#include <random>
+
+#include "api/sql_context.h"
+
+using namespace ssql;  // NOLINT — example brevity
+
+int main() {
+  SqlContext ctx;
+
+  // Two region sets with (start, end) offsets, like read alignments vs
+  // annotated genes.
+  auto schema = StructType::Make({
+      Field("start", DataType::Int64(), false),
+      Field("end", DataType::Int64(), false),
+  });
+  std::mt19937_64 rng(99);
+  std::vector<Row> a_rows, b_rows;
+  for (int i = 0; i < 4000; ++i) {
+    int64_t s = rng() % 100000;
+    a_rows.push_back(Row({Value(s), Value(s + 50 + int64_t(rng() % 500))}));
+    int64_t t = rng() % 100000;
+    b_rows.push_back(Row({Value(t), Value(t + 50 + int64_t(rng() % 500))}));
+  }
+  ctx.CreateDataFrame(schema, a_rows).RegisterTempTable("a");
+  ctx.CreateDataFrame(schema, b_rows).RegisterTempTable("b");
+
+  // The paper's query, structure intact.
+  const std::string query =
+      "SELECT count(*) FROM a JOIN b "
+      "ON a.start < a.end AND b.start < b.end "
+      "AND a.start < b.start AND b.start < a.end";
+
+  auto run = [&](const char* label) {
+    DataFrame df = ctx.Sql(query);
+    std::cout << "--- " << label << " ---\n"
+              << ctx.PlanPhysical(ctx.Optimize(df.plan()))->TreeString();
+    auto t0 = std::chrono::steady_clock::now();
+    int64_t matches = df.Collect()[0].GetInt64(0);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::cout << "overlapping pairs: " << matches << "  (" << ms << " ms)\n\n";
+    return matches;
+  };
+
+  int64_t fast = run("interval-tree rule enabled");
+
+  ctx.config().range_join_enabled = false;
+  int64_t slow = run("naive nested-loop plan");
+  ctx.config().range_join_enabled = true;
+
+  std::cout << (fast == slow ? "answers agree" : "ANSWERS DIFFER — bug!")
+            << "\n";
+  return fast == slow ? 0 : 1;
+}

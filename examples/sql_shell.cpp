@@ -1,0 +1,60 @@
+// An interactive SQL console — the "command-line console" interface of
+// the paper's Figure 1. Reads one statement per line, prints results or
+// errors; meta-commands: .tables, .explain <sql>, .metrics, .quit.
+//
+//   ./build/examples/sql_shell
+//   ssql> CREATE TEMPORARY TABLE t USING json OPTIONS (path 'data.json')
+//   ssql> SELECT count(*) FROM t
+//
+// Pipe a script: printf 'SELECT 1+1\n.quit\n' | ./build/examples/sql_shell
+
+#include <iostream>
+#include <string>
+
+#include "api/sql_context.h"
+#include "util/string_util.h"
+
+using namespace ssql;  // NOLINT — example brevity
+
+int main() {
+  SqlContext ctx;
+  std::cout << "sparksql-cpp console — SQL statements, or .tables / "
+               ".explain <sql> / .metrics / .quit\n";
+  std::string line;
+  while (true) {
+    std::cout << "ssql> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    try {
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      if (trimmed == ".tables") {
+        for (const auto& name : ctx.catalog().TableNames()) {
+          std::cout << "  " << name << "\n";
+        }
+        continue;
+      }
+      if (trimmed == ".metrics") {
+        for (const auto& [name, value] : ctx.exec().metrics().Snapshot()) {
+          std::cout << "  " << name << " = " << value << "\n";
+        }
+        continue;
+      }
+      if (trimmed.rfind(".explain ", 0) == 0) {
+        DataFrame df = ctx.Sql(trimmed.substr(9));
+        std::cout << df.Explain(/*extended=*/true);
+        continue;
+      }
+      DataFrame result = ctx.Sql(trimmed);
+      if (result.schema()->num_fields() == 0) {
+        std::cout << "ok\n";
+      } else {
+        result.Show(40);
+      }
+    } catch (const SsqlError& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "api/column.h"
+
+#include "catalyst/expr/aggregates.h"
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/case_when.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/complex_types.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/expr/string_ops.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+Column Column::Named(const std::string& dotted_name) {
+  return Column(UnresolvedAttribute::Make(Split(dotted_name, '.')));
+}
+
+Column Column::Lit(Value value) { return Column(Literal::Infer(std::move(value))); }
+
+Column Column::operator==(const Column& other) const {
+  return Column(EqualTo::Make(expr_, other.expr_));
+}
+Column Column::operator!=(const Column& other) const {
+  return Column(NotEqualTo::Make(expr_, other.expr_));
+}
+Column Column::operator<(const Column& other) const {
+  return Column(LessThan::Make(expr_, other.expr_));
+}
+Column Column::operator<=(const Column& other) const {
+  return Column(LessThanOrEqual::Make(expr_, other.expr_));
+}
+Column Column::operator>(const Column& other) const {
+  return Column(GreaterThan::Make(expr_, other.expr_));
+}
+Column Column::operator>=(const Column& other) const {
+  return Column(GreaterThanOrEqual::Make(expr_, other.expr_));
+}
+
+Column Column::operator+(const Column& other) const {
+  return Column(Add::Make(expr_, other.expr_));
+}
+Column Column::operator-(const Column& other) const {
+  return Column(Subtract::Make(expr_, other.expr_));
+}
+Column Column::operator*(const Column& other) const {
+  return Column(Multiply::Make(expr_, other.expr_));
+}
+Column Column::operator/(const Column& other) const {
+  return Column(Divide::Make(expr_, other.expr_));
+}
+Column Column::operator%(const Column& other) const {
+  return Column(Remainder::Make(expr_, other.expr_));
+}
+Column Column::operator-() const { return Column(UnaryMinus::Make(expr_)); }
+
+Column Column::operator&&(const Column& other) const {
+  return Column(And::Make(expr_, other.expr_));
+}
+Column Column::operator||(const Column& other) const {
+  return Column(Or::Make(expr_, other.expr_));
+}
+Column Column::operator!() const { return Column(Not::Make(expr_)); }
+
+Column Column::As(const std::string& name) const {
+  return Column(Alias::Make(expr_, name));
+}
+Column Column::CastTo(const DataTypePtr& type) const {
+  return Column(Cast::Make(expr_, type));
+}
+Column Column::IsNull() const { return Column(ssql::IsNull::Make(expr_)); }
+Column Column::IsNotNull() const { return Column(ssql::IsNotNull::Make(expr_)); }
+Column Column::Like(const std::string& pattern) const {
+  return Column(ssql::Like::Make(
+      expr_, Literal::Make(Value(pattern), DataType::String())));
+}
+Column Column::StartsWith(const std::string& prefix) const {
+  return Column(ssql::StartsWith::Make(
+      expr_, Literal::Make(Value(prefix), DataType::String())));
+}
+Column Column::EndsWith(const std::string& suffix) const {
+  return Column(ssql::EndsWith::Make(
+      expr_, Literal::Make(Value(suffix), DataType::String())));
+}
+Column Column::Contains(const std::string& needle) const {
+  return Column(StringContains::Make(
+      expr_, Literal::Make(Value(needle), DataType::String())));
+}
+Column Column::Substr(int pos, int len) const {
+  return Column(Substring::Make(
+      expr_, Literal::Make(Value(pos), DataType::Int32()),
+      Literal::Make(Value(len), DataType::Int32())));
+}
+Column Column::In(std::vector<Value> values) const {
+  ExprVector list;
+  list.reserve(values.size());
+  for (auto& v : values) list.push_back(Literal::Infer(std::move(v)));
+  return Column(ssql::In::Make(expr_, std::move(list)));
+}
+Column Column::GetField(const std::string& name) const {
+  // Ordinal resolution requires the child type; defer by routing through
+  // the analyzer with a dotted unresolved attribute when possible.
+  if (const auto* attr = ssql::As<AttributeReference>(expr_)) {
+    (void)attr;
+    // Resolved struct column: look the field up eagerly.
+    const auto& st = AsStruct(*expr_->data_type());
+    int ordinal = st.FieldIndex(name);
+    if (ordinal < 0) {
+      throw AnalysisError("no field '" + name + "' in " +
+                          expr_->data_type()->ToString());
+    }
+    return Column(GetStructField::Make(expr_, ordinal, name));
+  }
+  if (const auto* ua = ssql::As<UnresolvedAttribute>(expr_)) {
+    std::vector<std::string> parts = ua->parts();
+    parts.push_back(name);
+    return Column(UnresolvedAttribute::Make(std::move(parts)));
+  }
+  if (expr_->resolved()) {
+    const auto& st = AsStruct(*expr_->data_type());
+    int ordinal = st.FieldIndex(name);
+    if (ordinal < 0) {
+      throw AnalysisError("no field '" + name + "' in struct");
+    }
+    return Column(GetStructField::Make(expr_, ordinal, name));
+  }
+  throw AnalysisError("GetField on unresolved non-attribute expression");
+}
+Column Column::GetItem(int index) const {
+  return Column(GetArrayItem::Make(
+      expr_, Literal::Make(Value(index), DataType::Int32())));
+}
+
+Column Column::Asc() const { return Column(SortOrder::Make(expr_, true)); }
+Column Column::Desc() const { return Column(SortOrder::Make(expr_, false)); }
+
+namespace functions {
+
+Column Count(const Column& c) { return Column(ssql::Count::Make({c.expr()})); }
+Column CountStar() { return Column(ssql::Count::Star()); }
+Column CountDistinct(const Column& c) {
+  return Column(ssql::CountDistinct::Make(c.expr()));
+}
+Column Sum(const Column& c) { return Column(ssql::Sum::Make(c.expr())); }
+Column Avg(const Column& c) { return Column(Average::Make(c.expr())); }
+Column Min(const Column& c) { return Column(MinMax::Min(c.expr())); }
+Column Max(const Column& c) { return Column(MinMax::Max(c.expr())); }
+Column Lower(const Column& c) { return Column(ssql::Lower::Make(c.expr())); }
+Column Upper(const Column& c) { return Column(ssql::Upper::Make(c.expr())); }
+Column Length(const Column& c) { return Column(StringLength::Make(c.expr())); }
+Column Abs(const Column& c) { return Column(ssql::Abs::Make(c.expr())); }
+Column Concat(const std::vector<Column>& cs) {
+  ExprVector children;
+  children.reserve(cs.size());
+  for (const auto& c : cs) children.push_back(c.expr());
+  return Column(ssql::Concat::Make(std::move(children)));
+}
+Column Split(const Column& c, const std::string& sep) {
+  return Column(SplitString::Make(
+      c.expr(), Literal::Make(Value(sep), DataType::String())));
+}
+Column Coalesce(const std::vector<Column>& cs) {
+  ExprVector children;
+  children.reserve(cs.size());
+  for (const auto& c : cs) children.push_back(c.expr());
+  return Column(ssql::Coalesce::Make(std::move(children)));
+}
+Column If(const Column& cond, const Column& then_col, const Column& else_col) {
+  return Column(CaseWhen::If(cond.expr(), then_col.expr(), else_col.expr()));
+}
+Column Lit(Value value) { return Column::Lit(std::move(value)); }
+Column Col(const std::string& dotted_name) { return Column::Named(dotted_name); }
+
+}  // namespace functions
+
+}  // namespace ssql

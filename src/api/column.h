@@ -1,0 +1,95 @@
+#ifndef SSQL_API_COLUMN_H_
+#define SSQL_API_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalyst/expr/expression.h"
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// A column expression in the DataFrame DSL (Section 3.3). Operators build
+/// an abstract syntax tree that is handed to Catalyst — unlike native RDD
+/// closures, which are opaque to the engine. `df("age") < 21` produces the
+/// Catalyst tree LessThan(age, Literal(21)).
+class Column {
+ public:
+  explicit Column(ExprPtr expr) : expr_(std::move(expr)) {}
+
+  /// Column by (possibly dotted) name, resolved later by the analyzer.
+  static Column Named(const std::string& dotted_name);
+  /// A literal value.
+  static Column Lit(Value value);
+
+  const ExprPtr& expr() const { return expr_; }
+
+  // Comparisons (the paper's === is ==, as C++ allows overloading it).
+  Column operator==(const Column& other) const;
+  Column operator!=(const Column& other) const;
+  Column operator<(const Column& other) const;
+  Column operator<=(const Column& other) const;
+  Column operator>(const Column& other) const;
+  Column operator>=(const Column& other) const;
+
+  // Arithmetic.
+  Column operator+(const Column& other) const;
+  Column operator-(const Column& other) const;
+  Column operator*(const Column& other) const;
+  Column operator/(const Column& other) const;
+  Column operator%(const Column& other) const;
+  Column operator-() const;
+
+  // Boolean logic.
+  Column operator&&(const Column& other) const;
+  Column operator||(const Column& other) const;
+  Column operator!() const;
+
+  // Named helpers.
+  Column As(const std::string& name) const;
+  Column CastTo(const DataTypePtr& type) const;
+  Column IsNull() const;
+  Column IsNotNull() const;
+  Column Like(const std::string& pattern) const;
+  Column StartsWith(const std::string& prefix) const;
+  Column EndsWith(const std::string& suffix) const;
+  Column Contains(const std::string& needle) const;
+  Column Substr(int pos, int len) const;
+  Column In(std::vector<Value> values) const;
+  Column GetField(const std::string& name) const;  // struct field access
+  Column GetItem(int index) const;                 // array element
+
+  /// Sort directions for OrderBy.
+  Column Asc() const;
+  Column Desc() const;
+
+ private:
+  ExprPtr expr_;
+};
+
+/// Aggregate & scalar function helpers (the `functions._` of Spark).
+namespace functions {
+
+Column Count(const Column& c);
+Column CountStar();
+Column CountDistinct(const Column& c);
+Column Sum(const Column& c);
+Column Avg(const Column& c);
+Column Min(const Column& c);
+Column Max(const Column& c);
+Column Lower(const Column& c);
+Column Upper(const Column& c);
+Column Length(const Column& c);
+Column Abs(const Column& c);
+Column Concat(const std::vector<Column>& cs);
+Column Split(const Column& c, const std::string& sep);
+Column Coalesce(const std::vector<Column>& cs);
+Column If(const Column& cond, const Column& then_col, const Column& else_col);
+Column Lit(Value value);
+Column Col(const std::string& dotted_name);
+
+}  // namespace functions
+
+}  // namespace ssql
+
+#endif  // SSQL_API_COLUMN_H_

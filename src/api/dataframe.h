@@ -1,0 +1,137 @@
+#ifndef SSQL_API_DATAFRAME_H_
+#define SSQL_API_DATAFRAME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/column.h"
+#include "catalyst/plan/logical_plan.h"
+#include "engine/rdd.h"
+
+namespace ssql {
+
+class SqlContext;
+class DataFrame;
+
+/// The result of GroupBy: holds the grouping expressions and exposes the
+/// aggregation entry points (Section 3.3's groupBy(...).agg(...)).
+class GroupedData {
+ public:
+  GroupedData(SqlContext* ctx, PlanPtr child, ExprVector groupings)
+      : ctx_(ctx), child_(std::move(child)), groupings_(std::move(groupings)) {}
+
+  /// Full-control aggregation: grouping columns are included first,
+  /// followed by `aggregates`.
+  DataFrame Agg(const std::vector<Column>& aggregates) const;
+
+  // Shorthands — `df.GroupBy("a").Avg("b")` is the paper's Figure 9 query.
+  DataFrame Avg(const std::string& column) const;
+  DataFrame Sum(const std::string& column) const;
+  DataFrame Min(const std::string& column) const;
+  DataFrame Max(const std::string& column) const;
+  DataFrame Count() const;
+
+ private:
+  SqlContext* ctx_;
+  PlanPtr child_;
+  ExprVector groupings_;
+};
+
+/// A distributed collection of rows with a schema (Section 3.1): a lazy
+/// *logical plan* plus the context that can run it. Construction analyzes
+/// the plan eagerly so schema errors surface at the line that made them
+/// (Section 3.4), but nothing executes until an output operation
+/// (Collect/Count/Show) is called.
+class DataFrame {
+ public:
+  DataFrame() = default;
+  DataFrame(SqlContext* ctx, PlanPtr logical_plan);
+
+  /// The analyzed logical plan.
+  const PlanPtr& plan() const { return plan_; }
+  SqlContext* context() const { return ctx_; }
+
+  /// Schema of this DataFrame.
+  SchemaPtr schema() const;
+  /// Output attributes (name + type + expr-id).
+  AttributeVector output() const { return plan_->Output(); }
+
+  /// Column reference by name — the paper's `users("age")`. Resolved
+  /// eagerly against this DataFrame's schema.
+  Column operator()(const std::string& dotted_name) const;
+  Column Col(const std::string& dotted_name) const {
+    return (*this)(dotted_name);
+  }
+
+  // ---- transformations (lazy) ----------------------------------------
+
+  DataFrame Select(const std::vector<Column>& columns) const;
+  DataFrame Select(const std::vector<std::string>& names) const;
+  DataFrame Where(const Column& condition) const;
+  DataFrame Filter(const Column& condition) const { return Where(condition); }
+  GroupedData GroupBy(const std::vector<Column>& columns) const;
+  GroupedData GroupBy(const std::vector<std::string>& names) const;
+  DataFrame Join(const DataFrame& right, const Column& condition,
+                 JoinType type = JoinType::kInner) const;
+  DataFrame CrossJoin(const DataFrame& right) const;
+  DataFrame OrderBy(const std::vector<Column>& orders) const;
+  DataFrame Limit(int64_t n) const;
+  DataFrame UnionAll(const DataFrame& other) const;
+  DataFrame Distinct() const;
+  DataFrame Sample(double fraction, uint64_t seed = 42) const;
+  DataFrame As(const std::string& alias) const;
+  /// Appends a computed column.
+  DataFrame WithColumn(const std::string& name, const Column& column) const;
+
+  // ---- output operations (execute) ------------------------------------
+
+  std::vector<Row> Collect() const;
+  int64_t Count() const;
+  /// Prints up to `n` rows with a header.
+  void Show(size_t n = 20) const;
+  /// The first row (throws if empty).
+  Row First() const;
+
+  /// Writes this DataFrame through a data source provider's write path
+  /// (Section 4.4.1: "similar interfaces exist for writing data to an
+  /// existing or new table"). E.g. Save("colf", {{"path", "out.colf"}}).
+  void Save(const std::string& provider,
+            const std::map<std::string, std::string>& options) const;
+  void SaveAsCsv(const std::string& path) const { Save("csv", {{"path", path}}); }
+  void SaveAsJson(const std::string& path) const {
+    Save("json", {{"path", path}});
+  }
+  void SaveAsColf(const std::string& path) const {
+    Save("colf", {{"path", path}});
+  }
+
+  /// Views this DataFrame as an RDD of Rows (Section 3.1: "each DataFrame
+  /// can also be viewed as an RDD of Row objects"): executes the plan and
+  /// hands the partitions to the procedural API, so relational and
+  /// procedural stages pipeline inside one program (Section 6.3).
+  std::shared_ptr<RDD<Row>> ToRdd() const;
+
+  // ---- misc -----------------------------------------------------------
+
+  /// Registers this DataFrame as a temp table: an unmaterialized view, so
+  /// later SQL optimizes *across* the view boundary (Section 3.3).
+  void RegisterTempTable(const std::string& name) const;
+
+  /// Materializes this DataFrame into the in-memory columnar cache
+  /// (Section 3.6); subsequent plans containing this subtree scan the
+  /// compressed columns instead of recomputing.
+  DataFrame Cache() const;
+
+  /// Logical/optimized/physical plans, like Spark's explain(true).
+  std::string Explain(bool extended = false) const;
+
+ private:
+  SqlContext* ctx_ = nullptr;
+  PlanPtr plan_;  // analyzed
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_API_DATAFRAME_H_

@@ -1,0 +1,245 @@
+#include "api/sql_context.h"
+
+#include "catalyst/planner/planner.h"
+#include "columnar/column_vector.h"
+#include "exec/scan_exec.h"
+#include "sql/parser.h"
+
+namespace ssql {
+
+namespace {
+
+/// Exposes a CachedTable through the data source API so cached subtrees
+/// benefit from the same column pruning as external sources: a query that
+/// touches 2 of 10 cached columns decodes exactly 2 (Section 3.6 + 4.4.1
+/// composing).
+class CachedTableSource : public BaseRelation,
+                          public PrunedFilteredScan,
+                          public PartitionedScan {
+ public:
+  CachedTableSource(std::shared_ptr<const CachedTable> table, std::string label)
+      : table_(std::move(table)), label_(std::move(label)) {}
+
+  std::string name() const override { return "cache:" + label_; }
+  SchemaPtr schema() const override { return table_->schema(); }
+  std::optional<uint64_t> EstimatedSizeBytes() const override {
+    return table_->MemoryBytes();
+  }
+
+  std::vector<Row> ScanFiltered(
+      ExecContext& ctx, const std::vector<int>& columns,
+      const std::vector<FilterSpec>& filters) const override {
+    return ScanPartitions(ctx, columns, filters).Collect();
+  }
+
+  RowDataset ScanPartitions(
+      ExecContext& ctx, const std::vector<int>& columns,
+      const std::vector<FilterSpec>& filters) const override {
+    ctx.metrics().Add("cache.scans", 1);
+    if (filters.empty()) return table_->Scan(columns, &ctx);
+
+    // Bind filter columns to ordinals once.
+    SchemaPtr sch = table_->schema();
+    std::vector<std::pair<int, const FilterSpec*>> bound;
+    bound.reserve(filters.size());
+    for (const auto& f : filters) {
+      int idx = sch->FieldIndex(f.column);
+      if (idx < 0) {
+        throw ExecutionError("cache: unknown filter column " + f.column);
+      }
+      bound.emplace_back(idx, &f);
+    }
+
+    size_t chunks = table_->num_chunks();
+    std::vector<RowPartitionPtr> partitions(chunks);
+    auto scan_chunk = [&](size_t idx) {
+      auto part = std::make_shared<RowPartition>();
+      const auto& cols = table_->chunk_columns(idx);
+      // Zone-map skipping over cached chunks, like colf row groups.
+      for (const auto& [c, spec] : bound) {
+        if (!ColumnChunkMayMatch(cols[c], *spec)) {
+          partitions[idx] = std::move(part);
+          return;
+        }
+      }
+      uint32_t n = table_->chunk_rows(idx);
+      // Decode filter + requested columns only.
+      std::vector<ColumnVector> decoded;
+      std::vector<int> ordinal(sch->num_fields(), -1);
+      auto ensure = [&](int c) {
+        if (ordinal[c] >= 0) return;
+        ordinal[c] = static_cast<int>(decoded.size());
+        decoded.push_back(DecodeColumn(cols[c]));
+      };
+      for (const auto& [c, spec] : bound) ensure(c);
+      for (int c : columns) ensure(c);
+      for (uint32_t r = 0; r < n; ++r) {
+        bool keep = true;
+        for (const auto& [c, spec] : bound) {
+          if (!spec->Matches(decoded[ordinal[c]].GetValue(r))) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        Row row;
+        row.Reserve(columns.size());
+        for (int c : columns) row.Append(decoded[ordinal[c]].GetValue(r));
+        part->rows.push_back(std::move(row));
+      }
+      partitions[idx] = std::move(part);
+    };
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (size_t i = 0; i < chunks; ++i) {
+      tasks.push_back([&scan_chunk, i] { scan_chunk(i); });
+    }
+    ctx.pool().RunAll(std::move(tasks));
+    return RowDataset(std::move(partitions));
+  }
+
+ private:
+  std::shared_ptr<const CachedTable> table_;
+  std::string label_;
+};
+
+}  // namespace
+
+SqlContext::SqlContext(EngineConfig config)
+    : exec_(config),
+      analyzer_(&catalog_, &functions_),
+      optimizer_(std::make_unique<Optimizer>(
+          OptimizerOptions{config.pushdown_enabled})) {}
+
+void SqlContext::RefreshOptimizer() {
+  optimizer_ = std::make_unique<Optimizer>(
+      OptimizerOptions{exec_.config().pushdown_enabled});
+}
+
+DataFrame SqlContext::CreateDataFrame(const SchemaPtr& schema,
+                                      std::vector<Row> rows) {
+  return DataFrame(this, LocalRelation::FromSchema(schema, std::move(rows)));
+}
+
+DataFrame SqlContext::Table(const std::string& name) {
+  PlanPtr plan = catalog_.Lookup(name);
+  if (!plan) {
+    throw AnalysisError("table not found: '" + name + "'");
+  }
+  return DataFrame(this, SubqueryAlias::Make(name, plan));
+}
+
+DataFrame SqlContext::Read(const std::string& provider,
+                           const DataSourceOptions& options) {
+  std::shared_ptr<BaseRelation> rel =
+      DataSourceRegistry::Global().CreateRelation(provider, options);
+  return DataFrame(this, LogicalRelation::Make(rel));
+}
+
+DataFrame SqlContext::ReadCsv(const std::string& path) {
+  return Read("csv", {{"path", path}});
+}
+DataFrame SqlContext::ReadJson(const std::string& path) {
+  return Read("json", {{"path", path}});
+}
+DataFrame SqlContext::ReadColf(const std::string& path) {
+  return Read("colf", {{"path", path}});
+}
+
+DataFrame SqlContext::Sql(const std::string& statement) {
+  ParsedStatement parsed = ParseSql(statement);
+  if (parsed.kind == ParsedStatement::Kind::kCreateTempTable) {
+    std::shared_ptr<BaseRelation> rel =
+        DataSourceRegistry::Global().CreateRelation(parsed.provider,
+                                                    parsed.options);
+    catalog_.RegisterTable(parsed.table_name, LogicalRelation::Make(rel));
+    return CreateDataFrame(StructType::Make({}), {});
+  }
+  if (parsed.kind == ParsedStatement::Kind::kCreateTempView) {
+    // Analyze eagerly so errors surface now; register the analyzed plan as
+    // an unmaterialized view.
+    PlanPtr analyzed = Analyze(parsed.plan);
+    catalog_.RegisterTable(parsed.table_name, analyzed);
+    return CreateDataFrame(StructType::Make({}), {});
+  }
+  return DataFrame(this, parsed.plan);
+}
+
+void SqlContext::RegisterTable(const std::string& name, const DataFrame& df) {
+  catalog_.RegisterTable(name, df.plan());
+}
+
+void SqlContext::DropTable(const std::string& name) { catalog_.DropTable(name); }
+
+void SqlContext::RegisterUdf(const std::string& name, DataTypePtr return_type,
+                             ScalarUDF::Body body, bool deterministic) {
+  functions_.RegisterUdf(name, std::move(return_type), std::move(body),
+                         deterministic);
+}
+
+void SqlContext::RegisterUdt(std::shared_ptr<const UserDefinedType> udt) {
+  catalog_.RegisterUdt(std::move(udt));
+}
+
+PlanPtr SqlContext::Analyze(const PlanPtr& plan) const {
+  return analyzer_.Analyze(plan);
+}
+
+PlanPtr SqlContext::Optimize(const PlanPtr& plan,
+                             std::vector<RuleExecutor::TraceEntry>* trace) const {
+  return optimizer_->Optimize(plan, trace);
+}
+
+PhysPtr SqlContext::PlanPhysical(const PlanPtr& optimized) const {
+  PhysicalPlanner planner(exec_.config());
+  return planner.Plan(optimized);
+}
+
+PlanPtr SqlContext::SubstituteCached(const PlanPtr& plan) const {
+  if (cache_.TotalMemoryBytes() == 0 && !cache_.Get(plan->TreeString())) {
+    // Fast path: nothing cached.
+  }
+  return plan->TransformUp([this](const PlanPtr& p) -> PlanPtr {
+    auto table = cache_.Get(p->TreeString());
+    if (!table) return p;
+    if (const auto* rel = AsPlan<LogicalRelation>(p)) {
+      // Already a cache-backed scan? Don't re-wrap.
+      if (rel->source()->name().rfind("cache:", 0) == 0) return p;
+    }
+    AttributeVector output = p->Output();
+    std::vector<int> all_columns;
+    all_columns.reserve(output.size());
+    for (size_t i = 0; i < output.size(); ++i) {
+      all_columns.push_back(static_cast<int>(i));
+    }
+    // Preserve the subtree's attribute identities so parents still bind.
+    return std::make_shared<LogicalRelation>(
+        std::make_shared<CachedTableSource>(std::move(table), "plan"),
+        std::move(output), std::move(all_columns), ExprVector{});
+  });
+}
+
+RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan) {
+  PlanPtr with_cache = SubstituteCached(analyzed_plan);
+  PlanPtr optimized = Optimize(with_cache);
+  PhysPtr physical = PlanPhysical(optimized);
+  return physical->Execute(exec_);
+}
+
+void SqlContext::CachePlan(const PlanPtr& analyzed_plan) {
+  // Build the columnar table from the plan's result, keyed by the
+  // analyzed plan's canonical form.
+  RowDataset data = Execute(analyzed_plan);
+  std::vector<Field> fields;
+  for (const auto& attr : analyzed_plan->Output()) {
+    fields.emplace_back(attr->name(), attr->data_type(), attr->nullable());
+  }
+  SchemaPtr schema = StructType::Make(std::move(fields));
+  cache_.Put(analyzed_plan->TreeString(), CachedTable::Build(schema, data));
+}
+
+void SqlContext::UncachePlan(const PlanPtr& analyzed_plan) {
+  cache_.Remove(analyzed_plan->TreeString());
+}
+
+}  // namespace ssql

@@ -1,0 +1,103 @@
+#ifndef SSQL_API_SQL_CONTEXT_H_
+#define SSQL_API_SQL_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/dataframe.h"
+#include "catalyst/analysis/analyzer.h"
+#include "catalyst/analysis/catalog.h"
+#include "catalyst/analysis/function_registry.h"
+#include "catalyst/optimizer/optimizer.h"
+#include "columnar/columnar_cache.h"
+#include "datasources/data_source.h"
+#include "engine/exec_context.h"
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+/// The entry point (the paper's SQLContext/HiveContext): owns the catalog,
+/// function registry, optimizer, cache manager and the mini-Spark engine,
+/// and runs the four Catalyst phases of Figure 3 — analysis, logical
+/// optimization, physical planning, execution.
+class SqlContext {
+ public:
+  explicit SqlContext(EngineConfig config = EngineConfig());
+
+  // ---- DataFrame construction -----------------------------------------
+
+  /// From driver-local rows.
+  DataFrame CreateDataFrame(const SchemaPtr& schema, std::vector<Row> rows);
+
+  /// From a registered table (paper's ctx.table("users")).
+  DataFrame Table(const std::string& name);
+
+  /// From a data source provider with OPTIONS (Section 4.4.1).
+  DataFrame Read(const std::string& provider, const DataSourceOptions& options);
+  DataFrame ReadCsv(const std::string& path);
+  DataFrame ReadJson(const std::string& path);
+  DataFrame ReadColf(const std::string& path);
+
+  /// Runs a SQL statement. SELECT returns its result DataFrame; CREATE
+  /// TEMPORARY TABLE registers the source and returns an empty DataFrame.
+  DataFrame Sql(const std::string& statement);
+
+  // ---- registration -----------------------------------------------------
+
+  void RegisterTable(const std::string& name, const DataFrame& df);
+  void DropTable(const std::string& name);
+
+  /// Inline UDF registration (Section 3.7): usable immediately from both
+  /// SQL and the DSL.
+  void RegisterUdf(const std::string& name, DataTypePtr return_type,
+                   ScalarUDF::Body body, bool deterministic = true);
+
+  /// UDT registration (Section 4.4.2).
+  void RegisterUdt(std::shared_ptr<const UserDefinedType> udt);
+
+  // ---- the Catalyst pipeline (Figure 3) ---------------------------------
+
+  PlanPtr Analyze(const PlanPtr& plan) const;
+  PlanPtr Optimize(const PlanPtr& plan,
+                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr) const;
+  PhysPtr PlanPhysical(const PlanPtr& optimized) const;
+  /// Full pipeline: substitute cached subtrees, optimize, plan, execute.
+  RowDataset Execute(const PlanPtr& analyzed_plan);
+
+  // ---- caching (Section 3.6) --------------------------------------------
+
+  /// Materializes `plan`'s result in compressed columnar form; later
+  /// Execute() calls swap matching subtrees for in-memory scans.
+  void CachePlan(const PlanPtr& analyzed_plan);
+  void UncachePlan(const PlanPtr& analyzed_plan);
+  CacheManager& cache_manager() { return cache_; }
+
+  // ---- accessors ----------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  FunctionRegistry& functions() { return functions_; }
+  ExecContext& exec() { return exec_; }
+  EngineConfig& config() { return exec_.mutable_config(); }
+  const Analyzer& analyzer() const { return analyzer_; }
+
+  /// Rebuilds the optimizer after config changes (pushdown toggles).
+  void RefreshOptimizer();
+
+ private:
+  friend class DataFrame;
+
+  /// Replaces cached subtrees with InMemoryRelation leaves.
+  PlanPtr SubstituteCached(const PlanPtr& plan) const;
+
+  ExecContext exec_;
+  Catalog catalog_;
+  FunctionRegistry functions_;
+  Analyzer analyzer_;
+  std::unique_ptr<Optimizer> optimizer_;
+  CacheManager cache_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_API_SQL_CONTEXT_H_

@@ -1,0 +1,581 @@
+#include "catalyst/analysis/analyzer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "catalyst/analysis/type_coercion.h"
+#include "catalyst/expr/aggregates.h"
+#include "catalyst/expr/complex_types.h"
+#include "catalyst/expr/predicates.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+/// Resolves a dotted name path against `input` attributes. Matching rules:
+/// `col`, `qualifier.col`, and nested struct access `col.field...` /
+/// `qualifier.col.field...`. Returns nullptr when no match; throws on
+/// ambiguity.
+ExprPtr ResolveNameParts(const std::vector<std::string>& parts,
+                         const AttributeVector& input) {
+  struct Candidate {
+    AttributePtr attr;
+    size_t consumed;  // how many parts the attribute name itself used
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& attr : input) {
+    if (EqualsIgnoreCase(attr->name(), parts[0])) {
+      candidates.push_back({attr, 1});
+    }
+    if (parts.size() >= 2 && !attr->qualifier().empty() &&
+        EqualsIgnoreCase(attr->qualifier(), parts[0]) &&
+        EqualsIgnoreCase(attr->name(), parts[1])) {
+      candidates.push_back({attr, 2});
+    }
+  }
+  if (candidates.empty()) return nullptr;
+  if (candidates.size() > 1) {
+    // Identical expr-ids are the same column reached twice; dedupe.
+    bool all_same = true;
+    for (const auto& c : candidates) {
+      if (c.attr->expr_id() != candidates[0].attr->expr_id() ||
+          c.consumed != candidates[0].consumed) {
+        all_same = false;
+      }
+    }
+    if (!all_same) {
+      throw AnalysisError("reference '" + JoinStrings(parts, ".") + "' is ambiguous");
+    }
+  }
+  const Candidate& c = candidates[0];
+  ExprPtr result = c.attr;
+  // Remaining parts are struct field accesses.
+  for (size_t i = c.consumed; i < parts.size(); ++i) {
+    DataTypePtr t = result->data_type();
+    if (t->id() != TypeId::kStruct) {
+      throw AnalysisError("field access '." + parts[i] + "' on non-struct type " +
+                          t->ToString());
+    }
+    const auto& st = AsStruct(*t);
+    int ordinal = st.FieldIndex(parts[i]);
+    if (ordinal < 0) {
+      throw AnalysisError("no field '" + parts[i] + "' in " + t->ToString());
+    }
+    result = GetStructField::Make(result, ordinal, parts[i]);
+  }
+  return result;
+}
+
+/// Input attributes visible to expressions of `plan`: the union of its
+/// children's outputs.
+AttributeVector InputAttributes(const LogicalPlan& plan) {
+  AttributeVector input;
+  for (const auto& child : plan.Children()) {
+    if (!child->resolved()) continue;
+    auto out = child->Output();
+    input.insert(input.end(), out.begin(), out.end());
+  }
+  return input;
+}
+
+std::string FormatInputColumns(const AttributeVector& input) {
+  std::string s = "[";
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (i > 0) s += ", ";
+    if (!input[i]->qualifier().empty()) s += input[i]->qualifier() + ".";
+    s += input[i]->name();
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+Analyzer::Analyzer(Catalog* catalog, FunctionRegistry* registry)
+    : catalog_(catalog), registry_(registry), executor_(MakeBatches()) {}
+
+std::vector<RuleBatch> Analyzer::MakeBatches() {
+  Catalog* catalog = catalog_;
+  FunctionRegistry* registry = registry_;
+
+  PlanRule resolve_relations{
+      "ResolveRelations", [catalog](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([catalog](const PlanPtr& p) -> PlanPtr {
+          const auto* rel = AsPlan<UnresolvedRelation>(p);
+          if (rel == nullptr) return p;
+          PlanPtr table = catalog->Lookup(rel->name());
+          if (!table) return p;  // CheckAnalysis reports unknown tables
+          return SubqueryAlias::Make(rel->name(), table);
+        });
+      }};
+
+  PlanRule resolve_star{"ResolveStar", [](const PlanPtr& plan) -> PlanPtr {
+    return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+      const auto* proj = AsPlan<Project>(p);
+      if (proj == nullptr) return p;
+      bool has_star = false;
+      for (const auto& e : proj->projections()) {
+        if (As<UnresolvedStar>(e) != nullptr) has_star = true;
+      }
+      if (!has_star || !proj->child()->resolved()) return p;
+      std::vector<NamedExprPtr> expanded;
+      for (const auto& e : proj->projections()) {
+        const auto* star = As<UnresolvedStar>(e);
+        if (star == nullptr) {
+          expanded.push_back(std::static_pointer_cast<const NamedExpression>(e));
+          continue;
+        }
+        for (const auto& attr : proj->child()->Output()) {
+          if (star->qualifier().empty() ||
+              EqualsIgnoreCase(star->qualifier(), attr->qualifier())) {
+            expanded.push_back(attr);
+          }
+        }
+      }
+      return Project::Make(std::move(expanded), proj->child());
+    });
+  }};
+
+  // Self-joins reference the same underlying plan twice, so both sides
+  // expose identical expression IDs. Re-alias the right side with fresh
+  // IDs (preserving names and qualifiers) so references stay unambiguous —
+  // Spark's dedupRight.
+  PlanRule deduplicate_join_sides{
+      "DeduplicateJoinSides", [](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+          const auto* join = AsPlan<Join>(p);
+          if (join == nullptr) return p;
+          if (!join->left()->resolved() || !join->right()->resolved()) return p;
+          std::unordered_set<ExprId> left_ids;
+          for (const auto& a : join->left()->Output()) {
+            left_ids.insert(a->expr_id());
+          }
+          bool conflict = false;
+          for (const auto& a : join->right()->Output()) {
+            if (left_ids.count(a->expr_id()) > 0) conflict = true;
+          }
+          if (!conflict) return p;
+          std::vector<NamedExprPtr> fresh;
+          std::unordered_map<ExprId, ExprPtr> remap;
+          for (const auto& a : join->right()->Output()) {
+            auto alias = Alias::Make(a, a->name(), a->qualifier());
+            remap[a->expr_id()] = alias->ToAttribute();
+            fresh.push_back(std::move(alias));
+          }
+          PlanPtr new_right = Project::Make(std::move(fresh), join->right());
+          // A condition that already referenced the right side (DataFrame
+          // self-joins, IN-subquery rewrites) must follow the re-aliasing.
+          ExprPtr condition = join->condition();
+          if (condition) {
+            condition = condition->TransformUp([&](const ExprPtr& e) -> ExprPtr {
+              const auto* attr = As<AttributeReference>(e);
+              if (attr == nullptr) return e;
+              auto it = remap.find(attr->expr_id());
+              return it == remap.end() ? e : it->second;
+            });
+          }
+          return Join::Make(join->left(), new_right, join->join_type(),
+                            condition);
+        });
+      }};
+
+  PlanRule resolve_references{
+      "ResolveReferences", [](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+          if (p->Children().empty()) return p;
+          AttributeVector input = InputAttributes(*p);
+          if (input.empty()) return p;
+          return p->MapExpressions([&input](const ExprPtr& e) -> ExprPtr {
+            const auto* ua = As<UnresolvedAttribute>(e);
+            if (ua == nullptr) return e;
+            ExprPtr resolved = ResolveNameParts(ua->parts(), input);
+            return resolved ? resolved : e;
+          });
+        });
+      }};
+
+  PlanRule resolve_functions{
+      "ResolveFunctions", [registry](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformAllExpressions(
+            [registry](const ExprPtr& e) -> ExprPtr {
+              const auto* fn = As<UnresolvedFunction>(e);
+              if (fn == nullptr) return e;
+              for (const auto& arg : fn->Children()) {
+                if (!arg->resolved()) return e;
+              }
+              const FunctionRegistry::Builder* builder =
+                  registry->Lookup(fn->name());
+              if (builder == nullptr) {
+                throw AnalysisError("undefined function '" + fn->name() + "'");
+              }
+              return (*builder)(fn->Children(), fn->distinct());
+            });
+      }};
+
+  // SELECT with aggregates but no GROUP BY becomes a global Aggregate.
+  PlanRule global_aggregates{
+      "GlobalAggregates", [](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+          const auto* proj = AsPlan<Project>(p);
+          if (proj == nullptr) return p;
+          bool has_agg = false;
+          for (const auto& e : proj->projections()) {
+            if (e->resolved() && ContainsAggregate(e)) has_agg = true;
+          }
+          if (!has_agg) return p;
+          return Aggregate::Make({}, proj->projections(), proj->child());
+        });
+      }};
+
+  // HAVING with aggregate functions: materialize the needed aggregates as
+  // hidden columns of the Aggregate, filter on them, then project them away.
+  PlanRule resolve_having{
+      "ResolveHavingAggregates", [](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+          const auto* filter = AsPlan<Filter>(p);
+          if (filter == nullptr) return p;
+          const auto* agg = AsPlan<Aggregate>(filter->child());
+          if (agg == nullptr) return p;
+          if (!filter->condition()->resolved() ||
+              !ContainsAggregate(filter->condition())) {
+            return p;
+          }
+          std::vector<NamedExprPtr> extended = agg->aggregates();
+          std::unordered_map<std::string, AttributePtr> mapping;
+          ExprPtr new_cond = filter->condition()->TransformUp(
+              [&](const ExprPtr& e) -> ExprPtr {
+                if (dynamic_cast<const AggregateFunction*>(e.get()) == nullptr) {
+                  return e;
+                }
+                std::string key = e->ToString();
+                auto it = mapping.find(key);
+                if (it == mapping.end()) {
+                  auto alias = Alias::Make(e, "havingCondition");
+                  extended.push_back(alias);
+                  it = mapping.emplace(key, alias->ToAttribute()).first;
+                }
+                return it->second;
+              });
+          PlanPtr new_agg =
+              Aggregate::Make(agg->groupings(), std::move(extended), agg->child());
+          PlanPtr new_filter = Filter::Make(new_cond, new_agg);
+          // Project back to the original aggregate output.
+          std::vector<NamedExprPtr> visible;
+          for (const auto& a : agg->aggregates()) {
+            visible.push_back(a->ToAttribute());
+          }
+          return Project::Make(std::move(visible), new_filter);
+        });
+      }};
+
+  // ORDER BY may reference columns dropped by the SELECT list; resolve
+  // them against the Project's child, add them as hidden columns, and
+  // re-project the original output above the Sort.
+  PlanRule resolve_sort_references{
+      "ResolveSortReferences", [](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+          const auto* sort = AsPlan<Sort>(p);
+          if (sort == nullptr) return p;
+          const auto* proj = AsPlan<Project>(sort->child());
+          if (proj == nullptr || !proj->child()->resolved() ||
+              !proj->resolved()) {
+            return p;
+          }
+          bool any_unresolved = false;
+          for (const auto& o : sort->orders()) {
+            if (!o->resolved()) any_unresolved = true;
+          }
+          if (!any_unresolved) return p;
+
+          AttributeVector child_out = proj->child()->Output();
+          AttributeVector hidden;
+          bool progress = false;
+          std::vector<std::shared_ptr<const SortOrder>> new_orders;
+          for (const auto& o : sort->orders()) {
+            ExprPtr rewritten = o->TransformUp([&](const ExprPtr& e) -> ExprPtr {
+              const auto* ua = As<UnresolvedAttribute>(e);
+              if (ua == nullptr) return e;
+              ExprPtr resolved = ResolveNameParts(ua->parts(), child_out);
+              if (!resolved) return e;
+              progress = true;
+              AttributeVector refs;
+              CollectReferences(resolved, &refs);
+              for (const auto& r : refs) {
+                bool seen = false;
+                for (const auto& h : hidden) {
+                  if (h->expr_id() == r->expr_id()) seen = true;
+                }
+                for (const auto& out : proj->Output()) {
+                  if (out->expr_id() == r->expr_id()) seen = true;
+                }
+                if (!seen) hidden.push_back(r);
+              }
+              return resolved;
+            });
+            new_orders.push_back(
+                std::static_pointer_cast<const SortOrder>(rewritten));
+          }
+          if (!progress) return p;
+          std::vector<NamedExprPtr> extended = proj->projections();
+          for (const auto& h : hidden) extended.push_back(h);
+          PlanPtr new_proj = Project::Make(std::move(extended), proj->child());
+          PlanPtr new_sort = Sort::Make(std::move(new_orders), new_proj);
+          std::vector<NamedExprPtr> visible;
+          for (const auto& out : proj->Output()) visible.push_back(out);
+          return Project::Make(std::move(visible), new_sort);
+        });
+      }};
+
+  // ORDER BY may repeat a GROUP BY expression verbatim (ORDER BY
+  // substr(s,1,7) over GROUP BY substr(s,1,7)); match it semantically
+  // against the aggregate's output expressions and substitute the output
+  // attribute.
+  PlanRule resolve_sort_over_aggregate{
+      "ResolveSortOverAggregate", [registry](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([registry](const PlanPtr& p) -> PlanPtr {
+          const auto* sort = AsPlan<Sort>(p);
+          if (sort == nullptr) return p;
+          const auto* agg = AsPlan<Aggregate>(sort->child());
+          if (agg == nullptr || !agg->resolved()) return p;
+          bool any_unresolved = false;
+          for (const auto& o : sort->orders()) {
+            if (!o->resolved()) any_unresolved = true;
+          }
+          if (!any_unresolved) return p;
+
+          AttributeVector agg_input = agg->child()->Output();
+          bool progress = false;
+          std::vector<std::shared_ptr<const SortOrder>> new_orders;
+          for (const auto& o : sort->orders()) {
+            if (o->resolved()) {
+              new_orders.push_back(o);
+              continue;
+            }
+            // Resolve the order expression against the aggregate's INPUT,
+            // then look for a semantically equal output expression.
+            ExprPtr resolved_against_input =
+                o->child()->TransformUp([&](const ExprPtr& e) -> ExprPtr {
+                  if (const auto* ua = As<UnresolvedAttribute>(e)) {
+                    ExprPtr r = ResolveNameParts(ua->parts(), agg_input);
+                    return r ? r : e;
+                  }
+                  if (const auto* fn = As<UnresolvedFunction>(e)) {
+                    for (const auto& arg : fn->Children()) {
+                      if (!arg->resolved()) return e;
+                    }
+                    const FunctionRegistry::Builder* builder =
+                        registry->Lookup(fn->name());
+                    if (builder == nullptr) return e;
+                    return (*builder)(fn->Children(), fn->distinct());
+                  }
+                  return e;
+                });
+            std::string key = resolved_against_input->ToString();
+            ExprPtr substituted;
+            for (const auto& out : agg->aggregates()) {
+              ExprPtr candidate = out;
+              if (const auto* alias = As<Alias>(candidate)) {
+                candidate = alias->child();
+              }
+              if (candidate->ToString() == key) {
+                substituted = out->ToAttribute();
+                break;
+              }
+            }
+            if (substituted) {
+              progress = true;
+              new_orders.push_back(SortOrder::Make(substituted, o->ascending()));
+            } else {
+              new_orders.push_back(o);
+            }
+          }
+          if (!progress) return p;
+          return Sort::Make(std::move(new_orders), sort->child());
+        });
+      }};
+
+  // Uncorrelated IN (SELECT ...) predicates become semi joins; NOT IN
+  // becomes an anti join. The subquery is analyzed recursively.
+  Analyzer* analyzer = this;
+  PlanRule rewrite_in_subquery{
+      "RewriteInSubquery", [analyzer](const PlanPtr& plan) -> PlanPtr {
+        return plan->TransformUp([analyzer](const PlanPtr& p) -> PlanPtr {
+          const auto* filter = AsPlan<Filter>(p);
+          if (filter == nullptr || !filter->child()->resolved()) return p;
+          bool has_subquery = false;
+          filter->condition()->Foreach([&](const Expression& e) {
+            if (dynamic_cast<const InSubquery*>(&e) != nullptr) {
+              has_subquery = true;
+            }
+          });
+          if (!has_subquery) return p;
+
+          PlanPtr current = filter->child();
+          ExprVector remaining;
+          for (const auto& conjunct : SplitConjuncts(filter->condition())) {
+            const InSubquery* in = As<InSubquery>(conjunct);
+            JoinType type = JoinType::kLeftSemi;
+            if (in == nullptr) {
+              if (const auto* n = As<Not>(conjunct)) {
+                in = As<InSubquery>(n->child());
+                type = JoinType::kLeftAnti;
+              }
+            }
+            if (in == nullptr) {
+              // Subqueries below OR/arithmetic are not supported.
+              bool nested = false;
+              conjunct->Foreach([&](const Expression& e) {
+                if (dynamic_cast<const InSubquery*>(&e) != nullptr) nested = true;
+              });
+              if (nested) {
+                throw AnalysisError(
+                    "IN (SELECT ...) is only supported as a top-level "
+                    "conjunct of WHERE");
+              }
+              remaining.push_back(conjunct);
+              continue;
+            }
+            PlanPtr sub = analyzer->Analyze(in->subquery());
+            AttributeVector sub_out = sub->Output();
+            if (sub_out.size() != 1) {
+              throw AnalysisError(
+                  "IN subquery must produce exactly one column, got " +
+                  std::to_string(sub_out.size()));
+            }
+            // Re-alias the subquery output with a fresh expression ID so a
+            // self-referencing subquery (... FROM orders WHERE x IN
+            // (SELECT y FROM orders)) cannot collide with the outer side.
+            auto fresh = Alias::Make(sub_out[0], sub_out[0]->name());
+            AttributePtr join_key = fresh->ToAttribute();
+            sub = Project::Make({std::move(fresh)}, sub);
+            ExprPtr cond = EqualTo::Make(in->value(), std::move(join_key));
+            current = Join::Make(current, sub, type, std::move(cond));
+          }
+          ExprPtr rest = CombineConjuncts(remaining);
+          return rest ? Filter::Make(rest, current) : current;
+        });
+      }};
+
+  PlanRule type_coercion{"TypeCoercion", [](const PlanPtr& plan) -> PlanPtr {
+    return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+      ExprVector exprs = p->Expressions();
+      if (exprs.empty()) return p;
+      // Only coerce once attributes/functions are in place.
+      bool changed = false;
+      for (auto& e : exprs) {
+        ExprPtr coerced = CoerceExpression(e);
+        if (coerced.get() != e.get()) {
+          e = std::move(coerced);
+          changed = true;
+        }
+      }
+      return changed ? p->WithNewExpressions(std::move(exprs)) : p;
+    });
+  }};
+
+  return {RuleBatch{"Resolution",
+                    50,
+                    {resolve_relations, deduplicate_join_sides, resolve_star,
+                     resolve_references, resolve_functions, global_aggregates,
+                     resolve_having, resolve_sort_references,
+                     resolve_sort_over_aggregate, rewrite_in_subquery,
+                     type_coercion}}};
+}
+
+PlanPtr Analyzer::Analyze(const PlanPtr& plan) const {
+  PlanPtr analyzed = executor_.Execute(plan);
+  CheckAnalysis(analyzed);
+  return analyzed;
+}
+
+void Analyzer::CheckAnalysis(const PlanPtr& plan) const {
+  const Catalog* catalog = catalog_;
+  plan->Foreach([catalog, plan](const LogicalPlan& node) {
+    if (const auto* rel = AsPlan<UnresolvedRelation>(node)) {
+      std::string known;
+      for (const auto& n : catalog->TableNames()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw AnalysisError("table not found: '" + rel->name() +
+                          "'; known tables: [" + known + "]");
+    }
+    AttributeVector input;
+    for (const auto& child : node.Children()) {
+      if (child->resolved()) {
+        auto out = child->Output();
+        input.insert(input.end(), out.begin(), out.end());
+      }
+    }
+    for (const auto& expr : node.Expressions()) {
+      expr->Foreach([&](const Expression& e) {
+        if (const auto* ua = dynamic_cast<const UnresolvedAttribute*>(&e)) {
+          throw AnalysisError("cannot resolve '" + JoinStrings(ua->parts(), ".") +
+                              "' given input columns: " +
+                              FormatInputColumns(input));
+        }
+        if (const auto* uf = dynamic_cast<const UnresolvedFunction*>(&e)) {
+          throw AnalysisError("could not resolve function '" + uf->name() + "'");
+        }
+        if (dynamic_cast<const InSubquery*>(&e) != nullptr) {
+          throw AnalysisError(
+              "IN (SELECT ...) is only supported in WHERE conjuncts");
+        }
+      });
+    }
+    // Union children must agree on arity and types (positional union).
+    if (const auto* uni = AsPlan<Union>(node)) {
+      auto children = uni->Children();
+      if (!children.empty() && children[0]->resolved()) {
+        auto first = children[0]->Output();
+        for (size_t c = 1; c < children.size(); ++c) {
+          if (!children[c]->resolved()) continue;
+          auto out = children[c]->Output();
+          if (out.size() != first.size()) {
+            throw AnalysisError(
+                "UNION inputs have different column counts (" +
+                std::to_string(first.size()) + " vs " +
+                std::to_string(out.size()) + ")");
+          }
+          for (size_t i = 0; i < out.size(); ++i) {
+            if (!out[i]->data_type()->Equals(*first[i]->data_type())) {
+              throw AnalysisError("UNION column " + std::to_string(i + 1) +
+                                  " has incompatible types: " +
+                                  first[i]->data_type()->ToString() + " vs " +
+                                  out[i]->data_type()->ToString());
+            }
+          }
+        }
+      }
+    }
+    // Aggregate validity: plain column references must be grouping exprs.
+    if (const auto* agg = AsPlan<Aggregate>(node)) {
+      std::vector<std::string> grouping_keys;
+      grouping_keys.reserve(agg->groupings().size());
+      for (const auto& g : agg->groupings()) grouping_keys.push_back(g->ToString());
+      for (const auto& out : agg->aggregates()) {
+        // Walk down, stopping at aggregate functions and grouping matches.
+        std::function<void(const ExprPtr&)> check = [&](const ExprPtr& e) {
+          if (dynamic_cast<const AggregateFunction*>(e.get()) != nullptr) return;
+          for (const auto& k : grouping_keys) {
+            if (e->ToString() == k) return;
+          }
+          if (const auto* a = As<AttributeReference>(e)) {
+            throw AnalysisError(
+                "expression '" + a->name() +
+                "' is neither in the GROUP BY nor inside an aggregate function");
+          }
+          for (const auto& c : e->Children()) check(c);
+        };
+        check(out);
+      }
+    }
+  });
+
+  if (!plan->resolved()) {
+    throw AnalysisError("plan could not be fully resolved:\n" +
+                        plan->TreeString());
+  }
+}
+
+}  // namespace ssql

@@ -1,0 +1,37 @@
+#ifndef SSQL_CATALYST_ANALYSIS_ANALYZER_H_
+#define SSQL_CATALYST_ANALYSIS_ANALYZER_H_
+
+#include "catalyst/analysis/catalog.h"
+#include "catalyst/analysis/function_registry.h"
+#include "catalyst/tree/rule_executor.h"
+
+namespace ssql {
+
+/// The analysis phase (Section 4.3.1): turns an unresolved logical plan —
+/// from the SQL parser or the DataFrame API — into a resolved one by
+/// looking up relations in the Catalog, binding named attributes to the
+/// children's outputs (assigning unique expression IDs), resolving
+/// functions against the registry, and coercing types. Runs eagerly when a
+/// DataFrame is constructed, so errors surface immediately (Section 3.4).
+class Analyzer {
+ public:
+  Analyzer(Catalog* catalog, FunctionRegistry* registry);
+
+  /// Returns the fully resolved plan or throws AnalysisError.
+  PlanPtr Analyze(const PlanPtr& plan) const;
+
+  /// Validates a plan that claims to be resolved; throws AnalysisError
+  /// with a user-actionable message otherwise. Public for tests.
+  void CheckAnalysis(const PlanPtr& plan) const;
+
+ private:
+  std::vector<RuleBatch> MakeBatches();
+
+  Catalog* catalog_;
+  FunctionRegistry* registry_;
+  RuleExecutor executor_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,43 @@
+#include "catalyst/analysis/catalog.h"
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+void Catalog::RegisterTable(const std::string& name, PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[ToLower(name)] = std::move(plan);
+}
+
+void Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(ToLower(name));
+}
+
+PlanPtr Catalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, plan] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::RegisterUdt(std::shared_ptr<const UserDefinedType> udt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  udts_[ToLower(udt->name())] = std::move(udt);
+}
+
+std::shared_ptr<const UserDefinedType> Catalog::LookupUdt(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = udts_.find(ToLower(name));
+  return it == udts_.end() ? nullptr : it->second;
+}
+
+}  // namespace ssql

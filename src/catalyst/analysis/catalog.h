@@ -1,0 +1,46 @@
+#ifndef SSQL_CATALYST_ANALYSIS_CATALOG_H_
+#define SSQL_CATALYST_ANALYSIS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// Tracks the tables visible to the analyzer (Section 4.3.1). Temporary
+/// tables are *unmaterialized views*: registering a DataFrame stores its
+/// logical plan, so optimization happens across SQL and the original
+/// DataFrame expressions (Section 3.3). Data source tables are stored the
+/// same way, as LogicalRelation plans.
+class Catalog {
+ public:
+  /// Registers (or replaces) a temporary table backed by `plan`.
+  void RegisterTable(const std::string& name, PlanPtr plan);
+
+  /// Drops a table; no-op if absent.
+  void DropTable(const std::string& name);
+
+  /// Looks up a table plan; returns nullptr if unknown. Lookup is
+  /// case-insensitive.
+  PlanPtr Lookup(const std::string& name) const;
+
+  /// All registered table names (sorted), for error messages and tooling.
+  std::vector<std::string> TableNames() const;
+
+  /// Registers a user-defined type by name (Section 4.4.2).
+  void RegisterUdt(std::shared_ptr<const UserDefinedType> udt);
+  std::shared_ptr<const UserDefinedType> LookupUdt(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, PlanPtr> tables_;  // keys lower-cased
+  std::map<std::string, std::shared_ptr<const UserDefinedType>> udts_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_ANALYSIS_CATALOG_H_

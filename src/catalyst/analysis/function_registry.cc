@@ -1,0 +1,137 @@
+#include "catalyst/analysis/function_registry.h"
+
+#include "catalyst/expr/aggregates.h"
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/case_when.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/complex_types.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/string_ops.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+void RequireArity(const std::string& name, const ExprVector& args, size_t n) {
+  if (args.size() != n) {
+    throw AnalysisError("function " + name + " expects " + std::to_string(n) +
+                        " argument(s), got " + std::to_string(args.size()));
+  }
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() { RegisterBuiltins(); }
+
+void FunctionRegistry::Register(const std::string& name, Builder builder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  builders_[ToLower(name)] = std::move(builder);
+}
+
+void FunctionRegistry::RegisterUdf(const std::string& name,
+                                   DataTypePtr return_type, ScalarUDF::Body body,
+                                   bool deterministic) {
+  auto shared_body = std::make_shared<const ScalarUDF::Body>(std::move(body));
+  Register(name, [name, return_type, shared_body, deterministic](
+                     ExprVector args, bool) -> ExprPtr {
+    return std::make_shared<ScalarUDF>(name, std::move(args), return_type,
+                                       shared_body, deterministic);
+  });
+}
+
+const FunctionRegistry::Builder* FunctionRegistry::Lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = builders_.find(ToLower(name));
+  return it == builders_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, b] : builders_) names.push_back(name);
+  return names;
+}
+
+void FunctionRegistry::RegisterBuiltins() {
+  builders_["count"] = [](ExprVector args, bool distinct) -> ExprPtr {
+    if (distinct) {
+      RequireArity("count", args, 1);
+      return CountDistinct::Make(args[0]);
+    }
+    return Count::Make(std::move(args));
+  };
+  builders_["sum"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("sum", args, 1);
+    return Sum::Make(args[0]);
+  };
+  builders_["avg"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("avg", args, 1);
+    return Average::Make(args[0]);
+  };
+  builders_["min"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("min", args, 1);
+    return MinMax::Min(args[0]);
+  };
+  builders_["max"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("max", args, 1);
+    return MinMax::Max(args[0]);
+  };
+  builders_["abs"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("abs", args, 1);
+    return Abs::Make(args[0]);
+  };
+  builders_["upper"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("upper", args, 1);
+    return Upper::Make(args[0]);
+  };
+  builders_["lower"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("lower", args, 1);
+    return Lower::Make(args[0]);
+  };
+  auto substring = [](ExprVector args, bool) -> ExprPtr {
+    if (args.size() == 2) {
+      // SUBSTR(s, pos): to end of string.
+      args.push_back(Literal::Make(Value(int32_t{1 << 30}), DataType::Int32()));
+    }
+    RequireArity("substring", args, 3);
+    return Substring::Make(args[0], args[1], args[2]);
+  };
+  builders_["substring"] = substring;
+  builders_["substr"] = substring;
+  builders_["length"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("length", args, 1);
+    return StringLength::Make(args[0]);
+  };
+  builders_["concat"] = [](ExprVector args, bool) -> ExprPtr {
+    return Concat::Make(std::move(args));
+  };
+  builders_["trim"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("trim", args, 1);
+    return StringTrim::Make(args[0]);
+  };
+  builders_["split"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("split", args, 2);
+    return SplitString::Make(args[0], args[1]);
+  };
+  builders_["size"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("size", args, 1);
+    return SizeOf::Make(args[0]);
+  };
+  builders_["array_contains"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("array_contains", args, 2);
+    return ArrayContains::Make(args[0], args[1]);
+  };
+  builders_["coalesce"] = [](ExprVector args, bool) -> ExprPtr {
+    if (args.empty()) throw AnalysisError("coalesce expects arguments");
+    return Coalesce::Make(std::move(args));
+  };
+  builders_["if"] = [](ExprVector args, bool) -> ExprPtr {
+    RequireArity("if", args, 3);
+    return CaseWhen::If(args[0], args[1], args[2]);
+  };
+}
+
+}  // namespace ssql

@@ -1,0 +1,49 @@
+#ifndef SSQL_CATALYST_ANALYSIS_FUNCTION_REGISTRY_H_
+#define SSQL_CATALYST_ANALYSIS_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalyst/expr/expression.h"
+#include "catalyst/expr/udf_expr.h"
+
+namespace ssql {
+
+/// Resolves function names to expression builders: the built-in scalar and
+/// aggregate functions plus inline-registered UDFs (Section 3.7). UDF
+/// registration is just another entry here, so a UDF is usable from both
+/// the DataFrame DSL and SQL (including, in the paper, via JDBC/ODBC).
+class FunctionRegistry {
+ public:
+  /// Builds an expression from resolved argument expressions.
+  /// `distinct` is set for e.g. COUNT(DISTINCT x).
+  using Builder = std::function<ExprPtr(ExprVector args, bool distinct)>;
+
+  FunctionRegistry();
+
+  /// Registers a function builder (replaces any existing entry).
+  void Register(const std::string& name, Builder builder);
+
+  /// Registers a scalar UDF with fixed return type.
+  void RegisterUdf(const std::string& name, DataTypePtr return_type,
+                   ScalarUDF::Body body, bool deterministic = true);
+
+  /// Looks up a builder; nullptr if unknown. Case-insensitive.
+  const Builder* Lookup(const std::string& name) const;
+
+  std::vector<std::string> FunctionNames() const;
+
+ private:
+  void RegisterBuiltins();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Builder> builders_;  // keys lower-cased
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_ANALYSIS_FUNCTION_REGISTRY_H_

@@ -1,0 +1,209 @@
+#include "catalyst/analysis/type_coercion.h"
+
+#include <algorithm>
+
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/case_when.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/expr/string_ops.h"
+#include "types/schema.h"
+
+namespace ssql {
+
+namespace {
+
+int NumericRank(TypeId id) {
+  switch (id) {
+    case TypeId::kInt32:
+      return 1;
+    case TypeId::kInt64:
+      return 2;
+    case TypeId::kDecimal:
+      return 3;
+    case TypeId::kDouble:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+/// Wraps `e` in a cast to `target` unless it already has that type.
+ExprPtr CastTo(const ExprPtr& e, const DataTypePtr& target) {
+  if (e->data_type()->Equals(*target)) return e;
+  return Cast::Make(e, target);
+}
+
+}  // namespace
+
+DataTypePtr WidestNumericType(const DataTypePtr& a, const DataTypePtr& b) {
+  int ra = NumericRank(a->id());
+  int rb = NumericRank(b->id());
+  if (ra == 0 || rb == 0) return nullptr;
+  if (a->id() == TypeId::kDecimal && b->id() == TypeId::kDecimal) {
+    const auto& da = AsDecimal(*a);
+    const auto& db = AsDecimal(*b);
+    int scale = std::max(da.scale(), db.scale());
+    int intd = std::max(da.precision() - da.scale(), db.precision() - db.scale());
+    int prec = std::min(Decimal::kMaxLongDigits, intd + scale + 1);
+    return DecimalType::Make(prec, scale);
+  }
+  if (a->id() == TypeId::kDecimal || b->id() == TypeId::kDecimal) {
+    const DataTypePtr& other = a->id() == TypeId::kDecimal ? b : a;
+    const DataTypePtr& dec = a->id() == TypeId::kDecimal ? a : b;
+    if (other->id() == TypeId::kDouble) return DataType::Double();
+    // Integer + decimal: widen the decimal's integer digits.
+    const auto& d = AsDecimal(*dec);
+    int intd = std::max(d.precision() - d.scale(),
+                        other->id() == TypeId::kInt64 ? 19 : 10);
+    int prec = std::min(Decimal::kMaxLongDigits, intd + d.scale());
+    return DecimalType::Make(prec, d.scale());
+  }
+  return ra >= rb ? a : b;
+}
+
+DataTypePtr CommonType(const DataTypePtr& a, const DataTypePtr& b) {
+  if (a->Equals(*b)) return a;
+  if (a->id() == TypeId::kNull) return b;
+  if (b->id() == TypeId::kNull) return a;
+  if (DataTypePtr numeric = WidestNumericType(a, b)) return numeric;
+  bool a_str = a->id() == TypeId::kString;
+  bool b_str = b->id() == TypeId::kString;
+  if (a_str && b->IsNumeric()) return DataType::Double();
+  if (b_str && a->IsNumeric()) return DataType::Double();
+  if (a_str && (b->id() == TypeId::kDate || b->id() == TypeId::kTimestamp)) return b;
+  if (b_str && (a->id() == TypeId::kDate || a->id() == TypeId::kTimestamp)) return a;
+  if (a->id() == TypeId::kDate && b->id() == TypeId::kTimestamp) return b;
+  if (a->id() == TypeId::kTimestamp && b->id() == TypeId::kDate) return a;
+  if (a_str && b->id() == TypeId::kBoolean) return b;
+  if (b_str && a->id() == TypeId::kBoolean) return a;
+  return nullptr;
+}
+
+ExprPtr CoerceExpression(const ExprPtr& expr) {
+  return expr->TransformUp([](const ExprPtr& e) -> ExprPtr {
+    // Only touch nodes whose children are fully resolved.
+    for (const auto& c : e->Children()) {
+      if (!c->resolved()) return e;
+    }
+
+    if (const auto* div = As<Divide>(e)) {
+      // SQL division of integers produces double (HiveQL semantics the
+      // paper inherits).
+      const DataTypePtr& lt = div->left()->data_type();
+      const DataTypePtr& rt = div->right()->data_type();
+      if (lt->IsIntegral() && rt->IsIntegral()) {
+        return Divide::Make(CastTo(div->left(), DataType::Double()),
+                            CastTo(div->right(), DataType::Double()));
+      }
+    }
+
+    if (const auto* arith = As<BinaryArithmetic>(e)) {
+      const DataTypePtr& lt = arith->left()->data_type();
+      const DataTypePtr& rt = arith->right()->data_type();
+      // Allow strings in arithmetic by parsing them as doubles.
+      DataTypePtr lt2 = lt->id() == TypeId::kString ? DataType::Double() : lt;
+      DataTypePtr rt2 = rt->id() == TypeId::kString ? DataType::Double() : rt;
+      if (!lt2->IsNumeric() || !rt2->IsNumeric()) {
+        throw AnalysisError("cannot apply '" +
+                            static_cast<const BinaryExpression*>(arith)->Symbol() +
+                            "' to " + lt->ToString() + " and " + rt->ToString());
+      }
+      DataTypePtr widest = WidestNumericType(lt2, rt2);
+      if (!lt->Equals(*widest) || !rt->Equals(*widest)) {
+        ExprVector children = {CastTo(arith->left(), widest),
+                               CastTo(arith->right(), widest)};
+        return e->WithNewChildren(std::move(children));
+      }
+      return e;
+    }
+
+    if (const auto* cmp = As<BinaryComparison>(e)) {
+      const DataTypePtr& lt = cmp->left()->data_type();
+      const DataTypePtr& rt = cmp->right()->data_type();
+      if (lt->Equals(*rt)) return e;
+      DataTypePtr common = CommonType(lt, rt);
+      if (!common) {
+        throw AnalysisError("cannot compare " + lt->ToString() + " with " +
+                            rt->ToString());
+      }
+      ExprVector children = {CastTo(cmp->left(), common),
+                             CastTo(cmp->right(), common)};
+      return e->WithNewChildren(std::move(children));
+    }
+
+    if (const auto* in = As<In>(e)) {
+      ExprVector children = in->Children();
+      DataTypePtr common = children[0]->data_type();
+      for (size_t i = 1; i < children.size(); ++i) {
+        common = CommonType(common, children[i]->data_type());
+        if (!common) {
+          throw AnalysisError("incompatible types in IN list");
+        }
+      }
+      bool changed = false;
+      for (auto& c : children) {
+        ExprPtr cast = CastTo(c, common);
+        if (cast.get() != c.get()) {
+          c = std::move(cast);
+          changed = true;
+        }
+      }
+      return changed ? e->WithNewChildren(std::move(children)) : e;
+    }
+
+    if (const auto* cw = As<CaseWhen>(e)) {
+      ExprVector children = cw->Children();
+      size_t n = cw->num_branches();
+      // Common type across THEN values and ELSE.
+      DataTypePtr common = children[1]->data_type();
+      for (size_t i = 1; i < n; ++i) {
+        common = CommonType(common, children[2 * i + 1]->data_type());
+        if (!common) throw AnalysisError("incompatible CASE branch types");
+      }
+      if (cw->has_else()) {
+        common = CommonType(common, children.back()->data_type());
+        if (!common) throw AnalysisError("incompatible CASE branch types");
+      }
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        ExprPtr cast = CastTo(children[2 * i + 1], common);
+        if (cast.get() != children[2 * i + 1].get()) {
+          children[2 * i + 1] = std::move(cast);
+          changed = true;
+        }
+      }
+      if (cw->has_else()) {
+        ExprPtr cast = CastTo(children.back(), common);
+        if (cast.get() != children.back().get()) {
+          children.back() = std::move(cast);
+          changed = true;
+        }
+      }
+      return changed ? CaseWhen::Make(std::move(children), cw->has_else()) : e;
+    }
+
+    // String-consuming expressions: allow any atomic input via cast.
+    auto coerce_string_children = [&](const ExprPtr& node) -> ExprPtr {
+      ExprVector children = node->Children();
+      bool changed = false;
+      for (auto& c : children) {
+        if (c->data_type()->id() != TypeId::kString &&
+            c->data_type()->IsAtomic()) {
+          c = CastTo(c, DataType::String());
+          changed = true;
+        }
+      }
+      return changed ? node->WithNewChildren(std::move(children)) : node;
+    };
+    if (As<Like>(e) || As<Upper>(e) || As<Lower>(e) || As<Concat>(e) ||
+        As<StringTrim>(e) || As<StringLength>(e) || As<StartsWith>(e) ||
+        As<EndsWith>(e) || As<StringContains>(e)) {
+      return coerce_string_children(e);
+    }
+
+    return e;
+  });
+}
+
+}  // namespace ssql

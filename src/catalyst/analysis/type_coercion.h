@@ -1,0 +1,30 @@
+#ifndef SSQL_CATALYST_ANALYSIS_TYPE_COERCION_H_
+#define SSQL_CATALYST_ANALYSIS_TYPE_COERCION_H_
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Implicit type widening & coercion (Section 4.3.1, "propagating and
+/// coercing types through expressions": we cannot know the type of
+/// 1 + col until col is resolved and subexpressions possibly cast").
+
+/// Widest common numeric type under int < bigint < decimal < double.
+/// Returns nullptr if either input is non-numeric.
+DataTypePtr WidestNumericType(const DataTypePtr& a, const DataTypePtr& b);
+
+/// Common type for comparisons / IN / CASE branches. Beyond numerics:
+/// string vs numeric compares numerically; string vs date/timestamp parses
+/// the string; null type adopts the other side. Returns nullptr when the
+/// types cannot be reconciled.
+DataTypePtr CommonType(const DataTypePtr& a, const DataTypePtr& b);
+
+/// The bottom-up expression rewrite inserting implicit casts. Applied to
+/// every plan node by the analyzer's type-coercion rule; idempotent, so it
+/// composes with fixed-point execution. Returns the input pointer when no
+/// coercion is needed.
+ExprPtr CoerceExpression(const ExprPtr& expr);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_ANALYSIS_TYPE_COERCION_H_

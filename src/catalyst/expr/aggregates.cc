@@ -1,0 +1,156 @@
+#include "catalyst/expr/aggregates.h"
+
+#include "types/schema.h"
+
+namespace ssql {
+
+void Count::Update(Value* acc, const Row& row) const {
+  if (!children_.empty()) {
+    if (children_[0]->Eval(row).is_null()) return;  // COUNT(e) skips nulls
+  }
+  *acc = Value(acc->i64() + 1);
+}
+
+void Count::Merge(Value* acc, const Value& other) const {
+  *acc = Value(acc->i64() + other.i64());
+}
+
+std::string Count::ToString() const {
+  if (is_star()) return "count(*)";
+  return "count(" + children_[0]->ToString() + ")";
+}
+
+DataTypePtr Sum::data_type() const {
+  const DataTypePtr& in = child_->data_type();
+  switch (in->id()) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return DataType::Int64();
+    case TypeId::kDouble:
+      return DataType::Double();
+    case TypeId::kDecimal: {
+      const auto& d = AsDecimal(*in);
+      int p = std::min(Decimal::kMaxLongDigits + 20, d.precision() + 10);
+      return DecimalType::Make(p, d.scale());
+    }
+    default:
+      throw AnalysisError("sum over non-numeric type " + in->ToString());
+  }
+}
+
+namespace {
+
+/// Adds `v` into the running sum `acc` (null acc means "no rows yet").
+void SumInto(Value* acc, const Value& v, const DataType& result_type) {
+  if (v.is_null()) return;
+  if (acc->is_null()) {
+    switch (result_type.id()) {
+      case TypeId::kInt64:
+        *acc = Value(v.AsInt64());
+        return;
+      case TypeId::kDouble:
+        *acc = Value(v.AsDouble());
+        return;
+      case TypeId::kDecimal:
+        *acc = Value(v.decimal());
+        return;
+      default:
+        return;
+    }
+  }
+  switch (result_type.id()) {
+    case TypeId::kInt64:
+      *acc = Value(acc->i64() + v.AsInt64());
+      return;
+    case TypeId::kDouble:
+      *acc = Value(acc->f64() + v.AsDouble());
+      return;
+    case TypeId::kDecimal:
+      *acc = Value(acc->decimal().Add(v.decimal()));
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+void Sum::Update(Value* acc, const Row& row) const {
+  SumInto(acc, child_->Eval(row), *data_type());
+}
+
+void Sum::Merge(Value* acc, const Value& other) const {
+  SumInto(acc, other, *data_type());
+}
+
+void Average::Update(Value* acc, const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return;
+  const auto& fields = acc->struct_data().fields;
+  *acc = Value::Struct(
+      {Value(fields[0].f64() + v.AsDouble()), Value(fields[1].i64() + 1)});
+}
+
+void Average::Merge(Value* acc, const Value& other) const {
+  const auto& a = acc->struct_data().fields;
+  const auto& b = other.struct_data().fields;
+  *acc = Value::Struct(
+      {Value(a[0].f64() + b[0].f64()), Value(a[1].i64() + b[1].i64())});
+}
+
+Value Average::Finish(const Value& acc) const {
+  const auto& fields = acc.struct_data().fields;
+  int64_t count = fields[1].i64();
+  if (count == 0) return Value::Null();
+  return Value(fields[0].f64() / static_cast<double>(count));
+}
+
+void MinMax::Update(Value* acc, const Row& row) const {
+  Value v = child_->Eval(row);
+  Merge(acc, v);
+}
+
+void MinMax::Merge(Value* acc, const Value& other) const {
+  if (other.is_null()) return;
+  if (acc->is_null()) {
+    *acc = other;
+    return;
+  }
+  int cmp = other.Compare(*acc);
+  if ((is_min_ && cmp < 0) || (!is_min_ && cmp > 0)) *acc = other;
+}
+
+void CountDistinct::Update(Value* acc, const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return;
+  Merge(acc, Value::Array({v}));
+}
+
+void CountDistinct::Merge(Value* acc, const Value& other) const {
+  std::vector<Value> merged = acc->array().elements;
+  for (const auto& v : other.array().elements) {
+    bool seen = false;
+    for (const auto& existing : merged) {
+      if (existing.Equals(v)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) merged.push_back(v);
+  }
+  *acc = Value::Array(std::move(merged));
+}
+
+Value CountDistinct::Finish(const Value& acc) const {
+  return Value(static_cast<int64_t>(acc.array().elements.size()));
+}
+
+bool ContainsAggregate(const ExprPtr& expr) {
+  bool found = false;
+  expr->Foreach([&found](const Expression& e) {
+    if (dynamic_cast<const AggregateFunction*>(&e) != nullptr) found = true;
+  });
+  return found;
+}
+
+}  // namespace ssql

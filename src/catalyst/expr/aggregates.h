@@ -1,0 +1,187 @@
+#ifndef SSQL_CATALYST_EXPR_AGGREGATES_H_
+#define SSQL_CATALYST_EXPR_AGGREGATES_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Base class of declarative aggregate functions. Execution follows the
+/// partial-aggregation protocol of the engine: per-partition accumulators
+/// (`InitAccumulator`/`Update`) are shuffled as plain Values and combined
+/// (`Merge`), then finalized (`Finish`). All accumulator state must
+/// therefore be expressible as a Value (structs allowed).
+class AggregateFunction : public Expression {
+ public:
+  /// Fresh accumulator for an empty group.
+  virtual Value InitAccumulator() const = 0;
+  /// Folds one input row into the accumulator (child exprs must be bound).
+  virtual void Update(Value* acc, const Row& row) const = 0;
+  /// Combines a shuffled partial accumulator into `acc`.
+  virtual void Merge(Value* acc, const Value& other) const = 0;
+  /// Produces the final aggregate value from the accumulator.
+  virtual Value Finish(const Value& acc) const = 0;
+
+  /// Value produced for a group with no input rows (global aggregates over
+  /// empty relations): 0 for count, null otherwise.
+  virtual Value EmptyResult() const { return Value::Null(); }
+
+  /// Aggregates cannot be evaluated row-at-a-time.
+  Value Eval(const Row&) const override {
+    throw ExecutionError(NodeName() + " must be evaluated by an aggregation");
+  }
+  bool foldable() const override { return false; }
+};
+
+using AggregatePtr = std::shared_ptr<const AggregateFunction>;
+
+/// COUNT(expr) — or COUNT(*) when constructed with no child.
+class Count : public AggregateFunction {
+ public:
+  explicit Count(ExprVector children) : children_(std::move(children)) {}
+  static ExprPtr Make(ExprVector children) {
+    return std::make_shared<Count>(std::move(children));
+  }
+  static ExprPtr Star() { return Make({}); }
+
+  bool is_star() const { return children_.empty(); }
+
+  std::string NodeName() const override { return "Count"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(std::move(c)); }
+  DataTypePtr data_type() const override { return DataType::Int64(); }
+  bool nullable() const override { return false; }
+
+  Value InitAccumulator() const override { return Value(int64_t{0}); }
+  void Update(Value* acc, const Row& row) const override;
+  void Merge(Value* acc, const Value& other) const override;
+  Value Finish(const Value& acc) const override { return acc; }
+  Value EmptyResult() const override { return Value(int64_t{0}); }
+  std::string ToString() const override;
+
+ private:
+  ExprVector children_;
+};
+
+/// SUM(expr). Result type: bigint for integral inputs, double for double,
+/// decimal(min(p+10, 18), s) for decimals — the headroom the paper's
+/// DecimalAggregates rule relies on.
+class Sum : public AggregateFunction {
+ public:
+  explicit Sum(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<Sum>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+
+  std::string NodeName() const override { return "Sum"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override;
+
+  Value InitAccumulator() const override { return Value::Null(); }
+  void Update(Value* acc, const Row& row) const override;
+  void Merge(Value* acc, const Value& other) const override;
+  Value Finish(const Value& acc) const override { return acc; }
+  std::string ToString() const override { return "sum(" + child_->ToString() + ")"; }
+
+ private:
+  ExprPtr child_;
+};
+
+/// AVG(expr) -> double. Accumulator is {sum: double, count: bigint}.
+class Average : public AggregateFunction {
+ public:
+  explicit Average(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<Average>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+
+  std::string NodeName() const override { return "Average"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Double(); }
+
+  Value InitAccumulator() const override {
+    return Value::Struct({Value(0.0), Value(int64_t{0})});
+  }
+  void Update(Value* acc, const Row& row) const override;
+  void Merge(Value* acc, const Value& other) const override;
+  Value Finish(const Value& acc) const override;
+  std::string ToString() const override { return "avg(" + child_->ToString() + ")"; }
+
+ private:
+  ExprPtr child_;
+};
+
+/// MIN(expr) / MAX(expr).
+class MinMax : public AggregateFunction {
+ public:
+  MinMax(ExprPtr child, bool is_min) : child_(std::move(child)), is_min_(is_min) {}
+  static ExprPtr Min(ExprPtr child) {
+    return std::make_shared<MinMax>(std::move(child), true);
+  }
+  static ExprPtr Max(ExprPtr child) {
+    return std::make_shared<MinMax>(std::move(child), false);
+  }
+  const ExprPtr& child() const { return child_; }
+  bool is_min() const { return is_min_; }
+
+  std::string NodeName() const override { return is_min_ ? "Min" : "Max"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return std::make_shared<MinMax>(c[0], is_min_);
+  }
+  DataTypePtr data_type() const override { return child_->data_type(); }
+
+  Value InitAccumulator() const override { return Value::Null(); }
+  void Update(Value* acc, const Row& row) const override;
+  void Merge(Value* acc, const Value& other) const override;
+  Value Finish(const Value& acc) const override { return acc; }
+  std::string ToString() const override {
+    return std::string(is_min_ ? "min(" : "max(") + child_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+  bool is_min_;
+};
+
+/// COUNT(DISTINCT expr). Accumulator is the array of distinct values seen;
+/// adequate for the moderate cardinalities of a scaled-down benchmark.
+class CountDistinct : public AggregateFunction {
+ public:
+  explicit CountDistinct(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<CountDistinct>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+
+  std::string NodeName() const override { return "CountDistinct"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Int64(); }
+  bool nullable() const override { return false; }
+
+  Value InitAccumulator() const override { return Value::Array({}); }
+  void Update(Value* acc, const Row& row) const override;
+  void Merge(Value* acc, const Value& other) const override;
+  Value Finish(const Value& acc) const override;
+  Value EmptyResult() const override { return Value(int64_t{0}); }
+  std::string ToString() const override {
+    return "count(DISTINCT " + child_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// True if `expr` contains an aggregate function anywhere.
+bool ContainsAggregate(const ExprPtr& expr);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_AGGREGATES_H_

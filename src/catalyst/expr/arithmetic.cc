@@ -1,0 +1,122 @@
+#include "catalyst/expr/arithmetic.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "types/schema.h"
+
+namespace ssql {
+
+DataTypePtr BinaryArithmetic::data_type() const { return left()->data_type(); }
+
+Value BinaryArithmetic::Eval(const Row& row) const {
+  Value l = left()->Eval(row);
+  if (l.is_null()) return Value::Null();
+  Value r = right()->Eval(row);
+  if (r.is_null()) return Value::Null();
+  switch (data_type()->id()) {
+    case TypeId::kInt32: {
+      if (NullOnZeroRight() && r.i32() == 0) return Value::Null();
+      return Value(static_cast<int32_t>(EvalInt(l.i32(), r.i32())));
+    }
+    case TypeId::kInt64: {
+      if (NullOnZeroRight() && r.i64() == 0) return Value::Null();
+      return Value(EvalInt(l.i64(), r.i64()));
+    }
+    case TypeId::kDouble: {
+      if (NullOnZeroRight() && r.f64() == 0.0) return Value::Null();
+      return Value(EvalDouble(l.f64(), r.f64()));
+    }
+    case TypeId::kDecimal: {
+      if (NullOnZeroRight() && r.decimal().unscaled() == 0) return Value::Null();
+      return Value(EvalDecimal(l.decimal(), r.decimal()));
+    }
+    default:
+      throw ExecutionError("arithmetic on non-numeric type " +
+                           data_type()->ToString());
+  }
+}
+
+int64_t Add::EvalInt(int64_t a, int64_t b) const { return a + b; }
+double Add::EvalDouble(double a, double b) const { return a + b; }
+Decimal Add::EvalDecimal(const Decimal& a, const Decimal& b) const {
+  return a.Add(b);
+}
+
+int64_t Subtract::EvalInt(int64_t a, int64_t b) const { return a - b; }
+double Subtract::EvalDouble(double a, double b) const { return a - b; }
+Decimal Subtract::EvalDecimal(const Decimal& a, const Decimal& b) const {
+  return a.Subtract(b);
+}
+
+int64_t Multiply::EvalInt(int64_t a, int64_t b) const { return a * b; }
+double Multiply::EvalDouble(double a, double b) const { return a * b; }
+Decimal Multiply::EvalDecimal(const Decimal& a, const Decimal& b) const {
+  return a.Multiply(b);
+}
+
+int64_t Divide::EvalInt(int64_t a, int64_t b) const { return a / b; }
+double Divide::EvalDouble(double a, double b) const { return a / b; }
+Decimal Divide::EvalDecimal(const Decimal& a, const Decimal& b) const {
+  return a.Divide(b);
+}
+
+int64_t Remainder::EvalInt(int64_t a, int64_t b) const { return a % b; }
+double Remainder::EvalDouble(double a, double b) const {
+  return std::fmod(a, b);
+}
+Decimal Remainder::EvalDecimal(const Decimal& a, const Decimal& b) const {
+  double m = std::fmod(a.ToDouble(), b.ToDouble());
+  return Decimal::FromDouble(m, a.precision(), a.scale());
+}
+
+Value UnaryMinus::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  switch (v.type_id()) {
+    case TypeId::kInt32:
+      return Value(-v.i32());
+    case TypeId::kInt64:
+      return Value(-v.i64());
+    case TypeId::kDouble:
+      return Value(-v.f64());
+    case TypeId::kDecimal:
+      return Value(Decimal(-v.decimal().unscaled(), v.decimal().precision(),
+                           v.decimal().scale()));
+    default:
+      throw ExecutionError("negate on non-numeric value");
+  }
+}
+
+Value Abs::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  switch (v.type_id()) {
+    case TypeId::kInt32:
+      return Value(v.i32() < 0 ? -v.i32() : v.i32());
+    case TypeId::kInt64:
+      return Value(v.i64() < 0 ? -v.i64() : v.i64());
+    case TypeId::kDouble:
+      return Value(std::fabs(v.f64()));
+    case TypeId::kDecimal: {
+      const Decimal& d = v.decimal();
+      return Value(Decimal(std::llabs(d.unscaled()), d.precision(), d.scale()));
+    }
+    default:
+      throw ExecutionError("abs on non-numeric value");
+  }
+}
+
+Value UnscaledValue::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(v.decimal().unscaled());
+}
+
+Value MakeDecimal::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(Decimal(v.i64(), precision_, scale_));
+}
+
+}  // namespace ssql

@@ -1,0 +1,173 @@
+#ifndef SSQL_CATALYST_EXPR_ARITHMETIC_H_
+#define SSQL_CATALYST_EXPR_ARITHMETIC_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Common shape for two-child expressions.
+class BinaryExpression : public Expression {
+ public:
+  BinaryExpression(ExprPtr left, ExprPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+
+  ExprVector Children() const override { return {left_, right_}; }
+
+  /// Infix symbol for display ("+", "=", "AND", ...).
+  virtual std::string Symbol() const = 0;
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + Symbol() + " " + right_->ToString() +
+           ")";
+  }
+
+ private:
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Numeric binary operators. After type coercion both sides share one
+/// numeric type; evaluation is null-propagating (null op x == null).
+class BinaryArithmetic : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  DataTypePtr data_type() const override;
+  Value Eval(const Row& row) const override;
+
+ protected:
+  virtual int64_t EvalInt(int64_t a, int64_t b) const = 0;
+  virtual double EvalDouble(double a, double b) const = 0;
+  virtual Decimal EvalDecimal(const Decimal& a, const Decimal& b) const = 0;
+  /// Division-like operators return null on zero divisor.
+  virtual bool NullOnZeroRight() const { return false; }
+};
+
+#define SSQL_DECLARE_ARITH(CLASS, SYM)                               \
+  class CLASS : public BinaryArithmetic {                            \
+   public:                                                           \
+    using BinaryArithmetic::BinaryArithmetic;                        \
+    static ExprPtr Make(ExprPtr l, ExprPtr r) {                      \
+      return std::make_shared<CLASS>(std::move(l), std::move(r));    \
+    }                                                                \
+    std::string NodeName() const override { return #CLASS; }        \
+    std::string Symbol() const override { return SYM; }             \
+    ExprPtr WithNewChildren(ExprVector c) const override {           \
+      return Make(c[0], c[1]);                                       \
+    }                                                                \
+                                                                     \
+   protected:                                                        \
+    int64_t EvalInt(int64_t a, int64_t b) const override;            \
+    double EvalDouble(double a, double b) const override;            \
+    Decimal EvalDecimal(const Decimal& a, const Decimal& b) const override;
+
+SSQL_DECLARE_ARITH(Add, "+")
+};
+SSQL_DECLARE_ARITH(Subtract, "-")
+};
+SSQL_DECLARE_ARITH(Multiply, "*")
+};
+SSQL_DECLARE_ARITH(Divide, "/")
+  bool NullOnZeroRight() const override { return true; }
+};
+SSQL_DECLARE_ARITH(Remainder, "%")
+  bool NullOnZeroRight() const override { return true; }
+};
+
+#undef SSQL_DECLARE_ARITH
+
+/// Unary negation.
+class UnaryMinus : public Expression {
+ public:
+  explicit UnaryMinus(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<UnaryMinus>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+  std::string NodeName() const override { return "UnaryMinus"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return child_->data_type(); }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override { return "(- " + child_->ToString() + ")"; }
+
+ private:
+  ExprPtr child_;
+};
+
+/// Absolute value.
+class Abs : public Expression {
+ public:
+  explicit Abs(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<Abs>(std::move(child));
+  }
+  std::string NodeName() const override { return "Abs"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return child_->data_type(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// Extracts the int64 unscaled value of a decimal — half of the paper's
+/// DecimalAggregates rule (Section 4.3.2): SUM over decimals that fit a
+/// long is rewritten to integer arithmetic.
+class UnscaledValue : public Expression {
+ public:
+  explicit UnscaledValue(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<UnscaledValue>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+  std::string NodeName() const override { return "UnscaledValue"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Int64(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// Reassembles a decimal from an int64 unscaled value — the other half of
+/// the DecimalAggregates rewrite.
+class MakeDecimal : public Expression {
+ public:
+  MakeDecimal(ExprPtr child, int precision, int scale)
+      : child_(std::move(child)), precision_(precision), scale_(scale) {}
+  static ExprPtr Make(ExprPtr child, int precision, int scale) {
+    return std::make_shared<MakeDecimal>(std::move(child), precision, scale);
+  }
+  const ExprPtr& child() const { return child_; }
+  int precision() const { return precision_; }
+  int scale() const { return scale_; }
+  std::string NodeName() const override { return "MakeDecimal"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(c[0], precision_, scale_);
+  }
+  DataTypePtr data_type() const override {
+    return DecimalType::Make(precision_, scale_);
+  }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override {
+    return "MakeDecimal(" + child_->ToString() + "," +
+           std::to_string(precision_) + "," + std::to_string(scale_) + ")";
+  }
+
+ private:
+  ExprPtr child_;
+  int precision_;
+  int scale_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_ARITHMETIC_H_

@@ -1,0 +1,36 @@
+#include "catalyst/expr/attribute.h"
+
+#include <atomic>
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+ExprId NextExprId() {
+  static std::atomic<ExprId> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string UnresolvedAttribute::ToString() const {
+  return "'" + JoinStrings(parts_, ".");
+}
+
+std::string UnresolvedFunction::ToString() const {
+  std::string s = "'" + name_ + "(";
+  if (distinct_) s += "DISTINCT ";
+  auto children = Children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += children[i]->ToString();
+  }
+  return s + ")";
+}
+
+NamedExprPtr ToNamed(const ExprPtr& expr, const std::string& fallback_name) {
+  if (auto named = std::dynamic_pointer_cast<const NamedExpression>(expr)) {
+    return named;
+  }
+  return Alias::Make(expr, fallback_name);
+}
+
+}  // namespace ssql

@@ -1,0 +1,263 @@
+#ifndef SSQL_CATALYST_EXPR_ATTRIBUTE_H_
+#define SSQL_CATALYST_EXPR_ATTRIBUTE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Globally unique identity for a named expression. Analysis assigns each
+/// resolved attribute a unique ID so later phases can tell two columns named
+/// "id" apart (Section 4.3.1).
+using ExprId = int64_t;
+ExprId NextExprId();
+
+/// An expression that binds a name: Alias or AttributeReference.
+class NamedExpression : public Expression {
+ public:
+  virtual const std::string& name() const = 0;
+  virtual ExprId expr_id() const = 0;
+  /// The attribute this expression exposes to parent operators.
+  virtual AttributePtr ToAttribute() const = 0;
+};
+
+using NamedExprPtr = std::shared_ptr<const NamedExpression>;
+
+/// A resolved reference to a column of a child operator's output.
+class AttributeReference : public NamedExpression {
+ public:
+  AttributeReference(std::string name, DataTypePtr type, bool nullable,
+                     ExprId id, std::string qualifier = "")
+      : name_(std::move(name)),
+        type_(std::move(type)),
+        nullable_(nullable),
+        id_(id),
+        qualifier_(std::move(qualifier)) {}
+
+  static AttributePtr Make(std::string name, DataTypePtr type, bool nullable,
+                           std::string qualifier = "") {
+    return std::make_shared<AttributeReference>(std::move(name), std::move(type),
+                                                nullable, NextExprId(),
+                                                std::move(qualifier));
+  }
+
+  const std::string& name() const override { return name_; }
+  ExprId expr_id() const override { return id_; }
+  const std::string& qualifier() const { return qualifier_; }
+  AttributePtr ToAttribute() const override {
+    return std::static_pointer_cast<const AttributeReference>(self());
+  }
+
+  /// Same column, new qualifier (used by SubqueryAlias).
+  AttributePtr WithQualifier(const std::string& qualifier) const {
+    return std::make_shared<AttributeReference>(name_, type_, nullable_, id_,
+                                                qualifier);
+  }
+  /// Same column identity, different nullability (outer joins).
+  AttributePtr WithNullability(bool nullable) const {
+    return std::make_shared<AttributeReference>(name_, type_, nullable, id_,
+                                                qualifier_);
+  }
+
+  std::string NodeName() const override { return "AttributeReference"; }
+  ExprVector Children() const override { return {}; }
+  ExprPtr WithNewChildren(ExprVector) const override { return self(); }
+  DataTypePtr data_type() const override { return type_; }
+  bool nullable() const override { return nullable_; }
+  bool foldable() const override { return false; }
+  Value Eval(const Row&) const override {
+    throw ExecutionError("AttributeReference " + name_ +
+                         " must be bound before evaluation");
+  }
+  std::string ToString() const override {
+    return name_ + "#" + std::to_string(id_);
+  }
+
+ private:
+  std::string name_;
+  DataTypePtr type_;
+  bool nullable_;
+  ExprId id_;
+  std::string qualifier_;
+};
+
+/// A not-yet-resolved column name, possibly qualified ("t.col") or a nested
+/// field path ("loc.lat"); produced by the parser and the DataFrame DSL,
+/// eliminated by the analyzer. A NamedExpression (name = last path part)
+/// so it can appear directly in projection lists, like Spark's.
+class UnresolvedAttribute : public NamedExpression {
+ public:
+  /// `parts` is the dotted name split into components.
+  explicit UnresolvedAttribute(std::vector<std::string> parts)
+      : parts_(std::move(parts)) {}
+
+  static ExprPtr Make(std::vector<std::string> parts) {
+    return std::make_shared<UnresolvedAttribute>(std::move(parts));
+  }
+
+  const std::vector<std::string>& parts() const { return parts_; }
+
+  const std::string& name() const override { return parts_.back(); }
+  ExprId expr_id() const override {
+    throw AnalysisError("unresolved attribute '" + ToString() + "' has no id");
+  }
+  AttributePtr ToAttribute() const override {
+    throw AnalysisError("unresolved attribute '" + ToString() + "'");
+  }
+
+  std::string NodeName() const override { return "UnresolvedAttribute"; }
+  ExprVector Children() const override { return {}; }
+  ExprPtr WithNewChildren(ExprVector) const override { return self(); }
+  DataTypePtr data_type() const override {
+    throw AnalysisError("unresolved attribute '" + ToString() + "'");
+  }
+  bool resolved() const override { return false; }
+  bool foldable() const override { return false; }
+  Value Eval(const Row&) const override {
+    throw ExecutionError("cannot evaluate unresolved attribute");
+  }
+  std::string ToString() const override;
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+/// `SELECT *` (optionally `t.*`).
+class UnresolvedStar : public NamedExpression {
+ public:
+  explicit UnresolvedStar(std::string qualifier = "")
+      : qualifier_(std::move(qualifier)) {}
+
+  static ExprPtr Make(std::string qualifier = "") {
+    return std::make_shared<UnresolvedStar>(std::move(qualifier));
+  }
+
+  const std::string& qualifier() const { return qualifier_; }
+
+  const std::string& name() const override {
+    static const std::string kStar = "*";
+    return kStar;
+  }
+  ExprId expr_id() const override {
+    throw AnalysisError("star has no expression id");
+  }
+  AttributePtr ToAttribute() const override {
+    throw AnalysisError("unexpanded star");
+  }
+
+  std::string NodeName() const override { return "UnresolvedStar"; }
+  ExprVector Children() const override { return {}; }
+  ExprPtr WithNewChildren(ExprVector) const override { return self(); }
+  DataTypePtr data_type() const override {
+    throw AnalysisError("unresolved star");
+  }
+  bool resolved() const override { return false; }
+  Value Eval(const Row&) const override {
+    throw ExecutionError("cannot evaluate star");
+  }
+  std::string ToString() const override {
+    return qualifier_.empty() ? "*" : qualifier_ + ".*";
+  }
+
+ private:
+  std::string qualifier_;
+};
+
+/// A function call by name, resolved against the FunctionRegistry by the
+/// analyzer (builtin aggregates/scalars and registered UDFs).
+class UnresolvedFunction : public Expression {
+ public:
+  UnresolvedFunction(std::string name, ExprVector args, bool distinct = false)
+      : name_(std::move(name)), args_(std::move(args)), distinct_(distinct) {}
+
+  static ExprPtr Make(std::string name, ExprVector args, bool distinct = false) {
+    return std::make_shared<UnresolvedFunction>(std::move(name), std::move(args),
+                                                distinct);
+  }
+
+  const std::string& name() const { return name_; }
+  bool distinct() const { return distinct_; }
+
+  std::string NodeName() const override { return "UnresolvedFunction"; }
+  ExprVector Children() const override { return args_; }
+  ExprPtr WithNewChildren(ExprVector children) const override {
+    return Make(name_, std::move(children), distinct_);
+  }
+  DataTypePtr data_type() const override {
+    throw AnalysisError("unresolved function '" + name_ + "'");
+  }
+  bool resolved() const override { return false; }
+  Value Eval(const Row&) const override {
+    throw ExecutionError("cannot evaluate unresolved function");
+  }
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  ExprVector args_;
+  bool distinct_;
+};
+
+/// Binds a name to a computed expression (`expr AS name`). May carry a
+/// qualifier so self-join deduplication can preserve `t.col` access.
+class Alias : public NamedExpression {
+ public:
+  Alias(ExprPtr child, std::string name, ExprId id, std::string qualifier = "")
+      : child_(std::move(child)),
+        name_(std::move(name)),
+        id_(id),
+        qualifier_(std::move(qualifier)) {}
+
+  static std::shared_ptr<const Alias> Make(ExprPtr child, std::string name,
+                                           std::string qualifier = "") {
+    return std::make_shared<Alias>(std::move(child), std::move(name),
+                                   NextExprId(), std::move(qualifier));
+  }
+  static std::shared_ptr<const Alias> MakeWithId(ExprPtr child, std::string name,
+                                                 ExprId id,
+                                                 std::string qualifier = "") {
+    return std::make_shared<Alias>(std::move(child), std::move(name), id,
+                                   std::move(qualifier));
+  }
+
+  const ExprPtr& child() const { return child_; }
+  const std::string& name() const override { return name_; }
+  ExprId expr_id() const override { return id_; }
+  const std::string& qualifier() const { return qualifier_; }
+  AttributePtr ToAttribute() const override {
+    return std::make_shared<AttributeReference>(name_, child_->data_type(),
+                                                child_->nullable(), id_,
+                                                qualifier_);
+  }
+
+  std::string NodeName() const override { return "Alias"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector children) const override {
+    return MakeWithId(children[0], name_, id_, qualifier_);
+  }
+  DataTypePtr data_type() const override { return child_->data_type(); }
+  bool nullable() const override { return child_->nullable(); }
+  Value Eval(const Row& row) const override { return child_->Eval(row); }
+  std::string ToString() const override {
+    return child_->ToString() + " AS " + name_ + "#" + std::to_string(id_);
+  }
+
+ private:
+  ExprPtr child_;
+  std::string name_;
+  ExprId id_;
+  std::string qualifier_;
+};
+
+/// Wraps any expression as a NamedExpression: attributes pass through,
+/// anything else gets an Alias with `fallback_name`.
+NamedExprPtr ToNamed(const ExprPtr& expr, const std::string& fallback_name);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_ATTRIBUTE_H_

@@ -1,0 +1,36 @@
+#include "catalyst/expr/case_when.h"
+
+namespace ssql {
+
+Value CaseWhen::Eval(const Row& row) const {
+  size_t n = num_branches();
+  for (size_t i = 0; i < n; ++i) {
+    Value cond = children_[2 * i]->Eval(row);
+    if (!cond.is_null() && cond.bool_value()) {
+      return children_[2 * i + 1]->Eval(row);
+    }
+  }
+  if (has_else_) return children_.back()->Eval(row);
+  return Value::Null();
+}
+
+std::string CaseWhen::ToString() const {
+  std::string s = "CASE";
+  size_t n = num_branches();
+  for (size_t i = 0; i < n; ++i) {
+    s += " WHEN " + children_[2 * i]->ToString() + " THEN " +
+         children_[2 * i + 1]->ToString();
+  }
+  if (has_else_) s += " ELSE " + children_.back()->ToString();
+  return s + " END";
+}
+
+Value Coalesce::Eval(const Row& row) const {
+  for (const auto& c : children_) {
+    Value v = c->Eval(row);
+    if (!v.is_null()) return v;
+  }
+  return Value::Null();
+}
+
+}  // namespace ssql

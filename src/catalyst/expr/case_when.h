@@ -1,0 +1,65 @@
+#ifndef SSQL_CATALYST_EXPR_CASE_WHEN_H_
+#define SSQL_CATALYST_EXPR_CASE_WHEN_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// CASE WHEN c1 THEN v1 [WHEN c2 THEN v2]... [ELSE e] END.
+/// Children layout: [c1, v1, c2, v2, ..., (else)]. `has_else` disambiguates
+/// the trailing child.
+class CaseWhen : public Expression {
+ public:
+  CaseWhen(ExprVector children, bool has_else)
+      : children_(std::move(children)), has_else_(has_else) {}
+
+  static ExprPtr Make(ExprVector children, bool has_else) {
+    return std::make_shared<CaseWhen>(std::move(children), has_else);
+  }
+  /// IF(cond, a, b) convenience.
+  static ExprPtr If(ExprPtr cond, ExprPtr then_value, ExprPtr else_value) {
+    return Make({std::move(cond), std::move(then_value), std::move(else_value)},
+                /*has_else=*/true);
+  }
+
+  size_t num_branches() const { return (children_.size() - (has_else_ ? 1 : 0)) / 2; }
+  bool has_else() const { return has_else_; }
+
+  std::string NodeName() const override { return "CaseWhen"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(std::move(c), has_else_);
+  }
+  DataTypePtr data_type() const override { return children_[1]->data_type(); }
+  bool nullable() const override { return true; }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprVector children_;
+  bool has_else_;
+};
+
+/// COALESCE(e1, e2, ...): first non-null argument.
+class Coalesce : public Expression {
+ public:
+  explicit Coalesce(ExprVector children) : children_(std::move(children)) {}
+  static ExprPtr Make(ExprVector children) {
+    return std::make_shared<Coalesce>(std::move(children));
+  }
+  std::string NodeName() const override { return "Coalesce"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(std::move(c)); }
+  DataTypePtr data_type() const override { return children_[0]->data_type(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprVector children_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_CASE_WHEN_H_

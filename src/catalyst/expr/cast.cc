@@ -1,0 +1,124 @@
+#include "catalyst/expr/cast.h"
+
+#include <cstdio>
+
+#include "types/schema.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+bool Cast::CanCast(const DataType& from, const DataType& to) {
+  if (from.Equals(to)) return true;
+  if (from.id() == TypeId::kNull) return true;
+  // Anything atomic converts to string.
+  if (to.id() == TypeId::kString && from.IsAtomic()) return true;
+  // String parses to any atomic type.
+  if (from.id() == TypeId::kString && to.IsAtomic()) return true;
+  if (from.IsNumeric() && to.IsNumeric()) return true;
+  if (from.id() == TypeId::kBoolean && to.IsNumeric()) return true;
+  if (from.IsNumeric() && to.id() == TypeId::kBoolean) return true;
+  if (from.id() == TypeId::kDate && to.id() == TypeId::kTimestamp) return true;
+  if (from.id() == TypeId::kTimestamp && to.id() == TypeId::kDate) return true;
+  return false;
+}
+
+Value Cast::Convert(const Value& value, const DataType& to) {
+  if (value.is_null()) return Value::Null();
+  TypeId from = value.type_id();
+  switch (to.id()) {
+    case TypeId::kBoolean:
+      if (from == TypeId::kBoolean) return value;
+      if (from == TypeId::kString) {
+        if (EqualsIgnoreCase(value.str(), "true")) return Value(true);
+        if (EqualsIgnoreCase(value.str(), "false")) return Value(false);
+        return Value::Null();
+      }
+      return Value(value.AsInt64() != 0);
+    case TypeId::kInt32:
+      if (from == TypeId::kInt32) return value;
+      if (from == TypeId::kString) {
+        int64_t v;
+        if (!ParseInt64(std::string(Trim(value.str())), &v)) return Value::Null();
+        return Value(static_cast<int32_t>(v));
+      }
+      return Value(static_cast<int32_t>(value.AsInt64()));
+    case TypeId::kInt64:
+      if (from == TypeId::kInt64) return value;
+      if (from == TypeId::kString) {
+        int64_t v;
+        if (!ParseInt64(std::string(Trim(value.str())), &v)) return Value::Null();
+        return Value(v);
+      }
+      return Value(value.AsInt64());
+    case TypeId::kDouble:
+      if (from == TypeId::kDouble) return value;
+      if (from == TypeId::kString) {
+        double v;
+        if (!ParseDouble(std::string(Trim(value.str())), &v)) return Value::Null();
+        return Value(v);
+      }
+      return Value(value.AsDouble());
+    case TypeId::kDecimal: {
+      const auto& dt = static_cast<const DecimalType&>(to);
+      if (from == TypeId::kDecimal) {
+        return Value(value.decimal().Rescale(dt.precision(), dt.scale()));
+      }
+      if (from == TypeId::kString) {
+        Decimal d;
+        if (!Decimal::Parse(std::string(Trim(value.str())), &d)) {
+          return Value::Null();
+        }
+        return Value(d.Rescale(dt.precision(), dt.scale()));
+      }
+      return Value(Decimal::FromDouble(value.AsDouble(), dt.precision(),
+                                       dt.scale()));
+    }
+    case TypeId::kString:
+      if (from == TypeId::kString) return value;
+      return Value(value.ToString());
+    case TypeId::kDate: {
+      if (from == TypeId::kDate) return value;
+      if (from == TypeId::kString) {
+        DateValue d;
+        if (!ParseDate(std::string(Trim(value.str())), &d)) return Value::Null();
+        return Value(d);
+      }
+      if (from == TypeId::kTimestamp) {
+        int64_t micros = value.timestamp().micros;
+        int64_t days = micros / (86400LL * 1000000LL);
+        if (micros < 0 && micros % (86400LL * 1000000LL) != 0) --days;
+        return Value(DateValue{static_cast<int32_t>(days)});
+      }
+      return Value::Null();
+    }
+    case TypeId::kTimestamp: {
+      if (from == TypeId::kTimestamp) return value;
+      if (from == TypeId::kDate) {
+        return Value(
+            TimestampValue{static_cast<int64_t>(value.date().days) * 86400LL *
+                           1000000LL});
+      }
+      if (from == TypeId::kString) {
+        // Accept "YYYY-MM-DD[ HH:MM:SS]".
+        std::string s(Trim(value.str()));
+        DateValue d;
+        std::string date_part = s.substr(0, s.find(' '));
+        if (!ParseDate(date_part, &d)) return Value::Null();
+        int64_t micros = static_cast<int64_t>(d.days) * 86400LL * 1000000LL;
+        size_t space = s.find(' ');
+        if (space != std::string::npos) {
+          int h = 0, m = 0, sec = 0;
+          if (std::sscanf(s.c_str() + space + 1, "%d:%d:%d", &h, &m, &sec) >= 2) {
+            micros += ((h * 3600LL) + (m * 60LL) + sec) * 1000000LL;
+          }
+        }
+        return Value(TimestampValue{micros});
+      }
+      return Value::Null();
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace ssql

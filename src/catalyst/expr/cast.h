@@ -1,0 +1,53 @@
+#ifndef SSQL_CATALYST_EXPR_CAST_H_
+#define SSQL_CATALYST_EXPR_CAST_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Type conversion. The analyzer inserts implicit casts during type
+/// coercion (Section 4.3.1, "propagating and coercing types"); users can
+/// also cast explicitly via CAST(e AS type).
+class Cast : public Expression {
+ public:
+  Cast(ExprPtr child, DataTypePtr target)
+      : child_(std::move(child)), target_(std::move(target)) {}
+
+  static ExprPtr Make(ExprPtr child, DataTypePtr target) {
+    return std::make_shared<Cast>(std::move(child), std::move(target));
+  }
+
+  const ExprPtr& child() const { return child_; }
+
+  /// Whether a cast from `from` to `to` is defined at all.
+  static bool CanCast(const DataType& from, const DataType& to);
+
+  /// Performs the conversion on a single value; returns null for
+  /// unconvertible inputs (e.g. "abc" -> int), matching SQL CAST.
+  static Value Convert(const Value& value, const DataType& to);
+
+  std::string NodeName() const override { return "Cast"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(c[0], target_);
+  }
+  DataTypePtr data_type() const override { return target_; }
+  bool nullable() const override { return true; }
+  Value Eval(const Row& row) const override {
+    return Convert(child_->Eval(row), *target_);
+  }
+  std::string ToString() const override {
+    return "CAST(" + child_->ToString() + " AS " + target_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr child_;
+  DataTypePtr target_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_CAST_H_

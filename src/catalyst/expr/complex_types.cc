@@ -1,0 +1,67 @@
+#include "catalyst/expr/complex_types.h"
+
+namespace ssql {
+
+Value GetStructField::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  const auto& fields = v.struct_data().fields;
+  if (ordinal_ < 0 || static_cast<size_t>(ordinal_) >= fields.size()) {
+    return Value::Null();
+  }
+  return fields[ordinal_];
+}
+
+Value GetArrayItem::Eval(const Row& row) const {
+  Value arr = left()->Eval(row);
+  if (arr.is_null()) return Value::Null();
+  Value idx = right()->Eval(row);
+  if (idx.is_null()) return Value::Null();
+  int64_t i = idx.AsInt64();
+  const auto& elems = arr.array().elements;
+  if (i < 0 || i >= static_cast<int64_t>(elems.size())) return Value::Null();
+  return elems[i];
+}
+
+Value GetMapValue::Eval(const Row& row) const {
+  Value m = left()->Eval(row);
+  if (m.is_null()) return Value::Null();
+  Value key = right()->Eval(row);
+  if (key.is_null()) return Value::Null();
+  for (const auto& [k, v] : m.map().entries) {
+    if (k.Equals(key)) return v;
+  }
+  return Value::Null();
+}
+
+Value SizeOf::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  if (v.type_id() == TypeId::kArray) {
+    return Value(static_cast<int32_t>(v.array().elements.size()));
+  }
+  if (v.type_id() == TypeId::kMap) {
+    return Value(static_cast<int32_t>(v.map().entries.size()));
+  }
+  return Value::Null();
+}
+
+Value ArrayContains::Eval(const Row& row) const {
+  Value arr = left()->Eval(row);
+  if (arr.is_null()) return Value::Null();
+  Value needle = right()->Eval(row);
+  if (needle.is_null()) return Value::Null();
+  for (const auto& e : arr.array().elements) {
+    if (e.Equals(needle)) return Value(true);
+  }
+  return Value(false);
+}
+
+Value CreateStruct::Eval(const Row& row) const {
+  std::vector<Value> fields;
+  fields.reserve(children_.size());
+  for (const auto& c : children_) fields.push_back(c->Eval(row));
+  return Value::Struct(std::move(fields));
+}
+
+}  // namespace ssql

@@ -1,0 +1,141 @@
+#ifndef SSQL_CATALYST_EXPR_COMPLEX_TYPES_H_
+#define SSQL_CATALYST_EXPR_COMPLEX_TYPES_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/expression.h"
+#include "types/schema.h"
+
+namespace ssql {
+
+/// Accesses a named field of a struct column (e.g. `loc.lat` over the JSON
+/// schema of Figure 6). The analyzer resolves the name to an ordinal.
+class GetStructField : public Expression {
+ public:
+  GetStructField(ExprPtr child, int ordinal, std::string field_name)
+      : child_(std::move(child)),
+        ordinal_(ordinal),
+        field_name_(std::move(field_name)) {}
+
+  static ExprPtr Make(ExprPtr child, int ordinal, std::string field_name) {
+    return std::make_shared<GetStructField>(std::move(child), ordinal,
+                                            std::move(field_name));
+  }
+
+  int ordinal() const { return ordinal_; }
+  const std::string& field_name() const { return field_name_; }
+
+  std::string NodeName() const override { return "GetStructField"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(c[0], ordinal_, field_name_);
+  }
+  DataTypePtr data_type() const override {
+    return AsStruct(*child_->data_type()).field(ordinal_).type;
+  }
+  bool nullable() const override {
+    return child_->nullable() ||
+           AsStruct(*child_->data_type()).field(ordinal_).nullable;
+  }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override {
+    return child_->ToString() + "." + field_name_;
+  }
+
+ private:
+  ExprPtr child_;
+  int ordinal_;
+  std::string field_name_;
+};
+
+/// array[index], 0-based; null when out of range.
+class GetArrayItem : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr arr, ExprPtr index) {
+    return std::make_shared<GetArrayItem>(std::move(arr), std::move(index));
+  }
+  std::string NodeName() const override { return "GetArrayItem"; }
+  std::string Symbol() const override { return "[]"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override {
+    return AsArray(*left()->data_type()).element_type();
+  }
+  bool nullable() const override { return true; }
+  Value Eval(const Row& row) const override;
+};
+
+/// map[key]; null when absent.
+class GetMapValue : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr map, ExprPtr key) {
+    return std::make_shared<GetMapValue>(std::move(map), std::move(key));
+  }
+  std::string NodeName() const override { return "GetMapValue"; }
+  std::string Symbol() const override { return "[]"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override {
+    return AsMap(*left()->data_type()).value_type();
+  }
+  bool nullable() const override { return true; }
+  Value Eval(const Row& row) const override;
+};
+
+/// SIZE(array) or SIZE(map).
+class SizeOf : public Expression {
+ public:
+  explicit SizeOf(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr c) { return std::make_shared<SizeOf>(std::move(c)); }
+  std::string NodeName() const override { return "SizeOf"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Int32(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// ARRAY_CONTAINS(array, value).
+class ArrayContains : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr arr, ExprPtr value) {
+    return std::make_shared<ArrayContains>(std::move(arr), std::move(value));
+  }
+  std::string NodeName() const override { return "ArrayContains"; }
+  std::string Symbol() const override { return "ARRAY_CONTAINS"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+};
+
+/// STRUCT(e1, e2, ...) constructor; the UDT serialization path uses this to
+/// assemble the built-in representation.
+class CreateStruct : public Expression {
+ public:
+  CreateStruct(ExprVector children, SchemaPtr type)
+      : children_(std::move(children)), type_(std::move(type)) {}
+  static ExprPtr Make(ExprVector children, SchemaPtr type) {
+    return std::make_shared<CreateStruct>(std::move(children), std::move(type));
+  }
+  std::string NodeName() const override { return "CreateStruct"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(std::move(c), type_);
+  }
+  DataTypePtr data_type() const override { return type_; }
+  bool nullable() const override { return false; }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprVector children_;
+  SchemaPtr type_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_COMPLEX_TYPES_H_

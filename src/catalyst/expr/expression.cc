@@ -1,0 +1,106 @@
+#include "catalyst/expr/expression.h"
+
+#include "catalyst/expr/attribute.h"
+
+namespace ssql {
+
+bool Expression::nullable() const {
+  for (const auto& c : Children()) {
+    if (c->nullable()) return true;
+  }
+  return false;
+}
+
+bool Expression::resolved() const {
+  for (const auto& c : Children()) {
+    if (!c->resolved()) return false;
+  }
+  return true;
+}
+
+bool Expression::foldable() const {
+  auto children = Children();
+  if (children.empty()) return false;
+  for (const auto& c : children) {
+    if (!c->foldable()) return false;
+  }
+  return deterministic();
+}
+
+bool Expression::deterministic() const {
+  for (const auto& c : Children()) {
+    if (!c->deterministic()) return false;
+  }
+  return true;
+}
+
+std::string Expression::ToString() const {
+  std::string s = NodeName() + "(";
+  auto children = Children();
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += children[i]->ToString();
+  }
+  return s + ")";
+}
+
+ExprPtr Expression::TransformUp(const ExprRewrite& rule) const {
+  ExprVector children = Children();
+  bool changed = false;
+  for (auto& c : children) {
+    ExprPtr replaced = c->TransformUp(rule);
+    if (replaced.get() != c.get()) {
+      c = std::move(replaced);
+      changed = true;
+    }
+  }
+  ExprPtr with_children = changed ? WithNewChildren(std::move(children)) : self();
+  ExprPtr result = rule(with_children);
+  return result ? result : with_children;
+}
+
+ExprPtr Expression::TransformDown(const ExprRewrite& rule) const {
+  ExprPtr replaced = rule(self());
+  if (!replaced) replaced = self();
+  ExprVector children = replaced->Children();
+  bool changed = false;
+  for (auto& c : children) {
+    ExprPtr new_child = c->TransformDown(rule);
+    if (new_child.get() != c.get()) {
+      c = std::move(new_child);
+      changed = true;
+    }
+  }
+  return changed ? replaced->WithNewChildren(std::move(children)) : replaced;
+}
+
+void Expression::Foreach(const std::function<void(const Expression&)>& fn) const {
+  fn(*this);
+  for (const auto& c : Children()) c->Foreach(fn);
+}
+
+bool Expression::Equals(const Expression& other) const {
+  return ToString() == other.ToString();
+}
+
+ExprPtr BindReferences(const ExprPtr& expr, const AttributeVector& input) {
+  return expr->TransformUp([&input](const ExprPtr& e) -> ExprPtr {
+    const auto* attr = As<AttributeReference>(e);
+    if (attr == nullptr) return e;
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (input[i]->expr_id() == attr->expr_id()) {
+        return BoundReference::Make(static_cast<int>(i), attr->data_type(),
+                                    attr->nullable());
+      }
+    }
+    throw AnalysisError("could not bind attribute " + attr->ToString() +
+                        " against child output");
+  });
+}
+
+bool EvalPredicate(const Expression& predicate, const Row& row) {
+  Value v = predicate.Eval(row);
+  return !v.is_null() && v.bool_value();
+}
+
+}  // namespace ssql

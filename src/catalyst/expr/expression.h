@@ -1,0 +1,139 @@
+#ifndef SSQL_CATALYST_EXPR_EXPRESSION_H_
+#define SSQL_CATALYST_EXPR_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace ssql {
+
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+using ExprVector = std::vector<ExprPtr>;
+
+/// A tree rewrite: maps a node to a replacement. Returning the *same*
+/// pointer means "no change" — identity is how the rule engine detects
+/// fixed points, like Catalyst's fastEquals (Section 4.2).
+using ExprRewrite = std::function<ExprPtr(const ExprPtr&)>;
+
+/// Base class of all Catalyst expression tree nodes (Section 4.1).
+///
+/// Nodes are immutable and shared; transformations build new trees,
+/// reusing unchanged subtrees. Scala's pattern matching becomes
+/// `ExprRewrite` lambdas using the `As<NodeType>` downcast helper.
+class Expression : public std::enable_shared_from_this<Expression> {
+ public:
+  virtual ~Expression() = default;
+
+  /// Node type name for plan display, e.g. "Add", "Literal".
+  virtual std::string NodeName() const = 0;
+
+  /// Child expressions in order.
+  virtual ExprVector Children() const = 0;
+
+  /// Rebuilds this node with `children` (same arity) — the functional
+  /// update primitive behind transform.
+  virtual ExprPtr WithNewChildren(ExprVector children) const = 0;
+
+  /// Result type. Only valid once `resolved()`; the analyzer guarantees
+  /// this before optimization/execution.
+  virtual DataTypePtr data_type() const = 0;
+
+  /// Whether this expression may produce null.
+  virtual bool nullable() const;
+
+  /// True when all attribute references are bound and the type is known.
+  virtual bool resolved() const;
+
+  /// True when the expression can be evaluated with no input row
+  /// (constant folding candidate).
+  virtual bool foldable() const;
+
+  /// True when repeated evaluation yields the same value (UDFs may opt
+  /// out, which blocks folding and some pushdowns).
+  virtual bool deterministic() const;
+
+  /// Interpreted evaluation against a row. AttributeReferences must have
+  /// been rewritten to BoundReferences (see BindReferences) first.
+  virtual Value Eval(const Row& row) const = 0;
+
+  /// Display form, e.g. "(a#3 + 1)".
+  virtual std::string ToString() const;
+
+  /// Post-order transform: children first, then this node. The workhorse
+  /// of optimizer rules (Catalyst's `transform`/`transformUp`).
+  ExprPtr TransformUp(const ExprRewrite& rule) const;
+
+  /// Pre-order transform: this node first, then (new) children.
+  ExprPtr TransformDown(const ExprRewrite& rule) const;
+
+  /// Applies `fn` to every node, pre-order, without rewriting.
+  void Foreach(const std::function<void(const Expression&)>& fn) const;
+
+  /// Structural/semantic equality via canonical string form.
+  bool Equals(const Expression& other) const;
+
+  ExprPtr self() const { return shared_from_this(); }
+};
+
+/// Downcast helper used by rules for pattern matching.
+template <typename T>
+const T* As(const ExprPtr& e) {
+  return dynamic_cast<const T*>(e.get());
+}
+template <typename T>
+const T* As(const Expression& e) {
+  return dynamic_cast<const T*>(&e);
+}
+
+/// A column slot bound to an ordinal of the input row; produced from
+/// AttributeReferences at physical planning time.
+class BoundReference : public Expression {
+ public:
+  BoundReference(int ordinal, DataTypePtr type, bool nullable)
+      : ordinal_(ordinal), type_(std::move(type)), nullable_(nullable) {}
+
+  static ExprPtr Make(int ordinal, DataTypePtr type, bool nullable) {
+    return std::make_shared<BoundReference>(ordinal, std::move(type), nullable);
+  }
+
+  int ordinal() const { return ordinal_; }
+
+  std::string NodeName() const override { return "BoundReference"; }
+  ExprVector Children() const override { return {}; }
+  ExprPtr WithNewChildren(ExprVector) const override { return self(); }
+  DataTypePtr data_type() const override { return type_; }
+  bool nullable() const override { return nullable_; }
+  bool foldable() const override { return false; }
+  Value Eval(const Row& row) const override { return row.Get(ordinal_); }
+  std::string ToString() const override {
+    return "input[" + std::to_string(ordinal_) + "]";
+  }
+
+ private:
+  int ordinal_;
+  DataTypePtr type_;
+  bool nullable_;
+};
+
+class AttributeReference;
+using AttributePtr = std::shared_ptr<const AttributeReference>;
+using AttributeVector = std::vector<AttributePtr>;
+
+/// Rewrites every AttributeReference in `expr` to a BoundReference against
+/// `input` (matched by expr-id). Throws AnalysisError if an attribute is
+/// missing from the input.
+ExprPtr BindReferences(const ExprPtr& expr, const AttributeVector& input);
+
+/// Convenience: evaluates a bound predicate, treating null as false
+/// (SQL WHERE semantics).
+bool EvalPredicate(const Expression& predicate, const Row& row);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_EXPRESSION_H_

@@ -1,0 +1,51 @@
+#include "catalyst/expr/literal.h"
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+ExprPtr Literal::Infer(Value value) {
+  DataTypePtr type;
+  switch (value.type_id()) {
+    case TypeId::kNull:
+      type = DataType::Null();
+      break;
+    case TypeId::kBoolean:
+      type = DataType::Boolean();
+      break;
+    case TypeId::kInt32:
+      type = DataType::Int32();
+      break;
+    case TypeId::kInt64:
+      type = DataType::Int64();
+      break;
+    case TypeId::kDouble:
+      type = DataType::Double();
+      break;
+    case TypeId::kString:
+      type = DataType::String();
+      break;
+    case TypeId::kDecimal:
+      type = DecimalType::Make(value.decimal().precision(), value.decimal().scale());
+      break;
+    case TypeId::kDate:
+      type = DataType::Date();
+      break;
+    case TypeId::kTimestamp:
+      type = DataType::Timestamp();
+      break;
+    default:
+      throw AnalysisError("cannot infer literal type for complex value");
+  }
+  return Make(std::move(value), std::move(type));
+}
+
+std::string Literal::ToString() const {
+  if (value_.is_null()) return "null";
+  if (value_.type_id() == TypeId::kString) {
+    return "'" + EscapeForDisplay(value_.str()) + "'";
+  }
+  return value_.ToString();
+}
+
+}  // namespace ssql

@@ -1,0 +1,46 @@
+#ifndef SSQL_CATALYST_EXPR_LITERAL_H_
+#define SSQL_CATALYST_EXPR_LITERAL_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// A constant value with an explicit type (Section 4.1's Literal node).
+class Literal : public Expression {
+ public:
+  Literal(Value value, DataTypePtr type)
+      : value_(std::move(value)), type_(std::move(type)) {}
+
+  static ExprPtr Make(Value value, DataTypePtr type) {
+    return std::make_shared<Literal>(std::move(value), std::move(type));
+  }
+  /// Infers the type from the value's runtime tag.
+  static ExprPtr Infer(Value value);
+  static ExprPtr Null(DataTypePtr type) {
+    return Make(Value::Null(), std::move(type));
+  }
+  static ExprPtr True() { return Make(Value(true), DataType::Boolean()); }
+  static ExprPtr False() { return Make(Value(false), DataType::Boolean()); }
+
+  const Value& value() const { return value_; }
+
+  std::string NodeName() const override { return "Literal"; }
+  ExprVector Children() const override { return {}; }
+  ExprPtr WithNewChildren(ExprVector) const override { return self(); }
+  DataTypePtr data_type() const override { return type_; }
+  bool nullable() const override { return value_.is_null(); }
+  bool foldable() const override { return true; }
+  Value Eval(const Row&) const override { return value_; }
+  std::string ToString() const override;
+
+ private:
+  Value value_;
+  DataTypePtr type_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_LITERAL_H_

@@ -1,0 +1,81 @@
+#include "catalyst/expr/predicates.h"
+
+namespace ssql {
+
+Value BinaryComparison::Eval(const Row& row) const {
+  Value l = left()->Eval(row);
+  if (l.is_null()) return Value::Null();
+  Value r = right()->Eval(row);
+  if (r.is_null()) return Value::Null();
+  return Value(FromCompare(l.Compare(r)));
+}
+
+bool EqualTo::FromCompare(int cmp) const { return cmp == 0; }
+bool NotEqualTo::FromCompare(int cmp) const { return cmp != 0; }
+bool LessThan::FromCompare(int cmp) const { return cmp < 0; }
+bool LessThanOrEqual::FromCompare(int cmp) const { return cmp <= 0; }
+bool GreaterThan::FromCompare(int cmp) const { return cmp > 0; }
+bool GreaterThanOrEqual::FromCompare(int cmp) const { return cmp >= 0; }
+
+Value And::Eval(const Row& row) const {
+  Value l = left()->Eval(row);
+  if (!l.is_null() && !l.bool_value()) return Value(false);
+  Value r = right()->Eval(row);
+  if (!r.is_null() && !r.bool_value()) return Value(false);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  return Value(true);
+}
+
+Value Or::Eval(const Row& row) const {
+  Value l = left()->Eval(row);
+  if (!l.is_null() && l.bool_value()) return Value(true);
+  Value r = right()->Eval(row);
+  if (!r.is_null() && r.bool_value()) return Value(true);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  return Value(false);
+}
+
+Value Not::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(!v.bool_value());
+}
+
+In::In(ExprPtr value, ExprVector list) {
+  children_.reserve(list.size() + 1);
+  children_.push_back(std::move(value));
+  for (auto& e : list) children_.push_back(std::move(e));
+}
+
+ExprPtr In::WithNewChildren(ExprVector c) const {
+  ExprPtr value = c[0];
+  ExprVector list(c.begin() + 1, c.end());
+  return Make(std::move(value), std::move(list));
+}
+
+Value In::Eval(const Row& row) const {
+  Value v = children_[0]->Eval(row);
+  if (v.is_null()) return Value::Null();
+  bool saw_null = false;
+  for (size_t i = 1; i < children_.size(); ++i) {
+    Value item = children_[i]->Eval(row);
+    if (item.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (v.Equals(item)) return Value(true);
+  }
+  if (saw_null) return Value::Null();
+  return Value(false);
+}
+
+std::string In::ToString() const {
+  std::string s = children_[0]->ToString() + " IN (";
+  for (size_t i = 1; i < children_.size(); ++i) {
+    if (i > 1) s += ", ";
+    s += children_[i]->ToString();
+  }
+  return s + ")";
+}
+
+}  // namespace ssql

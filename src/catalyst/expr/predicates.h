@@ -1,0 +1,170 @@
+#ifndef SSQL_CATALYST_EXPR_PREDICATES_H_
+#define SSQL_CATALYST_EXPR_PREDICATES_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Comparisons; null-propagating, boolean-typed.
+class BinaryComparison : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+
+ protected:
+  /// Decides from the three-way comparison of the two operand values.
+  virtual bool FromCompare(int cmp) const = 0;
+};
+
+#define SSQL_DECLARE_CMP(CLASS, SYM)                              \
+  class CLASS : public BinaryComparison {                         \
+   public:                                                        \
+    using BinaryComparison::BinaryComparison;                     \
+    static ExprPtr Make(ExprPtr l, ExprPtr r) {                   \
+      return std::make_shared<CLASS>(std::move(l), std::move(r)); \
+    }                                                             \
+    std::string NodeName() const override { return #CLASS; }     \
+    std::string Symbol() const override { return SYM; }          \
+    ExprPtr WithNewChildren(ExprVector c) const override {        \
+      return Make(c[0], c[1]);                                    \
+    }                                                             \
+                                                                  \
+   protected:                                                     \
+    bool FromCompare(int cmp) const override;                     \
+  };
+
+SSQL_DECLARE_CMP(EqualTo, "=")
+SSQL_DECLARE_CMP(NotEqualTo, "!=")
+SSQL_DECLARE_CMP(LessThan, "<")
+SSQL_DECLARE_CMP(LessThanOrEqual, "<=")
+SSQL_DECLARE_CMP(GreaterThan, ">")
+SSQL_DECLARE_CMP(GreaterThanOrEqual, ">=")
+
+#undef SSQL_DECLARE_CMP
+
+/// Logical AND with SQL three-valued logic:
+/// false AND anything == false, true AND null == null.
+class And : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr l, ExprPtr r) {
+    return std::make_shared<And>(std::move(l), std::move(r));
+  }
+  std::string NodeName() const override { return "And"; }
+  std::string Symbol() const override { return "AND"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+};
+
+/// Logical OR with SQL three-valued logic.
+class Or : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr l, ExprPtr r) {
+    return std::make_shared<Or>(std::move(l), std::move(r));
+  }
+  std::string NodeName() const override { return "Or"; }
+  std::string Symbol() const override { return "OR"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+};
+
+/// Logical negation; null stays null.
+class Not : public Expression {
+ public:
+  explicit Not(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<Not>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+  std::string NodeName() const override { return "Not"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// IS NULL — never null itself.
+class IsNull : public Expression {
+ public:
+  explicit IsNull(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<IsNull>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+  std::string NodeName() const override { return "IsNull"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  bool nullable() const override { return false; }
+  Value Eval(const Row& row) const override {
+    return Value(child_->Eval(row).is_null());
+  }
+  std::string ToString() const override {
+    return child_->ToString() + " IS NULL";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// IS NOT NULL — never null itself.
+class IsNotNull : public Expression {
+ public:
+  explicit IsNotNull(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr child) {
+    return std::make_shared<IsNotNull>(std::move(child));
+  }
+  const ExprPtr& child() const { return child_; }
+  std::string NodeName() const override { return "IsNotNull"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  bool nullable() const override { return false; }
+  Value Eval(const Row& row) const override {
+    return Value(!child_->Eval(row).is_null());
+  }
+  std::string ToString() const override {
+    return child_->ToString() + " IS NOT NULL";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// `value IN (list...)`. Null semantics: null IN (...) is null; a non-null
+/// value not matching a list containing null is null.
+class In : public Expression {
+ public:
+  In(ExprPtr value, ExprVector list);
+  static ExprPtr Make(ExprPtr value, ExprVector list) {
+    return std::make_shared<In>(std::move(value), std::move(list));
+  }
+  const ExprPtr& value() const { return children_[0]; }
+  std::string NodeName() const override { return "In"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override;
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprVector children_;  // [0] = value, rest = list
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_PREDICATES_H_

@@ -1,0 +1,125 @@
+#include "catalyst/expr/string_ops.h"
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+/// Evaluates both sides of a binary string expression; returns false if
+/// either is null (result should be null).
+bool EvalStringPair(const BinaryExpression& e, const Row& row, Value* l,
+                    Value* r) {
+  *l = e.left()->Eval(row);
+  if (l->is_null()) return false;
+  *r = e.right()->Eval(row);
+  return !r->is_null();
+}
+
+}  // namespace
+
+Value Like::Eval(const Row& row) const {
+  Value l, r;
+  if (!EvalStringPair(*this, row, &l, &r)) return Value::Null();
+  return Value(LikeMatch(l.str(), r.str()));
+}
+
+Value StartsWith::Eval(const Row& row) const {
+  Value l, r;
+  if (!EvalStringPair(*this, row, &l, &r)) return Value::Null();
+  const std::string& s = l.str();
+  const std::string& p = r.str();
+  return Value(s.size() >= p.size() && s.compare(0, p.size(), p) == 0);
+}
+
+Value EndsWith::Eval(const Row& row) const {
+  Value l, r;
+  if (!EvalStringPair(*this, row, &l, &r)) return Value::Null();
+  const std::string& s = l.str();
+  const std::string& p = r.str();
+  return Value(s.size() >= p.size() &&
+               s.compare(s.size() - p.size(), p.size(), p) == 0);
+}
+
+Value StringContains::Eval(const Row& row) const {
+  Value l, r;
+  if (!EvalStringPair(*this, row, &l, &r)) return Value::Null();
+  return Value(l.str().find(r.str()) != std::string::npos);
+}
+
+Value Upper::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(ToUpper(v.str()));
+}
+
+Value Lower::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(ToLower(v.str()));
+}
+
+Value Substring::Eval(const Row& row) const {
+  Value str = children_[0]->Eval(row);
+  if (str.is_null()) return Value::Null();
+  Value pos = children_[1]->Eval(row);
+  Value len = children_[2]->Eval(row);
+  if (pos.is_null() || len.is_null()) return Value::Null();
+  const std::string& s = str.str();
+  int64_t p = pos.AsInt64();
+  int64_t n = len.AsInt64();
+  if (n < 0) n = 0;
+  // SQL is 1-based; negative positions count from the end.
+  int64_t start;
+  if (p > 0) {
+    start = p - 1;
+  } else if (p < 0) {
+    start = static_cast<int64_t>(s.size()) + p;
+    if (start < 0) start = 0;
+  } else {
+    start = 0;
+  }
+  if (start >= static_cast<int64_t>(s.size())) return Value(std::string());
+  return Value(s.substr(static_cast<size_t>(start),
+                        static_cast<size_t>(n)));
+}
+
+Value StringLength::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(static_cast<int32_t>(v.str().size()));
+}
+
+Value Concat::Eval(const Row& row) const {
+  std::string out;
+  for (const auto& c : children_) {
+    Value v = c->Eval(row);
+    if (v.is_null()) return Value::Null();
+    out += v.type_id() == TypeId::kString ? v.str() : v.ToString();
+  }
+  return Value(std::move(out));
+}
+
+Value StringTrim::Eval(const Row& row) const {
+  Value v = child_->Eval(row);
+  if (v.is_null()) return v;
+  return Value(std::string(ssql::Trim(v.str())));
+}
+
+Value SplitString::Eval(const Row& row) const {
+  Value l, r;
+  if (!EvalStringPair(*this, row, &l, &r)) return Value::Null();
+  std::vector<Value> parts;
+  if (r.str().empty()) {
+    for (const std::string& w : SplitWhitespace(l.str())) {
+      parts.emplace_back(w);
+    }
+  } else {
+    for (const std::string& w : Split(l.str(), r.str()[0])) {
+      parts.emplace_back(w);
+    }
+  }
+  return Value::Array(std::move(parts));
+}
+
+}  // namespace ssql

@@ -1,0 +1,169 @@
+#ifndef SSQL_CATALYST_EXPR_STRING_OPS_H_
+#define SSQL_CATALYST_EXPR_STRING_OPS_H_
+
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// SQL LIKE with % and _ wildcards. The optimizer rewrites simple patterns
+/// into StartsWith/EndsWith/StringContains (the paper's 12-line LIKE rule,
+/// Section 4.3.2).
+class Like : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr l, ExprPtr r) {
+    return std::make_shared<Like>(std::move(l), std::move(r));
+  }
+  std::string NodeName() const override { return "Like"; }
+  std::string Symbol() const override { return "LIKE"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override { return DataType::Boolean(); }
+  Value Eval(const Row& row) const override;
+};
+
+#define SSQL_DECLARE_STRPRED(CLASS)                               \
+  class CLASS : public BinaryExpression {                         \
+   public:                                                        \
+    using BinaryExpression::BinaryExpression;                     \
+    static ExprPtr Make(ExprPtr l, ExprPtr r) {                   \
+      return std::make_shared<CLASS>(std::move(l), std::move(r)); \
+    }                                                             \
+    std::string NodeName() const override { return #CLASS; }     \
+    std::string Symbol() const override { return #CLASS; }       \
+    ExprPtr WithNewChildren(ExprVector c) const override {        \
+      return Make(c[0], c[1]);                                    \
+    }                                                             \
+    DataTypePtr data_type() const override {                      \
+      return DataType::Boolean();                                 \
+    }                                                             \
+    Value Eval(const Row& row) const override;                    \
+  };
+
+SSQL_DECLARE_STRPRED(StartsWith)
+SSQL_DECLARE_STRPRED(EndsWith)
+SSQL_DECLARE_STRPRED(StringContains)
+
+#undef SSQL_DECLARE_STRPRED
+
+/// UPPER / LOWER.
+class Upper : public Expression {
+ public:
+  explicit Upper(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr c) { return std::make_shared<Upper>(std::move(c)); }
+  std::string NodeName() const override { return "Upper"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::String(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+class Lower : public Expression {
+ public:
+  explicit Lower(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr c) { return std::make_shared<Lower>(std::move(c)); }
+  std::string NodeName() const override { return "Lower"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::String(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// SUBSTRING(str, pos, len): 1-based `pos` like SQL.
+class Substring : public Expression {
+ public:
+  Substring(ExprPtr str, ExprPtr pos, ExprPtr len)
+      : children_{std::move(str), std::move(pos), std::move(len)} {}
+  static ExprPtr Make(ExprPtr str, ExprPtr pos, ExprPtr len) {
+    return std::make_shared<Substring>(std::move(str), std::move(pos),
+                                       std::move(len));
+  }
+  std::string NodeName() const override { return "Substring"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return Make(c[0], c[1], c[2]);
+  }
+  DataTypePtr data_type() const override { return DataType::String(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprVector children_;
+};
+
+/// LENGTH(str).
+class StringLength : public Expression {
+ public:
+  explicit StringLength(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr c) {
+    return std::make_shared<StringLength>(std::move(c));
+  }
+  std::string NodeName() const override { return "StringLength"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::Int32(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// CONCAT(s1, s2, ...).
+class Concat : public Expression {
+ public:
+  explicit Concat(ExprVector children) : children_(std::move(children)) {}
+  static ExprPtr Make(ExprVector children) {
+    return std::make_shared<Concat>(std::move(children));
+  }
+  std::string NodeName() const override { return "Concat"; }
+  ExprVector Children() const override { return children_; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(std::move(c)); }
+  DataTypePtr data_type() const override { return DataType::String(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprVector children_;
+};
+
+/// TRIM(str) — strips surrounding whitespace.
+class StringTrim : public Expression {
+ public:
+  explicit StringTrim(ExprPtr child) : child_(std::move(child)) {}
+  static ExprPtr Make(ExprPtr c) { return std::make_shared<StringTrim>(std::move(c)); }
+  std::string NodeName() const override { return "StringTrim"; }
+  ExprVector Children() const override { return {child_}; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0]); }
+  DataTypePtr data_type() const override { return DataType::String(); }
+  Value Eval(const Row& row) const override;
+
+ private:
+  ExprPtr child_;
+};
+
+/// SPLIT(str, sep) -> array<string>; the Q4/word-count workhorse.
+class SplitString : public BinaryExpression {
+ public:
+  using BinaryExpression::BinaryExpression;
+  static ExprPtr Make(ExprPtr l, ExprPtr r) {
+    return std::make_shared<SplitString>(std::move(l), std::move(r));
+  }
+  std::string NodeName() const override { return "SplitString"; }
+  std::string Symbol() const override { return "SPLIT"; }
+  ExprPtr WithNewChildren(ExprVector c) const override { return Make(c[0], c[1]); }
+  DataTypePtr data_type() const override {
+    return ArrayType::Make(DataType::String(), /*contains_null=*/false);
+  }
+  Value Eval(const Row& row) const override;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_STRING_OPS_H_

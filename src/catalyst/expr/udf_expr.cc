@@ -1,0 +1,14 @@
+#include "catalyst/expr/udf_expr.h"
+
+namespace ssql {
+
+std::string ScalarUDF::ToString() const {
+  std::string s = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += args_[i]->ToString();
+  }
+  return s + ")";
+}
+
+}  // namespace ssql

@@ -1,0 +1,64 @@
+#ifndef SSQL_CATALYST_EXPR_UDF_EXPR_H_
+#define SSQL_CATALYST_EXPR_UDF_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// A user-defined scalar function registered inline from the host language
+/// (Section 3.7). The engine treats the body as opaque: it is interpreted
+/// per row and the codegen backend calls back into it (the paper's mixed
+/// compiled/interpreted evaluation).
+class ScalarUDF : public Expression {
+ public:
+  using Body = std::function<Value(const std::vector<Value>&)>;
+
+  ScalarUDF(std::string name, ExprVector args, DataTypePtr return_type,
+            std::shared_ptr<const Body> body, bool deterministic = true)
+      : name_(std::move(name)),
+        args_(std::move(args)),
+        return_type_(std::move(return_type)),
+        body_(std::move(body)),
+        deterministic_(deterministic) {}
+
+  static ExprPtr Make(std::string name, ExprVector args, DataTypePtr return_type,
+                      Body body, bool deterministic = true) {
+    return std::make_shared<ScalarUDF>(
+        std::move(name), std::move(args), std::move(return_type),
+        std::make_shared<const Body>(std::move(body)), deterministic);
+  }
+
+  const std::string& name() const { return name_; }
+
+  std::string NodeName() const override { return "ScalarUDF"; }
+  ExprVector Children() const override { return args_; }
+  ExprPtr WithNewChildren(ExprVector c) const override {
+    return std::make_shared<ScalarUDF>(name_, std::move(c), return_type_, body_,
+                                       deterministic_);
+  }
+  DataTypePtr data_type() const override { return return_type_; }
+  bool nullable() const override { return true; }
+  bool deterministic() const override { return deterministic_; }
+  Value Eval(const Row& row) const override {
+    std::vector<Value> args;
+    args.reserve(args_.size());
+    for (const auto& a : args_) args.push_back(a->Eval(row));
+    return (*body_)(args);
+  }
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  ExprVector args_;
+  DataTypePtr return_type_;
+  std::shared_ptr<const Body> body_;
+  bool deterministic_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_EXPR_UDF_EXPR_H_

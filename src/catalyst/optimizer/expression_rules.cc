@@ -1,0 +1,191 @@
+#include "catalyst/optimizer/expression_rules.h"
+
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/case_when.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/expr/string_ops.h"
+
+namespace ssql {
+
+namespace {
+
+bool IsNullLiteral(const ExprPtr& e) {
+  const auto* lit = As<Literal>(e);
+  return lit != nullptr && lit->value().is_null();
+}
+
+bool IsTrueLiteral(const ExprPtr& e) {
+  const auto* lit = As<Literal>(e);
+  return lit != nullptr && !lit->value().is_null() &&
+         lit->value().type_id() == TypeId::kBoolean && lit->value().bool_value();
+}
+
+bool IsFalseLiteral(const ExprPtr& e) {
+  const auto* lit = As<Literal>(e);
+  return lit != nullptr && !lit->value().is_null() &&
+         lit->value().type_id() == TypeId::kBoolean && !lit->value().bool_value();
+}
+
+}  // namespace
+
+ExprPtr ConstantFoldingRule(const ExprPtr& e) {
+  if (As<Literal>(e) != nullptr) return e;
+  if (!e->resolved() || !e->foldable()) return e;
+  static const Row kEmptyRow;
+  return Literal::Make(e->Eval(kEmptyRow), e->data_type());
+}
+
+ExprPtr NullPropagationRule(const ExprPtr& e) {
+  // Strict operators: any null literal input nulls the result.
+  if (As<BinaryArithmetic>(e) != nullptr || As<BinaryComparison>(e) != nullptr ||
+      As<Like>(e) != nullptr || As<UnaryMinus>(e) != nullptr ||
+      As<Abs>(e) != nullptr || As<Upper>(e) != nullptr ||
+      As<Lower>(e) != nullptr) {
+    for (const auto& c : e->Children()) {
+      if (IsNullLiteral(c)) {
+        return e->resolved() ? Literal::Null(e->data_type())
+                             : Literal::Null(DataType::Null());
+      }
+    }
+  }
+  if (const auto* n = As<Not>(e)) {
+    if (IsNullLiteral(n->child())) return Literal::Null(DataType::Boolean());
+  }
+  if (const auto* isnull = As<IsNull>(e)) {
+    if (IsNullLiteral(isnull->child())) return Literal::True();
+    if (isnull->child()->resolved() && !isnull->child()->nullable()) {
+      return Literal::False();
+    }
+  }
+  if (const auto* isnotnull = As<IsNotNull>(e)) {
+    if (IsNullLiteral(isnotnull->child())) return Literal::False();
+    if (isnotnull->child()->resolved() && !isnotnull->child()->nullable()) {
+      return Literal::True();
+    }
+  }
+  return e;
+}
+
+ExprPtr BooleanSimplificationRule(const ExprPtr& e) {
+  if (const auto* a = As<And>(e)) {
+    if (IsTrueLiteral(a->left())) return a->right();
+    if (IsTrueLiteral(a->right())) return a->left();
+    if (IsFalseLiteral(a->left()) || IsFalseLiteral(a->right())) {
+      return Literal::False();
+    }
+    return e;
+  }
+  if (const auto* o = As<Or>(e)) {
+    if (IsFalseLiteral(o->left())) return o->right();
+    if (IsFalseLiteral(o->right())) return o->left();
+    if (IsTrueLiteral(o->left()) || IsTrueLiteral(o->right())) {
+      return Literal::True();
+    }
+    return e;
+  }
+  if (const auto* n = As<Not>(e)) {
+    if (IsTrueLiteral(n->child())) return Literal::False();
+    if (IsFalseLiteral(n->child())) return Literal::True();
+    if (const auto* inner = As<Not>(n->child())) return inner->child();
+    return e;
+  }
+  if (const auto* eq = As<EqualTo>(e)) {
+    // col = col (same expr-id) is true for non-nullable deterministic exprs.
+    if (eq->left()->resolved() && eq->left()->deterministic() &&
+        !eq->left()->nullable() && eq->left()->Equals(*eq->right())) {
+      return Literal::True();
+    }
+  }
+  return e;
+}
+
+ExprPtr SimplifyLikeRule(const ExprPtr& e) {
+  const auto* like = As<Like>(e);
+  if (like == nullptr) return e;
+  const auto* pattern = As<Literal>(like->right());
+  if (pattern == nullptr || pattern->value().is_null()) return e;
+  const std::string& p = pattern->value().str();
+  // Only handle patterns whose only wildcards are leading/trailing '%'.
+  auto clean = [](const std::string& s) {
+    return s.find('%') == std::string::npos && s.find('_') == std::string::npos &&
+           s.find('\\') == std::string::npos;
+  };
+  if (clean(p)) {
+    return EqualTo::Make(like->left(),
+                         Literal::Make(Value(p), DataType::String()));
+  }
+  if (p.size() >= 2 && p.back() == '%' && clean(p.substr(0, p.size() - 1))) {
+    return StartsWith::Make(
+        like->left(),
+        Literal::Make(Value(p.substr(0, p.size() - 1)), DataType::String()));
+  }
+  if (p.size() >= 2 && p.front() == '%' && clean(p.substr(1))) {
+    return EndsWith::Make(like->left(),
+                          Literal::Make(Value(p.substr(1)), DataType::String()));
+  }
+  if (p.size() >= 3 && p.front() == '%' && p.back() == '%' &&
+      clean(p.substr(1, p.size() - 2))) {
+    return StringContains::Make(
+        like->left(),
+        Literal::Make(Value(p.substr(1, p.size() - 2)), DataType::String()));
+  }
+  return e;
+}
+
+ExprPtr SimplifyCastRule(const ExprPtr& e) {
+  const auto* cast = As<Cast>(e);
+  if (cast == nullptr || !cast->child()->resolved()) return e;
+  if (cast->child()->data_type()->Equals(*e->data_type())) {
+    return cast->child();
+  }
+  return e;
+}
+
+ExprPtr SimplifyCaseWhenRule(const ExprPtr& e) {
+  const auto* cw = As<CaseWhen>(e);
+  if (cw == nullptr) return e;
+  ExprVector children = cw->Children();
+  size_t n = cw->num_branches();
+  ExprVector kept;
+  bool changed = false;
+  for (size_t i = 0; i < n; ++i) {
+    const ExprPtr& cond = children[2 * i];
+    if (IsTrueLiteral(cond)) {
+      // Everything after an always-true branch is dead.
+      if (i == 0 && kept.empty()) return children[1];
+      kept.push_back(Literal::True());
+      kept.push_back(children[2 * i + 1]);
+      changed = true;
+      return CaseWhen::Make(std::move(kept), /*has_else=*/false);
+    }
+    if (IsFalseLiteral(cond) || IsNullLiteral(cond)) {
+      changed = true;  // drop dead branch
+      continue;
+    }
+    kept.push_back(cond);
+    kept.push_back(children[2 * i + 1]);
+  }
+  if (!changed) return e;
+  if (kept.empty()) {
+    return cw->has_else() ? children.back()
+                          : Literal::Null(e->resolved() ? e->data_type()
+                                                        : DataType::Null());
+  }
+  if (cw->has_else()) kept.push_back(children.back());
+  return CaseWhen::Make(std::move(kept), cw->has_else());
+}
+
+ExprPtr OptimizeExpressionNode(const ExprPtr& e) {
+  ExprPtr current = e;
+  current = NullPropagationRule(current);
+  current = BooleanSimplificationRule(current);
+  current = SimplifyLikeRule(current);
+  current = SimplifyCastRule(current);
+  current = SimplifyCaseWhenRule(current);
+  current = ConstantFoldingRule(current);
+  return current;
+}
+
+}  // namespace ssql

@@ -1,0 +1,41 @@
+#ifndef SSQL_CATALYST_OPTIMIZER_EXPRESSION_RULES_H_
+#define SSQL_CATALYST_OPTIMIZER_EXPRESSION_RULES_H_
+
+#include "catalyst/expr/expression.h"
+
+namespace ssql {
+
+/// Expression-level optimizer rewrites (Section 4.3.2). Each is a single
+/// node-local pattern usable with TransformUp; `OptimizeExpressionsRule`
+/// composes them for the optimizer pipeline. All are identity-preserving
+/// when nothing matches, so they are fixed-point safe.
+
+/// Evaluates foldable subtrees to literals: 1+2 -> 3, and with repetition
+/// (x+0)+(3+3) -> x+6 (the paper's Section 4.2 example).
+ExprPtr ConstantFoldingRule(const ExprPtr& e);
+
+/// Null-propagates strict operators with a known-null input:
+/// x + null -> null, null < e -> null, etc.
+ExprPtr NullPropagationRule(const ExprPtr& e);
+
+/// Boolean algebra: true AND x -> x, false OR x -> x, NOT(NOT x) -> x,
+/// x = x -> true (for non-nullable deterministic x), ...
+ExprPtr BooleanSimplificationRule(const ExprPtr& e);
+
+/// The paper's 12-line LIKE rule: patterns without wildcards become
+/// equality, 'abc%' -> StartsWith, '%abc' -> EndsWith, '%abc%' -> Contains.
+ExprPtr SimplifyLikeRule(const ExprPtr& e);
+
+/// Removes casts to the expression's own type.
+ExprPtr SimplifyCastRule(const ExprPtr& e);
+
+/// CASE WHEN true THEN a ... -> a; drops always-false branches.
+ExprPtr SimplifyCaseWhenRule(const ExprPtr& e);
+
+/// Applies all of the above to one node (composition used by the
+/// optimizer's expression batch).
+ExprPtr OptimizeExpressionNode(const ExprPtr& e);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_OPTIMIZER_EXPRESSION_RULES_H_

@@ -1,0 +1,56 @@
+#include "catalyst/optimizer/optimizer.h"
+
+#include "catalyst/optimizer/plan_rules.h"
+
+namespace ssql {
+
+namespace {
+
+std::vector<RuleBatch> MakeBatches(const OptimizerOptions& options) {
+  std::vector<RuleBatch> batches;
+
+  batches.push_back(RuleBatch{
+      "Finish Analysis",
+      1,
+      {{"EliminateSubqueryAliases", EliminateSubqueryAliasesRule}}});
+
+  batches.push_back(RuleBatch{
+      "Operator Optimizations",
+      100,
+      {
+          {"CombineFilters", CombineFiltersRule},
+          {"CombineProjects", CombineProjectsRule},
+          {"CombineLimits", CombineLimitsRule},
+          {"PushProjectThroughLimit", PushProjectThroughLimitRule},
+          {"OptimizeExpressions", OptimizeExpressionsRule},
+          {"PushFilterThroughProject", PushFilterThroughProjectRule},
+          {"PushFilterThroughJoin", PushFilterThroughJoinRule},
+          {"PushFilterThroughAggregate", PushFilterThroughAggregateRule},
+          {"SimplifyFilters", SimplifyFiltersRule},
+          {"DecimalAggregates", DecimalAggregatesRule},
+      }});
+
+  if (options.pushdown_enabled) {
+    batches.push_back(RuleBatch{
+        "Data Source Pushdown",
+        1,
+        {
+            {"PushFiltersIntoRelation", PushFiltersIntoRelationRule},
+            {"PruneColumns", PruneColumnsRule},
+        }});
+  }
+
+  return batches;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(OptimizerOptions options)
+    : executor_(MakeBatches(options)) {}
+
+PlanPtr Optimizer::Optimize(const PlanPtr& plan,
+                            std::vector<RuleExecutor::TraceEntry>* trace) const {
+  return executor_.Execute(plan, trace);
+}
+
+}  // namespace ssql

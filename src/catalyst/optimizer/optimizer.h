@@ -1,0 +1,33 @@
+#ifndef SSQL_CATALYST_OPTIMIZER_OPTIMIZER_H_
+#define SSQL_CATALYST_OPTIMIZER_OPTIMIZER_H_
+
+#include "catalyst/tree/rule_executor.h"
+
+namespace ssql {
+
+/// Options controlling which rule batches run; the Figure 8 "Shark-mode"
+/// baseline disables source pushdown (and the planner separately disables
+/// codegen/join selection).
+struct OptimizerOptions {
+  bool pushdown_enabled = true;
+};
+
+/// The logical optimization phase (Section 4.3.2): batches of rule-based
+/// rewrites run to fixed point — constant folding, predicate pushdown,
+/// projection pruning, null propagation, Boolean simplification, LIKE
+/// simplification and the DecimalAggregates rule.
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = OptimizerOptions());
+
+  /// Rewrites an analyzed plan. Optionally records which rules fired.
+  PlanPtr Optimize(const PlanPtr& plan,
+                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr) const;
+
+ private:
+  RuleExecutor executor_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_OPTIMIZER_OPTIMIZER_H_

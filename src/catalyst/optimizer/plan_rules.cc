@@ -1,0 +1,317 @@
+#include "catalyst/optimizer/plan_rules.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "catalyst/expr/aggregates.h"
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/optimizer/expression_rules.h"
+#include "types/schema.h"
+
+namespace ssql {
+
+ExprPtr SubstituteAttributes(
+    const ExprPtr& expr, const std::unordered_map<ExprId, ExprPtr>& mapping) {
+  return expr->TransformUp([&mapping](const ExprPtr& e) -> ExprPtr {
+    const auto* attr = As<AttributeReference>(e);
+    if (attr == nullptr) return e;
+    auto it = mapping.find(attr->expr_id());
+    return it == mapping.end() ? e : it->second;
+  });
+}
+
+namespace {
+
+/// Builds the alias-substitution map for a Project's output.
+std::unordered_map<ExprId, ExprPtr> AliasMap(
+    const std::vector<NamedExprPtr>& projections) {
+  std::unordered_map<ExprId, ExprPtr> mapping;
+  for (const auto& p : projections) {
+    if (const auto* alias = As<Alias>(p)) {
+      mapping[alias->expr_id()] = alias->child();
+    }
+    // Plain attributes map to themselves; no entry needed.
+  }
+  return mapping;
+}
+
+/// True when all projections are deterministic (safe to push through).
+bool AllDeterministic(const std::vector<NamedExprPtr>& projections) {
+  for (const auto& p : projections) {
+    if (!p->deterministic()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlanPtr EliminateSubqueryAliasesRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* alias = AsPlan<SubqueryAlias>(p);
+    return alias == nullptr ? p : alias->child();
+  });
+}
+
+PlanPtr CombineFiltersRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* outer = AsPlan<Filter>(p);
+    if (outer == nullptr) return p;
+    const auto* inner = AsPlan<Filter>(outer->child());
+    if (inner == nullptr) return p;
+    return Filter::Make(And::Make(inner->condition(), outer->condition()),
+                        inner->child());
+  });
+}
+
+PlanPtr CombineProjectsRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* outer = AsPlan<Project>(p);
+    if (outer == nullptr) return p;
+    const auto* inner = AsPlan<Project>(outer->child());
+    if (inner == nullptr) return p;
+    if (!AllDeterministic(inner->projections())) return p;
+    auto mapping = AliasMap(inner->projections());
+    std::vector<NamedExprPtr> merged;
+    merged.reserve(outer->projections().size());
+    for (const auto& proj : outer->projections()) {
+      ExprPtr substituted = SubstituteAttributes(proj, mapping);
+      if (auto named =
+              std::dynamic_pointer_cast<const NamedExpression>(substituted)) {
+        merged.push_back(std::move(named));
+      } else {
+        // An outer attribute was replaced by the inner alias's expression:
+        // keep the outer expression ID so parents (Sort, further Projects)
+        // still bind.
+        merged.push_back(
+            Alias::MakeWithId(substituted, proj->name(), proj->expr_id()));
+      }
+    }
+    return Project::Make(std::move(merged), inner->child());
+  });
+}
+
+PlanPtr CombineLimitsRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* outer = AsPlan<Limit>(p);
+    if (outer == nullptr) return p;
+    const auto* inner = AsPlan<Limit>(outer->child());
+    if (inner == nullptr) return p;
+    return Limit::Make(std::min(outer->n(), inner->n()), inner->child());
+  });
+}
+
+PlanPtr PushProjectThroughLimitRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* project = AsPlan<Project>(p);
+    if (project == nullptr) return p;
+    const auto* limit = AsPlan<Limit>(project->child());
+    if (limit == nullptr) return p;
+    if (!AllDeterministic(project->projections())) return p;
+    return Limit::Make(limit->n(),
+                       Project::Make(project->projections(), limit->child()));
+  });
+}
+
+PlanPtr OptimizeExpressionsRule(const PlanPtr& plan) {
+  return plan->TransformAllExpressions(
+      [](const ExprPtr& e) -> ExprPtr { return OptimizeExpressionNode(e); });
+}
+
+PlanPtr PushFilterThroughProjectRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* filter = AsPlan<Filter>(p);
+    if (filter == nullptr) return p;
+    const auto* project = AsPlan<Project>(filter->child());
+    if (project == nullptr) return p;
+    if (!AllDeterministic(project->projections())) return p;
+    if (!filter->condition()->deterministic()) return p;
+    auto mapping = AliasMap(project->projections());
+    ExprPtr pushed = SubstituteAttributes(filter->condition(), mapping);
+    return Project::Make(project->projections(),
+                         Filter::Make(pushed, project->child()));
+  });
+}
+
+PlanPtr PushFilterThroughJoinRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    // Normalize: treat a Filter directly above a Join and the join's own
+    // condition as one pool of conjuncts.
+    const auto* filter = AsPlan<Filter>(p);
+    const Join* join = filter != nullptr ? AsPlan<Join>(filter->child())
+                                         : AsPlan<Join>(p);
+    if (join == nullptr) return p;
+    if (join->join_type() != JoinType::kInner &&
+        join->join_type() != JoinType::kCross) {
+      return p;
+    }
+    ExprVector pool;
+    if (filter != nullptr) {
+      for (auto& c : SplitConjuncts(filter->condition())) pool.push_back(c);
+    }
+    for (auto& c : SplitConjuncts(join->condition())) pool.push_back(c);
+    if (pool.empty()) return p;
+
+    AttributeVector left_out = join->left()->Output();
+    AttributeVector right_out = join->right()->Output();
+    ExprVector left_only, right_only, rest;
+    for (const auto& c : pool) {
+      if (!c->deterministic()) {
+        rest.push_back(c);
+      } else if (ReferencesSubsetOf(c, left_out)) {
+        left_only.push_back(c);
+      } else if (ReferencesSubsetOf(c, right_out)) {
+        right_only.push_back(c);
+      } else {
+        rest.push_back(c);
+      }
+    }
+    if (left_only.empty() && right_only.empty()) return p;
+
+    PlanPtr new_left = join->left();
+    if (!left_only.empty()) {
+      new_left = Filter::Make(CombineConjuncts(left_only), new_left);
+    }
+    PlanPtr new_right = join->right();
+    if (!right_only.empty()) {
+      new_right = Filter::Make(CombineConjuncts(right_only), new_right);
+    }
+    JoinType type = join->join_type();
+    ExprPtr new_cond = CombineConjuncts(rest);
+    if (type == JoinType::kCross && new_cond) type = JoinType::kInner;
+    return Join::Make(new_left, new_right, type, new_cond);
+  });
+}
+
+PlanPtr PushFilterThroughAggregateRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* filter = AsPlan<Filter>(p);
+    if (filter == nullptr) return p;
+    const auto* agg = AsPlan<Aggregate>(filter->child());
+    if (agg == nullptr) return p;
+    // Map aggregate output attributes that alias plain grouping
+    // expressions back to those expressions.
+    std::unordered_map<ExprId, ExprPtr> mapping;
+    std::unordered_set<std::string> grouping_keys;
+    for (const auto& g : agg->groupings()) grouping_keys.insert(g->ToString());
+    for (const auto& out : agg->aggregates()) {
+      if (const auto* alias = As<Alias>(out)) {
+        if (grouping_keys.count(alias->child()->ToString()) > 0) {
+          mapping[alias->expr_id()] = alias->child();
+        }
+      }
+    }
+    AttributeVector pushable_attrs;
+    for (const auto& g : agg->groupings()) {
+      CollectReferences(g, &pushable_attrs);
+    }
+    ExprVector keep, push;
+    for (const auto& c : SplitConjuncts(filter->condition())) {
+      if (!c->deterministic() || ContainsAggregate(c)) {
+        keep.push_back(c);
+        continue;
+      }
+      ExprPtr rewritten = SubstituteAttributes(c, mapping);
+      if (ReferencesSubsetOf(rewritten, pushable_attrs)) {
+        push.push_back(rewritten);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    if (push.empty()) return p;
+    PlanPtr pushed = Filter::Make(CombineConjuncts(push), agg->child());
+    PlanPtr new_agg = Aggregate::Make(agg->groupings(), agg->aggregates(), pushed);
+    if (keep.empty()) return new_agg;
+    return Filter::Make(CombineConjuncts(keep), new_agg);
+  });
+}
+
+PlanPtr SimplifyFiltersRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* filter = AsPlan<Filter>(p);
+    if (filter == nullptr) return p;
+    const auto* lit = As<Literal>(filter->condition());
+    if (lit == nullptr) return p;
+    if (!lit->value().is_null() && lit->value().bool_value()) {
+      return filter->child();
+    }
+    // Always-false/null filter: empty relation with the same output.
+    return LocalRelation::Make(filter->Output(), {});
+  });
+}
+
+PlanPtr DecimalAggregatesRule(const PlanPtr& plan) {
+  return plan->TransformAllExpressions([](const ExprPtr& e) -> ExprPtr {
+    const auto* sum = As<Sum>(e);
+    if (sum == nullptr || !sum->child()->resolved()) return e;
+    if (As<MakeDecimal>(e) != nullptr) return e;
+    const DataTypePtr& t = sum->child()->data_type();
+    if (t->id() != TypeId::kDecimal) return e;
+    const auto& dt = AsDecimal(*t);
+    if (dt.precision() + 10 > Decimal::kMaxLongDigits) return e;
+    // Avoid re-applying to an already rewritten tree.
+    if (As<UnscaledValue>(sum->child()) != nullptr) return e;
+    return MakeDecimal::Make(Sum::Make(UnscaledValue::Make(sum->child())),
+                             dt.precision() + 10, dt.scale());
+  });
+}
+
+PlanPtr PushFiltersIntoRelationRule(const PlanPtr& plan) {
+  return plan->TransformUp([](const PlanPtr& p) -> PlanPtr {
+    const auto* filter = AsPlan<Filter>(p);
+    if (filter == nullptr) return p;
+    const auto* rel = AsPlan<LogicalRelation>(filter->child());
+    if (rel == nullptr) return p;
+    AttributeVector rel_out = rel->Output();
+    ExprVector keep, push;
+    for (const auto& c : SplitConjuncts(filter->condition())) {
+      if (c->deterministic() && ReferencesSubsetOf(c, rel_out) &&
+          rel->source() != nullptr && rel->source()->CanHandleFilter(*c)) {
+        push.push_back(c);
+      } else {
+        keep.push_back(c);
+      }
+    }
+    if (push.empty()) return p;
+    ExprVector all_pushed = rel->pushed_filters();
+    all_pushed.insert(all_pushed.end(), push.begin(), push.end());
+    PlanPtr new_rel = rel->WithPushedFilters(std::move(all_pushed));
+    if (keep.empty()) return new_rel;
+    return Filter::Make(CombineConjuncts(keep), new_rel);
+  });
+}
+
+PlanPtr PruneColumnsRule(const PlanPtr& plan) {
+  // Collect every attribute id referenced by any expression in the tree,
+  // plus the root output and all Union children outputs (positional).
+  std::unordered_set<ExprId> referenced;
+  for (const auto& a : plan->Output()) referenced.insert(a->expr_id());
+  plan->Foreach([&referenced](const LogicalPlan& node) {
+    for (const auto& e : node.Expressions()) {
+      AttributeVector attrs;
+      CollectReferences(e, &attrs);
+      for (const auto& a : attrs) referenced.insert(a->expr_id());
+    }
+    if (AsPlan<Union>(node) != nullptr) {
+      for (const auto& child : node.Children()) {
+        for (const auto& a : child->Output()) referenced.insert(a->expr_id());
+      }
+    }
+  });
+
+  return plan->TransformUp([&referenced](const PlanPtr& p) -> PlanPtr {
+    const auto* rel = AsPlan<LogicalRelation>(p);
+    if (rel == nullptr) return p;
+    std::vector<int> required;
+    for (int i : rel->required_columns()) {
+      if (referenced.count(rel->full_output()[i]->expr_id()) > 0) {
+        required.push_back(i);
+      }
+    }
+    if (required.size() == rel->required_columns().size()) return p;
+    return rel->WithRequiredColumns(std::move(required));
+  });
+}
+
+}  // namespace ssql

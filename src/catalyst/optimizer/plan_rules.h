@@ -1,0 +1,66 @@
+#ifndef SSQL_CATALYST_OPTIMIZER_PLAN_RULES_H_
+#define SSQL_CATALYST_OPTIMIZER_PLAN_RULES_H_
+
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// Plan-level optimizer rules (Section 4.3.2). Each is a whole-plan
+/// function suitable for a RuleBatch; all reuse unchanged subtrees.
+
+/// Qualifiers are only needed during analysis; drop alias nodes.
+PlanPtr EliminateSubqueryAliasesRule(const PlanPtr& plan);
+
+/// Filter(a, Filter(b, c)) -> Filter(a AND b, c).
+PlanPtr CombineFiltersRule(const PlanPtr& plan);
+
+/// Project over Project -> one Project with aliases substituted in.
+PlanPtr CombineProjectsRule(const PlanPtr& plan);
+
+/// Limit(a, Limit(b, c)) -> Limit(min(a,b), c).
+PlanPtr CombineLimitsRule(const PlanPtr& plan);
+
+/// Project(Limit(n, x)) -> Limit(n, Project(x)): normalizes limits upward
+/// so adjacent limits combine and projects merge.
+PlanPtr PushProjectThroughLimitRule(const PlanPtr& plan);
+
+/// Applies the expression rewrites of expression_rules.h everywhere.
+PlanPtr OptimizeExpressionsRule(const PlanPtr& plan);
+
+/// Filter above Project moves below it (predicate pushdown step 1).
+PlanPtr PushFilterThroughProjectRule(const PlanPtr& plan);
+
+/// Filter conjuncts that only touch one side of an inner join move into
+/// that side (predicate pushdown step 2). Also splits the join's own
+/// condition into per-side filters plus the cross-side residue.
+PlanPtr PushFilterThroughJoinRule(const PlanPtr& plan);
+
+/// Filter conjuncts over grouping columns move below the Aggregate.
+PlanPtr PushFilterThroughAggregateRule(const PlanPtr& plan);
+
+/// Filter(true) disappears; Filter(false/null) becomes an empty relation.
+PlanPtr SimplifyFiltersRule(const PlanPtr& plan);
+
+/// The paper's DecimalAggregates rule (Section 4.3.2): SUM over a decimal
+/// with precision + 10 <= 18 becomes integer arithmetic on the unscaled
+/// value, rewrapped with MakeDecimal.
+PlanPtr DecimalAggregatesRule(const PlanPtr& plan);
+
+/// Moves filter conjuncts the data source can evaluate into the
+/// LogicalRelation (Section 4.4.1 pushdown). Exactness is guaranteed by
+/// the sources in this repo, so handled conjuncts leave the Filter.
+PlanPtr PushFiltersIntoRelationRule(const PlanPtr& plan);
+
+/// Narrows every LogicalRelation to the columns actually referenced
+/// anywhere above it (projection pruning).
+PlanPtr PruneColumnsRule(const PlanPtr& plan);
+
+/// Replaces attribute references with `mapping[expr_id]` (alias
+/// substitution helper shared by several rules; exposed for tests).
+ExprPtr SubstituteAttributes(
+    const ExprPtr& expr,
+    const std::unordered_map<ExprId, ExprPtr>& mapping);
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_OPTIMIZER_PLAN_RULES_H_

@@ -1,0 +1,102 @@
+#include "catalyst/planner/cost_model.h"
+
+#include "columnar/column_vector.h"
+#include "exec/scan_exec.h"
+
+namespace ssql {
+
+namespace {
+
+std::optional<uint64_t> EstimateImpl(const PlanPtr& plan, bool selectivity);
+
+std::optional<uint64_t> ApplyConjuncts(std::optional<uint64_t> base,
+                                       size_t num_conjuncts) {
+  if (!base) return base;
+  double scaled = static_cast<double>(*base);
+  for (size_t i = 0; i < num_conjuncts; ++i) {
+    scaled *= kDefaultFilterSelectivity;
+  }
+  return static_cast<uint64_t>(scaled);
+}
+
+}  // namespace
+
+std::optional<uint64_t> EstimatePlanSizeBytes(const PlanPtr& plan) {
+  return EstimateImpl(plan, /*selectivity=*/false);
+}
+
+std::optional<uint64_t> EstimatePlanSizeBytesWithSelectivity(const PlanPtr& plan) {
+  return EstimateImpl(plan, /*selectivity=*/true);
+}
+
+namespace {
+
+std::optional<uint64_t> EstimateImpl(const PlanPtr& plan, bool selectivity) {
+  if (const auto* rel = AsPlan<LogicalRelation>(plan)) {
+    std::optional<uint64_t> base = rel->source()->EstimatedSizeBytes();
+    if (!base) return std::nullopt;
+    // Scale by the fraction of columns read (pruning shrinks the scan).
+    size_t total = rel->full_output().size();
+    size_t required = rel->required_columns().size();
+    if (total == 0) return base;
+    uint64_t scaled = *base * std::max<size_t>(required, 1) / total;
+    if (selectivity) {
+      return ApplyConjuncts(scaled, rel->pushed_filters().size());
+    }
+    return scaled;
+  }
+  if (const auto* local = AsPlan<LocalRelation>(plan)) {
+    uint64_t per_row = kDefaultRowWidthBytes +
+                       8ull * std::max<size_t>(local->Output().size(), 1);
+    return local->rows().size() * per_row;
+  }
+  if (const auto* mem = AsPlan<InMemoryRelation>(plan)) {
+    return mem->table()->MemoryBytes();
+  }
+  if (const auto* limit = AsPlan<Limit>(plan)) {
+    uint64_t capped = static_cast<uint64_t>(limit->n()) * kDefaultRowWidthBytes;
+    auto child = EstimateImpl(limit->child(), selectivity);
+    if (child) return std::min(*child, capped);
+    return capped;
+  }
+  if (const auto* project = AsPlan<Project>(plan)) {
+    auto child = EstimateImpl(project->child(), selectivity);
+    if (!child) return std::nullopt;
+    size_t in_cols = std::max<size_t>(project->child()->Output().size(), 1);
+    size_t out_cols = std::max<size_t>(project->projections().size(), 1);
+    return *child * out_cols / in_cols;
+  }
+  if (const auto* filter = AsPlan<Filter>(plan)) {
+    auto child = EstimateImpl(filter->child(), selectivity);
+    if (!selectivity) return child;  // Spark 1.3 behaviour
+    return ApplyConjuncts(child, SplitConjuncts(filter->condition()).size());
+  }
+  if (const auto* sample = AsPlan<Sample>(plan)) {
+    auto child = EstimateImpl(sample->child(), selectivity);
+    if (!child) return std::nullopt;
+    return static_cast<uint64_t>(static_cast<double>(*child) * sample->fraction());
+  }
+  if (const auto* uni = AsPlan<Union>(plan)) {
+    uint64_t total = 0;
+    for (const auto& c : uni->Children()) {
+      auto child = EstimateImpl(c, selectivity);
+      if (!child) return std::nullopt;
+      total += *child;
+    }
+    return total;
+    (void)uni;
+  }
+  if (AsPlan<Join>(plan) != nullptr) {
+    // Join output size is unknown without cardinality statistics.
+    return std::nullopt;
+  }
+  // Sort / Distinct / Aggregate / SubqueryAlias: pass through the single
+  // child's estimate.
+  auto children = plan->Children();
+  if (children.size() == 1) return EstimateImpl(children[0], selectivity);
+  return std::nullopt;
+}
+
+}  // namespace
+
+}  // namespace ssql

@@ -1,0 +1,37 @@
+#ifndef SSQL_CATALYST_PLANNER_COST_MODEL_H_
+#define SSQL_CATALYST_PLANNER_COST_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// Size estimation for cost-based join selection (Section 4.3.3 and
+/// footnote 5: "table sizes are estimated if the table is cached in memory
+/// or comes from an external file, or if it is the result of a subquery
+/// with a LIMIT"). Costs are "estimated recursively for a whole tree using
+/// a rule": this function recurses over the logical plan, returning
+/// nullopt where nothing is known — mirroring Spark 1.3, a Filter does not
+/// shrink its child's estimate, which is exactly why the paper's query 3a
+/// misses the better join plan Impala finds.
+std::optional<uint64_t> EstimatePlanSizeBytes(const PlanPtr& plan);
+
+/// The future-work variant (Section 4.3.3: "we thus intend to implement
+/// richer cost-based optimization in the future"): like
+/// EstimatePlanSizeBytes, but each filter conjunct — pushed into a source
+/// or sitting in a Filter operator — multiplies the estimate by a default
+/// selectivity. With this, the paper's query 3a picks the broadcast join
+/// Impala found. Enabled by EngineConfig::cbo_filter_selectivity.
+std::optional<uint64_t> EstimatePlanSizeBytesWithSelectivity(const PlanPtr& plan);
+
+/// Per-conjunct selectivity guess used by the CBO variant.
+constexpr double kDefaultFilterSelectivity = 0.25;
+
+/// Average width guess used when converting row counts to bytes.
+constexpr uint64_t kDefaultRowWidthBytes = 64;
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_PLANNER_COST_MODEL_H_

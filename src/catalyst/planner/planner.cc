@@ -1,0 +1,269 @@
+#include "catalyst/planner/planner.h"
+
+#include "catalyst/expr/predicates.h"
+#include "catalyst/planner/cost_model.h"
+#include "exec/aggregate_exec.h"
+#include "exec/exchange_exec.h"
+#include "exec/interval_join_exec.h"
+#include "exec/join_exec.h"
+#include "exec/scan_exec.h"
+#include "exec/sort_limit_exec.h"
+
+namespace ssql {
+
+namespace {
+
+/// A detected range-overlap pattern (Section 7.2).
+struct RangeJoinPattern {
+  bool interval_on_left;
+  ExprPtr start;
+  ExprPtr end;
+  ExprPtr point;
+  ExprVector residual;
+};
+
+/// Normalizes a conjunct to a strict "a < b" pair, if it is one.
+bool AsLessThan(const ExprPtr& c, ExprPtr* a, ExprPtr* b) {
+  if (const auto* lt = As<LessThan>(c)) {
+    *a = lt->left();
+    *b = lt->right();
+    return true;
+  }
+  if (const auto* gt = As<GreaterThan>(c)) {
+    *a = gt->right();
+    *b = gt->left();
+    return true;
+  }
+  return false;
+}
+
+std::optional<RangeJoinPattern> DetectRangeJoin(const ExprVector& conjuncts,
+                                                const AttributeVector& left_out,
+                                                const AttributeVector& right_out) {
+  // Look for X < Y and Y < Z where {X, Z} reference one side only and Y
+  // references the other side only.
+  struct Less {
+    ExprPtr a;
+    ExprPtr b;
+    size_t index;
+  };
+  std::vector<Less> lesses;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    ExprPtr a, b;
+    if (AsLessThan(conjuncts[i], &a, &b)) lesses.push_back({a, b, i});
+  }
+  auto side_of = [&](const ExprPtr& e) -> int {
+    // 0 = left only, 1 = right only, -1 = mixed/neither.
+    bool l = ReferencesSubsetOf(e, left_out);
+    bool r = ReferencesSubsetOf(e, right_out);
+    AttributeVector refs;
+    CollectReferences(e, &refs);
+    if (refs.empty()) return -1;
+    if (l && !r) return 0;
+    if (r && !l) return 1;
+    return -1;
+  };
+  for (const Less& first : lesses) {
+    for (const Less& second : lesses) {
+      if (first.index == second.index) continue;
+      // first: X < Y, second: Y' < Z with Y == Y'.
+      if (!first.b->Equals(*second.a)) continue;
+      int sx = side_of(first.a);
+      int sy = side_of(first.b);
+      int sz = side_of(second.b);
+      if (sx < 0 || sy < 0 || sz < 0) continue;
+      if (sx != sz || sx == sy) continue;
+      RangeJoinPattern p;
+      p.interval_on_left = sx == 0;
+      p.start = first.a;
+      p.end = second.b;
+      p.point = first.b;
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (i != first.index && i != second.index) {
+          p.residual.push_back(conjuncts[i]);
+        }
+      }
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+PhysPtr PhysicalPlanner::Plan(const PlanPtr& logical) const {
+  return PlanNode(logical);
+}
+
+PhysPtr PhysicalPlanner::PlanNode(const PlanPtr& plan) const {
+  if (const auto* local = AsPlan<LocalRelation>(plan)) {
+    return std::make_shared<LocalTableScanExec>(local->Output(),
+                                                local->shared_rows());
+  }
+  if (const auto* rel = AsPlan<LogicalRelation>(plan)) {
+    return std::make_shared<DataSourceScanExec>(
+        rel->source(), rel->full_output(), rel->required_columns(),
+        rel->pushed_filters());
+  }
+  if (const auto* mem = AsPlan<InMemoryRelation>(plan)) {
+    std::vector<int> columns;
+    for (size_t i = 0; i < mem->Output().size(); ++i) {
+      columns.push_back(static_cast<int>(i));
+    }
+    return std::make_shared<CachedScanExec>(mem->Output(), std::move(columns),
+                                            mem->table());
+  }
+  if (const auto* project = AsPlan<Project>(plan)) {
+    // Fuse Project(Filter(x)) into one pipelined operator when enabled.
+    if (config_.operator_fusion_enabled) {
+      if (const auto* filter = AsPlan<Filter>(project->child())) {
+        return std::make_shared<ProjectFilterExec>(project->projections(),
+                                                   filter->condition(),
+                                                   PlanNode(filter->child()));
+      }
+    }
+    return std::make_shared<ProjectFilterExec>(project->projections(), nullptr,
+                                               PlanNode(project->child()));
+  }
+  if (const auto* filter = AsPlan<Filter>(plan)) {
+    return std::make_shared<ProjectFilterExec>(std::vector<NamedExprPtr>{},
+                                               filter->condition(),
+                                               PlanNode(filter->child()));
+  }
+  if (const auto* agg = AsPlan<Aggregate>(plan)) {
+    return PlanAggregate(*agg);
+  }
+  if (const auto* join = AsPlan<Join>(plan)) {
+    return PlanJoin(*join);
+  }
+  if (const auto* sort = AsPlan<Sort>(plan)) {
+    return std::make_shared<SortExec>(sort->orders(), PlanNode(sort->child()));
+  }
+  if (const auto* limit = AsPlan<Limit>(plan)) {
+    return std::make_shared<LimitExec>(limit->n(), PlanNode(limit->child()));
+  }
+  if (const auto* distinct = AsPlan<Distinct>(plan)) {
+    // DISTINCT is an aggregation over all output columns.
+    ExprVector groupings;
+    std::vector<NamedExprPtr> aggregates;
+    for (const auto& attr : distinct->child()->Output()) {
+      groupings.push_back(attr);
+      aggregates.push_back(attr);
+    }
+    Aggregate agg(std::move(groupings), std::move(aggregates), distinct->child());
+    return PlanAggregate(agg);
+  }
+  if (const auto* uni = AsPlan<Union>(plan)) {
+    std::vector<PhysPtr> children;
+    for (const auto& c : uni->Children()) children.push_back(PlanNode(c));
+    return std::make_shared<UnionExec>(std::move(children));
+  }
+  if (const auto* sample = AsPlan<Sample>(plan)) {
+    return std::make_shared<SampleExec>(sample->fraction(), sample->seed(),
+                                        PlanNode(sample->child()));
+  }
+  if (const auto* alias = AsPlan<SubqueryAlias>(plan)) {
+    return PlanNode(alias->child());
+  }
+  throw ExecutionError("no physical strategy for logical node " +
+                       plan->NodeName());
+}
+
+PhysPtr PhysicalPlanner::PlanAggregate(const Aggregate& agg) const {
+  PhysPtr child = PlanNode(agg.child());
+  auto partial = std::make_shared<HashAggregateExec>(
+      agg.groupings(), agg.aggregates(), AggregateMode::kPartial, child);
+  PhysPtr shuffled;
+  if (agg.groupings().empty()) {
+    shuffled = std::make_shared<CoalesceExec>(partial);
+  } else {
+    ExprVector keys;
+    for (size_t i = 0; i < agg.groupings().size(); ++i) {
+      keys.push_back(partial->partial_output()[i]);
+    }
+    shuffled = std::make_shared<ExchangeExec>(
+        std::move(keys), config_.default_parallelism, partial);
+  }
+  return std::make_shared<HashAggregateExec>(
+      agg.groupings(), agg.aggregates(), AggregateMode::kFinal, shuffled);
+}
+
+PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
+  PhysPtr left = PlanNode(join.left());
+  PhysPtr right = PlanNode(join.right());
+  AttributeVector left_out = join.left()->Output();
+  AttributeVector right_out = join.right()->Output();
+
+  ExprVector conjuncts = SplitConjuncts(join.condition());
+
+  // Section 7.2: interval-tree range join for overlap patterns.
+  if (config_.range_join_enabled && join.join_type() == JoinType::kInner) {
+    auto range = DetectRangeJoin(conjuncts, left_out, right_out);
+    if (range.has_value()) {
+      AttributeVector interval_attrs =
+          range->interval_on_left ? left_out : right_out;
+      return std::make_shared<IntervalJoinExec>(
+          left, right, range->interval_on_left, range->start, range->end,
+          range->point, CombineConjuncts(range->residual));
+    }
+  }
+
+  // Split conjuncts into equi pairs and the residual.
+  ExprVector left_keys, right_keys, residual;
+  for (const auto& c : conjuncts) {
+    const auto* eq = As<EqualTo>(c);
+    if (eq != nullptr) {
+      if (ReferencesSubsetOf(eq->left(), left_out) &&
+          ReferencesSubsetOf(eq->right(), right_out)) {
+        left_keys.push_back(eq->left());
+        right_keys.push_back(eq->right());
+        continue;
+      }
+      if (ReferencesSubsetOf(eq->left(), right_out) &&
+          ReferencesSubsetOf(eq->right(), left_out)) {
+        left_keys.push_back(eq->right());
+        right_keys.push_back(eq->left());
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  ExprPtr residual_cond = CombineConjuncts(residual);
+
+  if (left_keys.empty()) {
+    return std::make_shared<NestedLoopJoinExec>(left, right, join.join_type(),
+                                                residual_cond);
+  }
+
+  // Cost-based choice (Section 4.3.3): broadcast when the build side is
+  // known to be small.
+  if (config_.join_selection_enabled) {
+    bool broadcastable_type = join.join_type() == JoinType::kInner ||
+                              join.join_type() == JoinType::kLeftOuter ||
+                              join.join_type() == JoinType::kLeftSemi ||
+                              join.join_type() == JoinType::kLeftAnti ||
+                              join.join_type() == JoinType::kCross;
+    std::optional<uint64_t> right_size =
+        config_.cbo_filter_selectivity
+            ? EstimatePlanSizeBytesWithSelectivity(join.right())
+            : EstimatePlanSizeBytes(join.right());
+    if (broadcastable_type && right_size &&
+        *right_size <= config_.broadcast_threshold_bytes) {
+      return std::make_shared<BroadcastHashJoinExec>(
+          left, right, std::move(left_keys), std::move(right_keys),
+          join.join_type(), residual_cond);
+    }
+    if (config_.prefer_sort_merge_join &&
+        join.join_type() == JoinType::kInner) {
+      return std::make_shared<SortMergeJoinExec>(
+          left, right, std::move(left_keys), std::move(right_keys),
+          join.join_type(), residual_cond);
+    }
+  }
+
+  return std::make_shared<ShuffleHashJoinExec>(left, right, std::move(left_keys),
+                                               std::move(right_keys),
+                                               join.join_type(), residual_cond);
+}
+
+}  // namespace ssql

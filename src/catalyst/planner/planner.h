@@ -1,0 +1,36 @@
+#ifndef SSQL_CATALYST_PLANNER_PLANNER_H_
+#define SSQL_CATALYST_PLANNER_PLANNER_H_
+
+#include "catalyst/plan/logical_plan.h"
+#include "engine/exec_context.h"
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+/// The physical planning phase (Section 4.3.3): converts an optimized
+/// logical plan into physical operators matching the execution engine.
+/// Join selection is cost-based — relations estimated below the broadcast
+/// threshold get a broadcast hash join; the Section 7.2 rule plans an
+/// interval-tree join for range-overlap predicates; everything else is
+/// rule-based, including the fusion of adjacent projections/filters into
+/// one operator ("pipelining projections or filters into one Spark map
+/// operation").
+class PhysicalPlanner {
+ public:
+  explicit PhysicalPlanner(const EngineConfig& config) : config_(config) {}
+
+  /// Plans an optimized, resolved logical plan. Throws on unsupported
+  /// shapes (e.g. full outer non-equi joins).
+  PhysPtr Plan(const PlanPtr& logical) const;
+
+ private:
+  PhysPtr PlanNode(const PlanPtr& plan) const;
+  PhysPtr PlanJoin(const Join& join) const;
+  PhysPtr PlanAggregate(const Aggregate& agg) const;
+
+  EngineConfig config_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_PLANNER_PLANNER_H_

@@ -1,0 +1,38 @@
+#include "catalyst/tree/rule_executor.h"
+
+#include "util/status.h"
+
+namespace ssql {
+
+PlanPtr RuleExecutor::Execute(const PlanPtr& plan,
+                              std::vector<TraceEntry>* trace) const {
+  PlanPtr current = plan;
+  for (const RuleBatch& batch : batches_) {
+    int iteration = 0;
+    while (iteration < batch.max_iterations) {
+      ++iteration;
+      std::string before = current->TreeString();
+      for (const PlanRule& rule : batch.rules) {
+        std::string rule_before = current->TreeString();
+        PlanPtr next = rule.apply(current);
+        if (next && next.get() != current.get()) {
+          if (trace != nullptr && next->TreeString() != rule_before) {
+            trace->push_back({batch.name, rule.name, iteration});
+          }
+          current = std::move(next);
+        }
+      }
+      // Fixed point: the whole batch produced no textual change.
+      if (current->TreeString() == before) break;
+      if (iteration == batch.max_iterations && batch.max_iterations > 1) {
+        // Hitting the cap usually signals a rule that oscillates; the tree
+        // is still valid, so proceed, but this is a bug worth surfacing in
+        // debug builds.
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace ssql

@@ -1,0 +1,59 @@
+#ifndef SSQL_CATALYST_TREE_RULE_EXECUTOR_H_
+#define SSQL_CATALYST_TREE_RULE_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// A whole-plan rewrite rule — Catalyst's Rule[LogicalPlan] (Section 4.2).
+/// Rules return a new plan (or the input unchanged); most are written as a
+/// TransformUp/TransformDown with pattern-matching lambdas.
+struct PlanRule {
+  std::string name;
+  std::function<PlanPtr(const PlanPtr&)> apply;
+};
+
+/// A named group of rules executed together. `max_iterations == 1` is
+/// Catalyst's Once strategy; larger values run the batch repeatedly until
+/// the tree reaches a fixed point or the iteration cap (Section 4.2,
+/// "Catalyst groups rules into batches, and executes each batch until it
+/// reaches a fixed point").
+struct RuleBatch {
+  std::string name;
+  int max_iterations;
+  std::vector<PlanRule> rules;
+};
+
+/// Runs batches of rules over logical plans. Optionally records a trace of
+/// effective rule applications, which tests use to assert optimizer
+/// behaviour and which powers EXPLAIN-style debugging.
+class RuleExecutor {
+ public:
+  explicit RuleExecutor(std::vector<RuleBatch> batches)
+      : batches_(std::move(batches)) {}
+
+  struct TraceEntry {
+    std::string batch;
+    std::string rule;
+    int iteration;
+  };
+
+  /// Applies all batches in order; returns the rewritten plan. If `trace`
+  /// is non-null, appends one entry per rule application that changed the
+  /// plan.
+  PlanPtr Execute(const PlanPtr& plan,
+                  std::vector<TraceEntry>* trace = nullptr) const;
+
+  const std::vector<RuleBatch>& batches() const { return batches_; }
+
+ private:
+  std::vector<RuleBatch> batches_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_TREE_RULE_EXECUTOR_H_

@@ -1,0 +1,67 @@
+#ifndef SSQL_COLUMNAR_COLUMN_VECTOR_H_
+#define SSQL_COLUMNAR_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace ssql {
+
+/// A decoded, typed column of values — the unit the in-memory columnar
+/// cache (Section 3.6) and the colf file format exchange. Atomic types are
+/// stored unboxed (int64/double/string banks); complex types fall back to
+/// boxed Values.
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataTypePtr type);
+
+  const DataTypePtr& type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void Append(const Value& v);
+  void Reserve(size_t n);
+
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+  /// Boxes the value at `i` (null-aware).
+  Value GetValue(size_t i) const;
+
+  // Unboxed accessors for hot paths; undefined when null.
+  int64_t GetInt64(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+
+  /// Approximate in-memory footprint in bytes (used by the columnar-cache
+  /// vs row-cache comparison).
+  size_t MemoryBytes() const;
+
+  // Raw banks, used by the encoder.
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<Value>& boxed() const { return boxed_; }
+
+ private:
+  enum class Bank : uint8_t { kInt, kDouble, kString, kBoxed };
+  static Bank BankFor(const DataType& t);
+
+  DataTypePtr type_;
+  Bank bank_;
+  size_t size_ = 0;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> boxed_;
+};
+
+/// Rough per-row footprint of a boxed Row representation with this schema
+/// (what Spark's "native cache as JVM objects" corresponds to here).
+size_t EstimateBoxedRowBytes(const StructType& schema);
+
+}  // namespace ssql
+
+#endif  // SSQL_COLUMNAR_COLUMN_VECTOR_H_

@@ -1,0 +1,54 @@
+#ifndef SSQL_DATASOURCES_COLF_FORMAT_H_
+#define SSQL_DATASOURCES_COLF_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/encoding.h"
+#include "datasources/data_source.h"
+
+namespace ssql {
+
+/// "colf" — a columnar binary file format playing Parquet's role from the
+/// paper (Section 4.4.1: "a columnar file format for which we support
+/// column pruning as well as filters"). Layout:
+///
+///   magic "COLF1"
+///   schema string (length-prefixed, "name type, ...")
+///   u32 row-group count
+///   per row group: u32 row count, then one serialized EncodedColumn per
+///   field (dictionary/RLE/plain chosen per chunk, with min/max zone maps)
+///
+/// Scans prune columns (only requested columns are decoded) and use the
+/// zone maps to skip whole row groups that cannot match the pushed
+/// filters; surviving rows are then filtered exactly.
+class ColfRelation : public BaseRelation, public PrunedFilteredScan {
+ public:
+  ColfRelation(std::string path, SchemaPtr schema);
+
+  static std::shared_ptr<ColfRelation> Open(const DataSourceOptions& options);
+
+  std::string name() const override { return "colf:" + path_; }
+  SchemaPtr schema() const override { return schema_; }
+  std::optional<uint64_t> EstimatedSizeBytes() const override;
+
+  std::vector<Row> ScanFiltered(
+      ExecContext& ctx, const std::vector<int>& columns,
+      const std::vector<FilterSpec>& filters) const override;
+
+ private:
+  std::string path_;
+  SchemaPtr schema_;
+};
+
+/// Writes rows into a colf file with `row_group_size` rows per group.
+void WriteColfFile(const std::string& path, const SchemaPtr& schema,
+                   const std::vector<Row>& rows, size_t row_group_size = 4096);
+
+/// Reads just the schema from a colf file header.
+SchemaPtr ReadColfSchema(const std::string& path);
+
+}  // namespace ssql
+
+#endif  // SSQL_DATASOURCES_COLF_FORMAT_H_

@@ -1,0 +1,201 @@
+#include "datasources/csv_source.h"
+
+#include <fstream>
+#include <sys/stat.h>
+
+#include "catalyst/expr/cast.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter) {
+  // Simple unquoted CSV; adequate for machine-generated data.
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(delimiter, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// Narrowest type among int64 -> double -> date -> string matching `cell`.
+DataTypePtr InferCellType(const std::string& cell) {
+  int64_t i;
+  if (ParseInt64(cell, &i)) return DataType::Int64();
+  double d;
+  if (ParseDouble(cell, &d)) return DataType::Double();
+  DateValue date;
+  if (ParseDate(cell, &date)) return DataType::Date();
+  return DataType::String();
+}
+
+/// Most specific supertype for CSV column inference.
+DataTypePtr MergeCellTypes(const DataTypePtr& a, const DataTypePtr& b) {
+  if (a->Equals(*b)) return a;
+  if (a->id() == TypeId::kNull) return b;
+  if (b->id() == TypeId::kNull) return a;
+  if (a->IsNumeric() && b->IsNumeric()) return DataType::Double();
+  return DataType::String();
+}
+
+Value ParseCell(const std::string& cell, const DataType& type) {
+  if (cell.empty()) return Value::Null();
+  return Cast::Convert(Value(cell), type);
+}
+
+}  // namespace
+
+CsvRelation::CsvRelation(std::string path, SchemaPtr schema, bool header,
+                         char delimiter)
+    : path_(std::move(path)),
+      schema_(std::move(schema)),
+      header_(header),
+      delimiter_(delimiter) {}
+
+std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options) {
+  auto path_it = options.find("path");
+  if (path_it == options.end()) {
+    throw IoError("csv data source requires a 'path' option");
+  }
+  const std::string& path = path_it->second;
+  bool header = true;
+  if (auto it = options.find("header"); it != options.end()) {
+    header = EqualsIgnoreCase(it->second, "true");
+  }
+  char delimiter = ',';
+  if (auto it = options.find("delimiter"); it != options.end()) {
+    if (!it->second.empty()) delimiter = it->second[0];
+  }
+
+  std::ifstream in(path);
+  if (!in.good()) throw IoError("cannot open CSV file: " + path);
+
+  SchemaPtr schema;
+  if (auto it = options.find("schema"); it != options.end()) {
+    schema = ParseSchemaString(it->second);
+  } else {
+    // Infer from a sample of up to 100 data lines.
+    std::string line;
+    std::vector<std::string> names;
+    std::vector<DataTypePtr> types;
+    bool first = true;
+    int sampled = 0;
+    while (std::getline(in, line) && sampled < 100) {
+      if (line.empty()) continue;
+      auto cells = SplitCsvLine(line, delimiter);
+      if (first) {
+        first = false;
+        if (header) {
+          for (const auto& c : cells) names.push_back(std::string(Trim(c)));
+          continue;
+        }
+        for (size_t i = 0; i < cells.size(); ++i) {
+          names.push_back("_c" + std::to_string(i));
+        }
+      }
+      ++sampled;
+      for (size_t i = 0; i < cells.size() && i < names.size(); ++i) {
+        DataTypePtr t =
+            cells[i].empty() ? DataType::Null() : InferCellType(cells[i]);
+        if (types.size() <= i) {
+          types.resize(names.size(), DataType::Null());
+        }
+        types[i] = MergeCellTypes(types[i], t);
+      }
+    }
+    if (names.empty()) throw IoError("empty CSV file: " + path);
+    types.resize(names.size(), DataType::String());
+    std::vector<Field> fields;
+    for (size_t i = 0; i < names.size(); ++i) {
+      DataTypePtr t =
+          types[i]->id() == TypeId::kNull ? DataType::String() : types[i];
+      fields.emplace_back(names[i], t);
+    }
+    schema = StructType::Make(std::move(fields));
+  }
+
+  return std::make_shared<CsvRelation>(path, std::move(schema), header,
+                                       delimiter);
+}
+
+std::optional<uint64_t> CsvRelation::EstimatedSizeBytes() const {
+  struct stat st;
+  if (stat(path_.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+std::vector<Row> CsvRelation::ScanAll(ExecContext& ctx) const {
+  std::ifstream in(path_);
+  if (!in.good()) throw IoError("cannot open CSV file: " + path_);
+  std::vector<Row> rows;
+  std::string line;
+  bool skip_header = header_;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    auto cells = SplitCsvLine(line, delimiter_);
+    Row row;
+    row.Reserve(schema_->num_fields());
+    for (size_t i = 0; i < schema_->num_fields(); ++i) {
+      if (i < cells.size()) {
+        row.Append(ParseCell(cells[i], *schema_->field(i).type));
+      } else {
+        row.Append(Value::Null());
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  ctx.metrics().Add("source.rows_scanned", static_cast<int64_t>(rows.size()));
+  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(rows.size()));
+  return rows;
+}
+
+void CsvRelation::Write(const std::string& path, const SchemaPtr& schema,
+                        const std::vector<Row>& rows, char delimiter) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) throw IoError("cannot open CSV file for write: " + path);
+  for (size_t i = 0; i < schema->num_fields(); ++i) {
+    if (i > 0) out << delimiter;
+    out << schema->field(i).name;
+  }
+  out << "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << delimiter;
+      if (!row.IsNullAt(i)) out << row.Get(i).ToString();
+    }
+    out << "\n";
+  }
+}
+
+void RegisterCsvSource(DataSourceRegistry& registry) {
+  registry.Register("csv", [](const DataSourceOptions& options) {
+    return CsvRelation::Open(options);
+  });
+  registry.RegisterWriter(
+      "csv", [](const DataSourceOptions& options, const SchemaPtr& schema,
+                const std::vector<Row>& rows) {
+        auto it = options.find("path");
+        if (it == options.end()) {
+          throw IoError("csv writer requires a 'path' option");
+        }
+        char delimiter = ',';
+        if (auto d = options.find("delimiter"); d != options.end()) {
+          if (!d->second.empty()) delimiter = d->second[0];
+        }
+        CsvRelation::Write(it->second, schema, rows, delimiter);
+      });
+}
+
+}  // namespace ssql

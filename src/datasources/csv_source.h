@@ -1,0 +1,49 @@
+#ifndef SSQL_DATASOURCES_CSV_SOURCE_H_
+#define SSQL_DATASOURCES_CSV_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasources/data_source.h"
+
+namespace ssql {
+
+/// CSV data source (Section 4.4.1's example list: "CSV files, which simply
+/// scan the whole file, but allow users to specify a schema").
+///
+/// OPTIONS:
+///   path    (required) file to read
+///   schema  (optional) "name type, ..." — if absent, all columns are
+///           inferred by trying int -> double -> date -> string over a
+///           sample of the file; header names are used when header=true
+///   header  (optional, "true"/"false", default true)
+///   delimiter (optional, single char, default ',')
+class CsvRelation : public BaseRelation, public TableScan {
+ public:
+  CsvRelation(std::string path, SchemaPtr schema, bool header, char delimiter);
+
+  /// Reads the file header/sample to build a relation. Throws IoError.
+  static std::shared_ptr<CsvRelation> Open(const DataSourceOptions& options);
+
+  std::string name() const override { return "csv:" + path_; }
+  SchemaPtr schema() const override { return schema_; }
+  std::optional<uint64_t> EstimatedSizeBytes() const override;
+
+  std::vector<Row> ScanAll(ExecContext& ctx) const override;
+
+  /// Writes rows as CSV (used by tests/benches to create inputs and by
+  /// Figure 10's materialization step).
+  static void Write(const std::string& path, const SchemaPtr& schema,
+                    const std::vector<Row>& rows, char delimiter = ',');
+
+ private:
+  std::string path_;
+  SchemaPtr schema_;
+  bool header_;
+  char delimiter_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_DATASOURCES_CSV_SOURCE_H_

@@ -1,0 +1,347 @@
+#include "datasources/json_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssql {
+
+const JsonValue* JsonValue::Find(const std::string& name) const {
+  for (const auto& [k, v] : members) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::ToString() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return b ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(i);
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case Kind::kString:
+      return "\"" + s + "\"";
+    case Kind::kArray: {
+      std::string out = "[";
+      for (size_t idx = 0; idx < elements.size(); ++idx) {
+        if (idx > 0) out += ",";
+        out += elements[idx].ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kObject: {
+      std::string out = "{";
+      for (size_t idx = 0; idx < members.size(); ++idx) {
+        if (idx > 0) out += ",";
+        out += "\"" + members[idx].first + "\":" + members[idx].second.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "";
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after JSON value");
+    return v;
+  }
+
+  JsonValue ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.s = ParseString();
+        return v;
+      }
+      case 't':
+        Expect("true");
+        return MakeBool(true);
+      case 'f':
+        Expect("false");
+        return MakeBool(false);
+      case 'n':
+        Expect("null");
+        return JsonValue{};
+      default:
+        return ParseNumber();
+    }
+  }
+
+ private:
+  static JsonValue MakeBool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.b = b;
+    return v;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError("JSON parse error at offset " + std::to_string(pos_) +
+                     ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Expect(const char* word) {
+    size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) Fail(std::string("expected ") + word);
+    pos_ += n;
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') Fail("expected member name");
+      std::string key = ParseString();
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') Fail("expected ':'");
+      ++pos_;
+      v.members.emplace_back(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (pos_ >= text_.size()) Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.elements.push_back(ParseValue());
+      SkipWhitespace();
+      if (pos_ >= text_.size()) Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) Fail("bad escape");
+        char esc = text_[pos_];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              char h = text_[pos_ + k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                code |= h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                code |= h - 'A' + 10;
+              } else {
+                Fail("bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            Fail("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    Fail("unterminated string");
+  }
+
+  JsonValue ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only valid inside exponents, but we are lenient.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) Fail("invalid number");
+    std::string token = text_.substr(start, pos_ - start);
+    JsonValue v;
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        v.kind = JsonValue::Kind::kInt;
+        v.i = parsed;
+        return v;
+      }
+    }
+    v.kind = JsonValue::Kind::kDouble;
+    v.d = std::strtod(token.c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue ParseJson(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+std::vector<JsonValue> ParseJsonLines(const std::string& text) {
+  std::vector<JsonValue> out;
+  // Whole-document array?
+  size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '[') {
+    JsonValue doc = ParseJson(text);
+    out = std::move(doc.elements);
+    return out;
+  }
+  // Newline-delimited objects; objects may span lines, so scan with a
+  // depth counter instead of splitting on '\n'.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    size_t start = pos;
+    int depth = 0;
+    bool in_string = false;
+    for (; pos < text.size(); ++pos) {
+      char c = text[pos];
+      if (in_string) {
+        if (c == '\\') {
+          ++pos;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+        if (depth == 0) {
+          ++pos;
+          break;
+        }
+      }
+    }
+    out.push_back(ParseJson(text.substr(start, pos - start)));
+  }
+  return out;
+}
+
+}  // namespace ssql

@@ -1,0 +1,43 @@
+#ifndef SSQL_DATASOURCES_JSON_PARSER_H_
+#define SSQL_DATASOURCES_JSON_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssql {
+
+/// A parsed JSON document node. Objects keep member order, which the
+/// schema-inference algorithm of Section 5.1 uses for stable field order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<JsonValue> elements;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     // kObject
+
+  /// Looks up an object member; nullptr if absent.
+  const JsonValue* Find(const std::string& name) const;
+
+  std::string ToString() const;
+};
+
+/// Recursive-descent JSON parser (RFC 8259 subset: no surrogate-pair
+/// validation). Throws ParseError on malformed input.
+JsonValue ParseJson(const std::string& text);
+
+/// Parses a stream of newline-delimited JSON objects, skipping blank
+/// lines; also accepts a single top-level array. (The layout of the JSON
+/// data source's input files.)
+std::vector<JsonValue> ParseJsonLines(const std::string& text);
+
+}  // namespace ssql
+
+#endif  // SSQL_DATASOURCES_JSON_PARSER_H_

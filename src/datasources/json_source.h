@@ -1,0 +1,43 @@
+#ifndef SSQL_DATASOURCES_JSON_SOURCE_H_
+#define SSQL_DATASOURCES_JSON_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasources/data_source.h"
+#include "datasources/schema_inference.h"
+
+namespace ssql {
+
+/// JSON data source with automatic schema inference (Section 5.1): "users
+/// can simply register a JSON file as a table and query it with syntax that
+/// accesses fields by their path".
+///
+/// OPTIONS:
+///   path           (required) newline-delimited JSON objects (or one array)
+///   samplingRatio  (optional) fraction of records used for inference
+class JsonRelation : public BaseRelation, public TableScan {
+ public:
+  JsonRelation(std::string path, SchemaPtr schema,
+               std::shared_ptr<const std::vector<JsonValue>> records);
+
+  /// Reads and parses the file, infers the schema. Throws IoError /
+  /// ParseError.
+  static std::shared_ptr<JsonRelation> Open(const DataSourceOptions& options);
+
+  std::string name() const override { return "json:" + path_; }
+  SchemaPtr schema() const override { return schema_; }
+  std::optional<uint64_t> EstimatedSizeBytes() const override;
+
+  std::vector<Row> ScanAll(ExecContext& ctx) const override;
+
+ private:
+  std::string path_;
+  SchemaPtr schema_;
+  std::shared_ptr<const std::vector<JsonValue>> records_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_DATASOURCES_JSON_SOURCE_H_

@@ -1,0 +1,343 @@
+#include "datasources/schema_inference.h"
+
+#include <functional>
+#include <limits>
+
+namespace ssql {
+
+DataTypePtr InferJsonType(const JsonValue& value, bool* is_null) {
+  *is_null = false;
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      *is_null = true;
+      return DataType::Null();
+    case JsonValue::Kind::kBool:
+      return DataType::Boolean();
+    case JsonValue::Kind::kInt:
+      // "if all occurrences of that field are integers that fit into 32
+      // bits, it will infer INT; if they are larger, it will use LONG".
+      if (value.i >= std::numeric_limits<int32_t>::min() &&
+          value.i <= std::numeric_limits<int32_t>::max()) {
+        return DataType::Int32();
+      }
+      return DataType::Int64();
+    case JsonValue::Kind::kDouble:
+      return DataType::Double();
+    case JsonValue::Kind::kString:
+      return DataType::String();
+    case JsonValue::Kind::kArray: {
+      DataTypePtr element = DataType::Null();
+      bool contains_null = false;
+      for (const auto& e : value.elements) {
+        bool element_null = false;
+        DataTypePtr t = InferJsonType(e, &element_null);
+        contains_null = contains_null || element_null;
+        element = MostSpecificSupertype(element, t);
+      }
+      return ArrayType::Make(std::move(element), contains_null);
+    }
+    case JsonValue::Kind::kObject: {
+      std::vector<Field> fields;
+      fields.reserve(value.members.size());
+      for (const auto& [name, member] : value.members) {
+        bool member_null = false;
+        DataTypePtr t = InferJsonType(member, &member_null);
+        fields.emplace_back(name, std::move(t), member_null);
+      }
+      return StructType::Make(std::move(fields));
+    }
+  }
+  return DataType::Null();
+}
+
+namespace {
+
+int NumRank(TypeId id) {
+  switch (id) {
+    case TypeId::kInt32:
+      return 1;
+    case TypeId::kInt64:
+      return 2;
+    case TypeId::kDouble:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+DataTypePtr MostSpecificSupertype(const DataTypePtr& a, const DataTypePtr& b) {
+  if (a->id() == TypeId::kNull) return b;
+  if (b->id() == TypeId::kNull) return a;
+  if (a->Equals(*b)) return a;
+
+  int ra = NumRank(a->id());
+  int rb = NumRank(b->id());
+  if (ra > 0 && rb > 0) return ra >= rb ? a : b;
+
+  if (a->id() == TypeId::kArray && b->id() == TypeId::kArray) {
+    const auto& aa = AsArray(*a);
+    const auto& ab = AsArray(*b);
+    return ArrayType::Make(
+        MostSpecificSupertype(aa.element_type(), ab.element_type()),
+        aa.contains_null() || ab.contains_null());
+  }
+
+  if (a->id() == TypeId::kStruct && b->id() == TypeId::kStruct) {
+    return MergeSchemas(
+        std::static_pointer_cast<const StructType>(a),
+        std::static_pointer_cast<const StructType>(b));
+  }
+
+  // "For fields that display multiple types, Spark SQL uses STRING as the
+  // most generic type, preserving the original JSON representation."
+  return DataType::String();
+}
+
+SchemaPtr MergeSchemas(const SchemaPtr& a, const SchemaPtr& b) {
+  std::vector<Field> merged;
+  merged.reserve(a->num_fields());
+  // Fields of `a`, merged with the matching field of `b` when present.
+  for (const Field& fa : a->fields()) {
+    int j = b->FieldIndex(fa.name);
+    if (j < 0) {
+      // Missing from some record -> nullable.
+      merged.emplace_back(fa.name, fa.type, true);
+    } else {
+      const Field& fb = b->field(j);
+      merged.emplace_back(fa.name, MostSpecificSupertype(fa.type, fb.type),
+                          fa.nullable || fb.nullable);
+    }
+  }
+  // Fields only in `b`, appended in order.
+  for (const Field& fb : b->fields()) {
+    if (a->FieldIndex(fb.name) < 0) {
+      merged.emplace_back(fb.name, fb.type, true);
+    }
+  }
+  return StructType::Make(std::move(merged));
+}
+
+SchemaPtr InferRecordSchema(const JsonValue& record) {
+  bool unused = false;
+  DataTypePtr t = InferJsonType(record, &unused);
+  if (t->id() == TypeId::kStruct) {
+    return std::static_pointer_cast<const StructType>(t);
+  }
+  // Non-object records become a single "value" column.
+  return StructType::Make({Field("value", t, unused)});
+}
+
+SchemaPtr InferSchema(const std::vector<JsonValue>& records) {
+  SchemaPtr schema;
+  for (const auto& r : records) {
+    SchemaPtr record_schema = InferRecordSchema(r);
+    schema = schema ? MergeSchemas(schema, record_schema) : record_schema;
+  }
+  if (!schema) schema = StructType::Make({});
+  // Replace any still-unknown (all-null) field types with STRING so the
+  // result is always executable.
+  std::vector<Field> fields;
+  fields.reserve(schema->num_fields());
+  std::function<DataTypePtr(const DataTypePtr&)> finalize =
+      [&](const DataTypePtr& t) -> DataTypePtr {
+    switch (t->id()) {
+      case TypeId::kNull:
+        return DataType::String();
+      case TypeId::kArray: {
+        const auto& at = AsArray(*t);
+        return ArrayType::Make(finalize(at.element_type()), at.contains_null());
+      }
+      case TypeId::kStruct: {
+        std::vector<Field> fs;
+        for (const Field& f : AsStruct(*t).fields()) {
+          fs.emplace_back(f.name, finalize(f.type), f.nullable);
+        }
+        return StructType::Make(std::move(fs));
+      }
+      default:
+        return t;
+    }
+  };
+  for (const Field& f : schema->fields()) {
+    fields.emplace_back(f.name, finalize(f.type), f.nullable);
+  }
+  return StructType::Make(std::move(fields));
+}
+
+Value JsonToValue(const JsonValue& value, const DataType& type) {
+  if (value.kind == JsonValue::Kind::kNull) return Value::Null();
+  switch (type.id()) {
+    case TypeId::kBoolean:
+      if (value.kind == JsonValue::Kind::kBool) return Value(value.b);
+      return Value::Null();
+    case TypeId::kInt32:
+      if (value.kind == JsonValue::Kind::kInt) {
+        return Value(static_cast<int32_t>(value.i));
+      }
+      if (value.kind == JsonValue::Kind::kDouble) {
+        return Value(static_cast<int32_t>(value.d));
+      }
+      return Value::Null();
+    case TypeId::kInt64:
+      if (value.kind == JsonValue::Kind::kInt) return Value(value.i);
+      if (value.kind == JsonValue::Kind::kDouble) {
+        return Value(static_cast<int64_t>(value.d));
+      }
+      return Value::Null();
+    case TypeId::kDouble:
+      if (value.kind == JsonValue::Kind::kInt) {
+        return Value(static_cast<double>(value.i));
+      }
+      if (value.kind == JsonValue::Kind::kDouble) return Value(value.d);
+      return Value::Null();
+    case TypeId::kString:
+      // STRING columns preserve the original JSON representation for
+      // non-string inputs.
+      if (value.kind == JsonValue::Kind::kString) return Value(value.s);
+      return Value(value.ToString());
+    case TypeId::kArray: {
+      if (value.kind != JsonValue::Kind::kArray) return Value::Null();
+      const auto& at = static_cast<const ArrayType&>(type);
+      std::vector<Value> elements;
+      elements.reserve(value.elements.size());
+      for (const auto& e : value.elements) {
+        elements.push_back(JsonToValue(e, *at.element_type()));
+      }
+      return Value::Array(std::move(elements));
+    }
+    case TypeId::kStruct: {
+      if (value.kind != JsonValue::Kind::kObject) return Value::Null();
+      const auto& st = static_cast<const StructType&>(type);
+      std::vector<Value> fields;
+      fields.reserve(st.num_fields());
+      for (const Field& f : st.fields()) {
+        const JsonValue* member = value.Find(f.name);
+        fields.push_back(member != nullptr ? JsonToValue(*member, *f.type)
+                                           : Value::Null());
+      }
+      return Value::Struct(std::move(fields));
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Row JsonToRow(const JsonValue& record, const StructType& schema) {
+  Row row;
+  row.Reserve(schema.num_fields());
+  if (record.kind != JsonValue::Kind::kObject) {
+    // Single "value" column layout.
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      row.Append(i == 0 ? JsonToValue(record, *schema.field(0).type)
+                        : Value::Null());
+    }
+    return row;
+  }
+  for (const Field& f : schema.fields()) {
+    const JsonValue* member = record.Find(f.name);
+    row.Append(member != nullptr ? JsonToValue(*member, *f.type)
+                                 : Value::Null());
+  }
+  return row;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string ValueToJson(const Value& v, const DataType& type) {
+  if (v.is_null()) return "null";
+  switch (type.id()) {
+    case TypeId::kBoolean:
+      return v.bool_value() ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(v.AsInt64());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.f64());
+      return buf;
+    }
+    case TypeId::kString: {
+      std::string out;
+      AppendJsonString(v.str(), &out);
+      return out;
+    }
+    case TypeId::kDate: {
+      std::string out;
+      AppendJsonString(FormatDate(v.date()), &out);
+      return out;
+    }
+    case TypeId::kDecimal:
+      return v.decimal().ToString();
+    case TypeId::kArray: {
+      const auto& at = AsArray(type);
+      std::string out = "[";
+      const auto& elems = v.array().elements;
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ",";
+        out += ValueToJson(elems[i], *at.element_type());
+      }
+      return out + "]";
+    }
+    case TypeId::kStruct: {
+      const auto& st = AsStruct(type);
+      std::string out = "{";
+      const auto& fields = v.struct_data().fields;
+      for (size_t i = 0; i < st.num_fields() && i < fields.size(); ++i) {
+        if (i > 0) out += ",";
+        AppendJsonString(st.field(i).name, &out);
+        out += ":";
+        out += ValueToJson(fields[i], *st.field(i).type);
+      }
+      return out + "}";
+    }
+    default: {
+      std::string out;
+      AppendJsonString(v.ToString(), &out);
+      return out;
+    }
+  }
+}
+
+std::string RowToJson(const Row& row, const StructType& schema) {
+  std::string out = "{";
+  for (size_t i = 0; i < schema.num_fields() && i < row.size(); ++i) {
+    if (i > 0) out += ",";
+    out += '"';
+    out += schema.field(i).name;
+    out += "\":";
+    out += ValueToJson(row.Get(i), *schema.field(i).type);
+  }
+  return out + "}";
+}
+
+}  // namespace ssql

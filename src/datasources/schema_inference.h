@@ -1,0 +1,58 @@
+#ifndef SSQL_DATASOURCES_SCHEMA_INFERENCE_H_
+#define SSQL_DATASOURCES_SCHEMA_INFERENCE_H_
+
+#include <vector>
+
+#include "datasources/json_parser.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace ssql {
+
+/// The JSON schema-inference algorithm of Section 5.1.
+///
+/// Each record contributes a type tree; trees are merged pairwise with the
+/// associative, commutative `MostSpecificSupertype` function, so inference
+/// is a single reduce over the data (and in the engine runs as one
+/// communication-efficient aggregation). Integers that fit in 32 bits
+/// infer INT, larger ones BIGINT, fractional values DOUBLE; fields with
+/// mixed irreconcilable types fall back to STRING, preserving the original
+/// JSON representation. Nullability: a field is NOT NULL only if it is
+/// present and non-null in every record (Figure 6).
+
+/// Infers the type tree of a single JSON value. `is_null` is set for JSON
+/// null so callers can track nullability.
+DataTypePtr InferJsonType(const JsonValue& value, bool* is_null);
+
+/// The associative merge: most specific common supertype of two inferred
+/// types. DataType::Null() acts as the identity.
+DataTypePtr MostSpecificSupertype(const DataTypePtr& a, const DataTypePtr& b);
+
+/// Nullability-aware schema merge for struct rows: fields missing from one
+/// side become nullable in the result.
+SchemaPtr MergeSchemas(const SchemaPtr& a, const SchemaPtr& b);
+
+/// One-pass inference over a record set: per-record schemata reduced with
+/// MergeSchemas. Non-object records contribute a single "value" column.
+SchemaPtr InferSchema(const std::vector<JsonValue>& records);
+
+/// Infers the per-record schema (a StructType with per-field nullability).
+SchemaPtr InferRecordSchema(const JsonValue& record);
+
+/// Converts a JSON record to a Row following `schema`; missing fields
+/// become nulls, scalar/type mismatches follow the STRING fallback rule.
+Row JsonToRow(const JsonValue& record, const StructType& schema);
+
+/// Converts a JSON value to a Value of exactly `type`.
+Value JsonToValue(const JsonValue& value, const DataType& type);
+
+/// Serializes a Value of `type` as JSON text (the inverse of JsonToValue;
+/// backs the JSON write path of Section 4.4.1).
+std::string ValueToJson(const Value& v, const DataType& type);
+
+/// Serializes a row as one JSON object line using the schema's names.
+std::string RowToJson(const Row& row, const StructType& schema);
+
+}  // namespace ssql
+
+#endif  // SSQL_DATASOURCES_SCHEMA_INFERENCE_H_

@@ -1,0 +1,107 @@
+#include "engine/dataset.h"
+
+#include "engine/exec_context.h"
+
+namespace ssql {
+
+RowDataset RowDataset::FromRows(std::vector<Row> rows, size_t num_partitions) {
+  if (num_partitions == 0) num_partitions = 1;
+  std::vector<RowPartitionPtr> parts;
+  parts.reserve(num_partitions);
+  size_t total = rows.size();
+  size_t base = total / num_partitions;
+  size_t extra = total % num_partitions;
+  size_t offset = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    size_t count = base + (p < extra ? 1 : 0);
+    auto part = std::make_shared<RowPartition>();
+    part->rows.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      part->rows.push_back(std::move(rows[offset + i]));
+    }
+    offset += count;
+    parts.push_back(std::move(part));
+  }
+  return RowDataset(std::move(parts));
+}
+
+RowDataset RowDataset::SinglePartition(std::vector<Row> rows) {
+  auto part = std::make_shared<RowPartition>();
+  part->rows = std::move(rows);
+  return RowDataset({part});
+}
+
+size_t RowDataset::TotalRows() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->rows.size();
+  return n;
+}
+
+std::vector<Row> RowDataset::Collect() const {
+  std::vector<Row> out;
+  out.reserve(TotalRows());
+  for (const auto& p : partitions_) {
+    out.insert(out.end(), p->rows.begin(), p->rows.end());
+  }
+  return out;
+}
+
+RowDataset RowDataset::MapPartitions(
+    ExecContext& ctx,
+    const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn) const {
+  std::vector<RowPartitionPtr> out(partitions_.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(partitions_.size());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    tasks.push_back([&, i] { out[i] = fn(i, *partitions_[i]); });
+  }
+  ctx.pool().RunAll(std::move(tasks));
+  return RowDataset(std::move(out));
+}
+
+RowDataset RowDataset::ShuffleByHash(
+    ExecContext& ctx, size_t num_out,
+    const std::function<uint64_t(const Row&)>& key_hash) const {
+  if (num_out == 0) num_out = 1;
+  // Map side: each input partition writes `num_out` buckets.
+  std::vector<std::vector<std::vector<Row>>> buckets(partitions_.size());
+  std::vector<std::function<void()>> map_tasks;
+  map_tasks.reserve(partitions_.size());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    map_tasks.push_back([&, i] {
+      auto& local = buckets[i];
+      local.resize(num_out);
+      for (const Row& row : partitions_[i]->rows) {
+        local[key_hash(row) % num_out].push_back(row);
+      }
+    });
+  }
+  ctx.pool().RunAll(std::move(map_tasks));
+
+  // Track shuffle volume for benchmarks/tests.
+  size_t shuffled = TotalRows();
+  ctx.metrics().Add("shuffle.rows", static_cast<int64_t>(shuffled));
+
+  // Reduce side: concatenate bucket `p` from every mapper.
+  std::vector<RowPartitionPtr> out(num_out);
+  std::vector<std::function<void()>> reduce_tasks;
+  reduce_tasks.reserve(num_out);
+  for (size_t p = 0; p < num_out; ++p) {
+    reduce_tasks.push_back([&, p] {
+      auto part = std::make_shared<RowPartition>();
+      size_t total = 0;
+      for (const auto& local : buckets) total += local[p].size();
+      part->rows.reserve(total);
+      for (auto& local : buckets) {
+        auto& b = local[p];
+        part->rows.insert(part->rows.end(), std::make_move_iterator(b.begin()),
+                          std::make_move_iterator(b.end()));
+      }
+      out[p] = std::move(part);
+    });
+  }
+  ctx.pool().RunAll(std::move(reduce_tasks));
+  return RowDataset(std::move(out));
+}
+
+}  // namespace ssql

@@ -1,0 +1,29 @@
+#include "engine/exec_context.h"
+
+namespace ssql {
+
+void Metrics::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+int64_t Metrics::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+std::unordered_map<std::string, int64_t> Metrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+ExecContext::ExecContext(EngineConfig config)
+    : config_(config), pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+
+}  // namespace ssql

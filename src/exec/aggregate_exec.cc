@@ -1,0 +1,694 @@
+#include "exec/aggregate_exec.h"
+
+#include <unordered_map>
+
+#include "catalyst/codegen/compiled_expression.h"
+#include "catalyst/expr/literal.h"
+
+namespace ssql {
+
+namespace {
+
+/// Hashable grouping key.
+struct GroupKey {
+  std::vector<Value> values;
+
+  bool operator==(const GroupKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!values[i].Equals(other.values[i])) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& v : k.values) h = h * 1099511628211ULL + v.Hash();
+    return static_cast<size_t>(h);
+  }
+};
+
+using GroupMap = std::unordered_map<GroupKey, std::vector<Value>, GroupKeyHash>;
+
+}  // namespace
+
+HashAggregateExec::HashAggregateExec(ExprVector groupings,
+                                     std::vector<NamedExprPtr> aggregates,
+                                     AggregateMode mode, PhysPtr child)
+    : groupings_(std::move(groupings)),
+      aggregates_(std::move(aggregates)),
+      mode_(mode),
+      child_(std::move(child)) {
+  // Collect distinct aggregate functions in first-appearance order.
+  std::vector<std::string> seen;
+  for (const auto& out : aggregates_) {
+    out->Foreach([this, &seen](const Expression& e) {
+      const auto* agg = dynamic_cast<const AggregateFunction*>(&e);
+      if (agg == nullptr) return;
+      std::string key = agg->ToString();
+      for (const auto& s : seen) {
+        if (s == key) return;
+      }
+      seen.push_back(key);
+      agg_functions_.push_back(
+          std::static_pointer_cast<const AggregateFunction>(agg->self()));
+    });
+  }
+  // Synthesized partial output attributes.
+  for (size_t i = 0; i < groupings_.size(); ++i) {
+    partial_output_.push_back(AttributeReference::Make(
+        "group_" + std::to_string(i), groupings_[i]->data_type(), true));
+  }
+  for (size_t j = 0; j < agg_functions_.size(); ++j) {
+    partial_output_.push_back(AttributeReference::Make(
+        "acc_" + std::to_string(j), agg_functions_[j]->data_type(), true));
+  }
+}
+
+AttributeVector HashAggregateExec::Output() const {
+  if (mode_ == AggregateMode::kPartial) return partial_output_;
+  AttributeVector out;
+  out.reserve(aggregates_.size());
+  for (const auto& a : aggregates_) out.push_back(a->ToAttribute());
+  return out;
+}
+
+RowDataset HashAggregateExec::Execute(ExecContext& ctx) const {
+  return mode_ == AggregateMode::kPartial ? ExecutePartial(ctx)
+                                          : ExecuteFinal(ctx);
+}
+
+RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  AttributeVector child_out = child_->Output();
+
+  if (ctx.config().codegen_enabled) {
+    RowDataset fast;
+    if (TryExecutePartialFast(ctx, input, child_out, &fast)) return fast;
+  }
+
+  // Bind grouping exprs and aggregate-function children to the child row.
+  ExprVector bound_groupings;
+  bound_groupings.reserve(groupings_.size());
+  for (const auto& g : groupings_) {
+    bound_groupings.push_back(BindReferences(g, child_out));
+  }
+  std::vector<AggregatePtr> bound_aggs;
+  bound_aggs.reserve(agg_functions_.size());
+  for (const auto& agg : agg_functions_) {
+    ExprPtr bound = BindReferences(agg, child_out);
+    bound_aggs.push_back(
+        std::static_pointer_cast<const AggregateFunction>(bound));
+  }
+
+  return input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+    GroupMap groups;
+    for (const Row& row : part.rows) {
+      GroupKey key;
+      key.values.reserve(bound_groupings.size());
+      for (const auto& g : bound_groupings) key.values.push_back(g->Eval(row));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<Value> accs;
+        accs.reserve(bound_aggs.size());
+        for (const auto& agg : bound_aggs) accs.push_back(agg->InitAccumulator());
+        it = groups.emplace(std::move(key), std::move(accs)).first;
+      }
+      for (size_t j = 0; j < bound_aggs.size(); ++j) {
+        bound_aggs[j]->Update(&it->second[j], row);
+      }
+    }
+    auto out = std::make_shared<RowPartition>();
+    out->rows.reserve(groups.size());
+    for (auto& [key, accs] : groups) {
+      Row row;
+      row.Reserve(key.values.size() + accs.size());
+      for (const auto& v : key.values) row.Append(v);
+      for (auto& a : accs) row.Append(std::move(a));
+      out->rows.push_back(std::move(row));
+    }
+    return out;
+  });
+}
+
+
+namespace {
+
+/// Categorized simple aggregate for the typed fast path.
+struct FastAggSpec {
+  enum class Kind {
+    kCountStar,
+    kCount,    // skips nulls
+    kSumI64,
+    kSumF64,
+    kAvg,
+    kMinMaxI64,
+    kMinMaxF64,
+  };
+  Kind kind;
+  bool is_min = false;                              // for kMinMax*
+  TypeId box_type = TypeId::kInt64;                 // result boxing for min/max
+  std::optional<CompiledExpression> compiled;       // child program
+};
+
+/// Typed per-group accumulator bank (one entry per aggregate function).
+struct FastAcc {
+  int64_t count = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  bool has = false;
+};
+
+bool IsIntLikeType(TypeId id) {
+  return id == TypeId::kInt32 || id == TypeId::kInt64 || id == TypeId::kDate ||
+         id == TypeId::kTimestamp || id == TypeId::kBoolean;
+}
+
+/// Boxes an int64 back into its logical type.
+Value BoxIntLike(int64_t v, TypeId id) {
+  switch (id) {
+    case TypeId::kInt32:
+      return Value(static_cast<int32_t>(v));
+    case TypeId::kDate:
+      return Value(DateValue{static_cast<int32_t>(v)});
+    case TypeId::kTimestamp:
+      return Value(TimestampValue{v});
+    case TypeId::kBoolean:
+      return Value(v != 0);
+    default:
+      return Value(v);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Categorizes the aggregate functions for the typed fast path. When
+/// `child_out` is non-null the children are also compiled (the partial
+/// stage evaluates them per row; the final stage only merges).
+bool CategorizeFastAggs(const std::vector<AggregatePtr>& agg_functions,
+                        const AttributeVector* child_out,
+                        std::vector<FastAggSpec>* specs) {
+  specs->reserve(agg_functions.size());
+  for (const auto& agg : agg_functions) {
+    FastAggSpec spec;
+    ExprPtr child;
+    if (const auto* count = dynamic_cast<const Count*>(agg.get())) {
+      if (count->is_star()) {
+        spec.kind = FastAggSpec::Kind::kCountStar;
+        specs->push_back(std::move(spec));
+        continue;
+      }
+      spec.kind = FastAggSpec::Kind::kCount;
+      child = count->Children()[0];
+    } else if (const auto* sum = dynamic_cast<const Sum*>(agg.get())) {
+      TypeId rt = sum->data_type()->id();
+      if (rt == TypeId::kInt64) {
+        spec.kind = FastAggSpec::Kind::kSumI64;
+      } else if (rt == TypeId::kDouble) {
+        spec.kind = FastAggSpec::Kind::kSumF64;
+      } else {
+        return false;  // decimal sums use the generic path
+      }
+      child = sum->child();
+    } else if (const auto* avg = dynamic_cast<const Average*>(agg.get())) {
+      spec.kind = FastAggSpec::Kind::kAvg;
+      child = avg->child();
+    } else if (const auto* mm = dynamic_cast<const MinMax*>(agg.get())) {
+      TypeId ct = mm->child()->data_type()->id();
+      if (IsIntLikeType(ct)) {
+        spec.kind = FastAggSpec::Kind::kMinMaxI64;
+      } else if (ct == TypeId::kDouble) {
+        spec.kind = FastAggSpec::Kind::kMinMaxF64;
+      } else {
+        return false;  // string min/max stays generic
+      }
+      spec.is_min = mm->is_min();
+      spec.box_type = ct;
+      child = mm->child();
+    } else {
+      return false;  // CountDistinct, UDAFs: generic path
+    }
+    if (child) {
+      TypeId ct = child->data_type()->id();
+      if (!IsIntLikeType(ct) && ct != TypeId::kDouble) return false;
+      if (child_out != nullptr) {
+        spec.compiled =
+            CompiledExpression::Compile(BindReferences(child, *child_out));
+        if (!spec.compiled) return false;
+      }
+    }
+    specs->push_back(std::move(spec));
+  }
+  return !specs->empty();
+}
+
+}  // namespace
+
+bool HashAggregateExec::TryExecutePartialFast(ExecContext& ctx,
+                                              const RowDataset& input,
+                                              const AttributeVector& child_out,
+                                              RowDataset* out) const {
+  // Shape check: at most one integer-like grouping key.
+  if (groupings_.size() > 1) return false;
+  std::optional<CompiledExpression> key_program;
+  if (groupings_.size() == 1) {
+    TypeId kt = groupings_[0]->data_type()->id();
+    if (!IsIntLikeType(kt)) return false;
+    key_program =
+        CompiledExpression::Compile(BindReferences(groupings_[0], child_out));
+    if (!key_program) return false;
+  }
+
+  std::vector<FastAggSpec> specs;
+  if (!CategorizeFastAggs(agg_functions_, &child_out, &specs)) return false;
+
+  size_t m = specs.size();
+  bool has_key = key_program.has_value();
+  const CompiledExpression* key_prog_ptr =
+      has_key ? &*key_program : nullptr;
+  TypeId key_type =
+      has_key ? groupings_[0]->data_type()->id() : TypeId::kNull;
+
+  *out = input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+    // Per-task evaluators (register scratch is not shareable).
+    std::optional<CompiledExpression::Evaluator> key_eval;
+    if (key_prog_ptr != nullptr) key_eval.emplace(key_prog_ptr->NewEvaluator());
+    std::vector<std::optional<CompiledExpression::Evaluator>> arg_evals(m);
+    for (size_t j = 0; j < m; ++j) {
+      if (specs[j].compiled) arg_evals[j].emplace(specs[j].compiled->NewEvaluator());
+    }
+
+    // groups[idx] = accumulator bank; key -> idx. Null keys get their own
+    // slot. Without groupings there is exactly one bank.
+    std::unordered_map<int64_t, uint32_t> index;
+    std::vector<FastAcc> banks;
+    std::vector<int64_t> keys;
+    int32_t null_slot = -1;
+    auto slot_for = [&](int64_t key, bool key_null) -> FastAcc* {
+      uint32_t idx;
+      if (key_null) {
+        if (null_slot < 0) {
+          null_slot = static_cast<int32_t>(banks.size() / m);
+          banks.resize(banks.size() + m);
+          keys.push_back(0);
+        }
+        idx = static_cast<uint32_t>(null_slot);
+      } else {
+        auto it = index.find(key);
+        if (it == index.end()) {
+          idx = static_cast<uint32_t>(banks.size() / m);
+          index.emplace(key, idx);
+          banks.resize(banks.size() + m);
+          keys.push_back(key);
+        } else {
+          idx = it->second;
+        }
+      }
+      return &banks[static_cast<size_t>(idx) * m];
+    };
+    if (!has_key) {
+      banks.resize(m);
+      keys.push_back(0);
+    }
+
+    for (const Row& row : part.rows) {
+      FastAcc* bank;
+      if (has_key) {
+        bool key_null = false;
+        int64_t key = key_eval->EvaluateInt64(row, &key_null);
+        bank = slot_for(key, key_null);
+      } else {
+        bank = banks.data();
+      }
+      for (size_t j = 0; j < m; ++j) {
+        FastAcc& acc = bank[j];
+        const FastAggSpec& spec = specs[j];
+        if (spec.kind == FastAggSpec::Kind::kCountStar) {
+          acc.count += 1;
+          continue;
+        }
+        bool is_null = false;
+        switch (spec.kind) {
+          case FastAggSpec::Kind::kCount: {
+            arg_evals[j]->Evaluate(row).is_null() ? void() : void(acc.count += 1);
+            break;
+          }
+          case FastAggSpec::Kind::kSumI64: {
+            int64_t v = arg_evals[j]->EvaluateInt64(row, &is_null);
+            if (!is_null) {
+              acc.i64 += v;
+              acc.has = true;
+            }
+            break;
+          }
+          case FastAggSpec::Kind::kSumF64: {
+            double v = arg_evals[j]->EvaluateDouble(row, &is_null);
+            if (!is_null) {
+              acc.f64 += v;
+              acc.has = true;
+            }
+            break;
+          }
+          case FastAggSpec::Kind::kAvg: {
+            // Average's accumulator sums as double regardless of input.
+            double v;
+            if (specs[j].compiled->result_kind() ==
+                CompiledExpression::Kind::kF64) {
+              v = arg_evals[j]->EvaluateDouble(row, &is_null);
+            } else {
+              v = static_cast<double>(arg_evals[j]->EvaluateInt64(row, &is_null));
+            }
+            if (!is_null) {
+              acc.f64 += v;
+              acc.count += 1;
+            }
+            break;
+          }
+          case FastAggSpec::Kind::kMinMaxI64: {
+            int64_t v = arg_evals[j]->EvaluateInt64(row, &is_null);
+            if (!is_null) {
+              if (!acc.has || (spec.is_min ? v < acc.i64 : v > acc.i64)) {
+                acc.i64 = v;
+              }
+              acc.has = true;
+            }
+            break;
+          }
+          case FastAggSpec::Kind::kMinMaxF64: {
+            double v = arg_evals[j]->EvaluateDouble(row, &is_null);
+            if (!is_null) {
+              if (!acc.has || (spec.is_min ? v < acc.f64 : v > acc.f64)) {
+                acc.f64 = v;
+              }
+              acc.has = true;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+
+    // Box each group once, into exactly the accumulator layout the generic
+    // Final stage expects.
+    auto result = std::make_shared<RowPartition>();
+    size_t num_groups = banks.size() / std::max<size_t>(m, 1);
+    if (m == 0) num_groups = keys.size();
+    result->rows.reserve(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      Row row;
+      row.Reserve((has_key ? 1 : 0) + m);
+      if (has_key) {
+        bool is_null_group =
+            null_slot >= 0 && g == static_cast<size_t>(null_slot);
+        row.Append(is_null_group ? Value::Null() : BoxIntLike(keys[g], key_type));
+      }
+      for (size_t j = 0; j < m; ++j) {
+        const FastAcc& acc = banks[g * m + j];
+        const FastAggSpec& spec = specs[j];
+        switch (spec.kind) {
+          case FastAggSpec::Kind::kCountStar:
+          case FastAggSpec::Kind::kCount:
+            row.Append(Value(acc.count));
+            break;
+          case FastAggSpec::Kind::kSumI64:
+            row.Append(acc.has ? Value(acc.i64) : Value::Null());
+            break;
+          case FastAggSpec::Kind::kSumF64:
+            row.Append(acc.has ? Value(acc.f64) : Value::Null());
+            break;
+          case FastAggSpec::Kind::kAvg:
+            row.Append(Value::Struct({Value(acc.f64), Value(acc.count)}));
+            break;
+          case FastAggSpec::Kind::kMinMaxI64:
+            row.Append(acc.has ? BoxIntLike(acc.i64, spec.box_type)
+                               : Value::Null());
+            break;
+          case FastAggSpec::Kind::kMinMaxF64:
+            row.Append(acc.has ? Value(acc.f64) : Value::Null());
+            break;
+        }
+      }
+      result->rows.push_back(std::move(row));
+    }
+    return result;
+  });
+  return true;
+}
+
+RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  size_t k = groupings_.size();
+  size_t m = agg_functions_.size();
+
+  // Rewrite the output expressions against the row layout
+  // [group values..., finished aggregate values...].
+  std::vector<std::string> grouping_keys;
+  grouping_keys.reserve(k);
+  for (const auto& g : groupings_) grouping_keys.push_back(g->ToString());
+  std::vector<std::string> agg_keys;
+  agg_keys.reserve(m);
+  for (const auto& a : agg_functions_) agg_keys.push_back(a->ToString());
+
+  ExprVector result_exprs;
+  result_exprs.reserve(aggregates_.size());
+  for (const auto& out : aggregates_) {
+    ExprPtr value = out;
+    if (const auto* alias = As<Alias>(value)) value = alias->child();
+    ExprPtr rewritten = value->TransformDown([&](const ExprPtr& e) -> ExprPtr {
+      std::string key = e->ToString();
+      for (size_t i = 0; i < k; ++i) {
+        if (key == grouping_keys[i]) {
+          return BoundReference::Make(static_cast<int>(i),
+                                      groupings_[i]->data_type(), true);
+        }
+      }
+      if (dynamic_cast<const AggregateFunction*>(e.get()) != nullptr) {
+        for (size_t j = 0; j < m; ++j) {
+          if (key == agg_keys[j]) {
+            return BoundReference::Make(static_cast<int>(k + j),
+                                        agg_functions_[j]->data_type(), true);
+          }
+        }
+      }
+      return e;
+    });
+    result_exprs.push_back(std::move(rewritten));
+  }
+
+  bool global = k == 0;
+
+  if (ctx.config().codegen_enabled && !global) {
+    RowDataset fast;
+    if (TryExecuteFinalFast(ctx, input, result_exprs, &fast)) return fast;
+  }
+
+  RowDataset merged = input.MapPartitions(ctx, [&](size_t, const RowPartition&
+                                                                part) {
+    GroupMap groups;
+    for (const Row& row : part.rows) {
+      GroupKey key;
+      key.values.reserve(k);
+      for (size_t i = 0; i < k; ++i) key.values.push_back(row.Get(i));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<Value> accs;
+        accs.reserve(m);
+        for (size_t j = 0; j < m; ++j) {
+          accs.push_back(row.Get(k + j));
+        }
+        groups.emplace(std::move(key), std::move(accs));
+        continue;
+      }
+      for (size_t j = 0; j < m; ++j) {
+        agg_functions_[j]->Merge(&it->second[j], row.Get(k + j));
+      }
+    }
+    auto out = std::make_shared<RowPartition>();
+    out->rows.reserve(groups.size());
+    for (auto& [key, accs] : groups) {
+      Row base;
+      base.Reserve(k + m);
+      for (const auto& v : key.values) base.Append(v);
+      for (size_t j = 0; j < m; ++j) {
+        base.Append(agg_functions_[j]->Finish(accs[j]));
+      }
+      Row result;
+      result.Reserve(result_exprs.size());
+      for (const auto& e : result_exprs) result.Append(e->Eval(base));
+      out->rows.push_back(std::move(result));
+    }
+    return out;
+  });
+
+  if (global && merged.TotalRows() == 0) {
+    // Aggregates over an empty input still produce one row.
+    Row base;
+    base.Reserve(m);
+    for (const auto& agg : agg_functions_) base.Append(agg->EmptyResult());
+    Row result;
+    result.Reserve(result_exprs.size());
+    for (const auto& e : result_exprs) result.Append(e->Eval(base));
+    return RowDataset::SinglePartition({std::move(result)});
+  }
+  return merged;
+}
+
+
+bool HashAggregateExec::TryExecuteFinalFast(ExecContext& ctx,
+                                            const RowDataset& input,
+                                            const ExprVector& result_exprs,
+                                            RowDataset* out) const {
+  if (groupings_.size() != 1) return false;
+  TypeId key_type = groupings_[0]->data_type()->id();
+  if (!IsIntLikeType(key_type)) return false;
+  std::vector<FastAggSpec> specs;
+  if (!CategorizeFastAggs(agg_functions_, nullptr, &specs)) return false;
+  size_t m = specs.size();
+
+  *out = input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+    std::unordered_map<int64_t, uint32_t> index;
+    std::vector<FastAcc> banks;
+    std::vector<int64_t> keys;
+    int32_t null_slot = -1;
+
+    for (const Row& row : part.rows) {
+      const Value& kv = row.Get(0);
+      uint32_t idx;
+      if (kv.is_null()) {
+        if (null_slot < 0) {
+          null_slot = static_cast<int32_t>(banks.size() / m);
+          banks.resize(banks.size() + m);
+          keys.push_back(0);
+        }
+        idx = static_cast<uint32_t>(null_slot);
+      } else {
+        int64_t key = kv.AsInt64();
+        auto it = index.find(key);
+        if (it == index.end()) {
+          idx = static_cast<uint32_t>(banks.size() / m);
+          index.emplace(key, idx);
+          banks.resize(banks.size() + m);
+          keys.push_back(key);
+        } else {
+          idx = it->second;
+        }
+      }
+      FastAcc* bank = &banks[static_cast<size_t>(idx) * m];
+      for (size_t j = 0; j < m; ++j) {
+        FastAcc& acc = bank[j];
+        const Value& v = row.Get(1 + j);
+        switch (specs[j].kind) {
+          case FastAggSpec::Kind::kCountStar:
+          case FastAggSpec::Kind::kCount:
+            acc.count += v.i64();
+            break;
+          case FastAggSpec::Kind::kSumI64:
+            if (!v.is_null()) {
+              acc.i64 += v.AsInt64();
+              acc.has = true;
+            }
+            break;
+          case FastAggSpec::Kind::kSumF64:
+            if (!v.is_null()) {
+              acc.f64 += v.f64();
+              acc.has = true;
+            }
+            break;
+          case FastAggSpec::Kind::kAvg: {
+            const auto& fields = v.struct_data().fields;
+            acc.f64 += fields[0].f64();
+            acc.count += fields[1].i64();
+            break;
+          }
+          case FastAggSpec::Kind::kMinMaxI64:
+            if (!v.is_null()) {
+              int64_t x = v.AsInt64();
+              if (!acc.has || (specs[j].is_min ? x < acc.i64 : x > acc.i64)) {
+                acc.i64 = x;
+              }
+              acc.has = true;
+            }
+            break;
+          case FastAggSpec::Kind::kMinMaxF64:
+            if (!v.is_null()) {
+              double x = v.f64();
+              if (!acc.has || (specs[j].is_min ? x < acc.f64 : x > acc.f64)) {
+                acc.f64 = x;
+              }
+              acc.has = true;
+            }
+            break;
+        }
+      }
+    }
+
+    // Finish + evaluate the result expressions per group.
+    auto result = std::make_shared<RowPartition>();
+    size_t num_groups = banks.size() / m;
+    result->rows.reserve(num_groups);
+    Row base;
+    for (size_t g = 0; g < num_groups; ++g) {
+      base.values().clear();
+      base.Reserve(1 + m);
+      bool is_null_group =
+          null_slot >= 0 && g == static_cast<size_t>(null_slot);
+      base.Append(is_null_group ? Value::Null()
+                                : BoxIntLike(keys[g], key_type));
+      for (size_t j = 0; j < m; ++j) {
+        const FastAcc& acc = banks[g * m + j];
+        switch (specs[j].kind) {
+          case FastAggSpec::Kind::kCountStar:
+          case FastAggSpec::Kind::kCount:
+            base.Append(Value(acc.count));
+            break;
+          case FastAggSpec::Kind::kSumI64:
+            base.Append(acc.has ? Value(acc.i64) : Value::Null());
+            break;
+          case FastAggSpec::Kind::kSumF64:
+            base.Append(acc.has ? Value(acc.f64) : Value::Null());
+            break;
+          case FastAggSpec::Kind::kAvg:
+            base.Append(acc.count > 0
+                            ? Value(acc.f64 / static_cast<double>(acc.count))
+                            : Value::Null());
+            break;
+          case FastAggSpec::Kind::kMinMaxI64:
+            base.Append(acc.has ? BoxIntLike(acc.i64, specs[j].box_type)
+                                : Value::Null());
+            break;
+          case FastAggSpec::Kind::kMinMaxF64:
+            base.Append(acc.has ? Value(acc.f64) : Value::Null());
+            break;
+        }
+      }
+      Row produced;
+      produced.Reserve(result_exprs.size());
+      for (const auto& e : result_exprs) produced.Append(e->Eval(base));
+      result->rows.push_back(std::move(produced));
+    }
+    return result;
+  });
+  return true;
+}
+
+std::string HashAggregateExec::Describe() const {
+  std::string s = NodeName() + " keys=[";
+  for (size_t i = 0; i < groupings_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += groupings_[i]->ToString();
+  }
+  s += "], output=[";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += aggregates_[i]->ToString();
+  }
+  return s + "]";
+}
+
+}  // namespace ssql

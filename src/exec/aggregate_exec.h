@@ -1,0 +1,82 @@
+#ifndef SSQL_EXEC_AGGREGATE_EXEC_H_
+#define SSQL_EXEC_AGGREGATE_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalyst/expr/aggregates.h"
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+/// Aggregation stage. The planner always produces the two-stage shape of
+/// the engine's shuffle protocol:
+///
+///   HashAggregate(Final) <- Exchange/Coalesce <- HashAggregate(Partial)
+///
+/// Partial computes per-partition accumulators keyed by the grouping
+/// values (map-side combine); accumulators travel the shuffle as plain
+/// Values; Final merges them, finishes each aggregate function and
+/// evaluates the result expressions (which may nest aggregates inside
+/// arithmetic, e.g. sum(a)/count(b) + 1).
+enum class AggregateMode { kPartial, kFinal };
+
+class HashAggregateExec : public PhysicalPlan {
+ public:
+  /// `groupings`: grouping expressions over the ORIGINAL child output.
+  /// `aggregates`: the named output expressions (grouping columns and/or
+  /// expressions containing aggregate functions).
+  /// For kFinal, `child` must be the exchange over the partial stage.
+  HashAggregateExec(ExprVector groupings, std::vector<NamedExprPtr> aggregates,
+                    AggregateMode mode, PhysPtr child);
+
+  std::string NodeName() const override {
+    return mode_ == AggregateMode::kPartial ? "HashAggregate(Partial)"
+                                            : "HashAggregate(Final)";
+  }
+  std::vector<PhysPtr> Children() const override { return {child_}; }
+  AttributeVector Output() const override;
+  RowDataset Execute(ExecContext& ctx) const override;
+  std::string Describe() const override;
+
+  /// The synthesized attributes of the partial stage's output:
+  /// [one per grouping expr] ++ [one per distinct aggregate function].
+  /// The grouping attrs are the Exchange keys between the stages.
+  const AttributeVector& partial_output() const { return partial_output_; }
+
+ private:
+  RowDataset ExecutePartial(ExecContext& ctx) const;
+  RowDataset ExecuteFinal(ExecContext& ctx) const;
+
+  /// Codegen fast path for the map-side combine: when the grouping key is
+  /// a single integer-like column and every aggregate is a simple
+  /// count/sum/avg/min/max over a numeric column, per-row work runs on
+  /// typed accumulators keyed by int64 — no boxed keys, no Value
+  /// allocation per row. This is where Section 4.3.4's code generation
+  /// pays off for aggregation (the Figure 9 DataFrame bar). Returns false
+  /// when the shape is unsupported and the generic path must run.
+  bool TryExecutePartialFast(ExecContext& ctx, const RowDataset& input,
+                             const AttributeVector& child_out,
+                             RowDataset* out) const;
+
+  /// Matching fast path for the reduce side: merges the typed partial
+  /// accumulators without boxed group keys. Same shape conditions as the
+  /// partial fast path.
+  bool TryExecuteFinalFast(ExecContext& ctx, const RowDataset& input,
+                           const ExprVector& result_exprs,
+                           RowDataset* out) const;
+
+  ExprVector groupings_;
+  std::vector<NamedExprPtr> aggregates_;
+  AggregateMode mode_;
+  PhysPtr child_;
+
+  /// Distinct aggregate functions appearing in `aggregates_`, in first-
+  /// appearance order; shared layout between the two stages.
+  std::vector<AggregatePtr> agg_functions_;
+  AttributeVector partial_output_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_EXEC_AGGREGATE_EXEC_H_

@@ -1,0 +1,40 @@
+#include "exec/exchange_exec.h"
+
+namespace ssql {
+
+uint64_t HashRowKeys(const Row& row, const ExprVector& bound_keys) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const auto& k : bound_keys) {
+    h = h * 1099511628211ULL + k->Eval(row).Hash();
+  }
+  return h;
+}
+
+RowDataset ExchangeExec::Execute(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  AttributeVector child_out = child_->Output();
+  ExprVector bound;
+  bound.reserve(keys_.size());
+  for (const auto& k : keys_) bound.push_back(BindReferences(k, child_out));
+  size_t parts = num_partitions_ == 0 ? ctx.config().default_parallelism
+                                      : num_partitions_;
+  return input.ShuffleByHash(ctx, parts, [&bound](const Row& row) {
+    return HashRowKeys(row, bound);
+  });
+}
+
+std::string ExchangeExec::Describe() const {
+  std::string s = "Exchange hashpartitioning(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += keys_[i]->ToString();
+  }
+  return s + ")";
+}
+
+RowDataset CoalesceExec::Execute(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  return RowDataset::SinglePartition(input.Collect());
+}
+
+}  // namespace ssql

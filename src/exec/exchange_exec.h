@@ -1,0 +1,52 @@
+#ifndef SSQL_EXEC_EXCHANGE_EXEC_H_
+#define SSQL_EXEC_EXCHANGE_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalyst/expr/expression.h"
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+/// Hash-partitions the child's output by key expressions — the shuffle
+/// stage boundary of the mini-Spark engine.
+class ExchangeExec : public PhysicalPlan {
+ public:
+  ExchangeExec(ExprVector keys, size_t num_partitions, PhysPtr child)
+      : keys_(std::move(keys)),
+        num_partitions_(num_partitions),
+        child_(std::move(child)) {}
+
+  std::string NodeName() const override { return "Exchange"; }
+  std::vector<PhysPtr> Children() const override { return {child_}; }
+  AttributeVector Output() const override { return child_->Output(); }
+  RowDataset Execute(ExecContext& ctx) const override;
+  std::string Describe() const override;
+
+ private:
+  ExprVector keys_;  // unbound, reference child output
+  size_t num_partitions_;
+  PhysPtr child_;
+};
+
+/// Gathers the child's partitions into one (global sort/limit input).
+class CoalesceExec : public PhysicalPlan {
+ public:
+  explicit CoalesceExec(PhysPtr child) : child_(std::move(child)) {}
+
+  std::string NodeName() const override { return "Coalesce"; }
+  std::vector<PhysPtr> Children() const override { return {child_}; }
+  AttributeVector Output() const override { return child_->Output(); }
+  RowDataset Execute(ExecContext& ctx) const override;
+
+ private:
+  PhysPtr child_;
+};
+
+/// Hashes the key columns of a row (bound evaluators supplied by caller).
+uint64_t HashRowKeys(const Row& row, const ExprVector& bound_keys);
+
+}  // namespace ssql
+
+#endif  // SSQL_EXEC_EXCHANGE_EXEC_H_

@@ -1,0 +1,411 @@
+#include "exec/join_exec.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "exec/exchange_exec.h"
+
+namespace ssql {
+
+namespace {
+
+/// Join key: evaluated key columns of one row. Null components make the
+/// key non-joinable (SQL equi-join semantics).
+struct JoinKey {
+  std::vector<Value> values;
+  bool has_null = false;
+
+  bool operator==(const JoinKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].Compare(other.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (const auto& v : k.values) h = h * 1099511628211ULL + v.Hash();
+    return static_cast<size_t>(h);
+  }
+};
+
+JoinKey EvalKey(const Row& row, const ExprVector& bound_keys) {
+  JoinKey key;
+  key.values.reserve(bound_keys.size());
+  for (const auto& k : bound_keys) {
+    Value v = k->Eval(row);
+    key.has_null = key.has_null || v.is_null();
+    key.values.push_back(std::move(v));
+  }
+  return key;
+}
+
+Row NullExtendLeft(size_t left_width, const Row& right) {
+  Row out;
+  out.Reserve(left_width + right.size());
+  for (size_t i = 0; i < left_width; ++i) out.Append(Value::Null());
+  for (size_t i = 0; i < right.size(); ++i) out.Append(right.Get(i));
+  return out;
+}
+
+Row NullExtendRight(const Row& left, size_t right_width) {
+  Row out;
+  out.Reserve(left.size() + right_width);
+  for (size_t i = 0; i < left.size(); ++i) out.Append(left.Get(i));
+  for (size_t i = 0; i < right_width; ++i) out.Append(Value::Null());
+  return out;
+}
+
+using BuildMap =
+    std::unordered_map<JoinKey, std::vector<size_t>, JoinKeyHash>;
+
+BuildMap BuildHashTable(const std::vector<Row>& rows,
+                        const ExprVector& bound_keys) {
+  BuildMap map;
+  map.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    JoinKey key = EvalKey(rows[i], bound_keys);
+    if (key.has_null) continue;
+    map[std::move(key)].push_back(i);
+  }
+  return map;
+}
+
+}  // namespace
+
+JoinExecBase::JoinExecBase(PhysPtr left, PhysPtr right, ExprVector left_keys,
+                           ExprVector right_keys, JoinType join_type,
+                           ExprPtr residual)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      join_type_(join_type),
+      residual_(std::move(residual)) {}
+
+AttributeVector JoinExecBase::Output() const {
+  AttributeVector out;
+  auto left_out = left_->Output();
+  auto right_out = right_->Output();
+  bool left_nullable = join_type_ == JoinType::kRightOuter ||
+                       join_type_ == JoinType::kFullOuter;
+  bool right_nullable = join_type_ == JoinType::kLeftOuter ||
+                        join_type_ == JoinType::kFullOuter;
+  for (const auto& a : left_out) {
+    out.push_back(left_nullable ? a->WithNullability(true) : a);
+  }
+  if (join_type_ != JoinType::kLeftSemi && join_type_ != JoinType::kLeftAnti) {
+    for (const auto& a : right_out) {
+      out.push_back(right_nullable ? a->WithNullability(true) : a);
+    }
+  }
+  return out;
+}
+
+std::string JoinExecBase::Describe() const {
+  std::string s = NodeName() + " " + JoinTypeName(join_type_) + " keys: (";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+  }
+  s += ")";
+  if (residual_) s += " residual: " + residual_->ToString();
+  return s;
+}
+
+RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
+  AttributeVector left_out = left_->Output();
+  AttributeVector right_out = right_->Output();
+  AttributeVector joined_out = left_out;
+  joined_out.insert(joined_out.end(), right_out.begin(), right_out.end());
+
+  ExprVector bound_left, bound_right;
+  for (const auto& k : left_keys_) bound_left.push_back(BindReferences(k, left_out));
+  for (const auto& k : right_keys_) {
+    bound_right.push_back(BindReferences(k, right_out));
+  }
+  ExprPtr bound_residual =
+      residual_ ? BindReferences(residual_, joined_out) : nullptr;
+
+  // Broadcast: collect and hash the build side once.
+  std::vector<Row> build = right_->Execute(ctx).Collect();
+  ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+  BuildMap table = BuildHashTable(build, bound_right);
+
+  RowDataset stream = left_->Execute(ctx);
+  bool semi = join_type_ == JoinType::kLeftSemi;
+  bool anti = join_type_ == JoinType::kLeftAnti;
+  bool left_outer = join_type_ == JoinType::kLeftOuter;
+  size_t right_width = right_out.size();
+
+  return stream.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+    auto out = std::make_shared<RowPartition>();
+    for (const Row& row : part.rows) {
+      JoinKey key = EvalKey(row, bound_left);
+      const std::vector<size_t>* matches = nullptr;
+      if (!key.has_null) {
+        auto it = table.find(key);
+        if (it != table.end()) matches = &it->second;
+      }
+      bool matched = false;
+      if (matches != nullptr) {
+        for (size_t idx : *matches) {
+          Row joined = Row::Concat(row, build[idx]);
+          if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
+            continue;
+          }
+          matched = true;
+          if (semi || anti) break;
+          out->rows.push_back(std::move(joined));
+        }
+      }
+      if (semi && matched) out->rows.push_back(row);
+      if (anti && !matched) out->rows.push_back(row);
+      if (left_outer && !matched) {
+        out->rows.push_back(NullExtendRight(row, right_width));
+      }
+    }
+    return out;
+  });
+}
+
+RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
+  AttributeVector left_out = left_->Output();
+  AttributeVector right_out = right_->Output();
+  AttributeVector joined_out = left_out;
+  joined_out.insert(joined_out.end(), right_out.begin(), right_out.end());
+
+  ExprVector bound_left, bound_right;
+  for (const auto& k : left_keys_) bound_left.push_back(BindReferences(k, left_out));
+  for (const auto& k : right_keys_) {
+    bound_right.push_back(BindReferences(k, right_out));
+  }
+  ExprPtr bound_residual =
+      residual_ ? BindReferences(residual_, joined_out) : nullptr;
+
+  size_t parts = ctx.config().default_parallelism;
+  RowDataset left_shuffled =
+      left_->Execute(ctx).ShuffleByHash(ctx, parts, [&](const Row& row) {
+        return HashRowKeys(row, bound_left);
+      });
+  RowDataset right_shuffled =
+      right_->Execute(ctx).ShuffleByHash(ctx, parts, [&](const Row& row) {
+        return HashRowKeys(row, bound_right);
+      });
+
+  bool semi = join_type_ == JoinType::kLeftSemi;
+  bool anti = join_type_ == JoinType::kLeftAnti;
+  bool left_outer = join_type_ == JoinType::kLeftOuter ||
+                    join_type_ == JoinType::kFullOuter;
+  bool right_outer = join_type_ == JoinType::kRightOuter ||
+                     join_type_ == JoinType::kFullOuter;
+  size_t left_width = left_out.size();
+  size_t right_width = right_out.size();
+
+  return left_shuffled.MapPartitions(ctx, [&](size_t p, const RowPartition&
+                                                            left_part) {
+    const RowPartition& right_part = *right_shuffled.partition(p);
+    auto out = std::make_shared<RowPartition>();
+    BuildMap table = BuildHashTable(right_part.rows, bound_right);
+    std::vector<uint8_t> right_matched(right_part.rows.size(), 0);
+
+    for (const Row& row : left_part.rows) {
+      JoinKey key = EvalKey(row, bound_left);
+      const std::vector<size_t>* matches = nullptr;
+      if (!key.has_null) {
+        auto it = table.find(key);
+        if (it != table.end()) matches = &it->second;
+      }
+      bool matched = false;
+      if (matches != nullptr) {
+        for (size_t idx : *matches) {
+          Row joined = Row::Concat(row, right_part.rows[idx]);
+          if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
+            continue;
+          }
+          matched = true;
+          right_matched[idx] = 1;
+          if (semi || anti) break;
+          out->rows.push_back(std::move(joined));
+        }
+      }
+      if (semi && matched) out->rows.push_back(row);
+      if (anti && !matched) out->rows.push_back(row);
+      if (left_outer && !matched && !semi && !anti) {
+        out->rows.push_back(NullExtendRight(row, right_width));
+      }
+    }
+    if (right_outer) {
+      for (size_t i = 0; i < right_part.rows.size(); ++i) {
+        if (right_matched[i] == 0) {
+          out->rows.push_back(NullExtendLeft(left_width, right_part.rows[i]));
+        }
+      }
+    }
+    return out;
+  });
+}
+
+RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
+  AttributeVector left_out = left_->Output();
+  AttributeVector right_out = right_->Output();
+  AttributeVector joined_out = left_out;
+  joined_out.insert(joined_out.end(), right_out.begin(), right_out.end());
+
+  ExprVector bound_left, bound_right;
+  for (const auto& k : left_keys_) bound_left.push_back(BindReferences(k, left_out));
+  for (const auto& k : right_keys_) {
+    bound_right.push_back(BindReferences(k, right_out));
+  }
+  ExprPtr bound_residual =
+      residual_ ? BindReferences(residual_, joined_out) : nullptr;
+
+  size_t parts = ctx.config().default_parallelism;
+  RowDataset left_shuffled =
+      left_->Execute(ctx).ShuffleByHash(ctx, parts, [&](const Row& row) {
+        return HashRowKeys(row, bound_left);
+      });
+  RowDataset right_shuffled =
+      right_->Execute(ctx).ShuffleByHash(ctx, parts, [&](const Row& row) {
+        return HashRowKeys(row, bound_right);
+      });
+
+  auto key_less = [](const JoinKey& a, const JoinKey& b) {
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      int c = a.values[i].Compare(b.values[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+
+  return left_shuffled.MapPartitions(ctx, [&](size_t p, const RowPartition&
+                                                            left_part) {
+    const RowPartition& right_part = *right_shuffled.partition(p);
+    auto out = std::make_shared<RowPartition>();
+
+    // Sort both sides by key (null keys dropped: inner join).
+    struct Keyed {
+      JoinKey key;
+      const Row* row;
+    };
+    std::vector<Keyed> ls, rs;
+    ls.reserve(left_part.rows.size());
+    rs.reserve(right_part.rows.size());
+    for (const Row& row : left_part.rows) {
+      JoinKey k = EvalKey(row, bound_left);
+      if (!k.has_null) ls.push_back({std::move(k), &row});
+    }
+    for (const Row& row : right_part.rows) {
+      JoinKey k = EvalKey(row, bound_right);
+      if (!k.has_null) rs.push_back({std::move(k), &row});
+    }
+    auto cmp = [&](const Keyed& a, const Keyed& b) { return key_less(a.key, b.key); };
+    std::sort(ls.begin(), ls.end(), cmp);
+    std::sort(rs.begin(), rs.end(), cmp);
+
+    size_t i = 0, j = 0;
+    while (i < ls.size() && j < rs.size()) {
+      if (key_less(ls[i].key, rs[j].key)) {
+        ++i;
+      } else if (key_less(rs[j].key, ls[i].key)) {
+        ++j;
+      } else {
+        // Equal-key runs on both sides.
+        size_t i_end = i;
+        while (i_end < ls.size() && !key_less(ls[i].key, ls[i_end].key) &&
+               !key_less(ls[i_end].key, ls[i].key)) {
+          ++i_end;
+        }
+        size_t j_end = j;
+        while (j_end < rs.size() && !key_less(rs[j].key, rs[j_end].key) &&
+               !key_less(rs[j_end].key, rs[j].key)) {
+          ++j_end;
+        }
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            Row joined = Row::Concat(*ls[a].row, *rs[b].row);
+            if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
+              continue;
+            }
+            out->rows.push_back(std::move(joined));
+          }
+        }
+        i = i_end;
+        j = j_end;
+      }
+    }
+    return out;
+  });
+}
+
+NestedLoopJoinExec::NestedLoopJoinExec(PhysPtr left, PhysPtr right,
+                                       JoinType join_type, ExprPtr condition)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      join_type_(join_type),
+      condition_(std::move(condition)) {}
+
+AttributeVector NestedLoopJoinExec::Output() const {
+  AttributeVector out = left_->Output();
+  if (join_type_ != JoinType::kLeftSemi && join_type_ != JoinType::kLeftAnti) {
+    auto right_out = right_->Output();
+    bool right_nullable = join_type_ == JoinType::kLeftOuter;
+    for (const auto& a : right_out) {
+      out.push_back(right_nullable ? a->WithNullability(true) : a);
+    }
+  }
+  return out;
+}
+
+RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
+  if (join_type_ == JoinType::kRightOuter || join_type_ == JoinType::kFullOuter) {
+    throw ExecutionError(
+        "NestedLoopJoin does not support right/full outer joins");
+  }
+  AttributeVector left_out = left_->Output();
+  AttributeVector right_out = right_->Output();
+  AttributeVector joined_out = left_out;
+  joined_out.insert(joined_out.end(), right_out.begin(), right_out.end());
+  ExprPtr bound =
+      condition_ ? BindReferences(condition_, joined_out) : nullptr;
+
+  std::vector<Row> build = right_->Execute(ctx).Collect();
+  ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+
+  RowDataset stream = left_->Execute(ctx);
+  bool semi = join_type_ == JoinType::kLeftSemi;
+  bool anti = join_type_ == JoinType::kLeftAnti;
+  bool left_outer = join_type_ == JoinType::kLeftOuter;
+  size_t right_width = right_out.size();
+
+  return stream.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+    auto out = std::make_shared<RowPartition>();
+    for (const Row& row : part.rows) {
+      bool matched = false;
+      for (const Row& other : build) {
+        Row joined = Row::Concat(row, other);
+        if (bound && !EvalPredicate(*bound, joined)) continue;
+        matched = true;
+        if (semi || anti) break;
+        out->rows.push_back(std::move(joined));
+      }
+      if (semi && matched) out->rows.push_back(row);
+      if (anti && !matched) out->rows.push_back(row);
+      if (left_outer && !matched) {
+        out->rows.push_back(NullExtendRight(row, right_width));
+      }
+    }
+    return out;
+  });
+}
+
+std::string NestedLoopJoinExec::Describe() const {
+  std::string s = "NestedLoopJoin " + JoinTypeName(join_type_);
+  if (condition_) s += " condition: " + condition_->ToString();
+  return s;
+}
+
+}  // namespace ssql

@@ -1,0 +1,88 @@
+#ifndef SSQL_EXEC_JOIN_EXEC_H_
+#define SSQL_EXEC_JOIN_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalyst/plan/logical_plan.h"
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+/// Shared shape of the equi-join operators: key expressions per side plus
+/// an optional residual (non-equi) condition evaluated on the joined row.
+class JoinExecBase : public PhysicalPlan {
+ public:
+  JoinExecBase(PhysPtr left, PhysPtr right, ExprVector left_keys,
+               ExprVector right_keys, JoinType join_type, ExprPtr residual);
+
+  std::vector<PhysPtr> Children() const override { return {left_, right_}; }
+  AttributeVector Output() const override;
+  std::string Describe() const override;
+
+ protected:
+  /// Width of a null-extended row for the non-matching side.
+  size_t LeftWidth() const { return left_->Output().size(); }
+  size_t RightWidth() const { return right_->Output().size(); }
+
+  PhysPtr left_;
+  PhysPtr right_;
+  ExprVector left_keys_;   // reference left output
+  ExprVector right_keys_;  // reference right output
+  JoinType join_type_;
+  ExprPtr residual_;  // references joined output; may be null
+};
+
+/// Broadcast hash join (Section 4.3.3): the build side — estimated small by
+/// the cost model — is collected once ("broadcast") and hashed; each
+/// streamed partition probes it without any shuffle. Supports Inner,
+/// LeftOuter and LeftSemi with the right side as build.
+class BroadcastHashJoinExec : public JoinExecBase {
+ public:
+  using JoinExecBase::JoinExecBase;
+  std::string NodeName() const override { return "BroadcastHashJoin"; }
+  RowDataset Execute(ExecContext& ctx) const override;
+};
+
+/// Shuffle hash join: both sides are hash-partitioned by key, then each
+/// pair of co-located partitions is hash-joined. Supports all join types.
+class ShuffleHashJoinExec : public JoinExecBase {
+ public:
+  using JoinExecBase::JoinExecBase;
+  std::string NodeName() const override { return "ShuffleHashJoin"; }
+  RowDataset Execute(ExecContext& ctx) const override;
+};
+
+/// Sort-merge join: both sides shuffled by key, sorted per partition, and
+/// merged. Inner joins only; the planner falls back to shuffle hash for
+/// other types.
+class SortMergeJoinExec : public JoinExecBase {
+ public:
+  using JoinExecBase::JoinExecBase;
+  std::string NodeName() const override { return "SortMergeJoin"; }
+  RowDataset Execute(ExecContext& ctx) const override;
+};
+
+/// Nested loop join for non-equi conditions and cross joins. The right
+/// side is collected and every streamed row is tested against it.
+class NestedLoopJoinExec : public PhysicalPlan {
+ public:
+  NestedLoopJoinExec(PhysPtr left, PhysPtr right, JoinType join_type,
+                     ExprPtr condition);
+
+  std::string NodeName() const override { return "NestedLoopJoin"; }
+  std::vector<PhysPtr> Children() const override { return {left_, right_}; }
+  AttributeVector Output() const override;
+  RowDataset Execute(ExecContext& ctx) const override;
+  std::string Describe() const override;
+
+ private:
+  PhysPtr left_;
+  PhysPtr right_;
+  JoinType join_type_;
+  ExprPtr condition_;  // references joined output; may be null
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_EXEC_JOIN_EXEC_H_

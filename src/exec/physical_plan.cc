@@ -1,0 +1,33 @@
+#include "exec/physical_plan.h"
+
+namespace ssql {
+
+std::string PhysicalPlan::TreeString() const {
+  std::string out;
+  TreeStringInternal(0, &out);
+  return out;
+}
+
+void PhysicalPlan::TreeStringInternal(int indent, std::string* out) const {
+  for (int i = 0; i < indent; ++i) *out += "  ";
+  *out += Describe();
+  *out += "\n";
+  for (const auto& c : Children()) c->TreeStringInternal(indent + 1, out);
+}
+
+void PhysicalPlan::Foreach(
+    const std::function<void(const PhysicalPlan&)>& fn) const {
+  fn(*this);
+  for (const auto& c : Children()) c->Foreach(fn);
+}
+
+std::string FormatAttributes(const AttributeVector& attrs) {
+  std::string s = "[";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += attrs[i]->ToString();
+  }
+  return s + "]";
+}
+
+}  // namespace ssql

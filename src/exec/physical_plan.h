@@ -1,0 +1,51 @@
+#ifndef SSQL_EXEC_PHYSICAL_PLAN_H_
+#define SSQL_EXEC_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalyst/expr/attribute.h"
+#include "engine/dataset.h"
+#include "engine/exec_context.h"
+
+namespace ssql {
+
+class PhysicalPlan;
+using PhysPtr = std::shared_ptr<const PhysicalPlan>;
+
+/// Base class of physical operators (the third tree family of Section 4.3:
+/// "physical operators that match the Spark execution engine"). Execute()
+/// pulls the children's datasets and produces this operator's output; the
+/// per-partition work runs on the engine's worker pool.
+class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
+ public:
+  virtual ~PhysicalPlan() = default;
+
+  virtual std::string NodeName() const = 0;
+  virtual std::vector<PhysPtr> Children() const = 0;
+
+  /// Output attributes (positions define the produced row layout).
+  virtual AttributeVector Output() const = 0;
+
+  /// Runs the subtree to completion.
+  virtual RowDataset Execute(ExecContext& ctx) const = 0;
+
+  /// One-line description for EXPLAIN.
+  virtual std::string Describe() const { return NodeName(); }
+
+  /// Indented physical plan rendering.
+  std::string TreeString() const;
+
+  void Foreach(const std::function<void(const PhysicalPlan&)>& fn) const;
+
+ private:
+  void TreeStringInternal(int indent, std::string* out) const;
+};
+
+/// Pretty-prints an attribute list for Describe() implementations.
+std::string FormatAttributes(const AttributeVector& attrs);
+
+}  // namespace ssql
+
+#endif  // SSQL_EXEC_PHYSICAL_PLAN_H_

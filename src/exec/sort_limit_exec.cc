@@ -1,0 +1,70 @@
+#include "exec/sort_limit_exec.h"
+
+#include <algorithm>
+
+namespace ssql {
+
+RowDataset SortExec::Execute(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  AttributeVector child_out = child_->Output();
+
+  struct BoundOrder {
+    ExprPtr expr;
+    bool ascending;
+  };
+  std::vector<BoundOrder> bound;
+  bound.reserve(orders_.size());
+  for (const auto& o : orders_) {
+    bound.push_back({BindReferences(o->child(), child_out), o->ascending()});
+  }
+
+  auto less = [&bound](const Row& a, const Row& b) {
+    for (const auto& o : bound) {
+      int c = o.expr->Eval(a).Compare(o.expr->Eval(b));
+      if (c != 0) return o.ascending ? c < 0 : c > 0;
+    }
+    return false;
+  };
+
+  // Local sort per partition in parallel, then merge on the driver.
+  RowDataset locally_sorted =
+      input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+        auto out = std::make_shared<RowPartition>();
+        out->rows = part.rows;
+        std::stable_sort(out->rows.begin(), out->rows.end(), less);
+        return out;
+      });
+
+  std::vector<Row> merged = locally_sorted.Collect();
+  std::stable_sort(merged.begin(), merged.end(), less);
+  return RowDataset::SinglePartition(std::move(merged));
+}
+
+std::string SortExec::Describe() const {
+  std::string s = "Sort [";
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += orders_[i]->ToString();
+  }
+  return s + "]";
+}
+
+RowDataset LimitExec::Execute(ExecContext& ctx) const {
+  RowDataset input = child_->Execute(ctx);
+  size_t limit = n_ < 0 ? 0 : static_cast<size_t>(n_);
+
+  // Local limit bounds what each partition ships to the driver.
+  RowDataset local = input.MapPartitions(ctx, [&](size_t, const RowPartition&
+                                                              part) {
+    auto out = std::make_shared<RowPartition>();
+    size_t take = std::min(part.rows.size(), limit);
+    out->rows.assign(part.rows.begin(), part.rows.begin() + take);
+    return out;
+  });
+
+  std::vector<Row> all = local.Collect();
+  if (all.size() > limit) all.resize(limit);
+  return RowDataset::SinglePartition(std::move(all));
+}
+
+}  // namespace ssql

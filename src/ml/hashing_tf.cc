@@ -1,0 +1,46 @@
+#include "ml/hashing_tf.h"
+
+#include <algorithm>
+#include <map>
+
+#include "api/sql_context.h"
+#include "catalyst/expr/udf_expr.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+MlVector HashingTF::HashWords(const std::vector<std::string>& words,
+                              int num_features) {
+  std::map<int32_t, double> counts;
+  for (const auto& w : words) {
+    int32_t bucket = static_cast<int32_t>(HashBytes(w.data(), w.size()) %
+                                          static_cast<uint64_t>(num_features));
+    counts[bucket] += 1.0;
+  }
+  std::vector<int32_t> indices;
+  std::vector<double> values;
+  indices.reserve(counts.size());
+  values.reserve(counts.size());
+  for (const auto& [idx, count] : counts) {
+    indices.push_back(idx);
+    values.push_back(count);
+  }
+  return MlVector::Sparse(num_features, std::move(indices), std::move(values));
+}
+
+DataFrame HashingTF::Transform(const DataFrame& input) const {
+  int num_features = num_features_;
+  ExprPtr features = ScalarUDF::Make(
+      "hashing_tf", {input(input_col_).expr()}, VectorUDT::Instance()->sql_type(),
+      [num_features](const std::vector<Value>& args) -> Value {
+        if (args[0].is_null()) return Value::Null();
+        std::vector<std::string> words;
+        for (const auto& w : args[0].array().elements) {
+          if (!w.is_null()) words.push_back(w.str());
+        }
+        return VectorUDT::ToStruct(HashWords(words, num_features));
+      });
+  return input.WithColumn(output_col_, Column(std::move(features)));
+}
+
+}  // namespace ssql

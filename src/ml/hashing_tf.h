@@ -1,0 +1,46 @@
+#ifndef SSQL_ML_HASHING_TF_H_
+#define SSQL_ML_HASHING_TF_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/pipeline.h"
+#include "ml/vector_udt.h"
+
+namespace ssql {
+
+/// Term-frequency featurizer (Figure 7's HashingTF): hashes each word of
+/// an array<string> column into a fixed number of buckets and counts
+/// occurrences, producing a sparse vector stored via the vector UDT.
+class HashingTF : public Transformer {
+ public:
+  HashingTF(std::string input_col, std::string output_col, int num_features)
+      : input_col_(std::move(input_col)),
+        output_col_(std::move(output_col)),
+        num_features_(num_features) {}
+
+  static std::shared_ptr<HashingTF> Make(std::string input_col,
+                                         std::string output_col,
+                                         int num_features = 1000) {
+    return std::make_shared<HashingTF>(std::move(input_col),
+                                       std::move(output_col), num_features);
+  }
+
+  DataFrame Transform(const DataFrame& input) const override;
+  std::string name() const override { return "HashingTF"; }
+
+  int num_features() const { return num_features_; }
+
+  /// The featurization itself, exposed for tests.
+  static MlVector HashWords(const std::vector<std::string>& words,
+                            int num_features);
+
+ private:
+  std::string input_col_;
+  std::string output_col_;
+  int num_features_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ML_HASHING_TF_H_

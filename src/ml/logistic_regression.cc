@@ -1,0 +1,77 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "api/sql_context.h"
+#include "catalyst/expr/udf_expr.h"
+
+namespace ssql {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double LogisticRegressionModel::PredictProbability(const MlVector& features) const {
+  return Sigmoid(features.Dot(weights_) + intercept_);
+}
+
+DataFrame LogisticRegressionModel::Transform(const DataFrame& input) const {
+  std::vector<double> weights = weights_;
+  double intercept = intercept_;
+  ExprPtr prediction = ScalarUDF::Make(
+      "predict", {input(features_col_).expr()}, DataType::Double(),
+      [weights, intercept](const std::vector<Value>& args) -> Value {
+        if (args[0].is_null()) return Value::Null();
+        MlVector v = VectorUDT::FromStruct(args[0]);
+        double p = Sigmoid(v.Dot(weights) + intercept);
+        return Value(p >= 0.5 ? 1.0 : 0.0);
+      });
+  return input.WithColumn(prediction_col_, Column(std::move(prediction)));
+}
+
+std::shared_ptr<LogisticRegressionModel> LogisticRegression::FitModel(
+    const DataFrame& input) const {
+  // Materialize (label, features) pairs on the driver.
+  std::vector<Row> rows =
+      input.Select(std::vector<std::string>{label_col_, features_col_}).Collect();
+  std::vector<double> labels;
+  std::vector<MlVector> features;
+  labels.reserve(rows.size());
+  features.reserve(rows.size());
+  int dim = 0;
+  for (const Row& row : rows) {
+    if (row.IsNullAt(0) || row.IsNullAt(1)) continue;
+    labels.push_back(row.Get(0).AsDouble());
+    features.push_back(VectorUDT::FromStruct(row.Get(1)));
+    dim = std::max(dim, static_cast<int>(features.back().size()));
+  }
+
+  std::vector<double> weights(dim, 0.0);
+  double intercept = 0.0;
+  size_t n = features.size();
+  if (n > 0) {
+    for (int iter = 0; iter < iterations_; ++iter) {
+      std::vector<double> grad(dim, 0.0);
+      double grad_intercept = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        double error =
+            Sigmoid(features[i].Dot(weights) + intercept) - labels[i];
+        features[i].AddTo(error, &grad);
+        grad_intercept += error;
+      }
+      double step = learning_rate_ / static_cast<double>(n);
+      for (int d = 0; d < dim; ++d) weights[d] -= step * grad[d];
+      intercept -= step * grad_intercept;
+    }
+  }
+  return std::make_shared<LogisticRegressionModel>(
+      std::move(weights), intercept, features_col_, prediction_col_);
+}
+
+std::shared_ptr<Transformer> LogisticRegression::Fit(const DataFrame& input) const {
+  return FitModel(input);
+}
+
+}  // namespace ssql

@@ -1,0 +1,83 @@
+#ifndef SSQL_ML_LOGISTIC_REGRESSION_H_
+#define SSQL_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/pipeline.h"
+#include "ml/vector_udt.h"
+
+namespace ssql {
+
+/// Fitted binary logistic regression (Figure 7's final stage). Exposes a
+/// prediction Transformer and a raw Predict() usable as a SQL UDF, the
+/// Section 3.7 pattern:
+///   ctx.udf.register("predict", (x, y) => model.predict(...)).
+class LogisticRegressionModel : public Transformer {
+ public:
+  LogisticRegressionModel(std::vector<double> weights, double intercept,
+                          std::string features_col, std::string prediction_col)
+      : weights_(std::move(weights)),
+        intercept_(intercept),
+        features_col_(std::move(features_col)),
+        prediction_col_(std::move(prediction_col)) {}
+
+  /// P(label = 1 | features).
+  double PredictProbability(const MlVector& features) const;
+  /// Hard 0/1 prediction.
+  double Predict(const MlVector& features) const {
+    return PredictProbability(features) >= 0.5 ? 1.0 : 0.0;
+  }
+
+  DataFrame Transform(const DataFrame& input) const override;
+  std::string name() const override { return "LogisticRegressionModel"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_;
+  std::string features_col_;
+  std::string prediction_col_;
+};
+
+/// Batch-gradient-descent logistic regression over a DataFrame of
+/// (label double, features vector) columns.
+class LogisticRegression : public Estimator {
+ public:
+  LogisticRegression(std::string features_col, std::string label_col,
+                     std::string prediction_col = "prediction",
+                     int iterations = 100, double learning_rate = 1.0)
+      : features_col_(std::move(features_col)),
+        label_col_(std::move(label_col)),
+        prediction_col_(std::move(prediction_col)),
+        iterations_(iterations),
+        learning_rate_(learning_rate) {}
+
+  static std::shared_ptr<LogisticRegression> Make(
+      std::string features_col, std::string label_col,
+      std::string prediction_col = "prediction", int iterations = 100,
+      double learning_rate = 1.0) {
+    return std::make_shared<LogisticRegression>(
+        std::move(features_col), std::move(label_col), std::move(prediction_col),
+        iterations, learning_rate);
+  }
+
+  std::shared_ptr<Transformer> Fit(const DataFrame& input) const override;
+  /// Typed Fit, when the caller needs the model's weights/Predict().
+  std::shared_ptr<LogisticRegressionModel> FitModel(const DataFrame& input) const;
+  std::string name() const override { return "LogisticRegression"; }
+
+ private:
+  std::string features_col_;
+  std::string label_col_;
+  std::string prediction_col_;
+  int iterations_;
+  double learning_rate_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,24 @@
+#include "ml/pipeline.h"
+
+namespace ssql {
+
+std::shared_ptr<PipelineModel> Pipeline::Fit(const DataFrame& input) const {
+  std::vector<std::shared_ptr<Transformer>> fitted;
+  fitted.reserve(stages_.size());
+  DataFrame current = input;
+  for (const PipelineStage& stage : stages_) {
+    std::shared_ptr<Transformer> t = stage.transformer;
+    if (stage.estimator) t = stage.estimator->Fit(current);
+    current = t->Transform(current);
+    fitted.push_back(std::move(t));
+  }
+  return std::make_shared<PipelineModel>(std::move(fitted));
+}
+
+DataFrame PipelineModel::Transform(const DataFrame& input) const {
+  DataFrame current = input;
+  for (const auto& stage : stages_) current = stage->Transform(current);
+  return current;
+}
+
+}  // namespace ssql

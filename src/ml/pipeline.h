@@ -1,0 +1,79 @@
+#ifndef SSQL_ML_PIPELINE_H_
+#define SSQL_ML_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/dataframe.h"
+
+namespace ssql {
+
+/// ML pipelines over DataFrames (Section 5.2, Figure 7): "a pipeline is a
+/// graph of transformations on data ... each of which exchange datasets",
+/// and DataFrames are the dataset type. All stages take input/output
+/// column names, so they compose over any schema.
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+  /// Appends/derives columns on the input DataFrame.
+  virtual DataFrame Transform(const DataFrame& input) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// A stage that learns from data and produces a Transformer (a model).
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+  virtual std::shared_ptr<Transformer> Fit(const DataFrame& input) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// One pipeline stage: a transformer or an estimator.
+struct PipelineStage {
+  std::shared_ptr<Transformer> transformer;
+  std::shared_ptr<Estimator> estimator;
+
+  static PipelineStage Of(std::shared_ptr<Transformer> t) {
+    return {std::move(t), nullptr};
+  }
+  static PipelineStage Of(std::shared_ptr<Estimator> e) {
+    return {nullptr, std::move(e)};
+  }
+};
+
+class PipelineModel;
+
+/// Sequential pipeline: Fit() runs every stage in order, fitting estimators
+/// on the dataset as transformed so far.
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<PipelineStage> stages)
+      : stages_(std::move(stages)) {}
+
+  std::shared_ptr<PipelineModel> Fit(const DataFrame& input) const;
+
+ private:
+  std::vector<PipelineStage> stages_;
+};
+
+/// The fitted pipeline: a chain of transformers.
+class PipelineModel : public Transformer {
+ public:
+  explicit PipelineModel(std::vector<std::shared_ptr<Transformer>> stages)
+      : stages_(std::move(stages)) {}
+
+  DataFrame Transform(const DataFrame& input) const override;
+  std::string name() const override { return "PipelineModel"; }
+
+  const std::vector<std::shared_ptr<Transformer>>& stages() const {
+    return stages_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Transformer>> stages_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ML_PIPELINE_H_

@@ -1,0 +1,24 @@
+#include "ml/tokenizer.h"
+
+#include "api/sql_context.h"
+#include "catalyst/expr/udf_expr.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+DataFrame Tokenizer::Transform(const DataFrame& input) const {
+  ExprPtr words = ScalarUDF::Make(
+      "tokenize", {input(input_col_).expr()},
+      ArrayType::Make(DataType::String(), false),
+      [](const std::vector<Value>& args) -> Value {
+        if (args[0].is_null()) return Value::Null();
+        std::vector<Value> out;
+        for (const std::string& w : SplitWhitespace(args[0].str())) {
+          out.emplace_back(ToLower(w));
+        }
+        return Value::Array(std::move(out));
+      });
+  return input.WithColumn(output_col_, Column(std::move(words)));
+}
+
+}  // namespace ssql

@@ -1,0 +1,33 @@
+#ifndef SSQL_ML_TOKENIZER_H_
+#define SSQL_ML_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/pipeline.h"
+
+namespace ssql {
+
+/// Splits a text column into lower-cased words (Figure 7's first stage).
+class Tokenizer : public Transformer {
+ public:
+  Tokenizer(std::string input_col, std::string output_col)
+      : input_col_(std::move(input_col)), output_col_(std::move(output_col)) {}
+
+  static std::shared_ptr<Tokenizer> Make(std::string input_col,
+                                         std::string output_col) {
+    return std::make_shared<Tokenizer>(std::move(input_col),
+                                       std::move(output_col));
+  }
+
+  DataFrame Transform(const DataFrame& input) const override;
+  std::string name() const override { return "Tokenizer"; }
+
+ private:
+  std::string input_col_;
+  std::string output_col_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ML_TOKENIZER_H_

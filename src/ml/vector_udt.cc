@@ -1,0 +1,133 @@
+#include "ml/vector_udt.h"
+
+#include "util/status.h"
+
+namespace ssql {
+
+MlVector MlVector::Dense(std::vector<double> values) {
+  MlVector v;
+  v.dense_ = true;
+  v.size_ = static_cast<int32_t>(values.size());
+  v.values_ = std::move(values);
+  return v;
+}
+
+MlVector MlVector::Sparse(int32_t size, std::vector<int32_t> indices,
+                          std::vector<double> values) {
+  MlVector v;
+  v.dense_ = false;
+  v.size_ = size;
+  v.indices_ = std::move(indices);
+  v.values_ = std::move(values);
+  return v;
+}
+
+double MlVector::Get(int32_t i) const {
+  if (dense_) {
+    return (i >= 0 && i < size_) ? values_[i] : 0.0;
+  }
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    if (indices_[k] == i) return values_[k];
+  }
+  return 0.0;
+}
+
+double MlVector::Dot(const std::vector<double>& weights) const {
+  double sum = 0.0;
+  if (dense_) {
+    size_t n = std::min(values_.size(), weights.size());
+    for (size_t i = 0; i < n; ++i) sum += values_[i] * weights[i];
+    return sum;
+  }
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    if (static_cast<size_t>(indices_[k]) < weights.size()) {
+      sum += values_[k] * weights[indices_[k]];
+    }
+  }
+  return sum;
+}
+
+void MlVector::AddTo(double scale, std::vector<double>* out) const {
+  if (dense_) {
+    size_t n = std::min(values_.size(), out->size());
+    for (size_t i = 0; i < n; ++i) (*out)[i] += scale * values_[i];
+    return;
+  }
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    if (static_cast<size_t>(indices_[k]) < out->size()) {
+      (*out)[indices_[k]] += scale * values_[k];
+    }
+  }
+}
+
+bool MlVector::operator==(const MlVector& other) const {
+  if (size_ != other.size_) return false;
+  for (int32_t i = 0; i < size_; ++i) {
+    if (Get(i) != other.Get(i)) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const VectorUDT> VectorUDT::Instance() {
+  static const auto instance = std::make_shared<const VectorUDT>();
+  return instance;
+}
+
+const std::string& VectorUDT::name() const {
+  static const std::string kName = "vector";
+  return kName;
+}
+
+const DataTypePtr& VectorUDT::sql_type() const {
+  static const DataTypePtr type = StructType::Make({
+      Field("dense", DataType::Boolean(), false),
+      Field("size", DataType::Int32(), false),
+      Field("indices", ArrayType::Make(DataType::Int32(), false), true),
+      Field("values", ArrayType::Make(DataType::Double(), false), true),
+  });
+  return type;
+}
+
+Value VectorUDT::ToStruct(const MlVector& v) {
+  std::vector<Value> indices;
+  indices.reserve(v.indices().size());
+  for (int32_t i : v.indices()) indices.emplace_back(i);
+  std::vector<Value> values;
+  values.reserve(v.values().size());
+  for (double d : v.values()) values.emplace_back(d);
+  return Value::Struct({Value(v.dense()), Value(v.size()),
+                        Value::Array(std::move(indices)),
+                        Value::Array(std::move(values))});
+}
+
+MlVector VectorUDT::FromStruct(const Value& v) {
+  const auto& fields = v.struct_data().fields;
+  bool dense = fields[0].bool_value();
+  int32_t size = fields[1].i32();
+  std::vector<double> values;
+  for (const auto& d : fields[3].array().elements) values.push_back(d.f64());
+  if (dense) return MlVector::Dense(std::move(values));
+  std::vector<int32_t> indices;
+  for (const auto& i : fields[2].array().elements) indices.push_back(i.i32());
+  return MlVector::Sparse(size, std::move(indices), std::move(values));
+}
+
+Value VectorUDT::ToObject(MlVector v) {
+  return Value::Object(std::make_shared<MlVector>(std::move(v)),
+                       Instance().get());
+}
+
+Value VectorUDT::Serialize(const Value& object) const {
+  if (object.is_null()) return Value::Null();
+  const auto& obj = object.object();
+  const auto* vec = static_cast<const MlVector*>(obj.ptr.get());
+  if (vec == nullptr) throw ExecutionError("VectorUDT: not an MlVector");
+  return ToStruct(*vec);
+}
+
+Value VectorUDT::Deserialize(const Value& serialized) const {
+  if (serialized.is_null()) return Value::Null();
+  return ToObject(FromStruct(serialized));
+}
+
+}  // namespace ssql

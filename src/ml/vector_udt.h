@@ -1,0 +1,67 @@
+#ifndef SSQL_ML_VECTOR_UDT_H_
+#define SSQL_ML_VECTOR_UDT_H_
+
+#include <memory>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace ssql {
+
+/// MLlib's vector type (Section 5.2): dense or sparse feature vectors.
+class MlVector {
+ public:
+  static MlVector Dense(std::vector<double> values);
+  static MlVector Sparse(int32_t size, std::vector<int32_t> indices,
+                         std::vector<double> values);
+
+  bool dense() const { return dense_; }
+  int32_t size() const { return size_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Value at coordinate `i`.
+  double Get(int32_t i) const;
+
+  /// Dot product with a dense weight vector.
+  double Dot(const std::vector<double>& weights) const;
+
+  /// Accumulates `scale * this` into `out` (gradient updates).
+  void AddTo(double scale, std::vector<double>* out) const;
+
+  bool operator==(const MlVector& other) const;
+
+ private:
+  bool dense_ = true;
+  int32_t size_ = 0;
+  std::vector<int32_t> indices_;
+  std::vector<double> values_;
+};
+
+/// The vector UDT (Section 5.2): stores both sparse and dense vectors as
+/// "four primitive fields: a boolean for the type (dense or sparse), a size
+/// for the vector, an array of indices (for sparse coordinates), and an
+/// array of double values". Columnar caching and data sources see only
+/// this struct; UDFs registered on vectors receive MlVector objects.
+class VectorUDT : public UserDefinedType {
+ public:
+  static std::shared_ptr<const VectorUDT> Instance();
+
+  const std::string& name() const override;
+  const DataTypePtr& sql_type() const override;
+
+  Value Serialize(const Value& object) const override;
+  Value Deserialize(const Value& serialized) const override;
+
+  /// Convenience: MlVector -> struct Value of sql_type().
+  static Value ToStruct(const MlVector& v);
+  /// Convenience: struct Value of sql_type() -> MlVector.
+  static MlVector FromStruct(const Value& v);
+  /// Wraps an MlVector in a Value::Object tagged with this UDT.
+  static Value ToObject(MlVector v);
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ML_VECTOR_UDT_H_

@@ -1,0 +1,129 @@
+#include "online/online_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace ssql {
+
+namespace {
+
+/// Deterministic shuffle so batches behave like random samples.
+void ShuffleRows(std::vector<Row>* rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::shuffle(rows->begin(), rows->end(), rng);
+}
+
+}  // namespace
+
+OnlineAggregator::OnlineAggregator(const DataFrame& input,
+                                   const std::string& value_column,
+                                   OnlineAggKind kind, size_t num_batches,
+                                   uint64_t seed)
+    : grouped_(false), kind_(kind), num_batches_(std::max<size_t>(1, num_batches)) {
+  rows_ = input.Select(std::vector<std::string>{value_column}).Collect();
+  ShuffleRows(&rows_, seed);
+}
+
+OnlineAggregator::OnlineAggregator(const DataFrame& input,
+                                   const std::string& group_column,
+                                   const std::string& value_column,
+                                   OnlineAggKind kind, size_t num_batches,
+                                   uint64_t seed)
+    : grouped_(true), kind_(kind), num_batches_(std::max<size_t>(1, num_batches)) {
+  rows_ = input.Select(std::vector<std::string>{group_column, value_column})
+              .Collect();
+  ShuffleRows(&rows_, seed);
+}
+
+std::vector<OnlineEstimate> OnlineAggregator::Snapshot(size_t rows_seen) const {
+  std::vector<OnlineEstimate> out;
+  out.reserve(states_.size());
+  double fraction =
+      rows_.empty() ? 1.0
+                    : static_cast<double>(rows_seen) / static_cast<double>(rows_.size());
+  for (const GroupState& s : states_) {
+    OnlineEstimate e;
+    e.group = s.group;
+    e.fraction = fraction;
+    e.rows_seen = s.count;
+    if (s.count == 0) {
+      out.push_back(e);
+      continue;
+    }
+    double n = static_cast<double>(s.count);
+    double mean = s.sum / n;
+    double variance = std::max(0.0, s.sum_sq / n - mean * mean);
+    double stderr_mean = std::sqrt(variance / n);
+    switch (kind_) {
+      case OnlineAggKind::kAvg:
+        e.estimate = mean;
+        e.ci_low = mean - 1.96 * stderr_mean;
+        e.ci_high = mean + 1.96 * stderr_mean;
+        break;
+      case OnlineAggKind::kSum: {
+        // Scale the sample sum up by the inverse sampling fraction.
+        double scale = fraction > 0 ? 1.0 / fraction : 1.0;
+        double est = s.sum * scale;
+        double half = 1.96 * stderr_mean * n * scale;
+        e.estimate = est;
+        e.ci_low = est - half;
+        e.ci_high = est + half;
+        break;
+      }
+      case OnlineAggKind::kCount: {
+        double scale = fraction > 0 ? 1.0 / fraction : 1.0;
+        e.estimate = n * scale;
+        // Count of a Bernoulli-sampled group: binomial CI approximation.
+        double p = fraction;
+        double var = n * (1 - p) / (p * p);
+        double half = 1.96 * std::sqrt(std::max(0.0, var));
+        e.ci_low = e.estimate - half;
+        e.ci_high = e.estimate + half;
+        break;
+      }
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<OnlineEstimate> OnlineAggregator::Run(const BatchCallback& on_batch) {
+  states_.clear();
+  size_t total = rows_.size();
+  size_t batch_size = std::max<size_t>(1, (total + num_batches_ - 1) / num_batches_);
+  size_t pos = 0;
+  size_t batch = 0;
+  std::vector<OnlineEstimate> latest = Snapshot(0);
+  while (pos < total) {
+    size_t end = std::min(total, pos + batch_size);
+    for (size_t i = pos; i < end; ++i) {
+      const Row& row = rows_[i];
+      Value group = grouped_ ? row.Get(0) : Value::Null();
+      const Value& v = row.Get(grouped_ ? 1 : 0);
+      GroupState* state = nullptr;
+      for (auto& s : states_) {
+        if (s.group.Equals(group)) {
+          state = &s;
+          break;
+        }
+      }
+      if (state == nullptr) {
+        states_.push_back(GroupState{group, 0, 0.0, 0.0});
+        state = &states_.back();
+      }
+      if (v.is_null() && kind_ != OnlineAggKind::kCount) continue;
+      double x = v.is_null() ? 0.0 : v.AsDouble();
+      state->count += 1;
+      state->sum += x;
+      state->sum_sq += x * x;
+    }
+    pos = end;
+    ++batch;
+    latest = Snapshot(pos);
+    if (on_batch && !on_batch(batch, latest)) break;
+  }
+  return latest;
+}
+
+}  // namespace ssql

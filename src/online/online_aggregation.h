@@ -1,0 +1,77 @@
+#ifndef SSQL_ONLINE_ONLINE_AGGREGATION_H_
+#define SSQL_ONLINE_ONLINE_AGGREGATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/dataframe.h"
+
+namespace ssql {
+
+/// Generalized online aggregation (Section 7.1, the G-OLA research built
+/// on Catalyst): "the authors add a new operator to represent a relation
+/// that has been broken up into sampled batches ... standard aggregation
+/// must be replaced with stateful counterparts that take into account both
+/// the current sample and the results of previous batches", letting the
+/// user watch estimates converge and stop early.
+
+/// One refining answer: the running estimate after a batch, with a 95%
+/// confidence interval from the CLT over the rows seen so far.
+struct OnlineEstimate {
+  /// Grouping key (empty Value for global aggregates).
+  Value group;
+  double estimate = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  /// Fraction of the total input consumed when this estimate was made.
+  double fraction = 0.0;
+  size_t rows_seen = 0;
+};
+
+enum class OnlineAggKind { kAvg, kSum, kCount };
+
+/// Runs an aggregate query online: the input relation is split into
+/// `num_batches` random batches; after each batch the stateful aggregate
+/// emits refined estimates (scaling SUM/COUNT by the inverse sampled
+/// fraction). The `on_batch` callback receives the estimates after every
+/// batch; returning false stops the query early — the paper's
+/// "letting the user stop the query when sufficient accuracy has been
+/// reached".
+class OnlineAggregator {
+ public:
+  /// Global aggregate of `value_column`.
+  OnlineAggregator(const DataFrame& input, const std::string& value_column,
+                   OnlineAggKind kind, size_t num_batches, uint64_t seed = 7);
+  /// Grouped aggregate: one estimate per distinct `group_column` value.
+  OnlineAggregator(const DataFrame& input, const std::string& group_column,
+                   const std::string& value_column, OnlineAggKind kind,
+                   size_t num_batches, uint64_t seed = 7);
+
+  using BatchCallback =
+      std::function<bool(size_t batch, const std::vector<OnlineEstimate>&)>;
+
+  /// Processes batches until exhausted or the callback stops it; returns
+  /// the final estimates.
+  std::vector<OnlineEstimate> Run(const BatchCallback& on_batch = nullptr);
+
+ private:
+  struct GroupState {
+    Value group;
+    size_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+
+  std::vector<OnlineEstimate> Snapshot(size_t rows_seen) const;
+
+  std::vector<Row> rows_;  // shuffled (group, value) pairs
+  bool grouped_;
+  OnlineAggKind kind_;
+  size_t num_batches_;
+  std::vector<GroupState> states_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ONLINE_ONLINE_AGGREGATION_H_

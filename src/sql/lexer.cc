@@ -1,0 +1,125 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+bool Token::IsKeyword(const char* word) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+bool Token::IsSymbol(const char* symbol) const {
+  return kind == TokenKind::kSymbol && text == symbol;
+}
+
+std::vector<Token> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenKind::kIdentifier, sql.substr(start, i - start),
+                        start});
+      continue;
+    }
+    // Quoted identifier `like this`.
+    if (c == '`') {
+      ++i;
+      std::string body;
+      while (i < n && sql[i] != '`') body += sql[i++];
+      if (i >= n) throw ParseError("unterminated quoted identifier");
+      ++i;
+      tokens.push_back({TokenKind::kIdentifier, body, start});
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool saw_dot = false;
+      bool saw_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !saw_dot && !saw_exp) {
+          saw_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !saw_exp) {
+          saw_exp = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokenKind::kNumber, sql.substr(start, i - start), start});
+      continue;
+    }
+    // String literal with '' escape.
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string body;
+      while (i < n) {
+        if (sql[i] == quote) {
+          if (i + 1 < n && sql[i + 1] == quote) {
+            body += quote;
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        body += sql[i++];
+      }
+      if (i >= n) throw ParseError("unterminated string literal");
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(body), start});
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    if (two("!=") || two("<>") || two("<=") || two(">=") || two("==")) {
+      std::string op = sql.substr(i, 2);
+      if (op == "<>") op = "!=";
+      if (op == "==") op = "=";
+      tokens.push_back({TokenKind::kSymbol, op, start});
+      i += 2;
+      continue;
+    }
+    // Single-char symbols.
+    static const std::string kSingles = "(),.*+-/%=<>";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    throw ParseError("unexpected character '" + std::string(1, c) +
+                     "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace ssql

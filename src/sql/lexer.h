@@ -1,0 +1,34 @@
+#ifndef SSQL_SQL_LEXER_H_
+#define SSQL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace ssql {
+
+/// SQL token kinds.
+enum class TokenKind {
+  kIdentifier,   // foo, possibly a keyword (matched case-insensitively)
+  kNumber,       // 123, 1.5, .5
+  kString,       // 'text' with '' escaping
+  kSymbol,       // punctuation / operators: ( ) , . * + - / % = != <> < <= > >= ==
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier/keyword text (original case), symbol text,
+                     // decoded string body, or number literal
+  size_t offset = 0;
+
+  bool IsKeyword(const char* word) const;
+  bool IsSymbol(const char* symbol) const;
+};
+
+/// Tokenizes SQL; throws ParseError on bad input (unterminated strings,
+/// stray characters). Comments: `-- ...` to end of line.
+std::vector<Token> Tokenize(const std::string& sql);
+
+}  // namespace ssql
+
+#endif  // SSQL_SQL_LEXER_H_

@@ -1,0 +1,43 @@
+#ifndef SSQL_SQL_PARSER_H_
+#define SSQL_SQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "catalyst/plan/logical_plan.h"
+
+namespace ssql {
+
+/// The result of parsing one SQL statement: either a query producing an
+/// unresolved logical plan, or a CREATE TEMPORARY TABLE ... USING command
+/// (the data source registration syntax of Section 4.4.1).
+struct ParsedStatement {
+  enum class Kind { kQuery, kCreateTempTable, kCreateTempView };
+  Kind kind = Kind::kQuery;
+
+  // kQuery: the query plan. kCreateTempView: the view's plan.
+  PlanPtr plan;
+
+  // kCreateTempTable / kCreateTempView
+  std::string table_name;
+  // kCreateTempTable only
+  std::string provider;
+  std::map<std::string, std::string> options;
+};
+
+/// Recursive-descent SQL parser producing unresolved logical plans.
+/// Supported: SELECT [DISTINCT] list FROM refs [JOINs] [WHERE] [GROUP BY]
+/// [HAVING] [ORDER BY] [LIMIT], UNION [ALL], subqueries in FROM, CASE,
+/// CAST, IN, BETWEEN, LIKE, IS [NOT] NULL, function calls (incl.
+/// COUNT(DISTINCT x)), arithmetic/comparison/boolean operators, date
+/// literals, and CREATE TEMPORARY TABLE ... USING ... OPTIONS.
+/// Throws ParseError.
+ParsedStatement ParseSql(const std::string& sql);
+
+/// Parses just an expression (used by the DataFrame DSL's ExprSql helper
+/// and tests).
+ExprPtr ParseSqlExpression(const std::string& sql);
+
+}  // namespace ssql
+
+#endif  // SSQL_SQL_PARSER_H_

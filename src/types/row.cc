@@ -1,0 +1,30 @@
+#include "types/row.h"
+
+namespace ssql {
+
+Row Row::Concat(const Row& left, const Row& right) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Row(std::move(values));
+}
+
+bool Row::Equals(const Row& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!values_[i].Equals(other.values_[i])) return false;
+  }
+  return true;
+}
+
+std::string Row::ToString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += values_[i].ToString();
+  }
+  return s + "]";
+}
+
+}  // namespace ssql

@@ -1,0 +1,53 @@
+#ifndef SSQL_TYPES_ROW_H_
+#define SSQL_TYPES_ROW_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ssql {
+
+/// A tuple of boxed values; the runtime record of the row-based engine.
+/// Physical operators index fields positionally using bound attribute
+/// ordinals resolved at planning time.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+  Row(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& Get(size_t i) const { return values_[i]; }
+  Value& GetMutable(size_t i) { return values_[i]; }
+  void Set(size_t i, Value v) { values_[i] = std::move(v); }
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& values() { return values_; }
+
+  bool IsNullAt(size_t i) const { return values_[i].is_null(); }
+  int32_t GetInt32(size_t i) const { return values_[i].i32(); }
+  int64_t GetInt64(size_t i) const { return values_[i].i64(); }
+  double GetDouble(size_t i) const { return values_[i].f64(); }
+  bool GetBool(size_t i) const { return values_[i].bool_value(); }
+  const std::string& GetString(size_t i) const { return values_[i].str(); }
+
+  /// Concatenates two rows (used by joins).
+  static Row Concat(const Row& left, const Row& right);
+
+  bool Equals(const Row& other) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_TYPES_ROW_H_

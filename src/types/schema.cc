@@ -1,0 +1,46 @@
+#include "types/schema.h"
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+std::string Field::ToString() const {
+  std::string s = name + ": " + type->ToString();
+  if (!nullable) s += " not null";
+  return s;
+}
+
+bool Field::Equals(const Field& other) const {
+  return name == other.name && nullable == other.nullable &&
+         type->Equals(*other.type);
+}
+
+int StructType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string StructType::ToString() const {
+  std::string s = "struct<";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) s += ",";
+    s += fields_[i].name + ":" + fields_[i].type->ToString();
+    if (!fields_[i].nullable) s += " not null";
+  }
+  s += ">";
+  return s;
+}
+
+bool StructType::Equals(const DataType& other) const {
+  if (other.id() != TypeId::kStruct) return false;
+  const auto& o = static_cast<const StructType&>(other);
+  if (fields_.size() != o.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!fields_[i].Equals(o.fields_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace ssql

@@ -1,0 +1,71 @@
+#ifndef SSQL_TYPES_SCHEMA_H_
+#define SSQL_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace ssql {
+
+/// A named, typed, nullable column within a StructType / Schema.
+struct Field {
+  std::string name;
+  DataTypePtr type;
+  bool nullable = true;
+
+  Field() = default;
+  Field(std::string n, DataTypePtr t, bool null = true)
+      : name(std::move(n)), type(std::move(t)), nullable(null) {}
+
+  std::string ToString() const;
+  bool Equals(const Field& other) const;
+};
+
+/// STRUCT<name: type, ...>; doubles as the schema of a DataFrame/relation.
+class StructType : public DataType {
+ public:
+  explicit StructType(std::vector<Field> fields)
+      : DataType(TypeId::kStruct), fields_(std::move(fields)) {}
+
+  static std::shared_ptr<const StructType> Make(std::vector<Field> fields) {
+    return std::make_shared<StructType>(std::move(fields));
+  }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Returns the index of the field with `name` (case-insensitive), or -1.
+  int FieldIndex(const std::string& name) const;
+
+  std::string ToString() const override;
+  bool Equals(const DataType& other) const override;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const StructType>;
+
+/// Downcast helpers (types are immutable so const casts are safe).
+inline const StructType& AsStruct(const DataType& t) {
+  return static_cast<const StructType&>(t);
+}
+inline const ArrayType& AsArray(const DataType& t) {
+  return static_cast<const ArrayType&>(t);
+}
+inline const MapType& AsMap(const DataType& t) {
+  return static_cast<const MapType&>(t);
+}
+inline const DecimalType& AsDecimal(const DataType& t) {
+  return static_cast<const DecimalType&>(t);
+}
+inline const UserDefinedType& AsUdt(const DataType& t) {
+  return static_cast<const UserDefinedType&>(t);
+}
+
+}  // namespace ssql
+
+#endif  // SSQL_TYPES_SCHEMA_H_

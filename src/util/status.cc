@@ -1,0 +1,53 @@
+#include "util/status.h"
+
+namespace ssql {
+
+namespace {
+
+const char* CodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kAnalysisError:
+      return "AnalysisError";
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kExecutionError:
+      return "ExecutionError";
+    case ErrorCode::kIoError:
+      return "IoError";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(CodeName(code_)) + ": " + message_;
+}
+
+void Status::ThrowIfError() const {
+  // Fully qualified: inside Status, the unqualified names would resolve to
+  // the same-named static factory methods.
+  switch (code_) {
+    case ErrorCode::kOk:
+      return;
+    case ErrorCode::kAnalysisError:
+      throw ::ssql::AnalysisError(message_);
+    case ErrorCode::kParseError:
+      throw ::ssql::ParseError(message_);
+    case ErrorCode::kIoError:
+      throw ::ssql::IoError(message_);
+    case ErrorCode::kExecutionError:
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kNotImplemented:
+      throw ::ssql::ExecutionError(ToString());
+  }
+}
+
+}  // namespace ssql

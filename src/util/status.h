@@ -1,0 +1,106 @@
+#ifndef SSQL_UTIL_STATUS_H_
+#define SSQL_UTIL_STATUS_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ssql {
+
+/// Error category for failures surfaced by the library.
+enum class ErrorCode {
+  kOk = 0,
+  kAnalysisError,    // name resolution / type checking failures
+  kParseError,       // SQL syntax errors
+  kExecutionError,   // runtime failures while executing a plan
+  kIoError,          // file / data source failures
+  kInvalidArgument,  // bad API usage
+  kNotImplemented,
+};
+
+/// Lightweight status object. Functions that can fail either return a
+/// Status/Result or throw the corresponding exception type below; the
+/// user-facing API (DataFrame, SqlContext) throws so that analysis errors
+/// surface eagerly, as described in Section 3.4 of the paper.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status AnalysisError(std::string msg) {
+    return Status(ErrorCode::kAnalysisError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(ErrorCode::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(ErrorCode::kExecutionError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(ErrorCode::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(ErrorCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  /// Throws the exception matching this status if it is not OK.
+  void ThrowIfError() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Base class for all exceptions thrown by sparksql-cpp.
+class SsqlError : public std::runtime_error {
+ public:
+  SsqlError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Thrown eagerly when a logical plan fails analysis (unknown column, type
+/// mismatch, unknown table, ...).
+class AnalysisError : public SsqlError {
+ public:
+  explicit AnalysisError(const std::string& message)
+      : SsqlError(ErrorCode::kAnalysisError, message) {}
+};
+
+/// Thrown by the SQL parser on malformed input.
+class ParseError : public SsqlError {
+ public:
+  explicit ParseError(const std::string& message)
+      : SsqlError(ErrorCode::kParseError, message) {}
+};
+
+/// Thrown when executing a physical plan fails at runtime.
+class ExecutionError : public SsqlError {
+ public:
+  explicit ExecutionError(const std::string& message)
+      : SsqlError(ErrorCode::kExecutionError, message) {}
+};
+
+/// Thrown by data sources on I/O failures.
+class IoError : public SsqlError {
+ public:
+  explicit IoError(const std::string& message)
+      : SsqlError(ErrorCode::kIoError, message) {}
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_STATUS_H_

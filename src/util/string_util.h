@@ -1,0 +1,48 @@
+#ifndef SSQL_UTIL_STRING_UTIL_H_
+#define SSQL_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssql {
+
+/// Assorted small string helpers used across the code base.
+
+/// Lower-cases ASCII characters; SQL identifiers are case-insensitive.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// SQL LIKE pattern match with `%` and `_` wildcards.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// 64-bit FNV-1a hash, used for shuffle partitioning and hash joins.
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Parses integers/doubles with full-string validation.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Escapes a string for display inside single quotes in plan output.
+std::string EscapeForDisplay(std::string_view s);
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace ssql {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+    std::exception_ptr first_error;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = tasks.size();
+
+  for (auto& task : tasks) {
+    Submit([task = std::move(task), barrier] {
+      std::exception_ptr err;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(barrier->mu);
+      if (err && !barrier->first_error) barrier->first_error = err;
+      if (--barrier->remaining == 0) barrier->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(barrier->mu);
+  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+  if (barrier->first_error) std::rethrow_exception(barrier->first_error);
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ssql

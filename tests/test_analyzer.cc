@@ -1,0 +1,213 @@
+// Analysis phase tests (Section 4.3.1): relation lookup, attribute
+// resolution with unique IDs, star expansion, nested field access,
+// function resolution, type coercion, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "catalyst/analysis/analyzer.h"
+#include "catalyst/expr/aggregates.h"
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/complex_types.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "sql/parser.h"
+
+namespace ssql {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : analyzer_(&catalog_, &registry_) {
+    auto schema = StructType::Make({
+        Field("id", DataType::Int32(), false),
+        Field("name", DataType::String(), true),
+        Field("score", DataType::Double(), true),
+        Field("loc",
+              StructType::Make({Field("lat", DataType::Double(), false),
+                                Field("long", DataType::Double(), false)}),
+              true),
+    });
+    catalog_.RegisterTable("t", LocalRelation::FromSchema(schema, {}));
+  }
+
+  PlanPtr Analyze(const std::string& sql) {
+    return analyzer_.Analyze(ParseSql(sql).plan);
+  }
+
+  Catalog catalog_;
+  FunctionRegistry registry_;
+  Analyzer analyzer_;
+};
+
+TEST_F(AnalyzerTest, ResolvesRelationAndAttributes) {
+  PlanPtr plan = Analyze("SELECT id, name FROM t");
+  EXPECT_TRUE(plan->resolved());
+  auto out = plan->Output();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->name(), "id");
+  EXPECT_TRUE(out[0]->data_type()->Equals(*DataType::Int32()));
+  EXPECT_EQ(out[1]->name(), "name");
+}
+
+TEST_F(AnalyzerTest, AssignsUniqueExprIds) {
+  PlanPtr p1 = Analyze("SELECT id FROM t");
+  PlanPtr p2 = Analyze("SELECT id FROM t");
+  // Two scans of the same table get distinct attribute identities only if
+  // the underlying relation differs; the same registered plan shares IDs.
+  EXPECT_EQ(p1->Output()[0]->expr_id(), p2->Output()[0]->expr_id());
+  // But an alias introduces a fresh ID.
+  PlanPtr p3 = Analyze("SELECT id AS renamed FROM t");
+  EXPECT_NE(p3->Output()[0]->expr_id(), p1->Output()[0]->expr_id());
+}
+
+TEST_F(AnalyzerTest, StarExpansion) {
+  PlanPtr plan = Analyze("SELECT * FROM t");
+  EXPECT_EQ(plan->Output().size(), 4u);
+  PlanPtr qualified = Analyze("SELECT t.* FROM t");
+  EXPECT_EQ(qualified->Output().size(), 4u);
+}
+
+TEST_F(AnalyzerTest, QualifiedNamesResolve) {
+  EXPECT_TRUE(Analyze("SELECT t.id FROM t")->resolved());
+  EXPECT_TRUE(Analyze("SELECT x.id FROM t AS x")->resolved());
+  EXPECT_THROW(Analyze("SELECT wrong.id FROM t"), AnalysisError);
+}
+
+TEST_F(AnalyzerTest, NestedFieldAccessBecomesGetStructField) {
+  PlanPtr plan = Analyze("SELECT loc.lat FROM t");
+  ASSERT_TRUE(plan->resolved());
+  auto out = plan->Output();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->name(), "lat");
+  EXPECT_TRUE(out[0]->data_type()->Equals(*DataType::Double()));
+  // The projection expression is an Alias over GetStructField.
+  const auto* proj = AsPlan<Project>(plan);
+  ASSERT_NE(proj, nullptr);
+  const auto* alias = As<Alias>(proj->projections()[0]);
+  ASSERT_NE(alias, nullptr);
+  EXPECT_NE(As<GetStructField>(alias->child()), nullptr);
+}
+
+TEST_F(AnalyzerTest, TypeCoercionInsertsCasts) {
+  // int + double -> double with a cast around the int side.
+  PlanPtr plan = Analyze("SELECT id + score FROM t");
+  const auto* proj = AsPlan<Project>(plan);
+  ASSERT_NE(proj, nullptr);
+  const auto* alias = As<Alias>(proj->projections()[0]);
+  ASSERT_NE(alias, nullptr);
+  EXPECT_TRUE(alias->data_type()->Equals(*DataType::Double()));
+  const auto* add = As<Add>(alias->child());
+  ASSERT_NE(add, nullptr);
+  EXPECT_NE(As<Cast>(add->left()), nullptr);
+}
+
+TEST_F(AnalyzerTest, IntegerDivisionBecomesDouble) {
+  PlanPtr plan = Analyze("SELECT id / 2 FROM t");
+  EXPECT_TRUE(
+      plan->Output()[0]->data_type()->Equals(*DataType::Double()));
+}
+
+TEST_F(AnalyzerTest, StringNumericComparisonCoerces) {
+  PlanPtr plan = Analyze("SELECT id FROM t WHERE name > 5");
+  EXPECT_TRUE(plan->resolved());  // name cast to double for comparison
+}
+
+TEST_F(AnalyzerTest, DateStringComparisonCoerces) {
+  auto schema = StructType::Make({Field("d", DataType::Date(), false)});
+  catalog_.RegisterTable("dates", LocalRelation::FromSchema(schema, {}));
+  PlanPtr plan = Analyze("SELECT d FROM dates WHERE d > '2015-01-01'");
+  EXPECT_TRUE(plan->resolved());
+  // The filter should compare date with date (string side cast).
+  bool found_cast_to_date = false;
+  plan->Foreach([&](const LogicalPlan& node) {
+    for (const auto& e : node.Expressions()) {
+      e->Foreach([&](const Expression& x) {
+        if (const auto* cast = dynamic_cast<const Cast*>(&x)) {
+          if (cast->data_type()->id() == TypeId::kDate) found_cast_to_date = true;
+        }
+      });
+    }
+  });
+  EXPECT_TRUE(found_cast_to_date);
+}
+
+TEST_F(AnalyzerTest, GlobalAggregateRewrite) {
+  PlanPtr plan = Analyze("SELECT count(*) FROM t");
+  const auto* agg = AsPlan<Aggregate>(plan);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_TRUE(agg->groupings().empty());
+}
+
+TEST_F(AnalyzerTest, AggregateValidation) {
+  // Non-grouped plain column in an aggregate output is an error.
+  EXPECT_THROW(Analyze("SELECT name, count(*) FROM t GROUP BY id"),
+               AnalysisError);
+  // Grouping column is fine.
+  EXPECT_TRUE(
+      Analyze("SELECT id, count(*) FROM t GROUP BY id")->resolved());
+  // Arithmetic over a grouping expression is fine.
+  EXPECT_TRUE(
+      Analyze("SELECT id + 1, count(*) FROM t GROUP BY id")->resolved());
+}
+
+TEST_F(AnalyzerTest, HavingWithAggregateRewrites) {
+  PlanPtr plan =
+      Analyze("SELECT id, count(*) AS c FROM t GROUP BY id HAVING count(*) > 2");
+  EXPECT_TRUE(plan->resolved());
+  // Shape: Project over Filter over Aggregate.
+  const auto* proj = AsPlan<Project>(plan);
+  ASSERT_NE(proj, nullptr);
+  const auto* filter = AsPlan<Filter>(proj->child());
+  ASSERT_NE(filter, nullptr);
+  EXPECT_NE(AsPlan<Aggregate>(filter->child()), nullptr);
+  EXPECT_EQ(plan->Output().size(), 2u);
+}
+
+TEST_F(AnalyzerTest, UnknownThingsProduceActionableErrors) {
+  try {
+    Analyze("SELECT missing_col FROM t");
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing_col"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("id"), std::string::npos);
+  }
+  try {
+    Analyze("SELECT * FROM nope");
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("t"), std::string::npos);
+  }
+  EXPECT_THROW(Analyze("SELECT nosuchfn(id) FROM t"), AnalysisError);
+}
+
+TEST_F(AnalyzerTest, AmbiguousReferenceThrows) {
+  // Self-join: both sides expose "id".
+  EXPECT_THROW(Analyze("SELECT id FROM t a JOIN t b ON a.id = b.id"),
+               AnalysisError);
+  // Qualified access is fine.
+  EXPECT_TRUE(
+      Analyze("SELECT a.id FROM t a JOIN t b ON a.id = b.id")->resolved());
+}
+
+TEST_F(AnalyzerTest, CaseBranchesCoerceToCommonType) {
+  PlanPtr plan =
+      Analyze("SELECT CASE WHEN id > 0 THEN 1 ELSE 2.5 END FROM t");
+  EXPECT_TRUE(plan->Output()[0]->data_type()->Equals(*DataType::Double()));
+}
+
+TEST_F(AnalyzerTest, InListCoercion) {
+  EXPECT_TRUE(Analyze("SELECT id FROM t WHERE id IN (1, 2.5)")->resolved());
+}
+
+TEST_F(AnalyzerTest, OrderBySelectsHiddenColumn) {
+  PlanPtr plan = Analyze("SELECT name FROM t ORDER BY score");
+  EXPECT_TRUE(plan->resolved());
+  // Output stays 1 column even though score is sorted on.
+  EXPECT_EQ(plan->Output().size(), 1u);
+  EXPECT_EQ(plan->Output()[0]->name(), "name");
+}
+
+}  // namespace
+}  // namespace ssql

@@ -1,0 +1,288 @@
+// Codegen tests (Section 4.3.4): the compiled register program must agree
+// with the tree interpreter on every expression, including via a
+// property-style sweep over randomly generated expression trees, and must
+// fall back to interpretation for nodes it cannot compile (mixed mode).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "catalyst/codegen/compiled_expression.h"
+#include "catalyst/expr/arithmetic.h"
+#include "catalyst/expr/case_when.h"
+#include "catalyst/expr/cast.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/expr/string_ops.h"
+#include "catalyst/expr/udf_expr.h"
+
+namespace ssql {
+namespace {
+
+ExprPtr I32(int32_t v) { return Literal::Make(Value(v), DataType::Int32()); }
+ExprPtr F64(double v) { return Literal::Make(Value(v), DataType::Double()); }
+ExprPtr Str(const char* s) {
+  return Literal::Make(Value(s), DataType::String());
+}
+
+void ExpectAgree(const ExprPtr& expr, const Row& row) {
+  auto compiled = CompiledExpression::Compile(expr);
+  ASSERT_TRUE(compiled.has_value());
+  auto evaluator = compiled->NewEvaluator();
+  Value interpreted = expr->Eval(row);
+  Value generated = evaluator.Evaluate(row);
+  EXPECT_TRUE(interpreted.Equals(generated) ||
+              (interpreted.is_null() && generated.is_null()))
+      << expr->ToString() << ": interpreted=" << interpreted.ToString()
+      << " compiled=" << generated.ToString();
+}
+
+TEST(CodegenTest, ArithmeticOnColumns) {
+  ExprPtr x = BoundReference::Make(0, DataType::Int32(), false);
+  Row row({Value(int32_t{7})});
+  ExpectAgree(Add::Make(Add::Make(x, x), x), row);  // Figure 4's x+x+x
+  ExpectAgree(Multiply::Make(x, I32(3)), row);
+  ExpectAgree(Subtract::Make(I32(100), x), row);
+  ExpectAgree(Divide::Make(x, I32(2)), row);
+  ExpectAgree(Remainder::Make(x, I32(4)), row);
+  ExpectAgree(UnaryMinus::Make(x), row);
+}
+
+TEST(CodegenTest, FullyCompiledHasNoFallback) {
+  ExprPtr x = BoundReference::Make(0, DataType::Int32(), false);
+  auto compiled = CompiledExpression::Compile(Add::Make(Add::Make(x, x), x));
+  EXPECT_DOUBLE_EQ(compiled->compiled_fraction(), 1.0);
+}
+
+TEST(CodegenTest, NullColumns) {
+  ExprPtr x = BoundReference::Make(0, DataType::Int32(), true);
+  Row null_row({Value::Null()});
+  ExpectAgree(Add::Make(x, I32(1)), null_row);
+  ExpectAgree(IsNull::Make(x), null_row);
+  ExpectAgree(IsNotNull::Make(x), null_row);
+  ExpectAgree(EqualTo::Make(x, I32(1)), null_row);
+}
+
+TEST(CodegenTest, DivisionByZeroMatchesInterpreter) {
+  ExprPtr x = BoundReference::Make(0, DataType::Int32(), false);
+  Row zero({Value(int32_t{0})});
+  ExpectAgree(Divide::Make(I32(10), x), zero);
+  ExpectAgree(Remainder::Make(I32(10), x), zero);
+}
+
+TEST(CodegenTest, Comparisons) {
+  ExprPtr a = BoundReference::Make(0, DataType::Int64(), false);
+  ExprPtr b = BoundReference::Make(1, DataType::Double(), false);
+  ExprPtr s = BoundReference::Make(2, DataType::String(), false);
+  Row row({Value(int64_t{5}), Value(4.5), Value("hello")});
+  ExpectAgree(LessThan::Make(a, Literal::Make(Value(int64_t{6}), DataType::Int64())), row);
+  ExpectAgree(GreaterThanOrEqual::Make(b, F64(4.5)), row);
+  ExpectAgree(EqualTo::Make(s, Str("hello")), row);
+  ExpectAgree(NotEqualTo::Make(s, Str("world")), row);
+  // Mixed int/double comparison compiles via promotion.
+  ExpectAgree(LessThan::Make(a, b), row);
+}
+
+TEST(CodegenTest, BooleanLogicThreeValued) {
+  ExprPtr p = BoundReference::Make(0, DataType::Boolean(), true);
+  ExprPtr q = BoundReference::Make(1, DataType::Boolean(), true);
+  std::vector<Value> options = {Value(true), Value(false), Value::Null()};
+  for (const Value& vp : options) {
+    for (const Value& vq : options) {
+      Row row({vp, vq});
+      ExpectAgree(And::Make(p, q), row);
+      ExpectAgree(Or::Make(p, q), row);
+      ExpectAgree(Not::Make(p), row);
+    }
+  }
+}
+
+TEST(CodegenTest, StringOperations) {
+  ExprPtr s = BoundReference::Make(0, DataType::String(), false);
+  Row row({Value("hello world")});
+  ExpectAgree(StartsWith::Make(s, Str("hello")), row);
+  ExpectAgree(EndsWith::Make(s, Str("world")), row);
+  ExpectAgree(StringContains::Make(s, Str("o w")), row);
+  ExpectAgree(Like::Make(s, Str("%wor%")), row);
+  ExpectAgree(Upper::Make(s), row);
+  ExpectAgree(Lower::Make(Upper::Make(s)), row);
+  ExpectAgree(StringLength::Make(s), row);
+  ExpectAgree(Substring::Make(s, I32(7), I32(5)), row);
+  ExpectAgree(Concat::Make({s, Str("!")}), row);
+}
+
+TEST(CodegenTest, CastsCompile) {
+  ExprPtr i = BoundReference::Make(0, DataType::Int32(), false);
+  ExprPtr d = BoundReference::Make(1, DataType::Double(), false);
+  Row row({Value(int32_t{3}), Value(2.7)});
+  ExpectAgree(Cast::Make(i, DataType::Double()), row);
+  ExpectAgree(Cast::Make(d, DataType::Int64()), row);
+  ExpectAgree(Cast::Make(i, DataType::Int64()), row);
+}
+
+TEST(CodegenTest, UdfFallsBackToInterpreter) {
+  // Mixed mode: the UDF node is interpreted, the surrounding arithmetic is
+  // compiled (Section 4.3.4: compiled code "can directly call into our
+  // expression interpreter").
+  ExprPtr x = BoundReference::Make(0, DataType::Int32(), false);
+  ExprPtr udf = ScalarUDF::Make(
+      "inc", {x}, DataType::Int32(), [](const std::vector<Value>& args) {
+        return Value(static_cast<int32_t>(args[0].AsInt64() + 1));
+      });
+  ExprPtr expr = Add::Make(udf, I32(10));
+  auto compiled = CompiledExpression::Compile(expr);
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_LT(compiled->compiled_fraction(), 1.0);
+  auto evaluator = compiled->NewEvaluator();
+  EXPECT_EQ(evaluator.Evaluate(Row({Value(int32_t{5})})).i32(), 16);
+}
+
+TEST(CodegenTest, DecimalFallsBack) {
+  ExprPtr d = BoundReference::Make(0, DecimalType::Make(7, 2), false);
+  ExprPtr expr = Add::Make(d, Literal::Make(Value(Decimal(100, 7, 2)),
+                                            DecimalType::Make(7, 2)));
+  Row row({Value(Decimal(250, 7, 2))});
+  ExpectAgree(expr, row);
+}
+
+TEST(CodegenTest, DateComparisonsCompileAsInt) {
+  ExprPtr d = BoundReference::Make(0, DataType::Date(), false);
+  DateValue cutoff;
+  ParseDate("2015-01-01", &cutoff);
+  ExprPtr expr =
+      GreaterThan::Make(d, Literal::Make(Value(cutoff), DataType::Date()));
+  DateValue v;
+  ParseDate("2015-06-01", &v);
+  ExpectAgree(expr, Row({Value(v)}));
+  auto compiled = CompiledExpression::Compile(expr);
+  EXPECT_DOUBLE_EQ(compiled->compiled_fraction(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random expression trees agree under both backends.
+// ---------------------------------------------------------------------------
+
+class RandomExprGen {
+ public:
+  explicit RandomExprGen(uint64_t seed) : rng_(seed) {}
+
+  /// Random numeric expression tree over two bigint columns. All nodes
+  /// share one type, matching the analyzer's post-coercion invariant.
+  ExprPtr NumericTree(int depth) {
+    if (depth == 0 || Chance(0.3)) {
+      switch (rng_() % 3) {
+        case 0:
+          return BoundReference::Make(0, DataType::Int64(), true);
+        case 1:
+          return BoundReference::Make(1, DataType::Int64(), true);
+        default:
+          return Literal::Make(
+              Value(static_cast<int64_t>(rng_() % 200) - 100),
+              DataType::Int64());
+      }
+    }
+    ExprPtr l = NumericTree(depth - 1);
+    ExprPtr r = NumericTree(depth - 1);
+    switch (rng_() % 4) {
+      case 0:
+        return Add::Make(l, r);
+      case 1:
+        return Subtract::Make(l, r);
+      case 2:
+        return Multiply::Make(l, r);
+      default:
+        return UnaryMinus::Make(l);
+    }
+  }
+
+  /// Random predicate over the same columns.
+  ExprPtr PredicateTree(int depth) {
+    if (depth == 0 || Chance(0.3)) {
+      ExprPtr l = NumericTree(1);
+      ExprPtr r = NumericTree(1);
+      switch (rng_() % 4) {
+        case 0:
+          return LessThan::Make(l, r);
+        case 1:
+          return EqualTo::Make(l, r);
+        case 2:
+          return GreaterThanOrEqual::Make(l, r);
+        default:
+          return IsNull::Make(l);
+      }
+    }
+    ExprPtr l = PredicateTree(depth - 1);
+    ExprPtr r = PredicateTree(depth - 1);
+    switch (rng_() % 3) {
+      case 0:
+        return And::Make(l, r);
+      case 1:
+        return Or::Make(l, r);
+      default:
+        return Not::Make(l);
+    }
+  }
+
+  Row RandomRow() {
+    Value a = Chance(0.15) ? Value::Null()
+                           : Value(static_cast<int64_t>(rng_() % 100) - 50);
+    Value b = Chance(0.15) ? Value::Null()
+                           : Value(static_cast<int64_t>(rng_() % 1000) - 500);
+    return Row({a, b});
+  }
+
+ private:
+  bool Chance(double p) {
+    return std::uniform_real_distribution<>(0, 1)(rng_) < p;
+  }
+  std::mt19937_64 rng_;
+};
+
+class CodegenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodegenPropertyTest, RandomNumericTreesAgree) {
+  RandomExprGen gen(GetParam() * 7919 + 13);
+  for (int t = 0; t < 20; ++t) {
+    ExprPtr expr = gen.NumericTree(4);
+    auto compiled = CompiledExpression::Compile(expr);
+    ASSERT_TRUE(compiled.has_value());
+    auto evaluator = compiled->NewEvaluator();
+    for (int r = 0; r < 10; ++r) {
+      Row row = gen.RandomRow();
+      Value interpreted = expr->Eval(row);
+      Value generated = evaluator.Evaluate(row);
+      ASSERT_TRUE(interpreted.Equals(generated) ||
+                  (interpreted.is_null() && generated.is_null()))
+          << expr->ToString() << " on " << row.ToString();
+    }
+  }
+}
+
+TEST_P(CodegenPropertyTest, RandomPredicatesAgree) {
+  RandomExprGen gen(GetParam() * 104729 + 7);
+  for (int t = 0; t < 20; ++t) {
+    ExprPtr expr = gen.PredicateTree(3);
+    auto compiled = CompiledExpression::Compile(expr);
+    ASSERT_TRUE(compiled.has_value());
+    auto evaluator = compiled->NewEvaluator();
+    for (int r = 0; r < 10; ++r) {
+      Row row = gen.RandomRow();
+      Value interpreted = expr->Eval(row);
+      bool is_null = false;
+      bool generated = evaluator.EvaluateBool(row, &is_null);
+      if (interpreted.is_null()) {
+        ASSERT_TRUE(is_null) << expr->ToString() << " on " << row.ToString();
+      } else {
+        ASSERT_FALSE(is_null) << expr->ToString() << " on " << row.ToString();
+        ASSERT_EQ(interpreted.bool_value(), generated)
+            << expr->ToString() << " on " << row.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ssql

@@ -1,0 +1,447 @@
+// Physical execution tests: every join algorithm against a reference
+// nested-loop implementation (property-swept over random data), the
+// two-stage aggregation protocol, sort/limit/union/sample, the cost-based
+// join selection, and operator fusion.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "api/sql_context.h"
+#include "catalyst/expr/literal.h"
+#include "catalyst/expr/predicates.h"
+#include "catalyst/planner/cost_model.h"
+#include "catalyst/planner/planner.h"
+#include "exec/join_exec.h"
+#include "exec/scan_exec.h"
+
+namespace ssql {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.default_parallelism = 3;
+  return config;
+}
+
+/// Reference inner/outer join on (key, payload) rows: brute force over
+/// collected inputs, mirroring SQL semantics (null keys never match).
+std::vector<Row> ReferenceJoin(const std::vector<Row>& left,
+                               const std::vector<Row>& right, JoinType type) {
+  std::vector<Row> out;
+  std::vector<bool> right_matched(right.size(), false);
+  for (const Row& l : left) {
+    bool matched = false;
+    for (size_t j = 0; j < right.size(); ++j) {
+      const Row& r = right[j];
+      if (l.IsNullAt(0) || r.IsNullAt(0)) continue;
+      if (l.Get(0).Compare(r.Get(0)) != 0) continue;
+      matched = true;
+      right_matched[j] = true;
+      if (type == JoinType::kLeftSemi) break;
+      out.push_back(Row::Concat(l, r));
+    }
+    if (type == JoinType::kLeftSemi && matched) out.push_back(l);
+    if ((type == JoinType::kLeftOuter || type == JoinType::kFullOuter) &&
+        !matched) {
+      Row padded = l;
+      size_t right_width = right.empty() ? 2 : right[0].size();
+      for (size_t c = 0; c < right_width; ++c) {
+        padded.Append(Value::Null());
+      }
+      out.push_back(padded);
+    }
+  }
+  if (type == JoinType::kRightOuter || type == JoinType::kFullOuter) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (!right_matched[j]) {
+        Row padded;
+        for (size_t c = 0; c < (left.empty() ? 2 : left[0].size()); ++c) {
+          padded.Append(Value::Null());
+        }
+        for (size_t c = 0; c < right[j].size(); ++c) {
+          padded.Append(right[j].Get(c));
+        }
+        out.push_back(padded);
+      }
+    }
+  }
+  if (type == JoinType::kRightOuter) {
+    // Right-outer also includes all matches (already added above).
+    // Reference only adds unmatched-right; matches covered by inner part.
+  }
+  return out;
+}
+
+/// Canonical multiset form for comparing row sets regardless of order.
+std::vector<std::string> Canonical(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(r.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Row> RandomKeyedRows(std::mt19937_64* rng, size_t n, int key_space,
+                                 double null_fraction) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool is_null =
+        std::uniform_real_distribution<>(0, 1)(*rng) < null_fraction;
+    Value key = is_null ? Value::Null()
+                        : Value(static_cast<int32_t>((*rng)() % key_space));
+    rows.push_back(Row({key, Value(static_cast<int32_t>(i))}));
+  }
+  return rows;
+}
+
+PhysPtr ScanOf(const AttributeVector& attrs, std::vector<Row> rows) {
+  return std::make_shared<LocalTableScanExec>(
+      attrs, std::make_shared<const std::vector<Row>>(std::move(rows)));
+}
+
+AttributeVector KeyedAttrs(const char* key, const char* payload) {
+  return {AttributeReference::Make(key, DataType::Int32(), true),
+          AttributeReference::Make(payload, DataType::Int32(), false)};
+}
+
+class JoinAlgorithmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinAlgorithmTest, AllAlgorithmsMatchReferenceOnInnerJoin) {
+  std::mt19937_64 rng(GetParam() * 7717);
+  ExecContext ctx(TestConfig());
+  for (int trial = 0; trial < 5; ++trial) {
+    auto left_rows = RandomKeyedRows(&rng, 30 + rng() % 50, 8, 0.1);
+    auto right_rows = RandomKeyedRows(&rng, 30 + rng() % 50, 8, 0.1);
+    auto expected =
+        Canonical(ReferenceJoin(left_rows, right_rows, JoinType::kInner));
+
+    AttributeVector la = KeyedAttrs("lk", "lv");
+    AttributeVector ra = KeyedAttrs("rk", "rv");
+    ExprVector lk = {la[0]};
+    ExprVector rk = {ra[0]};
+
+    BroadcastHashJoinExec broadcast(ScanOf(la, left_rows), ScanOf(ra, right_rows),
+                                    lk, rk, JoinType::kInner, nullptr);
+    EXPECT_EQ(Canonical(broadcast.Execute(ctx).Collect()), expected);
+
+    ShuffleHashJoinExec shuffle(ScanOf(la, left_rows), ScanOf(ra, right_rows),
+                                lk, rk, JoinType::kInner, nullptr);
+    EXPECT_EQ(Canonical(shuffle.Execute(ctx).Collect()), expected);
+
+    SortMergeJoinExec merge(ScanOf(la, left_rows), ScanOf(ra, right_rows), lk,
+                            rk, JoinType::kInner, nullptr);
+    EXPECT_EQ(Canonical(merge.Execute(ctx).Collect()), expected);
+
+    ExprPtr cond = EqualTo::Make(la[0], ra[0]);
+    NestedLoopJoinExec nested(ScanOf(la, left_rows), ScanOf(ra, right_rows),
+                              JoinType::kInner, cond);
+    EXPECT_EQ(Canonical(nested.Execute(ctx).Collect()), expected);
+  }
+}
+
+TEST_P(JoinAlgorithmTest, OuterAndSemiJoinsMatchReference) {
+  std::mt19937_64 rng(GetParam() * 104659);
+  ExecContext ctx(TestConfig());
+  auto left_rows = RandomKeyedRows(&rng, 40, 10, 0.1);
+  auto right_rows = RandomKeyedRows(&rng, 40, 10, 0.1);
+  AttributeVector la = KeyedAttrs("lk", "lv");
+  AttributeVector ra = KeyedAttrs("rk", "rv");
+  ExprVector lk = {la[0]};
+  ExprVector rk = {ra[0]};
+
+  for (JoinType type : {JoinType::kLeftOuter, JoinType::kRightOuter,
+                        JoinType::kFullOuter, JoinType::kLeftSemi}) {
+    auto expected = Canonical(ReferenceJoin(left_rows, right_rows, type));
+    ShuffleHashJoinExec shuffle(ScanOf(la, left_rows), ScanOf(ra, right_rows),
+                                lk, rk, type, nullptr);
+    EXPECT_EQ(Canonical(shuffle.Execute(ctx).Collect()), expected)
+        << JoinTypeName(type);
+  }
+  // Broadcast supports left-outer and semi.
+  for (JoinType type : {JoinType::kLeftOuter, JoinType::kLeftSemi}) {
+    auto expected = Canonical(ReferenceJoin(left_rows, right_rows, type));
+    BroadcastHashJoinExec broadcast(ScanOf(la, left_rows), ScanOf(ra, right_rows),
+                                    lk, rk, type, nullptr);
+    EXPECT_EQ(Canonical(broadcast.Execute(ctx).Collect()), expected)
+        << JoinTypeName(type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinAlgorithmTest, ::testing::Values(1, 2, 3));
+
+TEST(JoinExecTest, ResidualConditionFiltersMatches) {
+  ExecContext ctx(TestConfig());
+  AttributeVector la = KeyedAttrs("lk", "lv");
+  AttributeVector ra = KeyedAttrs("rk", "rv");
+  std::vector<Row> left = {Row({Value(int32_t{1}), Value(int32_t{10})}),
+                           Row({Value(int32_t{1}), Value(int32_t{20})})};
+  std::vector<Row> right = {Row({Value(int32_t{1}), Value(int32_t{15})})};
+  // Join on key AND lv < rv: only the (10, 15) pair survives.
+  ExprPtr residual = LessThan::Make(la[1], ra[1]);
+  ShuffleHashJoinExec join(ScanOf(la, left), ScanOf(ra, right), {la[0]},
+                           {ra[0]}, JoinType::kInner, residual);
+  auto rows = join.Execute(ctx).Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetInt32(1), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Join selection (Section 4.3.3)
+// ---------------------------------------------------------------------------
+
+class JoinSelectionTest : public ::testing::Test {
+ protected:
+  JoinSelectionTest() : ctx_(TestConfig()) {
+    // A "small" table with a size estimate (LocalRelation) and SQL tables.
+    auto small_schema = StructType::Make({Field("id", DataType::Int32(), false)});
+    std::vector<Row> small_rows;
+    for (int i = 0; i < 10; ++i) small_rows.push_back(Row({Value(int32_t(i))}));
+    ctx_.CreateDataFrame(small_schema, small_rows).RegisterTempTable("small");
+
+    auto big_schema = StructType::Make({
+        Field("id", DataType::Int32(), false),
+        Field("v", DataType::Int32(), false),
+    });
+    std::vector<Row> big_rows;
+    for (int i = 0; i < 1000; ++i) {
+      big_rows.push_back(Row({Value(int32_t(i % 10)), Value(int32_t(i))}));
+    }
+    ctx_.CreateDataFrame(big_schema, big_rows).RegisterTempTable("big");
+  }
+
+  std::string PhysicalPlanFor(const std::string& sql) {
+    DataFrame df = ctx_.Sql(sql);
+    return ctx_.PlanPhysical(ctx_.Optimize(df.plan()))->TreeString();
+  }
+
+  SqlContext ctx_;
+};
+
+TEST_F(JoinSelectionTest, SmallBuildSideGetsBroadcast) {
+  std::string plan =
+      PhysicalPlanFor("SELECT big.v FROM big JOIN small ON big.id = small.id");
+  EXPECT_NE(plan.find("BroadcastHashJoin"), std::string::npos) << plan;
+}
+
+TEST_F(JoinSelectionTest, LargeBuildSideGetsShuffleJoin) {
+  EngineConfig config = TestConfig();
+  config.broadcast_threshold_bytes = 16;  // nothing is "small"
+  SqlContext tight(config);
+  auto schema = StructType::Make({Field("id", DataType::Int32(), false)});
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  tight.CreateDataFrame(schema, rows).RegisterTempTable("a");
+  tight.CreateDataFrame(schema, rows).RegisterTempTable("b");
+  DataFrame df = tight.Sql("SELECT a.id FROM a JOIN b ON a.id = b.id");
+  std::string plan = tight.PlanPhysical(tight.Optimize(df.plan()))->TreeString();
+  EXPECT_NE(plan.find("ShuffleHashJoin"), std::string::npos) << plan;
+}
+
+TEST_F(JoinSelectionTest, JoinSelectionDisabledForcesShuffle) {
+  ctx_.config().join_selection_enabled = false;
+  std::string plan =
+      PhysicalPlanFor("SELECT big.v FROM big JOIN small ON big.id = small.id");
+  EXPECT_EQ(plan.find("BroadcastHashJoin"), std::string::npos) << plan;
+  ctx_.config().join_selection_enabled = true;
+}
+
+TEST_F(JoinSelectionTest, PreferSortMergeConfig) {
+  EngineConfig config = TestConfig();
+  config.broadcast_threshold_bytes = 16;
+  config.prefer_sort_merge_join = true;
+  SqlContext smj(config);
+  auto schema = StructType::Make({Field("id", DataType::Int32(), false)});
+  std::vector<Row> rows = {Row({Value(int32_t{1})})};
+  smj.CreateDataFrame(schema, rows).RegisterTempTable("a");
+  smj.CreateDataFrame(schema, rows).RegisterTempTable("b");
+  DataFrame df = smj.Sql("SELECT a.id FROM a JOIN b ON a.id = b.id");
+  std::string plan = smj.PlanPhysical(smj.Optimize(df.plan()))->TreeString();
+  EXPECT_NE(plan.find("SortMergeJoin"), std::string::npos) << plan;
+}
+
+TEST_F(JoinSelectionTest, NonEquiJoinUsesNestedLoop) {
+  std::string plan =
+      PhysicalPlanFor("SELECT big.v FROM big JOIN small ON big.id < small.id");
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST_F(JoinSelectionTest, ResultsIdenticalAcrossStrategies) {
+  const char* sql =
+      "SELECT big.v, small.id FROM big JOIN small ON big.id = small.id "
+      "WHERE big.v < 100";
+  auto baseline = Canonical(ctx_.Sql(sql).Collect());
+  ctx_.config().join_selection_enabled = false;
+  EXPECT_EQ(Canonical(ctx_.Sql(sql).Collect()), baseline);
+  ctx_.config().join_selection_enabled = true;
+  ctx_.config().prefer_sort_merge_join = true;
+  ctx_.config().broadcast_threshold_bytes = 1;
+  EXPECT_EQ(Canonical(ctx_.Sql(sql).Collect()), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation protocol / sort / limit / union / sample
+// ---------------------------------------------------------------------------
+
+class ExecOpsTest : public ::testing::Test {
+ protected:
+  ExecOpsTest() : ctx_(TestConfig()) {
+    auto schema = StructType::Make({
+        Field("k", DataType::Int32(), true),
+        Field("v", DataType::Int64(), true),
+    });
+    std::vector<Row> rows;
+    for (int i = 0; i < 500; ++i) {
+      Value key = (i % 50 == 0) ? Value::Null() : Value(int32_t(i % 7));
+      Value value = (i % 31 == 0) ? Value::Null() : Value(int64_t(i));
+      rows.push_back(Row({key, value}));
+    }
+    ctx_.CreateDataFrame(schema, rows).RegisterTempTable("data");
+  }
+  SqlContext ctx_;
+};
+
+TEST_F(ExecOpsTest, GroupedAggregationMatchesSingleThreadedReference) {
+  auto rows = ctx_.Sql(
+                     "SELECT k, count(*), count(v), sum(v), avg(v), min(v), "
+                     "max(v) FROM data GROUP BY k ORDER BY k")
+                  .Collect();
+  // Reference computation.
+  struct Ref {
+    int64_t count = 0, count_v = 0, sum = 0, min = INT64_MAX, max = INT64_MIN;
+  };
+  std::map<std::string, Ref> ref;
+  for (int i = 0; i < 500; ++i) {
+    bool null_key = i % 50 == 0;
+    std::string key = null_key ? "null" : std::to_string(i % 7);
+    Ref& r = ref[key];
+    r.count++;
+    if (i % 31 != 0) {
+      r.count_v++;
+      r.sum += i;
+      r.min = std::min<int64_t>(r.min, i);
+      r.max = std::max<int64_t>(r.max, i);
+    }
+  }
+  ASSERT_EQ(rows.size(), ref.size());  // 7 keys + null group
+  for (const Row& row : rows) {
+    std::string key = row.IsNullAt(0) ? "null" : std::to_string(row.GetInt32(0));
+    const Ref& r = ref[key];
+    EXPECT_EQ(row.GetInt64(1), r.count) << key;
+    EXPECT_EQ(row.GetInt64(2), r.count_v) << key;
+    EXPECT_EQ(row.GetInt64(3), r.sum) << key;
+    EXPECT_DOUBLE_EQ(row.GetDouble(4),
+                     static_cast<double>(r.sum) / r.count_v)
+        << key;
+    EXPECT_EQ(row.GetInt64(5), r.min) << key;
+    EXPECT_EQ(row.GetInt64(6), r.max) << key;
+  }
+}
+
+TEST_F(ExecOpsTest, AggregateExpressionsOverAggregates) {
+  // sum(v) / count(v) + 1 exercises result-expression rewriting in the
+  // Final stage.
+  auto rows =
+      ctx_.Sql("SELECT sum(v) / count(v) + 1 FROM data WHERE v IS NOT NULL")
+          .Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  double expected = 0;
+  int64_t sum = 0, count = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (i % 31 != 0) {
+      sum += i;
+      ++count;
+    }
+  }
+  expected = static_cast<double>(sum) / count + 1;
+  EXPECT_DOUBLE_EQ(rows[0].GetDouble(0), expected);
+}
+
+TEST_F(ExecOpsTest, EmptyInputGlobalAggregate) {
+  auto rows =
+      ctx_.Sql("SELECT count(*), sum(v), avg(v) FROM data WHERE k = 9999")
+          .Collect();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetInt64(0), 0);
+  EXPECT_TRUE(rows[0].IsNullAt(1));
+  EXPECT_TRUE(rows[0].IsNullAt(2));
+}
+
+TEST_F(ExecOpsTest, SortIsStableAndHandlesNulls) {
+  auto rows = ctx_.Sql(
+                     "SELECT k, v FROM data ORDER BY k ASC, v DESC LIMIT 20")
+                  .Collect();
+  ASSERT_EQ(rows.size(), 20u);
+  // Nulls sort first.
+  EXPECT_TRUE(rows[0].IsNullAt(0));
+  // Within the null-key group, v descends.
+  int64_t prev = INT64_MAX;
+  for (const Row& r : rows) {
+    if (!r.IsNullAt(0)) break;
+    if (!r.IsNullAt(1)) {
+      EXPECT_LE(r.GetInt64(1), prev);
+      prev = r.GetInt64(1);
+    }
+  }
+}
+
+TEST_F(ExecOpsTest, SampleIsDeterministicBySeed) {
+  DataFrame data = ctx_.Table("data");
+  int64_t a = data.Sample(0.3, 7).Count();
+  int64_t b = data.Sample(0.3, 7).Count();
+  EXPECT_EQ(a, b);
+  // Roughly 30% of 500.
+  EXPECT_GT(a, 80);
+  EXPECT_LT(a, 240);
+}
+
+TEST_F(ExecOpsTest, UnionConcatenates) {
+  DataFrame data = ctx_.Table("data");
+  EXPECT_EQ(data.UnionAll(data).Count(), 1000);
+}
+
+TEST_F(ExecOpsTest, OperatorFusionProducesSameResults) {
+  const char* sql = "SELECT k, v * 2 FROM data WHERE v > 100 AND k IS NOT NULL";
+  auto fused = Canonical(ctx_.Sql(sql).Collect());
+  ctx_.config().operator_fusion_enabled = false;
+  auto unfused = Canonical(ctx_.Sql(sql).Collect());
+  ctx_.config().operator_fusion_enabled = true;
+  EXPECT_EQ(fused, unfused);
+}
+
+TEST(CostModelTest, EstimatesFollowPlanShape) {
+  auto schema = StructType::Make({
+      Field("a", DataType::Int32(), false),
+      Field("b", DataType::Int32(), false),
+  });
+  std::vector<Row> rows(100, Row({Value(int32_t{1}), Value(int32_t{2})}));
+  PlanPtr local = LocalRelation::FromSchema(schema, rows);
+  auto base = EstimatePlanSizeBytes(local);
+  ASSERT_TRUE(base.has_value());
+
+  // Limit caps the estimate.
+  auto limited = EstimatePlanSizeBytes(Limit::Make(2, local));
+  ASSERT_TRUE(limited.has_value());
+  EXPECT_LT(*limited, *base);
+
+  // Filters deliberately do NOT shrink the estimate (Spark 1.3 behaviour,
+  // the reason for the paper's query 3a gap).
+  PlanPtr filtered = Filter::Make(
+      EqualTo::Make(local->Output()[0],
+                    Literal::Make(Value(int32_t{1}), DataType::Int32())),
+      local);
+  auto filter_est = EstimatePlanSizeBytes(filtered);
+  ASSERT_TRUE(filter_est.has_value());
+  EXPECT_EQ(*filter_est, *base);
+
+  // Joins are unknown.
+  EXPECT_FALSE(EstimatePlanSizeBytes(
+                   Join::Make(local, local, JoinType::kInner, nullptr))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace ssql

@@ -1,0 +1,143 @@
+// Section 7.1 tests (G-OLA-style online aggregation): estimates refine
+// toward the true answer, confidence intervals shrink and cover the truth,
+// early stopping works, and grouped online aggregates track per-group state.
+
+#include <gtest/gtest.h>
+
+#include "api/sql_context.h"
+#include "online/online_aggregation.h"
+
+namespace ssql {
+namespace {
+
+class OnlineAggTest : public ::testing::Test {
+ protected:
+  OnlineAggTest() {
+    EngineConfig config;
+    config.num_threads = 2;
+    config.default_parallelism = 2;
+    ctx_ = std::make_unique<SqlContext>(config);
+    auto schema = StructType::Make({
+        Field("g", DataType::Int32(), false),
+        Field("v", DataType::Double(), false),
+    });
+    std::vector<Row> rows;
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+      double v = (i % 100) * 1.0;  // mean 49.5
+      sum += v;
+      rows.push_back(Row({Value(int32_t(i % 4)), Value(v)}));
+    }
+    true_avg_ = sum / 10000;
+    df_ = ctx_->CreateDataFrame(schema, rows);
+  }
+
+  std::unique_ptr<SqlContext> ctx_;
+  DataFrame df_;
+  double true_avg_ = 0;
+};
+
+TEST_F(OnlineAggTest, AvgConvergesWithShrinkingCi) {
+  OnlineAggregator agg(df_, "v", OnlineAggKind::kAvg, /*num_batches=*/10);
+  std::vector<double> widths;
+  std::vector<double> errors;
+  auto final_estimates =
+      agg.Run([&](size_t, const std::vector<OnlineEstimate>& estimates) {
+        EXPECT_EQ(estimates.size(), 1u);
+        widths.push_back(estimates[0].ci_high - estimates[0].ci_low);
+        errors.push_back(std::abs(estimates[0].estimate - 49.5));
+        return true;
+      });
+  ASSERT_EQ(widths.size(), 10u);
+  // CI width shrinks monotonically-ish; compare first and last.
+  EXPECT_LT(widths.back(), widths.front());
+  // Final estimate is exact (all data consumed).
+  ASSERT_EQ(final_estimates.size(), 1u);
+  EXPECT_NEAR(final_estimates[0].estimate, true_avg_, 1e-9);
+  EXPECT_DOUBLE_EQ(final_estimates[0].fraction, 1.0);
+}
+
+TEST_F(OnlineAggTest, CiCoversTruthAlongTheWay) {
+  OnlineAggregator agg(df_, "v", OnlineAggKind::kAvg, 20);
+  int covered = 0;
+  int total = 0;
+  agg.Run([&](size_t, const std::vector<OnlineEstimate>& estimates) {
+    ++total;
+    if (estimates[0].ci_low <= 49.5 && 49.5 <= estimates[0].ci_high) ++covered;
+    return true;
+  });
+  // 95% CIs on random batches: expect coverage most of the time.
+  EXPECT_GE(covered, total - 3);
+}
+
+TEST_F(OnlineAggTest, EarlyStoppingStopsTheQuery) {
+  // "letting the user stop the query when sufficient accuracy has been
+  // reached".
+  OnlineAggregator agg(df_, "v", OnlineAggKind::kAvg, 50);
+  size_t batches_run = 0;
+  auto estimates =
+      agg.Run([&](size_t batch, const std::vector<OnlineEstimate>& est) {
+        batches_run = batch;
+        double width = est[0].ci_high - est[0].ci_low;
+        return width > 1.2;  // stop once the CI is tight enough
+      });
+  EXPECT_LT(batches_run, 50u);
+  EXPECT_LT(estimates[0].fraction, 1.0);
+  EXPECT_NEAR(estimates[0].estimate, 49.5, 5.0);
+}
+
+TEST_F(OnlineAggTest, SumScalesByInverseFraction) {
+  OnlineAggregator agg(df_, "v", OnlineAggKind::kSum, 10);
+  double true_sum = true_avg_ * 10000;
+  std::vector<double> estimates;
+  agg.Run([&](size_t, const std::vector<OnlineEstimate>& est) {
+    estimates.push_back(est[0].estimate);
+    return true;
+  });
+  // Every running estimate approximates the FULL sum (scaled up), not the
+  // partial sum.
+  for (double e : estimates) {
+    EXPECT_NEAR(e, true_sum, true_sum * 0.1);
+  }
+  EXPECT_NEAR(estimates.back(), true_sum, 1e-6);
+}
+
+TEST_F(OnlineAggTest, CountEstimatesTotal) {
+  OnlineAggregator agg(df_, "v", OnlineAggKind::kCount, 8);
+  auto final_estimates = agg.Run();
+  ASSERT_EQ(final_estimates.size(), 1u);
+  EXPECT_NEAR(final_estimates[0].estimate, 10000.0, 1e-6);
+}
+
+TEST_F(OnlineAggTest, GroupedEstimatesTrackEachGroup) {
+  OnlineAggregator agg(df_, "g", "v", OnlineAggKind::kAvg, 10);
+  auto final_estimates = agg.Run();
+  ASSERT_EQ(final_estimates.size(), 4u);
+  for (const auto& e : final_estimates) {
+    // Every group's true average: values are (i%100) restricted to i%4==g;
+    // by symmetry each group's mean is close to 49.5, and exact at the end:
+    // group g sees values {g%100, (g+4)%100, ...} -> mean 48+g... compute:
+    int32_t g = e.group.i32();
+    double sum = 0;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      if (i % 4 == g) {
+        sum += (i % 100);
+        ++count;
+      }
+    }
+    EXPECT_NEAR(e.estimate, sum / count, 1e-9) << "group " << g;
+    EXPECT_EQ(e.rows_seen, static_cast<size_t>(count)) << "group " << g;
+  }
+}
+
+TEST_F(OnlineAggTest, EmptyInputProducesNoEstimates) {
+  auto schema = StructType::Make({Field("v", DataType::Double(), true)});
+  DataFrame empty = ctx_->CreateDataFrame(schema, {});
+  OnlineAggregator agg(empty, "v", OnlineAggKind::kAvg, 5);
+  auto estimates = agg.Run();
+  EXPECT_TRUE(estimates.empty());
+}
+
+}  // namespace
+}  // namespace ssql

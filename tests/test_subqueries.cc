@@ -1,0 +1,217 @@
+// IN (SELECT ...) subqueries — rewritten to semi/anti joins by the
+// analyzer — and the filter-selectivity cost model extension (the paper's
+// Section 4.3.3 future-work item).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/sql_context.h"
+#include "catalyst/planner/cost_model.h"
+
+namespace ssql {
+namespace {
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  SubqueryTest() {
+    EngineConfig config;
+    config.num_threads = 2;
+    config.default_parallelism = 2;
+    ctx_ = std::make_unique<SqlContext>(config);
+
+    auto orders = StructType::Make({
+        Field("order_id", DataType::Int32(), false),
+        Field("customer_id", DataType::Int32(), false),
+        Field("amount", DataType::Double(), false),
+    });
+    std::vector<Row> order_rows;
+    for (int i = 0; i < 50; ++i) {
+      order_rows.push_back(Row({Value(int32_t(i)), Value(int32_t(i % 10)),
+                                Value(double(i) * 10)}));
+    }
+    ctx_->CreateDataFrame(orders, order_rows).RegisterTempTable("orders");
+
+    auto vips = StructType::Make({Field("id", DataType::Int32(), false)});
+    std::vector<Row> vip_rows = {Row({Value(int32_t{2})}),
+                                 Row({Value(int32_t{5})}),
+                                 Row({Value(int32_t{7})})};
+    ctx_->CreateDataFrame(vips, vip_rows).RegisterTempTable("vips");
+  }
+
+  std::unique_ptr<SqlContext> ctx_;
+};
+
+TEST_F(SubqueryTest, InSubqueryBecomesSemiJoin) {
+  DataFrame df = ctx_->Sql(
+      "SELECT order_id FROM orders "
+      "WHERE customer_id IN (SELECT id FROM vips)");
+  // The analyzed plan contains a LeftSemi join and no InSubquery.
+  bool has_semi = false;
+  df.plan()->Foreach([&](const LogicalPlan& node) {
+    if (const auto* j = AsPlan<Join>(node)) {
+      if (j->join_type() == JoinType::kLeftSemi) has_semi = true;
+    }
+  });
+  EXPECT_TRUE(has_semi) << df.plan()->TreeString();
+
+  auto rows = df.Collect();
+  // customers 2, 5, 7 each have 5 orders.
+  EXPECT_EQ(rows.size(), 15u);
+  for (const Row& r : rows) {
+    int32_t cust = r.GetInt32(0) % 10;
+    EXPECT_TRUE(cust == 2 || cust == 5 || cust == 7);
+  }
+}
+
+TEST_F(SubqueryTest, NotInSubqueryBecomesAntiJoin) {
+  DataFrame df = ctx_->Sql(
+      "SELECT order_id FROM orders "
+      "WHERE customer_id NOT IN (SELECT id FROM vips)");
+  bool has_anti = false;
+  df.plan()->Foreach([&](const LogicalPlan& node) {
+    if (const auto* j = AsPlan<Join>(node)) {
+      if (j->join_type() == JoinType::kLeftAnti) has_anti = true;
+    }
+  });
+  EXPECT_TRUE(has_anti) << df.plan()->TreeString();
+  EXPECT_EQ(df.Count(), 35);  // 50 - 15
+}
+
+TEST_F(SubqueryTest, SubqueryWithItsOwnClauses) {
+  auto rows = ctx_->Sql(
+                     "SELECT count(*) FROM orders WHERE customer_id IN "
+                     "(SELECT id FROM vips WHERE id > 4)")
+                  .Collect();
+  EXPECT_EQ(rows[0].GetInt64(0), 10);  // customers 5 and 7
+}
+
+TEST_F(SubqueryTest, MixedConjunctsKeepTheRest) {
+  auto rows = ctx_->Sql(
+                     "SELECT order_id FROM orders "
+                     "WHERE customer_id IN (SELECT id FROM vips) "
+                     "AND amount > 250")
+                  .Collect();
+  for (const Row& r : rows) {
+    EXPECT_GT(r.GetInt32(0) * 10.0, 250.0);
+  }
+  EXPECT_LT(rows.size(), 15u);
+  EXPECT_GT(rows.size(), 0u);
+}
+
+TEST_F(SubqueryTest, SelfReferencingSubqueryDeduplicates) {
+  // The subquery scans the same table: dedup must re-alias the right side
+  // and remap the rewritten join condition.
+  auto rows = ctx_->Sql(
+                     "SELECT count(*) FROM orders WHERE customer_id IN "
+                     "(SELECT customer_id FROM orders WHERE amount > 400)")
+                  .Collect();
+  // amounts > 400 are orders 41..49 -> customers 1..9; customer 0 excluded.
+  EXPECT_EQ(rows[0].GetInt64(0), 45);
+}
+
+TEST_F(SubqueryTest, AggregatingSubquery) {
+  auto rows = ctx_->Sql(
+                     "SELECT count(*) FROM orders WHERE customer_id IN "
+                     "(SELECT customer_id FROM orders GROUP BY customer_id "
+                     "HAVING count(*) > 4)")
+                  .Collect();
+  EXPECT_EQ(rows[0].GetInt64(0), 50);  // every customer has 5 orders
+}
+
+TEST_F(SubqueryTest, Errors) {
+  // Multi-column subquery.
+  EXPECT_THROW(ctx_->Sql("SELECT 1 FROM orders WHERE customer_id IN "
+                         "(SELECT id, id FROM vips)"),
+               AnalysisError);
+  // Subquery under OR is unsupported.
+  EXPECT_THROW(ctx_->Sql("SELECT 1 FROM orders WHERE amount > 1 OR "
+                         "customer_id IN (SELECT id FROM vips)"),
+               AnalysisError);
+  // Unknown table inside the subquery.
+  EXPECT_THROW(ctx_->Sql("SELECT 1 FROM orders WHERE customer_id IN "
+                         "(SELECT id FROM nope)"),
+               AnalysisError);
+}
+
+// ---------------------------------------------------------------------------
+// Filter-selectivity CBO (future-work extension)
+// ---------------------------------------------------------------------------
+
+class CboTest : public ::testing::Test {
+ protected:
+  CboTest() {
+    EngineConfig config;
+    config.num_threads = 2;
+    config.default_parallelism = 2;
+    // Threshold between the unfiltered and the selectivity-scaled size of
+    // the "big" table, so only the CBO estimate qualifies it for broadcast.
+    config.broadcast_threshold_bytes = 40000;
+    ctx_ = std::make_unique<SqlContext>(config);
+
+    auto schema = StructType::Make({
+        Field("id", DataType::Int32(), false),
+        Field("v", DataType::Int32(), false),
+    });
+    std::vector<Row> rows;
+    for (int i = 0; i < 2000; ++i) {
+      rows.push_back(Row({Value(int32_t(i)), Value(int32_t(i % 100))}));
+    }
+    // ~2000 * 80B = 160 KB estimated: over the threshold unfiltered,
+    // under it after two 0.25-selectivity conjuncts (10 KB).
+    ctx_->CreateDataFrame(schema, rows).RegisterTempTable("big_a");
+    ctx_->CreateDataFrame(schema, rows).RegisterTempTable("big_b");
+  }
+
+  std::string PlanFor(const std::string& sql) {
+    DataFrame df = ctx_->Sql(sql);
+    return ctx_->PlanPhysical(ctx_->Optimize(df.plan()))->TreeString();
+  }
+
+  std::unique_ptr<SqlContext> ctx_;
+};
+
+TEST_F(CboTest, SelectiveFilterEnablesBroadcastOnlyWithCbo) {
+  const char* sql =
+      "SELECT big_a.id FROM big_a JOIN big_b "
+      "ON big_a.id = big_b.id WHERE big_b.v < 10 AND big_b.v % 2 = 0";
+  // Spark 1.3 behaviour: the filter does not shrink the estimate.
+  std::string default_plan = PlanFor(sql);
+  EXPECT_EQ(default_plan.find("BroadcastHashJoin"), std::string::npos)
+      << default_plan;
+  // Future-work CBO: the filtered side is now estimated small enough.
+  ctx_->config().cbo_filter_selectivity = true;
+  std::string cbo_plan = PlanFor(sql);
+  EXPECT_NE(cbo_plan.find("BroadcastHashJoin"), std::string::npos) << cbo_plan;
+  ctx_->config().cbo_filter_selectivity = false;
+}
+
+TEST_F(CboTest, ResultsIdenticalEitherWay) {
+  const char* sql =
+      "SELECT big_a.id FROM big_a JOIN big_b "
+      "ON big_a.id = big_b.id WHERE big_b.v < 10 ORDER BY big_a.id";
+  auto baseline = ctx_->Sql(sql).Collect();
+  ctx_->config().cbo_filter_selectivity = true;
+  auto with_cbo = ctx_->Sql(sql).Collect();
+  ctx_->config().cbo_filter_selectivity = false;
+  ASSERT_EQ(baseline.size(), with_cbo.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(baseline[i].Equals(with_cbo[i]));
+  }
+}
+
+TEST_F(CboTest, SelectivityEstimatorShapes) {
+  DataFrame df = ctx_->Sql("SELECT id FROM big_a WHERE v < 10");
+  PlanPtr plan = df.plan();
+  auto plain = EstimatePlanSizeBytes(plan);
+  auto cbo = EstimatePlanSizeBytesWithSelectivity(plan);
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_TRUE(cbo.has_value());
+  EXPECT_LT(*cbo, *plain);
+  EXPECT_NEAR(static_cast<double>(*cbo),
+              static_cast<double>(*plain) * kDefaultFilterSelectivity,
+              static_cast<double>(*plain) * 0.05);
+}
+
+}  // namespace
+}  // namespace ssql

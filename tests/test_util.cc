@@ -1,0 +1,130 @@
+// Utility-layer tests (string helpers, status/exception mapping) plus the
+// CREATE TEMPORARY VIEW statement and error-propagation from data sources.
+
+#include <gtest/gtest.h>
+
+#include "api/sql_context.h"
+#include "datasources/data_source.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ssql {
+namespace {
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(ToUpper("MiXeD123"), "MIXED123");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, SplitVariants) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, "."), "x.y.z");
+  EXPECT_EQ(JoinStrings({}, "."), "");
+}
+
+TEST(StringUtilTest, TrimAndParse) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t\n"), "");
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("42x", &i));
+  EXPECT_FALSE(ParseInt64("", &i));
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", &d));
+  EXPECT_DOUBLE_EQ(d, 2500.0);
+  EXPECT_FALSE(ParseDouble("2.5.3", &d));
+}
+
+TEST(StringUtilTest, LikeMatchEdgeCases) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "a%%c"));  // consecutive % collapse
+  EXPECT_TRUE(LikeMatch("a%c", "a\\%c"));  // escaped literal %
+  EXPECT_FALSE(LikeMatch("abc", "a\\%c"));
+  EXPECT_TRUE(LikeMatch("anything", "%%%"));
+}
+
+TEST(StatusTest, ThrowMapping) {
+  EXPECT_NO_THROW(Status::OK().ThrowIfError());
+  EXPECT_THROW(Status::AnalysisError("x").ThrowIfError(), AnalysisError);
+  EXPECT_THROW(Status::ParseError("x").ThrowIfError(), ParseError);
+  EXPECT_THROW(Status::IoError("x").ThrowIfError(), IoError);
+  EXPECT_THROW(Status::ExecutionError("x").ThrowIfError(), ExecutionError);
+  EXPECT_EQ(Status::AnalysisError("msg").ToString(), "AnalysisError: msg");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(CreateViewTest, CreateTempViewAsSelect) {
+  SqlContext ctx;
+  auto schema = StructType::Make({Field("x", DataType::Int32(), false)});
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  ctx.CreateDataFrame(schema, rows).RegisterTempTable("base");
+
+  ctx.Sql("CREATE TEMPORARY VIEW big AS SELECT x FROM base WHERE x >= 5");
+  EXPECT_EQ(ctx.Sql("SELECT count(*) FROM big").Collect()[0].GetInt64(0), 5);
+
+  // TABLE spelling works too, and views compose.
+  ctx.Sql(
+      "CREATE TEMPORARY TABLE bigger AS SELECT x + 1 AS y FROM big WHERE x > 7");
+  auto rows2 = ctx.Sql("SELECT y FROM bigger ORDER BY y").Collect();
+  ASSERT_EQ(rows2.size(), 2u);
+  EXPECT_EQ(rows2[0].GetInt32(0), 9);
+  EXPECT_EQ(rows2[1].GetInt32(0), 10);
+
+  // Bad view bodies fail at CREATE time (eager analysis).
+  EXPECT_THROW(ctx.Sql("CREATE TEMPORARY VIEW broken AS SELECT nope FROM base"),
+               AnalysisError);
+}
+
+TEST(FailureInjectionTest, SourceErrorsPropagateCleanly) {
+  /// A source that fails mid-scan; the worker-pool error must surface as
+  /// the original exception on the driver.
+  class FailingRelation : public BaseRelation, public TableScan {
+   public:
+    std::string name() const override { return "failing"; }
+    SchemaPtr schema() const override {
+      return StructType::Make({Field("x", DataType::Int32(), false)});
+    }
+    std::vector<Row> ScanAll(ExecContext&) const override {
+      throw IoError("disk exploded");
+    }
+  };
+  SqlContext ctx;
+  DataFrame df(&ctx, LogicalRelation::Make(std::make_shared<FailingRelation>()));
+  df.RegisterTempTable("failing");
+  try {
+    ctx.Sql("SELECT count(*) FROM failing").Collect();
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("disk exploded"), std::string::npos);
+  }
+  // The context stays usable after a failed query.
+  EXPECT_EQ(ctx.Sql("SELECT 1").Collect().size(), 1u);
+}
+
+TEST(FailureInjectionTest, UdfErrorsPropagate) {
+  SqlContext ctx;
+  auto schema = StructType::Make({Field("x", DataType::Int32(), false)});
+  ctx.CreateDataFrame(schema, {Row({Value(int32_t{1})})})
+      .RegisterTempTable("t");
+  ctx.RegisterUdf("boom", DataType::Int32(),
+                  [](const std::vector<Value>&) -> Value {
+                    throw ExecutionError("udf failure");
+                  });
+  EXPECT_THROW(ctx.Sql("SELECT boom(x) FROM t").Collect(), ExecutionError);
+}
+
+}  // namespace
+}  // namespace ssql
