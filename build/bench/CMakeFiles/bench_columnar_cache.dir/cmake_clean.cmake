@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_columnar_cache.dir/bench_columnar_cache.cc.o"
+  "CMakeFiles/bench_columnar_cache.dir/bench_columnar_cache.cc.o.d"
+  "bench_columnar_cache"
+  "bench_columnar_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_columnar_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

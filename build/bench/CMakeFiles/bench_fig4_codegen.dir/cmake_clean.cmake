@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_codegen.dir/bench_fig4_codegen.cc.o"
+  "CMakeFiles/bench_fig4_codegen.dir/bench_fig4_codegen.cc.o.d"
+  "bench_fig4_codegen"
+  "bench_fig4_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

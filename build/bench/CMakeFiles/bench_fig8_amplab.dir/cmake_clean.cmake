@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_amplab.dir/bench_fig8_amplab.cc.o"
+  "CMakeFiles/bench_fig8_amplab.dir/bench_fig8_amplab.cc.o.d"
+  "bench_fig8_amplab"
+  "bench_fig8_amplab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_amplab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

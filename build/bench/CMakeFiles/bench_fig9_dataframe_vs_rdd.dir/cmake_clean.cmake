@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dataframe_vs_rdd.dir/bench_fig9_dataframe_vs_rdd.cc.o"
+  "CMakeFiles/bench_fig9_dataframe_vs_rdd.dir/bench_fig9_dataframe_vs_rdd.cc.o.d"
+  "bench_fig9_dataframe_vs_rdd"
+  "bench_fig9_dataframe_vs_rdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dataframe_vs_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_dataframe_vs_rdd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_selection.dir/bench_join_selection.cc.o"
+  "CMakeFiles/bench_join_selection.dir/bench_join_selection.cc.o.d"
+  "bench_join_selection"
+  "bench_join_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

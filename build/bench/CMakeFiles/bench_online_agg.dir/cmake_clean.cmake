@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_agg.dir/bench_online_agg.cc.o"
+  "CMakeFiles/bench_online_agg.dir/bench_online_agg.cc.o.d"
+  "bench_online_agg"
+  "bench_online_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_join.dir/bench_range_join.cc.o"
+  "CMakeFiles/bench_range_join.dir/bench_range_join.cc.o.d"
+  "bench_range_join"
+  "bench_range_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

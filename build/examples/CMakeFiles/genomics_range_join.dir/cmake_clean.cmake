@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_range_join.dir/genomics_range_join.cpp.o"
+  "CMakeFiles/genomics_range_join.dir/genomics_range_join.cpp.o.d"
+  "genomics_range_join"
+  "genomics_range_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_range_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_tweets.dir/json_tweets.cpp.o"
+  "CMakeFiles/json_tweets.dir/json_tweets.cpp.o.d"
+  "json_tweets"
+  "json_tweets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_tweets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_api.dir/api/column.cc.o"
+  "CMakeFiles/ssql_api.dir/api/column.cc.o.d"
+  "CMakeFiles/ssql_api.dir/api/dataframe.cc.o"
+  "CMakeFiles/ssql_api.dir/api/dataframe.cc.o.d"
+  "CMakeFiles/ssql_api.dir/api/sql_context.cc.o"
+  "CMakeFiles/ssql_api.dir/api/sql_context.cc.o.d"
+  "libssql_api.a"
+  "libssql_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

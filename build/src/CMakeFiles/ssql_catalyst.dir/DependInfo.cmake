@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalyst/analysis/analyzer.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/analyzer.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/analyzer.cc.o.d"
+  "/root/repo/src/catalyst/analysis/catalog.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/catalog.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/catalog.cc.o.d"
+  "/root/repo/src/catalyst/analysis/function_registry.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/function_registry.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/function_registry.cc.o.d"
+  "/root/repo/src/catalyst/analysis/type_coercion.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/type_coercion.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/analysis/type_coercion.cc.o.d"
+  "/root/repo/src/catalyst/codegen/compiled_expression.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/codegen/compiled_expression.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/codegen/compiled_expression.cc.o.d"
+  "/root/repo/src/catalyst/expr/aggregates.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/aggregates.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/aggregates.cc.o.d"
+  "/root/repo/src/catalyst/expr/arithmetic.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/arithmetic.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/arithmetic.cc.o.d"
+  "/root/repo/src/catalyst/expr/attribute.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/attribute.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/attribute.cc.o.d"
+  "/root/repo/src/catalyst/expr/case_when.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/case_when.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/case_when.cc.o.d"
+  "/root/repo/src/catalyst/expr/cast.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/cast.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/cast.cc.o.d"
+  "/root/repo/src/catalyst/expr/complex_types.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/complex_types.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/complex_types.cc.o.d"
+  "/root/repo/src/catalyst/expr/expression.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/expression.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/expression.cc.o.d"
+  "/root/repo/src/catalyst/expr/literal.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/literal.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/literal.cc.o.d"
+  "/root/repo/src/catalyst/expr/predicates.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/predicates.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/predicates.cc.o.d"
+  "/root/repo/src/catalyst/expr/string_ops.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/string_ops.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/string_ops.cc.o.d"
+  "/root/repo/src/catalyst/expr/udf_expr.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/udf_expr.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/expr/udf_expr.cc.o.d"
+  "/root/repo/src/catalyst/optimizer/expression_rules.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/expression_rules.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/expression_rules.cc.o.d"
+  "/root/repo/src/catalyst/optimizer/optimizer.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/catalyst/optimizer/plan_rules.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/plan_rules.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/optimizer/plan_rules.cc.o.d"
+  "/root/repo/src/catalyst/plan/logical_plan.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/plan/logical_plan.cc.o.d"
+  "/root/repo/src/catalyst/tree/rule_executor.cc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/tree/rule_executor.cc.o" "gcc" "src/CMakeFiles/ssql_catalyst.dir/catalyst/tree/rule_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

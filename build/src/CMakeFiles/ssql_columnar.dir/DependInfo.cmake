@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/column_vector.cc" "src/CMakeFiles/ssql_columnar.dir/columnar/column_vector.cc.o" "gcc" "src/CMakeFiles/ssql_columnar.dir/columnar/column_vector.cc.o.d"
+  "/root/repo/src/columnar/columnar_cache.cc" "src/CMakeFiles/ssql_columnar.dir/columnar/columnar_cache.cc.o" "gcc" "src/CMakeFiles/ssql_columnar.dir/columnar/columnar_cache.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/CMakeFiles/ssql_columnar.dir/columnar/encoding.cc.o" "gcc" "src/CMakeFiles/ssql_columnar.dir/columnar/encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_columnar.dir/columnar/column_vector.cc.o"
+  "CMakeFiles/ssql_columnar.dir/columnar/column_vector.cc.o.d"
+  "CMakeFiles/ssql_columnar.dir/columnar/columnar_cache.cc.o"
+  "CMakeFiles/ssql_columnar.dir/columnar/columnar_cache.cc.o.d"
+  "CMakeFiles/ssql_columnar.dir/columnar/encoding.cc.o"
+  "CMakeFiles/ssql_columnar.dir/columnar/encoding.cc.o.d"
+  "libssql_columnar.a"
+  "libssql_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssql_columnar.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasources/colf_format.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/colf_format.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/colf_format.cc.o.d"
+  "/root/repo/src/datasources/csv_source.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/csv_source.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/csv_source.cc.o.d"
+  "/root/repo/src/datasources/data_source.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/data_source.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/data_source.cc.o.d"
+  "/root/repo/src/datasources/json_parser.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/json_parser.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/json_parser.cc.o.d"
+  "/root/repo/src/datasources/json_source.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/json_source.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/json_source.cc.o.d"
+  "/root/repo/src/datasources/kvdb.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/kvdb.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/kvdb.cc.o.d"
+  "/root/repo/src/datasources/schema_inference.cc" "src/CMakeFiles/ssql_datasources.dir/datasources/schema_inference.cc.o" "gcc" "src/CMakeFiles/ssql_datasources.dir/datasources/schema_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_catalyst.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_datasources.dir/datasources/colf_format.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/colf_format.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/csv_source.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/csv_source.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/data_source.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/data_source.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/json_parser.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/json_parser.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/json_source.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/json_source.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/kvdb.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/kvdb.cc.o.d"
+  "CMakeFiles/ssql_datasources.dir/datasources/schema_inference.cc.o"
+  "CMakeFiles/ssql_datasources.dir/datasources/schema_inference.cc.o.d"
+  "libssql_datasources.a"
+  "libssql_datasources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_datasources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/dataset.cc" "src/CMakeFiles/ssql_engine.dir/engine/dataset.cc.o" "gcc" "src/CMakeFiles/ssql_engine.dir/engine/dataset.cc.o.d"
+  "/root/repo/src/engine/exec_context.cc" "src/CMakeFiles/ssql_engine.dir/engine/exec_context.cc.o" "gcc" "src/CMakeFiles/ssql_engine.dir/engine/exec_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_engine.dir/engine/dataset.cc.o"
+  "CMakeFiles/ssql_engine.dir/engine/dataset.cc.o.d"
+  "CMakeFiles/ssql_engine.dir/engine/exec_context.cc.o"
+  "CMakeFiles/ssql_engine.dir/engine/exec_context.cc.o.d"
+  "libssql_engine.a"
+  "libssql_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

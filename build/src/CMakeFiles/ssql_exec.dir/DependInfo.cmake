@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalyst/planner/cost_model.cc" "src/CMakeFiles/ssql_exec.dir/catalyst/planner/cost_model.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/catalyst/planner/cost_model.cc.o.d"
+  "/root/repo/src/catalyst/planner/planner.cc" "src/CMakeFiles/ssql_exec.dir/catalyst/planner/planner.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/catalyst/planner/planner.cc.o.d"
+  "/root/repo/src/exec/aggregate_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/aggregate_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/aggregate_exec.cc.o.d"
+  "/root/repo/src/exec/exchange_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/exchange_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/exchange_exec.cc.o.d"
+  "/root/repo/src/exec/interval_join_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/interval_join_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/interval_join_exec.cc.o.d"
+  "/root/repo/src/exec/join_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/join_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/join_exec.cc.o.d"
+  "/root/repo/src/exec/physical_plan.cc" "src/CMakeFiles/ssql_exec.dir/exec/physical_plan.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/physical_plan.cc.o.d"
+  "/root/repo/src/exec/scan_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/scan_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/scan_exec.cc.o.d"
+  "/root/repo/src/exec/sort_limit_exec.cc" "src/CMakeFiles/ssql_exec.dir/exec/sort_limit_exec.cc.o" "gcc" "src/CMakeFiles/ssql_exec.dir/exec/sort_limit_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_catalyst.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_datasources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

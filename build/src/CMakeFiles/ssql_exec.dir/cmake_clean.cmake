@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_exec.dir/catalyst/planner/cost_model.cc.o"
+  "CMakeFiles/ssql_exec.dir/catalyst/planner/cost_model.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/catalyst/planner/planner.cc.o"
+  "CMakeFiles/ssql_exec.dir/catalyst/planner/planner.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/aggregate_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/aggregate_exec.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/exchange_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/exchange_exec.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/interval_join_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/interval_join_exec.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/join_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/join_exec.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/physical_plan.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/physical_plan.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/scan_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/scan_exec.cc.o.d"
+  "CMakeFiles/ssql_exec.dir/exec/sort_limit_exec.cc.o"
+  "CMakeFiles/ssql_exec.dir/exec/sort_limit_exec.cc.o.d"
+  "libssql_exec.a"
+  "libssql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_ml.dir/ml/hashing_tf.cc.o"
+  "CMakeFiles/ssql_ml.dir/ml/hashing_tf.cc.o.d"
+  "CMakeFiles/ssql_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/ssql_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/ssql_ml.dir/ml/pipeline.cc.o"
+  "CMakeFiles/ssql_ml.dir/ml/pipeline.cc.o.d"
+  "CMakeFiles/ssql_ml.dir/ml/tokenizer.cc.o"
+  "CMakeFiles/ssql_ml.dir/ml/tokenizer.cc.o.d"
+  "CMakeFiles/ssql_ml.dir/ml/vector_udt.cc.o"
+  "CMakeFiles/ssql_ml.dir/ml/vector_udt.cc.o.d"
+  "libssql_ml.a"
+  "libssql_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_online.dir/online/online_aggregation.cc.o"
+  "CMakeFiles/ssql_online.dir/online/online_aggregation.cc.o.d"
+  "libssql_online.a"
+  "libssql_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

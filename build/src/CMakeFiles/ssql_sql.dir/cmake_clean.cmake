@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/ssql_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/ssql_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/ssql_sql.dir/sql/parser.cc.o.d"
+  "libssql_sql.a"
+  "libssql_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

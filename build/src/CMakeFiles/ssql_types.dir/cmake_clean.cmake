@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_types.dir/types/data_type.cc.o"
+  "CMakeFiles/ssql_types.dir/types/data_type.cc.o.d"
+  "CMakeFiles/ssql_types.dir/types/decimal.cc.o"
+  "CMakeFiles/ssql_types.dir/types/decimal.cc.o.d"
+  "CMakeFiles/ssql_types.dir/types/row.cc.o"
+  "CMakeFiles/ssql_types.dir/types/row.cc.o.d"
+  "CMakeFiles/ssql_types.dir/types/schema.cc.o"
+  "CMakeFiles/ssql_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/ssql_types.dir/types/value.cc.o"
+  "CMakeFiles/ssql_types.dir/types/value.cc.o.d"
+  "libssql_types.a"
+  "libssql_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssql_util.dir/util/status.cc.o"
+  "CMakeFiles/ssql_util.dir/util/status.cc.o.d"
+  "CMakeFiles/ssql_util.dir/util/string_util.cc.o"
+  "CMakeFiles/ssql_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/ssql_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/ssql_util.dir/util/thread_pool.cc.o.d"
+  "libssql_util.a"
+  "libssql_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssql_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer.cc" "tests/CMakeFiles/test_analyzer.dir/test_analyzer.cc.o" "gcc" "tests/CMakeFiles/test_analyzer.dir/test_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssql_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_datasources.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_catalyst.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssql_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

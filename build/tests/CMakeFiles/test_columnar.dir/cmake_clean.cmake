@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_columnar.dir/test_columnar.cc.o"
+  "CMakeFiles/test_columnar.dir/test_columnar.cc.o.d"
+  "test_columnar"
+  "test_columnar.pdb"
+  "test_columnar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

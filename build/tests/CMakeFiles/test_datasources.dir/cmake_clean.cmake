@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasources.dir/test_datasources.cc.o"
+  "CMakeFiles/test_datasources.dir/test_datasources.cc.o.d"
+  "test_datasources"
+  "test_datasources.pdb"
+  "test_datasources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

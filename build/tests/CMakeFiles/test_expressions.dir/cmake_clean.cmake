@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expressions.dir/test_expressions.cc.o"
+  "CMakeFiles/test_expressions.dir/test_expressions.cc.o.d"
+  "test_expressions"
+  "test_expressions.pdb"
+  "test_expressions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

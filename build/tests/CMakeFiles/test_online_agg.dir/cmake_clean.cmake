@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_agg.dir/test_online_agg.cc.o"
+  "CMakeFiles/test_online_agg.dir/test_online_agg.cc.o.d"
+  "test_online_agg"
+  "test_online_agg.pdb"
+  "test_online_agg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_join.dir/test_range_join.cc.o"
+  "CMakeFiles/test_range_join.dir/test_range_join.cc.o.d"
+  "test_range_join"
+  "test_range_join.pdb"
+  "test_range_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

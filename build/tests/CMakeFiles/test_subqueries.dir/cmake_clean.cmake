@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subqueries.dir/test_subqueries.cc.o"
+  "CMakeFiles/test_subqueries.dir/test_subqueries.cc.o.d"
+  "test_subqueries"
+  "test_subqueries.pdb"
+  "test_subqueries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subqueries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

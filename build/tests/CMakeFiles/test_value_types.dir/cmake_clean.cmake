@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_types.dir/test_value_types.cc.o"
+  "CMakeFiles/test_value_types.dir/test_value_types.cc.o.d"
+  "test_value_types"
+  "test_value_types.pdb"
+  "test_value_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

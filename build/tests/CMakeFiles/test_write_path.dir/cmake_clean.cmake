@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_path.dir/test_write_path.cc.o"
+  "CMakeFiles/test_write_path.dir/test_write_path.cc.o.d"
+  "test_write_path"
+  "test_write_path.pdb"
+  "test_write_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_value_types[1]_include.cmake")
+include("/root/repo/build/tests/test_expressions[1]_include.cmake")
+include("/root/repo/build/tests/test_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_datasources[1]_include.cmake")
+include("/root/repo/build/tests/test_columnar[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_range_join[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_online_agg[1]_include.cmake")
+include("/root/repo/build/tests/test_sql_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_subqueries[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_write_path[1]_include.cmake")
+include("/root/repo/build/tests/test_property_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
