@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 check: full build + test suite, then the fault-tolerance tests
+# again under AddressSanitizer/UBSan (retry, cancellation and parse-mode
+# paths exercise concurrent code worth running instrumented).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+cmake -B build-sanitize -S . -DSSQL_SANITIZE=ON >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance >/dev/null
+./build-sanitize/tests/test_fault_tolerance

@@ -89,12 +89,9 @@ class CachedTableSource : public BaseRelation,
       }
       partitions[idx] = std::move(part);
     };
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(chunks);
-    for (size_t i = 0; i < chunks; ++i) {
-      tasks.push_back([&scan_chunk, i] { scan_chunk(i); });
-    }
-    ctx.pool().RunAll(std::move(tasks));
+    // Each chunk scan is idempotent (rebuilds partitions[idx] from the
+    // immutable cached columns), so failed chunks can be retried.
+    TaskRunner(ctx).RunStage("scan", chunks, scan_chunk);
     return RowDataset(std::move(partitions));
   }
 
@@ -139,12 +136,29 @@ DataFrame SqlContext::Read(const std::string& provider,
 DataFrame SqlContext::ReadCsv(const std::string& path) {
   return Read("csv", {{"path", path}});
 }
+DataFrame SqlContext::ReadCsv(const std::string& path,
+                              DataSourceOptions options) {
+  options["path"] = path;
+  return Read("csv", options);
+}
 DataFrame SqlContext::ReadJson(const std::string& path) {
   return Read("json", {{"path", path}});
+}
+DataFrame SqlContext::ReadJson(const std::string& path,
+                               DataSourceOptions options) {
+  options["path"] = path;
+  return Read("json", options);
 }
 DataFrame SqlContext::ReadColf(const std::string& path) {
   return Read("colf", {{"path", path}});
 }
+
+DataFrame DataFrameReader::Load(const std::string& path) {
+  options_["path"] = path;
+  return ctx_->Read(provider_, options_);
+}
+
+DataFrame DataFrameReader::Load() { return ctx_->Read(provider_, options_); }
 
 DataFrame SqlContext::Sql(const std::string& statement) {
   ParsedStatement parsed = ParseSql(statement);
@@ -220,6 +234,9 @@ PlanPtr SqlContext::SubstituteCached(const PlanPtr& plan) const {
 }
 
 RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan) {
+  // Arm a fresh cancellation token (and the configured wall-clock timeout)
+  // for this query; operators poll it cooperatively during execution.
+  exec_.BeginQuery();
   PlanPtr with_cache = SubstituteCached(analyzed_plan);
   PlanPtr optimized = Optimize(with_cache);
   PhysPtr physical = PlanPhysical(optimized);

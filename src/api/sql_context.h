@@ -17,6 +17,42 @@
 
 namespace ssql {
 
+class SqlContext;
+
+/// Fluent reader builder (Spark's `sqlContext.read.format("json")
+/// .option("mode", "PERMISSIVE").load(path)`): accumulates provider +
+/// OPTIONS, then constructs the relation on Load().
+class DataFrameReader {
+ public:
+  explicit DataFrameReader(SqlContext* ctx) : ctx_(ctx) {}
+
+  DataFrameReader& Format(std::string provider) {
+    provider_ = std::move(provider);
+    return *this;
+  }
+  DataFrameReader& Option(const std::string& key, const std::string& value) {
+    options_[key] = value;
+    return *this;
+  }
+  /// Shorthand for Option("mode", ...): PERMISSIVE, DROPMALFORMED, FAILFAST.
+  DataFrameReader& Mode(const std::string& mode) {
+    return Option("mode", mode);
+  }
+  DataFrameReader& Schema(const std::string& schema) {
+    return Option("schema", schema);
+  }
+
+  /// Opens the source. Throws IoError/ParseError like SqlContext::Read.
+  DataFrame Load(const std::string& path);
+  /// Variant for sources whose location was given via Option("path", ...).
+  DataFrame Load();
+
+ private:
+  SqlContext* ctx_;
+  std::string provider_ = "csv";
+  DataSourceOptions options_;
+};
+
 /// The entry point (the paper's SQLContext/HiveContext): owns the catalog,
 /// function registry, optimizer, cache manager and the mini-Spark engine,
 /// and runs the four Catalyst phases of Figure 3 — analysis, logical
@@ -35,8 +71,12 @@ class SqlContext {
 
   /// From a data source provider with OPTIONS (Section 4.4.1).
   DataFrame Read(const std::string& provider, const DataSourceOptions& options);
+  /// Fluent form: ctx.Read().Format("json").Mode("PERMISSIVE").Load(path).
+  DataFrameReader Read() { return DataFrameReader(this); }
   DataFrame ReadCsv(const std::string& path);
+  DataFrame ReadCsv(const std::string& path, DataSourceOptions options);
   DataFrame ReadJson(const std::string& path);
+  DataFrame ReadJson(const std::string& path, DataSourceOptions options);
   DataFrame ReadColf(const std::string& path);
 
   /// Runs a SQL statement. SELECT returns its result DataFrame; CREATE

@@ -1,5 +1,7 @@
 #include "datasources/csv_source.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sys/stat.h>
 
@@ -54,11 +56,15 @@ Value ParseCell(const std::string& cell, const DataType& type) {
 }  // namespace
 
 CsvRelation::CsvRelation(std::string path, SchemaPtr schema, bool header,
-                         char delimiter)
+                         char delimiter, ParseMode mode, bool strict,
+                         int corrupt_column)
     : path_(std::move(path)),
       schema_(std::move(schema)),
       header_(header),
-      delimiter_(delimiter) {}
+      delimiter_(delimiter),
+      mode_(mode),
+      strict_(strict),
+      corrupt_column_(corrupt_column) {}
 
 std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options) {
   auto path_it = options.find("path");
@@ -74,9 +80,23 @@ std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options)
   if (auto it = options.find("delimiter"); it != options.end()) {
     if (!it->second.empty()) delimiter = it->second[0];
   }
+  ParseMode mode = ParseMode::kPermissive;
+  bool strict = false;
+  if (auto it = options.find("mode"); it != options.end()) {
+    mode = ParseModeFromString(it->second);
+    strict = true;
+  }
+  std::string corrupt_name = kCorruptRecordColumn;
+  if (auto it = options.find("columnNameOfCorruptRecord"); it != options.end()) {
+    corrupt_name = it->second;
+    strict = true;
+  }
 
   std::ifstream in(path);
-  if (!in.good()) throw IoError("cannot open CSV file: " + path);
+  if (!in.good()) {
+    throw IoError("cannot open CSV file: " + path + " (" +
+                  std::strerror(errno) + ")");
+  }
 
   SchemaPtr schema;
   if (auto it = options.find("schema"); it != options.end()) {
@@ -122,8 +142,21 @@ std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options)
     schema = StructType::Make(std::move(fields));
   }
 
+  // Under an explicit PERMISSIVE mode the raw text of malformed records is
+  // surfaced in an extra string column appended to the schema.
+  int corrupt_column = -1;
+  if (strict && mode == ParseMode::kPermissive) {
+    std::vector<Field> fields;
+    for (size_t i = 0; i < schema->num_fields(); ++i) {
+      fields.push_back(schema->field(i));
+    }
+    corrupt_column = static_cast<int>(fields.size());
+    fields.emplace_back(corrupt_name, DataType::String(), true);
+    schema = StructType::Make(std::move(fields));
+  }
+
   return std::make_shared<CsvRelation>(path, std::move(schema), header,
-                                       delimiter);
+                                       delimiter, mode, strict, corrupt_column);
 }
 
 std::optional<uint64_t> CsvRelation::EstimatedSizeBytes() const {
@@ -134,30 +167,76 @@ std::optional<uint64_t> CsvRelation::EstimatedSizeBytes() const {
 
 std::vector<Row> CsvRelation::ScanAll(ExecContext& ctx) const {
   std::ifstream in(path_);
-  if (!in.good()) throw IoError("cannot open CSV file: " + path_);
+  if (!in.good()) {
+    throw IoError("cannot open CSV file: " + path_ + " (" +
+                  std::strerror(errno) + ")");
+  }
+  size_t data_fields = schema_->num_fields() - (corrupt_column_ >= 0 ? 1 : 0);
   std::vector<Row> rows;
   std::string line;
   bool skip_header = header_;
+  size_t line_no = 0;
+  size_t malformed_count = 0, dropped = 0;
+  size_t cancel_check = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     if (skip_header) {
       skip_header = false;
       continue;
     }
+    ctx.CheckCancelledEvery(&cancel_check);
     auto cells = SplitCsvLine(line, delimiter_);
+
+    // A record is malformed when its cell count does not match the schema
+    // or a non-empty cell cannot be converted to its column's type. Only
+    // detected under an explicit mode; the lenient default repairs instead
+    // (null-pad short rows, ignore extras, bad cells become null).
+    bool malformed = strict_ && cells.size() != data_fields;
     Row row;
     row.Reserve(schema_->num_fields());
-    for (size_t i = 0; i < schema_->num_fields(); ++i) {
+    for (size_t i = 0; i < data_fields && !malformed; ++i) {
       if (i < cells.size()) {
-        row.Append(ParseCell(cells[i], *schema_->field(i).type));
+        Value v = ParseCell(cells[i], *schema_->field(i).type);
+        if (strict_ && v.is_null() && !cells[i].empty() &&
+            schema_->field(i).type->id() != TypeId::kString) {
+          malformed = true;
+          break;
+        }
+        row.Append(std::move(v));
       } else {
         row.Append(Value::Null());
       }
+    }
+    if (malformed) {
+      ++malformed_count;
+      switch (mode_) {
+        case ParseMode::kFailFast:
+          ctx.metrics().Add("source.malformed_records",
+                            static_cast<int64_t>(malformed_count));
+          throw ParseError(
+              FormatRecordError("malformed CSV record", path_, line_no, line));
+        case ParseMode::kDropMalformed:
+          ++dropped;
+          continue;
+        case ParseMode::kPermissive: {
+          row = Row();
+          row.Reserve(schema_->num_fields());
+          for (size_t i = 0; i < data_fields; ++i) row.Append(Value::Null());
+          row.Append(Value(line));  // the corrupt-record column
+          break;
+        }
+      }
+    } else if (corrupt_column_ >= 0) {
+      row.Append(Value::Null());
     }
     rows.push_back(std::move(row));
   }
   ctx.metrics().Add("source.rows_scanned", static_cast<int64_t>(rows.size()));
   ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(rows.size()));
+  ctx.metrics().Add("source.malformed_records",
+                    static_cast<int64_t>(malformed_count));
+  ctx.metrics().Add("source.rows_dropped", static_cast<int64_t>(dropped));
   return rows;
 }
 

@@ -19,9 +19,20 @@ namespace ssql {
 ///           sample of the file; header names are used when header=true
 ///   header  (optional, "true"/"false", default true)
 ///   delimiter (optional, single char, default ',')
+///   mode    (optional) malformed-record handling: PERMISSIVE (keep the
+///           row null-filled, raw text in the corrupt-record column),
+///           DROPMALFORMED (skip it), FAILFAST (throw with file + line).
+///           When absent the reader stays lenient like before: short rows
+///           are null-padded, extra cells ignored, bad cells become null,
+///           and no corrupt-record column is added.
+///   columnNameOfCorruptRecord (optional, default "_corrupt_record")
+///           name of the extra string column carrying raw malformed rows
+///           under PERMISSIVE.
 class CsvRelation : public BaseRelation, public TableScan {
  public:
-  CsvRelation(std::string path, SchemaPtr schema, bool header, char delimiter);
+  CsvRelation(std::string path, SchemaPtr schema, bool header, char delimiter,
+              ParseMode mode = ParseMode::kPermissive, bool strict = false,
+              int corrupt_column = -1);
 
   /// Reads the file header/sample to build a relation. Throws IoError.
   static std::shared_ptr<CsvRelation> Open(const DataSourceOptions& options);
@@ -39,9 +50,16 @@ class CsvRelation : public BaseRelation, public TableScan {
 
  private:
   std::string path_;
-  SchemaPtr schema_;
+  SchemaPtr schema_;  // includes the corrupt-record column when present
   bool header_;
   char delimiter_;
+  ParseMode mode_;
+  // True when the user asked for a parse mode explicitly: malformed rows
+  // are then detected (cell-count mismatch, unconvertible cells) instead
+  // of silently repaired.
+  bool strict_;
+  // Index of the corrupt-record column in schema_, or -1 if absent.
+  int corrupt_column_;
 };
 
 }  // namespace ssql

@@ -326,6 +326,23 @@ bool ColumnChunkMayMatch(const EncodedColumn& col, const FilterSpec& filter) {
   }
 }
 
+ParseMode ParseModeFromString(const std::string& s) {
+  if (EqualsIgnoreCase(s, "permissive")) return ParseMode::kPermissive;
+  if (EqualsIgnoreCase(s, "dropmalformed")) return ParseMode::kDropMalformed;
+  if (EqualsIgnoreCase(s, "failfast")) return ParseMode::kFailFast;
+  throw IoError("unknown parse mode '" + s +
+                "' (expected PERMISSIVE, DROPMALFORMED or FAILFAST)");
+}
+
+std::string FormatRecordError(const std::string& what, const std::string& path,
+                              size_t line, const std::string& record) {
+  constexpr size_t kMaxSnippet = 80;
+  std::string snippet = record.substr(0, kMaxSnippet);
+  if (record.size() > kMaxSnippet) snippet += "...";
+  return what + " at " + path + ":" + std::to_string(line) + ": '" + snippet +
+         "'";
+}
+
 SchemaPtr ParseSchemaString(const std::string& schema_str) {
   std::vector<Field> fields;
   for (const std::string& piece : SplitSchemaPieces(schema_str)) {

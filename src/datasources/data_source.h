@@ -117,6 +117,29 @@ class CatalystScan {
                                         const ExprVector& predicates) const = 0;
 };
 
+/// Malformed-record handling for text sources, Spark's reader "mode"
+/// option (the paper's Section 5.1 notes JSON inference "handles corrupt
+/// records gracefully"):
+///   PERMISSIVE    keep the record as a null-filled row with the raw text
+///                 in the corrupt-record column;
+///   DROPMALFORMED silently drop it (counted in metrics);
+///   FAILFAST      throw immediately with file + line context.
+enum class ParseMode { kPermissive, kDropMalformed, kFailFast };
+
+/// Parses a "mode" option value (case-insensitive); throws IoError on
+/// unknown modes.
+ParseMode ParseModeFromString(const std::string& s);
+
+/// Default name of the extra string column that carries the raw text of
+/// malformed records under PERMISSIVE (overridable per reader via the
+/// "columnNameOfCorruptRecord" option).
+inline constexpr const char* kCorruptRecordColumn = "_corrupt_record";
+
+/// Formats a malformed-record error: "<what> at <path>:<line>: '<snippet>'"
+/// with the offending record truncated to a readable length.
+std::string FormatRecordError(const std::string& what, const std::string& path,
+                              size_t line, const std::string& record);
+
 /// Factory signature: key-value OPTIONS from
 ///   CREATE TEMPORARY TABLE t USING <source> OPTIONS (k 'v', ...)
 using DataSourceOptions = std::map<std::string, std::string>;

@@ -1,5 +1,7 @@
 #include "datasources/json_source.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <sys/stat.h>
@@ -9,10 +11,16 @@
 namespace ssql {
 
 JsonRelation::JsonRelation(std::string path, SchemaPtr schema,
-                           std::shared_ptr<const std::vector<JsonValue>> records)
+                           std::shared_ptr<const std::vector<JsonValue>> records,
+                           int corrupt_column,
+                           std::vector<std::string> corrupt_records,
+                           size_t dropped_records)
     : path_(std::move(path)),
       schema_(std::move(schema)),
-      records_(std::move(records)) {}
+      records_(std::move(records)),
+      corrupt_column_(corrupt_column),
+      corrupt_records_(std::move(corrupt_records)),
+      dropped_records_(dropped_records) {}
 
 std::shared_ptr<JsonRelation> JsonRelation::Open(const DataSourceOptions& options) {
   auto path_it = options.find("path");
@@ -20,18 +28,70 @@ std::shared_ptr<JsonRelation> JsonRelation::Open(const DataSourceOptions& option
     throw IoError("json data source requires a 'path' option");
   }
   const std::string& path = path_it->second;
+  ParseMode mode = ParseMode::kFailFast;
+  if (auto it = options.find("mode"); it != options.end()) {
+    mode = ParseModeFromString(it->second);
+  }
+  std::string corrupt_name = kCorruptRecordColumn;
+  if (auto it = options.find("columnNameOfCorruptRecord"); it != options.end()) {
+    corrupt_name = it->second;
+  }
+
   std::ifstream in(path);
-  if (!in.good()) throw IoError("cannot open JSON file: " + path);
+  if (!in.good()) {
+    throw IoError("cannot open JSON file: " + path + " (" +
+                  std::strerror(errno) + ")");
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  const std::string text = buffer.str();
 
-  auto records =
-      std::make_shared<std::vector<JsonValue>>(ParseJsonLines(buffer.str()));
+  auto records = std::make_shared<std::vector<JsonValue>>();
+  std::vector<std::string> corrupt;
+  size_t dropped = 0;
+  try {
+    // Fast path: parse the whole buffer at once (handles objects spanning
+    // lines and the single top-level array form).
+    *records = ParseJsonLines(text);
+  } catch (const ParseError&) {
+    // Salvage pass: re-parse record by record so malformed lines can be
+    // reported with their 1-based line number (FAILFAST), dropped, or kept
+    // as corrupt records. Each line is treated as one record here, like
+    // Spark's line-delimited JSON reader.
+    records->clear();
+    size_t line_no = 0;
+    size_t start = 0;
+    while (start <= text.size()) {
+      size_t end = text.find('\n', start);
+      size_t len = (end == std::string::npos ? text.size() : end) - start;
+      std::string line = text.substr(start, len);
+      start = end == std::string::npos ? text.size() + 1 : end + 1;
+      ++line_no;
+      if (Trim(line).empty()) continue;
+      try {
+        records->push_back(ParseJson(line));
+      } catch (const ParseError&) {
+        switch (mode) {
+          case ParseMode::kFailFast:
+            throw ParseError(FormatRecordError("malformed JSON record", path,
+                                               line_no, line));
+          case ParseMode::kDropMalformed:
+            ++dropped;
+            break;
+          case ParseMode::kPermissive:
+            corrupt.push_back(std::move(line));
+            break;
+        }
+      }
+    }
+  }
 
   double sampling_ratio = 1.0;
   if (auto it = options.find("samplingRatio"); it != options.end()) {
     ParseDouble(it->second, &sampling_ratio);
   }
+  // Inference only sees well-formed records (Section 5.1: the algorithm
+  // "handles corrupt records gracefully").
   SchemaPtr schema;
   if (sampling_ratio >= 1.0 || records->empty()) {
     schema = InferSchema(*records);
@@ -46,9 +106,23 @@ std::shared_ptr<JsonRelation> JsonRelation::Open(const DataSourceOptions& option
     schema = InferSchema(sample);
   }
 
+  // Under PERMISSIVE the raw text of malformed records is surfaced in an
+  // extra string column appended to the schema.
+  int corrupt_column = -1;
+  if (mode == ParseMode::kPermissive) {
+    std::vector<Field> fields;
+    for (size_t i = 0; i < schema->num_fields(); ++i) {
+      fields.push_back(schema->field(i));
+    }
+    corrupt_column = static_cast<int>(fields.size());
+    fields.emplace_back(corrupt_name, DataType::String(), true);
+    schema = StructType::Make(std::move(fields));
+  }
+
   return std::make_shared<JsonRelation>(
       path, std::move(schema),
-      std::shared_ptr<const std::vector<JsonValue>>(std::move(records)));
+      std::shared_ptr<const std::vector<JsonValue>>(std::move(records)),
+      corrupt_column, std::move(corrupt), dropped);
 }
 
 std::optional<uint64_t> JsonRelation::EstimatedSizeBytes() const {
@@ -59,12 +133,29 @@ std::optional<uint64_t> JsonRelation::EstimatedSizeBytes() const {
 
 std::vector<Row> JsonRelation::ScanAll(ExecContext& ctx) const {
   std::vector<Row> rows;
-  rows.reserve(records_->size());
+  rows.reserve(records_->size() + corrupt_records_.size());
+  size_t cancel_check = 0;
   for (const JsonValue& r : *records_) {
+    ctx.CheckCancelledEvery(&cancel_check);
     rows.push_back(JsonToRow(r, *schema_));
+  }
+  for (const std::string& raw : corrupt_records_) {
+    ctx.CheckCancelledEvery(&cancel_check);
+    Row row;
+    row.Reserve(schema_->num_fields());
+    for (size_t i = 0; i < schema_->num_fields(); ++i) {
+      row.Append(static_cast<int>(i) == corrupt_column_ ? Value(raw)
+                                                        : Value::Null());
+    }
+    rows.push_back(std::move(row));
   }
   ctx.metrics().Add("source.rows_scanned", static_cast<int64_t>(rows.size()));
   ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(rows.size()));
+  ctx.metrics().Add(
+      "source.malformed_records",
+      static_cast<int64_t>(corrupt_records_.size() + dropped_records_));
+  ctx.metrics().Add("source.rows_dropped",
+                    static_cast<int64_t>(dropped_records_));
   return rows;
 }
 

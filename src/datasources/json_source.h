@@ -17,10 +17,19 @@ namespace ssql {
 /// OPTIONS:
 ///   path           (required) newline-delimited JSON objects (or one array)
 ///   samplingRatio  (optional) fraction of records used for inference
+///   mode           (optional, default FAILFAST) malformed-record handling:
+///                  PERMISSIVE (keep a null-filled row with the raw text in
+///                  the corrupt-record column), DROPMALFORMED (skip it),
+///                  FAILFAST (throw with file + line context). Schema
+///                  inference only sees well-formed records.
+///   columnNameOfCorruptRecord (optional, default "_corrupt_record")
 class JsonRelation : public BaseRelation, public TableScan {
  public:
   JsonRelation(std::string path, SchemaPtr schema,
-               std::shared_ptr<const std::vector<JsonValue>> records);
+               std::shared_ptr<const std::vector<JsonValue>> records,
+               int corrupt_column = -1,
+               std::vector<std::string> corrupt_records = {},
+               size_t dropped_records = 0);
 
   /// Reads and parses the file, infers the schema. Throws IoError /
   /// ParseError.
@@ -34,8 +43,14 @@ class JsonRelation : public BaseRelation, public TableScan {
 
  private:
   std::string path_;
-  SchemaPtr schema_;
+  SchemaPtr schema_;  // includes the corrupt-record column when present
   std::shared_ptr<const std::vector<JsonValue>> records_;
+  // Index of the corrupt-record column in schema_, or -1 if absent.
+  int corrupt_column_;
+  // Raw text of malformed records kept under PERMISSIVE; emitted after the
+  // well-formed rows (their original positions are not preserved).
+  std::vector<std::string> corrupt_records_;
+  size_t dropped_records_;
 };
 
 }  // namespace ssql

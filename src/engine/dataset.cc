@@ -48,59 +48,50 @@ std::vector<Row> RowDataset::Collect() const {
 
 RowDataset RowDataset::MapPartitions(
     ExecContext& ctx,
-    const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn) const {
+    const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn,
+    const std::string& stage) const {
   std::vector<RowPartitionPtr> out(partitions_.size());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(partitions_.size());
-  for (size_t i = 0; i < partitions_.size(); ++i) {
-    tasks.push_back([&, i] { out[i] = fn(i, *partitions_[i]); });
-  }
-  ctx.pool().RunAll(std::move(tasks));
+  TaskRunner(ctx).RunStage(stage, partitions_.size(),
+                           [&](size_t i) { out[i] = fn(i, *partitions_[i]); });
   return RowDataset(std::move(out));
 }
 
 RowDataset RowDataset::ShuffleByHash(
     ExecContext& ctx, size_t num_out,
-    const std::function<uint64_t(const Row&)>& key_hash) const {
+    const std::function<uint64_t(const Row&)>& key_hash,
+    const std::string& stage) const {
   if (num_out == 0) num_out = 1;
-  // Map side: each input partition writes `num_out` buckets.
+  // Map side: each input partition writes `num_out` buckets. assign()
+  // resets the buckets so a retried attempt starts from scratch.
   std::vector<std::vector<std::vector<Row>>> buckets(partitions_.size());
-  std::vector<std::function<void()>> map_tasks;
-  map_tasks.reserve(partitions_.size());
-  for (size_t i = 0; i < partitions_.size(); ++i) {
-    map_tasks.push_back([&, i] {
-      auto& local = buckets[i];
-      local.resize(num_out);
-      for (const Row& row : partitions_[i]->rows) {
-        local[key_hash(row) % num_out].push_back(row);
-      }
-    });
-  }
-  ctx.pool().RunAll(std::move(map_tasks));
+  TaskRunner(ctx).RunStage(stage + ".map", partitions_.size(), [&](size_t i) {
+    auto& local = buckets[i];
+    local.assign(num_out, {});
+    for (const Row& row : partitions_[i]->rows) {
+      local[key_hash(row) % num_out].push_back(row);
+    }
+  });
 
   // Track shuffle volume for benchmarks/tests.
   size_t shuffled = TotalRows();
   ctx.metrics().Add("shuffle.rows", static_cast<int64_t>(shuffled));
 
-  // Reduce side: concatenate bucket `p` from every mapper.
+  // Reduce side: concatenate bucket `p` from every mapper. The move below
+  // consumes the buckets, so everything that can throw (allocation aside)
+  // must come before it — retries re-run the body from the top.
   std::vector<RowPartitionPtr> out(num_out);
-  std::vector<std::function<void()>> reduce_tasks;
-  reduce_tasks.reserve(num_out);
-  for (size_t p = 0; p < num_out; ++p) {
-    reduce_tasks.push_back([&, p] {
-      auto part = std::make_shared<RowPartition>();
-      size_t total = 0;
-      for (const auto& local : buckets) total += local[p].size();
-      part->rows.reserve(total);
-      for (auto& local : buckets) {
-        auto& b = local[p];
-        part->rows.insert(part->rows.end(), std::make_move_iterator(b.begin()),
-                          std::make_move_iterator(b.end()));
-      }
-      out[p] = std::move(part);
-    });
-  }
-  ctx.pool().RunAll(std::move(reduce_tasks));
+  TaskRunner(ctx).RunStage(stage + ".reduce", num_out, [&](size_t p) {
+    auto part = std::make_shared<RowPartition>();
+    size_t total = 0;
+    for (const auto& local : buckets) total += local[p].size();
+    part->rows.reserve(total);
+    for (auto& local : buckets) {
+      auto& b = local[p];
+      part->rows.insert(part->rows.end(), std::make_move_iterator(b.begin()),
+                        std::make_move_iterator(b.end()));
+    }
+    out[p] = std::move(part);
+  });
   return RowDataset(std::move(out));
 }
 

@@ -46,14 +46,22 @@ class RowDataset {
   /// Applies `fn` to each partition in parallel on the context's pool,
   /// producing a new dataset with the same partition count. `fn` receives
   /// (partition_index, input_partition) and returns the output partition.
+  /// Runs as one TaskRunner stage named `stage`, so partitions inherit the
+  /// engine's failure contract (retry of RetryableError, sibling
+  /// cancellation, fault injection keyed by the stage name). `fn` may be
+  /// re-invoked for a partition after a retryable failure and must be
+  /// idempotent.
   RowDataset MapPartitions(
       ExecContext& ctx,
-      const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn) const;
+      const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn,
+      const std::string& stage = "map") const;
 
   /// Hash-repartitions rows into `num_out` partitions using `key_hash`,
-  /// which maps a row to a 64-bit hash. This is the engine's shuffle.
+  /// which maps a row to a 64-bit hash. This is the engine's shuffle; it
+  /// runs as two TaskRunner stages, "<stage>.map" and "<stage>.reduce".
   RowDataset ShuffleByHash(ExecContext& ctx, size_t num_out,
-                           const std::function<uint64_t(const Row&)>& key_hash) const;
+                           const std::function<uint64_t(const Row&)>& key_hash,
+                           const std::string& stage = "shuffle") const;
 
  private:
   std::vector<RowPartitionPtr> partitions_;

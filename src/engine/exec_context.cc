@@ -24,6 +24,15 @@ std::unordered_map<std::string, int64_t> Metrics::Snapshot() const {
 }
 
 ExecContext::ExecContext(EngineConfig config)
-    : config_(config), pool_(std::make_unique<ThreadPool>(config.num_threads)) {}
+    : config_(config),
+      pool_(std::make_unique<ThreadPool>(config.num_threads)),
+      cancellation_(std::make_shared<CancellationToken>()) {}
+
+CancellationTokenPtr ExecContext::BeginQuery() {
+  auto token = std::make_shared<CancellationToken>();
+  token->SetTimeout(config_.query_timeout_ms);
+  cancellation_ = token;
+  return token;
+}
 
 }  // namespace ssql

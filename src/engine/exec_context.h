@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "engine/task_runner.h"
 #include "util/thread_pool.h"
 
 namespace ssql {
@@ -43,6 +44,19 @@ struct EngineConfig {
   /// the estimate, so selective queries (the paper's 3a) qualify their
   /// filtered side for broadcast. Off by default, matching Spark 1.3.
   bool cbo_filter_selectivity = false;
+  /// Extra attempts per partition task for failures thrown as
+  /// RetryableError (the paper's "automatic fault tolerance of failed
+  /// tasks", Section 1). 0 disables retries entirely.
+  int task_max_retries = 2;
+  /// Base backoff between task attempts; doubles per attempt (capped).
+  int task_retry_backoff_ms = 1;
+  /// Per-query wall-clock budget enforced cooperatively between partitions
+  /// and inside operator loops. Negative = unlimited; 0 expires instantly.
+  int64_t query_timeout_ms = -1;
+  /// Deterministic fault injection for testing/benching the retry paths:
+  /// "<stage>:<partition>:<attempt>[-<last>]" entries, comma-separated
+  /// ("*" matches any stage). Empty = disabled. See FaultInjector.
+  std::string fault_injection_spec;
 };
 
 /// Simple named counters published by operators (rows scanned, rows shipped
@@ -72,10 +86,31 @@ class ExecContext {
   ThreadPool& pool() { return *pool_; }
   Metrics& metrics() { return metrics_; }
 
+  /// Installs a fresh cancellation token (armed with the configured query
+  /// timeout) for the next query. Called by SqlContext at the top of each
+  /// execution; must not be called while partition tasks are in flight.
+  CancellationTokenPtr BeginQuery();
+
+  /// The current query's token. Always non-null; shared with partition
+  /// tasks, so another thread may Cancel() it to abort the running query.
+  const CancellationTokenPtr& cancellation() const { return cancellation_; }
+
+  /// Throws ExecutionError if the current query was cancelled or timed out.
+  void CheckCancelled() const { cancellation_->ThrowIfCancelled(); }
+
+  /// Cheap form for tight row loops: polls the token every
+  /// kCancellationCheckInterval increments of `*counter`.
+  void CheckCancelledEvery(size_t* counter) const {
+    if ((++*counter & (kCancellationCheckInterval - 1)) == 0) {
+      CheckCancelled();
+    }
+  }
+
  private:
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
+  CancellationTokenPtr cancellation_;
 };
 
 }  // namespace ssql

@@ -1,0 +1,187 @@
+#include "engine/task_runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "engine/exec_context.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancellationToken::Cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reason_.empty()) {
+      reason_ = reason.empty() ? "cancelled" : std::move(reason);
+    }
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void CancellationToken::SetTimeout(int64_t timeout_ms) {
+  if (timeout_ms < 0) {
+    deadline_ns_.store(0, std::memory_order_release);
+    return;
+  }
+  timeout_ms_ = timeout_ms;
+  deadline_ns_.store(NowNs() + timeout_ms * 1'000'000, std::memory_order_release);
+}
+
+bool CancellationToken::PastDeadline() const {
+  int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  return deadline != 0 && NowNs() >= deadline;
+}
+
+bool CancellationToken::IsCancelled() const {
+  return cancelled_.load(std::memory_order_acquire) || PastDeadline();
+}
+
+std::string CancellationToken::StatusMessage() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return "query cancelled: " + reason_;
+  }
+  if (PastDeadline()) {
+    return "query timed out after " + std::to_string(timeout_ms_) + " ms";
+  }
+  return "";
+}
+
+void CancellationToken::ThrowIfCancelled() const {
+  if (!IsCancelled()) return;
+  throw ExecutionError(StatusMessage());
+}
+
+FaultInjector FaultInjector::Parse(const std::string& spec) {
+  FaultInjector injector;
+  if (spec.empty()) return injector;
+  for (const std::string& entry : Split(spec, ',')) {
+    std::string_view trimmed = Trim(entry);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> parts = Split(std::string(trimmed), ':');
+    int64_t partition = -1, first = -1, last = -1;
+    bool ok = parts.size() == 3 && !parts[0].empty() &&
+              ParseInt64(parts[1], &partition) && partition >= 0;
+    if (ok) {
+      size_t dash = parts[2].find('-');
+      if (dash == std::string::npos) {
+        ok = ParseInt64(parts[2], &first);
+        last = first;
+      } else {
+        ok = ParseInt64(parts[2].substr(0, dash), &first) &&
+             ParseInt64(parts[2].substr(dash + 1), &last);
+      }
+    }
+    if (!ok || first < 0 || last < first) {
+      throw ExecutionError(
+          "bad fault_injection_spec entry '" + std::string(trimmed) +
+          "': expected <stage>:<partition>:<attempt>[-<last_attempt>]");
+    }
+    injector.rules_.push_back({parts[0], static_cast<size_t>(partition),
+                               static_cast<int>(first), static_cast<int>(last)});
+  }
+  return injector;
+}
+
+void FaultInjector::MaybeFail(const std::string& stage, size_t partition,
+                              int attempt) const {
+  for (const Rule& rule : rules_) {
+    if (rule.partition != partition) continue;
+    if (rule.stage != "*" && rule.stage != stage) continue;
+    if (attempt < rule.first_attempt || attempt > rule.last_attempt) continue;
+    throw RetryableError("injected fault: stage '" + stage + "' partition " +
+                         std::to_string(partition) + " attempt " +
+                         std::to_string(attempt));
+  }
+}
+
+void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
+                          const std::function<void(size_t)>& body) const {
+  if (num_partitions == 0) return;
+  const EngineConfig& config = ctx_.config();
+  const CancellationTokenPtr token = ctx_.cancellation();
+  FaultInjector injector = FaultInjector::Parse(config.fault_injection_spec);
+  const int max_retries = std::max(0, config.task_max_retries);
+  const int backoff_ms = std::max(0, config.task_retry_backoff_ms);
+
+  // Shared stage state: a fatal failure in any task aborts siblings that
+  // have not started yet; every failure is recorded for the final message.
+  struct StageState {
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::vector<std::string> errors;  // "partition N: what happened"
+  };
+  auto state = std::make_shared<StageState>();
+
+  auto record_failure = [&](size_t partition, const std::string& what) {
+    ctx_.metrics().Add("task.failures", 1);
+    state->abort.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->errors.push_back("partition " + std::to_string(partition) + ": " +
+                            what);
+  };
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    tasks.push_back([&, p] {
+      for (int attempt = 0;; ++attempt) {
+        // A failed sibling or a cancelled/timed-out query stops this task
+        // before it does any work (Spark: killing a stage's pending tasks).
+        if (state->abort.load(std::memory_order_acquire) ||
+            token->IsCancelled()) {
+          return;
+        }
+        ctx_.metrics().Add("task.attempts", 1);
+        try {
+          if (injector.enabled()) injector.MaybeFail(stage, p, attempt);
+          body(p);
+          return;
+        } catch (const RetryableError& e) {
+          if (attempt >= max_retries) {
+            record_failure(p, std::string(e.what()) + " (gave up after " +
+                                  std::to_string(attempt + 1) + " attempts)");
+            return;
+          }
+          ctx_.metrics().Add("task.retries", 1);
+          if (backoff_ms > 0) {
+            int shift = std::min(attempt, 6);  // cap exponential growth
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms << shift));
+          }
+        } catch (const std::exception& e) {
+          record_failure(p, e.what());
+          return;
+        } catch (...) {
+          record_failure(p, "unknown error");
+          return;
+        }
+      }
+    });
+  }
+  ctx_.pool().RunAll(std::move(tasks));
+
+  // Cancellation/timeout outranks task failures: skipped tasks are a
+  // consequence, not the cause.
+  token->ThrowIfCancelled();
+
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->errors.empty()) return;
+  std::string message = "stage '" + stage + "': " +
+                        std::to_string(state->errors.size()) +
+                        " task(s) failed";
+  for (const std::string& err : state->errors) message += "\n  " + err;
+  throw ExecutionError(message);
+}
+
+}  // namespace ssql

@@ -1,0 +1,120 @@
+#ifndef SSQL_ENGINE_TASK_RUNNER_H_
+#define SSQL_ENGINE_TASK_RUNNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssql {
+
+class ExecContext;
+
+/// Cooperative cancellation shared by the driver and every partition task
+/// of a query. Cancellation has two sources: an explicit Cancel() (user
+/// abort) and a wall-clock deadline (EngineConfig::query_timeout_ms).
+/// Tasks and long operator loops poll ThrowIfCancelled(); the engine never
+/// kills a thread, matching Spark's cooperative task-kill model.
+class CancellationToken {
+ public:
+  /// Marks the token cancelled; idempotent (the first reason wins).
+  void Cancel(std::string reason);
+
+  /// Arms a deadline `timeout_ms` from now. Negative = no deadline.
+  void SetTimeout(int64_t timeout_ms);
+
+  /// True if cancelled or past the deadline.
+  bool IsCancelled() const;
+
+  /// Throws ExecutionError describing the cancellation or timeout.
+  void ThrowIfCancelled() const;
+
+  /// Human-readable cancellation cause ("" when not cancelled).
+  std::string StatusMessage() const;
+
+ private:
+  bool PastDeadline() const;
+
+  std::atomic<bool> cancelled_{false};
+  // Deadline as steady_clock ns-since-epoch; 0 = unarmed.
+  std::atomic<int64_t> deadline_ns_{0};
+  int64_t timeout_ms_ = 0;
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+/// How often row-level loops poll the cancellation token: every
+/// `kCancellationCheckInterval` rows (must stay a power of two).
+inline constexpr size_t kCancellationCheckInterval = 64;
+
+/// Deterministic fault injection for exercising the retry machinery in
+/// tests and benchmarks. Configured from EngineConfig::fault_injection_spec,
+/// a comma-separated list of rules
+///
+///   <stage>:<partition>:<attempt>[-<last_attempt>]
+///
+/// e.g. "scan:3:0-1" fails partition 3 of the stage named "scan" on
+/// attempts 0 and 1 with a RetryableError; "*:1:0" fails partition 1 of
+/// every stage on its first attempt. An empty spec disables injection.
+class FaultInjector {
+ public:
+  /// Parses a spec; throws ExecutionError on syntax errors.
+  static FaultInjector Parse(const std::string& spec);
+
+  bool enabled() const { return !rules_.empty(); }
+
+  /// Throws RetryableError if a rule matches (stage, partition, attempt).
+  void MaybeFail(const std::string& stage, size_t partition, int attempt) const;
+
+ private:
+  struct Rule {
+    std::string stage;  // "*" matches any stage
+    size_t partition;
+    int first_attempt;
+    int last_attempt;
+  };
+  std::vector<Rule> rules_;
+};
+
+/// Runs one "stage" — n per-partition tasks — on the engine's pool with
+/// Spark-style fault handling, which ThreadPool::RunAll alone does not
+/// provide:
+///
+///   * each partition is attempted up to 1 + task_max_retries times when it
+///     fails with RetryableError (exponential backoff between attempts);
+///   * any other exception is fatal: outstanding sibling tasks that have
+///     not started yet are cancelled, and every failure observed during the
+///     stage is collected into one ExecutionError naming the partitions;
+///   * the query's CancellationToken is polled before each attempt, so a
+///     cancelled or timed-out query stops scheduling work promptly;
+///   * per-stage counters land on ExecContext::Metrics: "task.attempts",
+///     "task.retries", "task.failures".
+///
+/// Bodies are re-executed from scratch on retry, so they must be
+/// idempotent; a body that destructively consumes shared input must only
+/// throw RetryableError before its first destructive step (the built-in
+/// fault injector fires before the body runs, preserving this).
+class TaskRunner {
+ public:
+  explicit TaskRunner(ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Runs `body(p)` for every partition p in [0, num_partitions) and blocks
+  /// until the stage completes or fails.
+  void RunStage(const std::string& stage, size_t num_partitions,
+                const std::function<void(size_t)>& body) const;
+
+ private:
+  ExecContext& ctx_;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ENGINE_TASK_RUNNER_H_

@@ -105,7 +105,9 @@ RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
 
   return input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
     GroupMap groups;
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       GroupKey key;
       key.values.reserve(bound_groupings.size());
       for (const auto& g : bound_groupings) key.values.push_back(g->Eval(row));
@@ -130,7 +132,7 @@ RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
       out->rows.push_back(std::move(row));
     }
     return out;
-  });
+  }, "aggregate.partial");
 }
 
 
@@ -315,7 +317,9 @@ bool HashAggregateExec::TryExecutePartialFast(ExecContext& ctx,
       keys.push_back(0);
     }
 
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       FastAcc* bank;
       if (has_key) {
         bool key_null = false;
@@ -437,7 +441,7 @@ bool HashAggregateExec::TryExecutePartialFast(ExecContext& ctx,
       result->rows.push_back(std::move(row));
     }
     return result;
-  });
+  }, "aggregate.partial");
   return true;
 }
 
@@ -491,7 +495,9 @@ RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
   RowDataset merged = input.MapPartitions(ctx, [&](size_t, const RowPartition&
                                                                 part) {
     GroupMap groups;
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       GroupKey key;
       key.values.reserve(k);
       for (size_t i = 0; i < k; ++i) key.values.push_back(row.Get(i));
@@ -524,7 +530,7 @@ RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
       out->rows.push_back(std::move(result));
     }
     return out;
-  });
+  }, "aggregate.final");
 
   if (global && merged.TotalRows() == 0) {
     // Aggregates over an empty input still produce one row.
@@ -557,7 +563,9 @@ bool HashAggregateExec::TryExecuteFinalFast(ExecContext& ctx,
     std::vector<int64_t> keys;
     int32_t null_slot = -1;
 
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       const Value& kv = row.Get(0);
       uint32_t idx;
       if (kv.is_null()) {
@@ -673,7 +681,7 @@ bool HashAggregateExec::TryExecuteFinalFast(ExecContext& ctx,
       result->rows.push_back(std::move(produced));
     }
     return result;
-  });
+  }, "aggregate.final");
   return true;
 }
 

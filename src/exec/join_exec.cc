@@ -143,7 +143,9 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
 
   return stream.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
     auto out = std::make_shared<RowPartition>();
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       JoinKey key = EvalKey(row, bound_left);
       const std::vector<size_t>* matches = nullptr;
       if (!key.has_null) {
@@ -169,7 +171,7 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
       }
     }
     return out;
-  });
+  }, "join.probe");
 }
 
 RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
@@ -212,7 +214,9 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
     BuildMap table = BuildHashTable(right_part.rows, bound_right);
     std::vector<uint8_t> right_matched(right_part.rows.size(), 0);
 
+    size_t cancel_check = 0;
     for (const Row& row : left_part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       JoinKey key = EvalKey(row, bound_left);
       const std::vector<size_t>* matches = nullptr;
       if (!key.has_null) {
@@ -246,7 +250,7 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
       }
     }
     return out;
-  });
+  }, "join.probe");
 }
 
 RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
@@ -307,7 +311,9 @@ RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
     std::sort(rs.begin(), rs.end(), cmp);
 
     size_t i = 0, j = 0;
+    size_t cancel_check = 0;
     while (i < ls.size() && j < rs.size()) {
+      ctx.CheckCancelledEvery(&cancel_check);
       if (key_less(ls[i].key, rs[j].key)) {
         ++i;
       } else if (key_less(rs[j].key, ls[i].key)) {
@@ -338,7 +344,7 @@ RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
       }
     }
     return out;
-  });
+  }, "join.merge");
 }
 
 NestedLoopJoinExec::NestedLoopJoinExec(PhysPtr left, PhysPtr right,
@@ -383,9 +389,11 @@ RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
 
   return stream.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
     auto out = std::make_shared<RowPartition>();
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
       bool matched = false;
       for (const Row& other : build) {
+        ctx.CheckCancelledEvery(&cancel_check);
         Row joined = Row::Concat(row, other);
         if (bound && !EvalPredicate(*bound, joined)) continue;
         matched = true;
@@ -399,7 +407,7 @@ RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
       }
     }
     return out;
-  });
+  }, "join.probe");
 }
 
 std::string NestedLoopJoinExec::Describe() const {

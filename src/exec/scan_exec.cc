@@ -150,7 +150,9 @@ RowDataset DataSourceScanExec::Execute(ExecContext& ctx) const {
     }
     std::vector<Row> kept;
     kept.reserve(rows.size());
+    size_t cancel_check = 0;
     for (Row& row : rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       bool pass = true;
       for (const auto& p : bound) {
         if (!EvalPredicate(*p, row)) {
@@ -220,6 +222,7 @@ RowDataset ProjectFilterExec::Execute(ExecContext& ctx) const {
   return input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
     auto out = std::make_shared<RowPartition>();
     out->rows.reserve(part.rows.size());
+    size_t cancel_check = 0;
     std::optional<CompiledExpression::Evaluator> cond_eval;
     if (cond && cond->compiled) cond_eval.emplace(cond->compiled->NewEvaluator());
     std::vector<CompiledExpression::Evaluator> proj_evals;
@@ -229,6 +232,7 @@ RowDataset ProjectFilterExec::Execute(ExecContext& ctx) const {
     bool all_compiled = proj_evals.size() == projs.size();
 
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       if (cond) {
         bool pass;
         if (cond_eval) {
@@ -260,7 +264,7 @@ RowDataset ProjectFilterExec::Execute(ExecContext& ctx) const {
       out->rows.push_back(std::move(result));
     }
     return out;
-  });
+  }, "project");
 }
 
 std::string ProjectFilterExec::Describe() const {
@@ -293,7 +297,7 @@ RowDataset SampleExec::Execute(ExecContext& ctx) const {
       if (state <= threshold) out->rows.push_back(row);
     }
     return out;
-  });
+  }, "sample");
 }
 
 RowDataset UnionExec::Execute(ExecContext& ctx) const {

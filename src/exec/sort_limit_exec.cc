@@ -26,17 +26,29 @@ RowDataset SortExec::Execute(ExecContext& ctx) const {
     return false;
   };
 
-  // Local sort per partition in parallel, then merge on the driver.
+  // Local sort per partition in parallel, then merge on the driver. The
+  // comparator polls cancellation so a timed-out query aborts even inside
+  // a large sort (std::stable_sort has no other exit point).
+  size_t cancel_check = 0;
+  auto checked_less = [&](const Row& a, const Row& b) {
+    ctx.CheckCancelledEvery(&cancel_check);
+    return less(a, b);
+  };
   RowDataset locally_sorted =
       input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
         auto out = std::make_shared<RowPartition>();
         out->rows = part.rows;
-        std::stable_sort(out->rows.begin(), out->rows.end(), less);
+        size_t task_check = 0;
+        auto task_less = [&](const Row& a, const Row& b) {
+          ctx.CheckCancelledEvery(&task_check);
+          return less(a, b);
+        };
+        std::stable_sort(out->rows.begin(), out->rows.end(), task_less);
         return out;
-      });
+      }, "sort");
 
   std::vector<Row> merged = locally_sorted.Collect();
-  std::stable_sort(merged.begin(), merged.end(), less);
+  std::stable_sort(merged.begin(), merged.end(), checked_less);
   return RowDataset::SinglePartition(std::move(merged));
 }
 
@@ -60,7 +72,7 @@ RowDataset LimitExec::Execute(ExecContext& ctx) const {
     size_t take = std::min(part.rows.size(), limit);
     out->rows.assign(part.rows.begin(), part.rows.begin() + take);
     return out;
-  });
+  }, "limit");
 
   std::vector<Row> all = local.Collect();
   if (all.size() > limit) all.resize(limit);

@@ -94,6 +94,16 @@ class ExecutionError : public SsqlError {
       : SsqlError(ErrorCode::kExecutionError, message) {}
 };
 
+/// An ExecutionError subtype marking transient failures eligible for
+/// task-level retry — the engine's stand-in for Spark's lost-executor /
+/// fetch failures. TaskRunner re-attempts a partition that throws this up
+/// to EngineConfig::task_max_retries times; any other exception is fatal.
+class RetryableError : public ExecutionError {
+ public:
+  explicit RetryableError(const std::string& message)
+      : ExecutionError(message) {}
+};
+
 /// Thrown by data sources on I/O failures.
 class IoError : public SsqlError {
  public:

@@ -55,8 +55,30 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
     });
   }
 
-  std::unique_lock<std::mutex> lock(barrier->mu);
-  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+  // The calling thread helps drain the queue instead of blocking outright.
+  // This makes nested RunAll calls safe: a task that itself calls RunAll
+  // would otherwise park a worker on the barrier while its subtasks sit in
+  // the queue — with a single-threaded pool, a deadlock. Every RunAll
+  // caller executes queued tasks (its own or anyone else's) until nothing
+  // is queued, and only then waits for stragglers running on other threads.
+  while (true) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(barrier->mu);
+    if (barrier->remaining == 0) break;
+    barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+    break;
+  }
   if (barrier->first_error) std::rethrow_exception(barrier->first_error);
 }
 

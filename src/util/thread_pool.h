@@ -25,7 +25,11 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// Runs `tasks` on the pool and blocks until all complete. Exceptions
-  /// thrown by tasks are captured; the first one is rethrown here.
+  /// thrown by tasks are captured; the first one is rethrown here. The
+  /// calling thread helps execute queued tasks while it waits, so RunAll
+  /// may be called from inside a task (nested stages) without deadlocking
+  /// even on a single-threaded pool. Every task always runs; cancellation
+  /// between tasks is layered on top by TaskRunner (engine/task_runner.h).
   void RunAll(std::vector<std::function<void()>> tasks);
 
   size_t num_threads() const { return threads_.size(); }

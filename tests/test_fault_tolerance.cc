@@ -1,0 +1,447 @@
+// Fault-tolerant task execution tests: partition retry with deterministic
+// fault injection, error aggregation + sibling cancellation, cooperative
+// query cancellation/timeouts, the nested-RunAll regression, and the
+// malformed-record parse modes (PERMISSIVE / DROPMALFORMED / FAILFAST) of
+// the CSV and JSON readers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "api/sql_context.h"
+#include "catalyst/expr/literal.h"
+#include "engine/dataset.h"
+#include "engine/exec_context.h"
+#include "engine/task_runner.h"
+#include "util/thread_pool.h"
+
+namespace ssql {
+namespace {
+
+using functions::Lit;
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+// ---- ThreadPool regression -------------------------------------------------
+
+TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlock) {
+  // A task that itself calls RunAll used to deadlock once every worker was
+  // blocked waiting for the inner tasks; the calling thread now helps drain
+  // the queue. One worker is the worst case.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &counter] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back([&counter] { counter.fetch_add(1); });
+      }
+      pool.RunAll(std::move(inner));
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(counter.load(), 16);
+}
+
+// ---- FaultInjector / CancellationToken units -------------------------------
+
+TEST(FaultInjectorTest, ParseAndMatch) {
+  FaultInjector inj = FaultInjector::Parse("scan:3:0-1, *:1:2");
+  EXPECT_TRUE(inj.enabled());
+  EXPECT_THROW(inj.MaybeFail("scan", 3, 0), RetryableError);
+  EXPECT_THROW(inj.MaybeFail("scan", 3, 1), RetryableError);
+  EXPECT_NO_THROW(inj.MaybeFail("scan", 3, 2));   // past the attempt range
+  EXPECT_NO_THROW(inj.MaybeFail("sort", 3, 0));   // different stage
+  EXPECT_THROW(inj.MaybeFail("sort", 1, 2), RetryableError);  // wildcard
+  EXPECT_NO_THROW(inj.MaybeFail("sort", 1, 0));
+
+  EXPECT_FALSE(FaultInjector::Parse("").enabled());
+  EXPECT_THROW(FaultInjector::Parse("scan:3"), ExecutionError);
+  EXPECT_THROW(FaultInjector::Parse("scan:x:0"), ExecutionError);
+  EXPECT_THROW(FaultInjector::Parse("scan:3:2-1"), ExecutionError);
+}
+
+TEST(CancellationTokenTest, CancelAndTimeout) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_NO_THROW(token.ThrowIfCancelled());
+
+  token.SetTimeout(-1);  // unlimited
+  EXPECT_FALSE(token.IsCancelled());
+  token.SetTimeout(0);  // instant expiry
+  EXPECT_TRUE(token.IsCancelled());
+  try {
+    token.ThrowIfCancelled();
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+  }
+
+  CancellationToken user;
+  user.Cancel("user abort");
+  try {
+    user.ThrowIfCancelled();
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_EQ(std::string(e.what()), "query cancelled: user abort");
+  }
+}
+
+// ---- retry machinery -------------------------------------------------------
+
+DataFrame Numbers(SqlContext& ctx, int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  auto schema = StructType::Make({Field("x", DataType::Int32(), false)});
+  return ctx.CreateDataFrame(schema, std::move(rows));
+}
+
+TEST(TaskRetryTest, InjectedFaultsAreRetriedTransparently) {
+  // Partitions 1 and 3 of the single project stage fail on their first
+  // attempt; the query must still produce the full result, with exactly two
+  // retries on the books.
+  SqlContext ctx;
+  ctx.config().fault_injection_spec = "project:1:0,project:3:0";
+  DataFrame df = Numbers(ctx, 100);
+  ctx.exec().metrics().Reset();
+  auto rows = df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
+  EXPECT_EQ(rows.size(), 50u);
+  EXPECT_EQ(ctx.exec().metrics().Get("task.retries"), 2);
+  EXPECT_EQ(ctx.exec().metrics().Get("task.failures"), 0);
+}
+
+TEST(TaskRetryTest, RetriesDisabledFailsNamingThePartition) {
+  SqlContext ctx;
+  ctx.config().fault_injection_spec = "project:1:0";
+  ctx.config().task_max_retries = 0;
+  DataFrame df = Numbers(ctx, 100);
+  try {
+    df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("stage 'project'"), std::string::npos) << what;
+    EXPECT_NE(what.find("partition 1"), std::string::npos) << what;
+  }
+  EXPECT_EQ(ctx.exec().metrics().Get("task.retries"), 0);
+}
+
+TEST(TaskRetryTest, ExhaustedRetriesReportAttemptCount) {
+  // Failing attempts 0..2 exhausts the default budget of 2 retries.
+  SqlContext ctx;
+  ctx.config().fault_injection_spec = "project:2:0-2";
+  DataFrame df = Numbers(ctx, 100);
+  try {
+    df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("gave up after 3 attempts"), std::string::npos) << what;
+  }
+}
+
+TEST(TaskRunnerTest, FatalErrorsAreAggregatedWithPartition) {
+  ExecContext ctx;
+  std::vector<Row> rows;
+  for (int i = 0; i < 16; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 4);
+  try {
+    d.MapPartitions(
+        ctx,
+        [](size_t p, const RowPartition& part) {
+          if (p == 2) throw std::runtime_error("disk on fire");
+          return std::make_shared<RowPartition>(part);
+        },
+        "boom");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("stage 'boom'"), std::string::npos) << what;
+    EXPECT_NE(what.find("partition 2: disk on fire"), std::string::npos) << what;
+  }
+  // Fatal errors are not retried.
+  EXPECT_EQ(ctx.metrics().Get("task.retries"), 0);
+  EXPECT_EQ(ctx.metrics().Get("task.failures"), 1);
+}
+
+TEST(TaskRunnerTest, FatalFailureCancelsPendingSiblings) {
+  EngineConfig config;
+  config.num_threads = 1;
+  ExecContext ctx(config);
+  std::vector<Row> rows;
+  for (int i = 0; i < 64; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 64);
+  EXPECT_THROW(
+      d.MapPartitions(
+          ctx,
+          [](size_t p, const RowPartition& part) -> RowPartitionPtr {
+            if (p == 0) throw std::runtime_error("boom");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return std::make_shared<RowPartition>(part);
+          },
+          "wide"),
+      ExecutionError);
+  // The first fatal failure aborts partitions that had not started yet, so
+  // nowhere near all 64 tasks should have attempted.
+  EXPECT_LT(ctx.metrics().Get("task.attempts"), 64);
+}
+
+// ---- cancellation and timeouts ---------------------------------------------
+
+TEST(CancellationTest, PreCancelledTokenAbortsStage) {
+  ExecContext ctx;
+  ctx.cancellation()->Cancel("user abort");
+  std::vector<Row> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 4);
+  std::atomic<int> bodies_run{0};
+  try {
+    d.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+      bodies_run.fetch_add(1);
+      return std::make_shared<RowPartition>(part);
+    });
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_EQ(std::string(e.what()), "query cancelled: user abort");
+  }
+  EXPECT_EQ(bodies_run.load(), 0);
+}
+
+TEST(CancellationTest, TimeoutFiresMidStage) {
+  EngineConfig config;
+  config.query_timeout_ms = 40;
+  ExecContext ctx(config);
+  ctx.BeginQuery();
+  std::vector<Row> rows;
+  for (int i = 0; i < 4; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 2);
+  try {
+    d.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
+      for (int i = 0; i < 500; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ctx.CheckCancelled();  // operator loops poll cooperatively
+      }
+      return std::make_shared<RowPartition>(part);
+    });
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out after 40 ms"),
+              std::string::npos);
+  }
+}
+
+TEST(CancellationTest, ZeroTimeoutAbortsEveryQueryShapeAndPoolStaysUsable) {
+  SqlContext ctx;
+  DataFrame t1 = Numbers(ctx, 200);
+  std::vector<Row> rows2;
+  for (int i = 0; i < 50; ++i) rows2.push_back(Row({Value(int32_t(i))}));
+  DataFrame t2 = ctx.CreateDataFrame(
+      StructType::Make({Field("k", DataType::Int32(), false)}),
+      std::move(rows2));
+
+  ctx.config().query_timeout_ms = 0;
+  // Filter, join, aggregation and sort plans must all abort promptly.
+  EXPECT_THROW(t1.Where(t1("x") < Lit(Value(int32_t{10}))).Collect(),
+               ExecutionError);
+  EXPECT_THROW(t1.Join(t2, t1("x") == t2("k")).Collect(), ExecutionError);
+  EXPECT_THROW(t1.GroupBy({"x"}).Count().Collect(), ExecutionError);
+  EXPECT_THROW(t1.OrderBy({t1("x")}).Collect(), ExecutionError);
+
+  // Disabling the timeout leaves the engine fully usable: the pool did not
+  // deadlock or lose workers.
+  ctx.config().query_timeout_ms = -1;
+  auto rows = t1.Join(t2, t1("x") == t2("k")).Collect();
+  EXPECT_EQ(rows.size(), 50u);
+}
+
+// ---- CSV parse modes -------------------------------------------------------
+
+class CsvParseModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/corrupt.csv";
+    WriteFile(path_,
+              "a,b\n"
+              "1,2\n"
+              "oops,3\n"   // line 3: 'oops' does not convert to int
+              "4,5,6\n"    // line 4: extra cell
+              "7,8\n");
+  }
+  std::string path_;
+  SqlContext ctx_;
+  DataSourceOptions schema_opt_{{"schema", "a int, b int"}};
+};
+
+TEST_F(CsvParseModeTest, DefaultStaysLenient) {
+  // No explicit mode: legacy repair semantics, no corrupt-record column.
+  DataFrame df = ctx_.ReadCsv(path_, schema_opt_);
+  EXPECT_EQ(df.schema()->num_fields(), 2u);
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_TRUE(rows[1].IsNullAt(0));  // 'oops' silently became null
+}
+
+TEST_F(CsvParseModeTest, PermissiveKeepsCorruptRecords) {
+  DataSourceOptions opts = schema_opt_;
+  opts["mode"] = "PERMISSIVE";
+  DataFrame df = ctx_.ReadCsv(path_, opts);
+  ASSERT_EQ(df.schema()->num_fields(), 3u);
+  EXPECT_EQ(df.schema()->field(2).name, "_corrupt_record");
+  ctx_.exec().metrics().Reset();
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 4u);
+  // Good rows carry a null corrupt column.
+  EXPECT_EQ(rows[0].GetInt32(0), 1);
+  EXPECT_TRUE(rows[0].IsNullAt(2));
+  // Malformed rows are null-filled with the raw text preserved.
+  EXPECT_TRUE(rows[1].IsNullAt(0));
+  EXPECT_TRUE(rows[1].IsNullAt(1));
+  EXPECT_EQ(rows[1].GetString(2), "oops,3");
+  EXPECT_EQ(rows[2].GetString(2), "4,5,6");
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.malformed_records"), 2);
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.rows_dropped"), 0);
+}
+
+TEST_F(CsvParseModeTest, DropMalformedSkipsCorruptRecords) {
+  DataSourceOptions opts = schema_opt_;
+  opts["mode"] = "DROPMALFORMED";
+  DataFrame df = ctx_.ReadCsv(path_, opts);
+  EXPECT_EQ(df.schema()->num_fields(), 2u);
+  ctx_.exec().metrics().Reset();
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].GetInt32(0), 1);
+  EXPECT_EQ(rows[1].GetInt32(0), 7);
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.rows_dropped"), 2);
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.malformed_records"), 2);
+}
+
+TEST_F(CsvParseModeTest, FailFastNamesFileAndLine) {
+  DataSourceOptions opts = schema_opt_;
+  opts["mode"] = "FAILFAST";
+  DataFrame df = ctx_.ReadCsv(path_, opts);
+  try {
+    df.Collect();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find(path_ + ":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("'oops,3'"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CsvParseModeTest, CustomCorruptColumnName) {
+  DataSourceOptions opts = schema_opt_;
+  opts["mode"] = "PERMISSIVE";
+  opts["columnNameOfCorruptRecord"] = "_bad";
+  DataFrame df = ctx_.ReadCsv(path_, opts);
+  ASSERT_EQ(df.schema()->num_fields(), 3u);
+  EXPECT_EQ(df.schema()->field(2).name, "_bad");
+}
+
+TEST_F(CsvParseModeTest, FluentReaderApi) {
+  DataFrame df = ctx_.Read()
+                     .Format("csv")
+                     .Schema("a int, b int")
+                     .Mode("DROPMALFORMED")
+                     .Load(path_);
+  EXPECT_EQ(df.Collect().size(), 2u);
+}
+
+TEST(CsvParseModeErrorTest, UnknownModeRejected) {
+  SqlContext ctx;
+  std::string path = ::testing::TempDir() + "/tiny.csv";
+  WriteFile(path, "a\n1\n");
+  EXPECT_THROW(ctx.ReadCsv(path, {{"mode", "SIDEWAYS"}}), IoError);
+}
+
+// ---- JSON parse modes ------------------------------------------------------
+
+class JsonParseModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/corrupt.json";
+    WriteFile(path_,
+              "{\"a\": 1, \"b\": \"x\"}\n"
+              "{\"a\": 2, \"b\":\n"       // line 2: truncated object
+              "{\"a\": 3, \"b\": \"z\"}\n");
+  }
+  std::string path_;
+  SqlContext ctx_;
+};
+
+TEST_F(JsonParseModeTest, DefaultFailFastNamesFileAndLine) {
+  try {
+    ctx_.ReadJson(path_);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("malformed JSON record"), std::string::npos) << what;
+    EXPECT_NE(what.find(path_ + ":2"), std::string::npos) << what;
+  }
+}
+
+TEST_F(JsonParseModeTest, PermissiveKeepsCorruptRecords) {
+  DataFrame df = ctx_.ReadJson(path_, {{"mode", "PERMISSIVE"}});
+  // Schema is inferred from the well-formed records plus the corrupt column.
+  ASSERT_EQ(df.schema()->num_fields(), 3u);
+  EXPECT_EQ(df.schema()->field(2).name, "_corrupt_record");
+  ctx_.exec().metrics().Reset();
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].GetInt32(0), 1);
+  EXPECT_TRUE(rows[0].IsNullAt(2));
+  // The corrupt record is emitted null-filled with its raw text.
+  const Row& corrupt = rows[2];
+  EXPECT_TRUE(corrupt.IsNullAt(0));
+  EXPECT_TRUE(corrupt.IsNullAt(1));
+  EXPECT_EQ(corrupt.GetString(2), "{\"a\": 2, \"b\":");
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.malformed_records"), 1);
+}
+
+TEST_F(JsonParseModeTest, DropMalformedSkipsCorruptRecords) {
+  DataFrame df = ctx_.ReadJson(path_, {{"mode", "DROPMALFORMED"}});
+  EXPECT_EQ(df.schema()->num_fields(), 2u);
+  ctx_.exec().metrics().Reset();
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.rows_dropped"), 1);
+}
+
+TEST_F(JsonParseModeTest, WellFormedFileSkipsSalvagePass) {
+  std::string clean = ::testing::TempDir() + "/clean.json";
+  WriteFile(clean, "{\"a\": 1}\n{\"a\": 2}\n");
+  DataFrame df = ctx_.ReadJson(clean, {{"mode", "PERMISSIVE"}});
+  ctx_.exec().metrics().Reset();
+  auto rows = df.Collect();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(ctx_.exec().metrics().Get("source.malformed_records"), 0);
+}
+
+// ---- error formatting ------------------------------------------------------
+
+TEST(RecordErrorTest, SnippetsAreTruncated) {
+  std::string long_record(200, 'x');
+  std::string msg = FormatRecordError("malformed CSV record", "/data/f.csv",
+                                      17, long_record);
+  EXPECT_NE(msg.find("/data/f.csv:17"), std::string::npos);
+  EXPECT_NE(msg.find("..."), std::string::npos);
+  EXPECT_LT(msg.size(), 200u);
+}
+
+TEST(RecordErrorTest, ParseModeFromStringIsCaseInsensitive) {
+  EXPECT_EQ(ParseModeFromString("permissive"), ParseMode::kPermissive);
+  EXPECT_EQ(ParseModeFromString("DropMalformed"), ParseMode::kDropMalformed);
+  EXPECT_EQ(ParseModeFromString("FAILFAST"), ParseMode::kFailFast);
+  EXPECT_THROW(ParseModeFromString("whatever"), IoError);
+}
+
+}  // namespace
+}  // namespace ssql
