@@ -1,0 +1,95 @@
+// Memory-bounded execution: cost of spilling vs the in-memory paths. Runs
+// the same GROUP BY aggregation, ORDER BY sort and equi-join with an
+// unlimited budget and with budgets small enough to force one or many
+// spill/merge rounds, reporting the spilled byte volume per iteration.
+// The interesting readout is the slope: external operators should degrade
+// smoothly (a constant factor for disk + serde), not fall off a cliff.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "bench/workloads.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 100000;
+constexpr int kKeys = 5000;
+
+/// One context per budget so metrics and the spill scratch stay separate.
+SqlContext* MakeContext(int64_t memory_limit) {
+  EngineConfig config = SparkSqlConfig();
+  config.query_memory_limit_bytes = memory_limit;
+  auto* ctx = new SqlContext(config);
+
+  std::mt19937_64 rng(99);
+  auto schema = StructType::Make({
+      Field("k", DataType::String(), false),
+      Field("v", DataType::Int32(), false),
+  });
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back(Row({Value("key_" + std::to_string(rng() % kKeys)),
+                        Value(static_cast<int32_t>(rng() % 1000))}));
+  }
+  ctx->CreateDataFrame(schema, std::move(rows)).RegisterTempTable("t");
+
+  auto dim = StructType::Make({
+      Field("k", DataType::String(), false),
+      Field("w", DataType::Int32(), false),
+  });
+  std::vector<Row> dim_rows;
+  dim_rows.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    dim_rows.push_back(
+        Row({Value("key_" + std::to_string(i)), Value(int32_t(i))}));
+  }
+  ctx->CreateDataFrame(dim, std::move(dim_rows)).RegisterTempTable("dim");
+  return ctx;
+}
+
+/// state.range(0): memory budget in KiB, 0 = unlimited.
+void RunQuery(benchmark::State& state, const std::string& sql) {
+  int64_t limit = state.range(0) == 0 ? -1 : state.range(0) * 1024;
+  SqlContext* ctx = MakeContext(limit);
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    result_rows = ctx->Sql(sql).Collect().size();
+  }
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+  state.counters["spill_bytes_per_iter"] = benchmark::Counter(
+      static_cast<double>(ctx->exec().metrics().Get("memory.spill_bytes")),
+      benchmark::Counter::kAvgIterations);
+  delete ctx;
+}
+
+void BM_AggregateSpill(benchmark::State& state) {
+  RunQuery(state, "SELECT k, sum(v), count(*) FROM t GROUP BY k");
+}
+
+void BM_SortSpill(benchmark::State& state) {
+  RunQuery(state, "SELECT k, v FROM t ORDER BY v, k");
+}
+
+void BM_JoinSpill(benchmark::State& state) {
+  RunQuery(state, "SELECT t.k, t.v, dim.w FROM t JOIN dim ON t.k = dim.k");
+}
+
+// 0 = unlimited (in-memory paths); 1024 KiB forces a handful of spills;
+// 64 KiB forces many rounds through tiny spill files.
+BENCHMARK(BM_AggregateSpill)->Arg(0)->Arg(1024)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortSpill)->Arg(0)->Arg(1024)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JoinSpill)->Arg(0)->Arg(1024)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 check: full build + test suite, then the fault-tolerance tests
-# again under AddressSanitizer/UBSan (retry, cancellation and parse-mode
-# paths exercise concurrent code worth running instrumented).
+# Tier-1 check: full build + test suite, then the fault-tolerance and
+# memory/spill tests again under AddressSanitizer/UBSan (retry,
+# cancellation, reservation accounting and spill-file cleanup exercise
+# concurrent code and raw buffers worth running instrumented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,5 +11,6 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=ON >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
+./build-sanitize/tests/test_memory

@@ -1,5 +1,7 @@
 #include "catalyst/planner/planner.h"
 
+#include <algorithm>
+
 #include "catalyst/expr/predicates.h"
 #include "catalyst/planner/cost_model.h"
 #include "exec/aggregate_exec.h"
@@ -247,8 +249,18 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
         config_.cbo_filter_selectivity
             ? EstimatePlanSizeBytesWithSelectivity(join.right())
             : EstimatePlanSizeBytes(join.right());
+    // A broadcast build side cannot spill, so under a query memory budget
+    // the effective threshold is capped at the budget; bigger build sides
+    // route to the shuffle hash join, which degrades to a Grace join on
+    // disk instead of failing.
+    uint64_t broadcast_threshold = config_.broadcast_threshold_bytes;
+    if (config_.query_memory_limit_bytes >= 0) {
+      broadcast_threshold = std::min(
+          broadcast_threshold,
+          static_cast<uint64_t>(config_.query_memory_limit_bytes));
+    }
     if (broadcastable_type && right_size &&
-        *right_size <= config_.broadcast_threshold_bytes) {
+        *right_size <= broadcast_threshold) {
       return std::make_shared<BroadcastHashJoinExec>(
           left, right, std::move(left_keys), std::move(right_keys),
           join.join_type(), residual_cond);

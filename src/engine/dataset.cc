@@ -67,7 +67,9 @@ RowDataset RowDataset::ShuffleByHash(
   TaskRunner(ctx).RunStage(stage + ".map", partitions_.size(), [&](size_t i) {
     auto& local = buckets[i];
     local.assign(num_out, {});
+    size_t cancel_check = 0;
     for (const Row& row : partitions_[i]->rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       local[key_hash(row) % num_out].push_back(row);
     }
   });
@@ -85,7 +87,9 @@ RowDataset RowDataset::ShuffleByHash(
     size_t total = 0;
     for (const auto& local : buckets) total += local[p].size();
     part->rows.reserve(total);
+    size_t cancel_check = 0;
     for (auto& local : buckets) {
+      ctx.CheckCancelledEvery(&cancel_check);
       auto& b = local[p];
       part->rows.insert(part->rows.end(), std::make_move_iterator(b.begin()),
                         std::make_move_iterator(b.end()));

@@ -1,6 +1,40 @@
 #include "engine/exec_context.h"
 
+#include <filesystem>
+
 namespace ssql {
+
+void ValidateEngineConfig(const EngineConfig& config) {
+  auto fail = [](const std::string& what) {
+    throw ExecutionError("invalid EngineConfig: " + what);
+  };
+  if (config.num_threads == 0) {
+    fail("num_threads must be at least 1 (a zero-thread pool would deadlock "
+         "every stage)");
+  }
+  if (config.default_parallelism == 0) {
+    fail("default_parallelism must be at least 1");
+  }
+  // A "negative" threshold assigned to the unsigned field wraps to an
+  // astronomical value that would broadcast every table.
+  if (config.broadcast_threshold_bytes > (1ull << 62)) {
+    fail("broadcast_threshold_bytes is implausibly large (" +
+         std::to_string(config.broadcast_threshold_bytes) +
+         "); was a negative value cast to unsigned?");
+  }
+  if (config.task_max_retries < 0) {
+    fail("task_max_retries must be >= 0 (use 0 to disable retries)");
+  }
+  if (config.task_retry_backoff_ms < 0) {
+    fail("task_retry_backoff_ms must be >= 0");
+  }
+  // Surface malformed specs now instead of when the first stage runs.
+  try {
+    FaultInjector::Parse(config.fault_injection_spec);
+  } catch (const ExecutionError& e) {
+    fail(e.what());
+  }
+}
 
 void Metrics::Add(const std::string& name, int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,15 +58,27 @@ std::unordered_map<std::string, int64_t> Metrics::Snapshot() const {
 }
 
 ExecContext::ExecContext(EngineConfig config)
-    : config_(config),
+    : config_((ValidateEngineConfig(config), config)),
       pool_(std::make_unique<ThreadPool>(config.num_threads)),
-      cancellation_(std::make_shared<CancellationToken>()) {}
+      cancellation_(std::make_shared<CancellationToken>()) {
+  memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
+                    &metrics_);
+}
 
 CancellationTokenPtr ExecContext::BeginQuery() {
   auto token = std::make_shared<CancellationToken>();
   token->SetTimeout(config_.query_timeout_ms);
   cancellation_ = token;
+  // Re-arm the memory budget so config changes made between queries take
+  // effect and peak tracking restarts.
+  memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
+                    &metrics_);
   return token;
+}
+
+std::string ExecContext::spill_dir() const {
+  if (!config_.spill_dir.empty()) return config_.spill_dir;
+  return (std::filesystem::temp_directory_path() / "ssql-spill").string();
 }
 
 }  // namespace ssql

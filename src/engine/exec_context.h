@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "engine/memory_manager.h"
 #include "engine/task_runner.h"
 #include "util/thread_pool.h"
 
@@ -57,7 +58,28 @@ struct EngineConfig {
   /// "<stage>:<partition>:<attempt>[-<last>]" entries, comma-separated
   /// ("*" matches any stage). Empty = disabled. See FaultInjector.
   std::string fault_injection_spec;
+  /// Per-query memory budget shared by all blocking operators (hash
+  /// aggregation maps, sort run buffers, hash-join build sides) across all
+  /// of the query's partition tasks. Negative = unlimited (the default,
+  /// preserving pre-budget behaviour). When a grant would exceed the budget
+  /// the operator spills to disk (spill_enabled) or the query fails with an
+  /// ExecutionError naming the stage and partition.
+  int64_t query_memory_limit_bytes = -1;
+  /// Allow blocking operators to fall back to disk when over budget:
+  /// external hash aggregation, external sort runs, Grace hash join.
+  bool spill_enabled = true;
+  /// Scratch directory for spill files; empty = "<system temp>/ssql-spill".
+  /// Created on first use; spill files are deleted on success, error and
+  /// cancellation alike.
+  std::string spill_dir;
 };
+
+/// Validates an EngineConfig, throwing ExecutionError with a descriptive
+/// message for values that would otherwise deadlock (a zero-thread pool),
+/// crash, or silently misbehave mid-query (a malformed fault-injection spec
+/// is only parsed when the first stage runs). Called eagerly when an
+/// ExecContext — and therefore a SqlContext — is constructed.
+void ValidateEngineConfig(const EngineConfig& config);
 
 /// Simple named counters published by operators (rows scanned, rows shipped
 /// from data sources, shuffle bytes, ...). Used by tests and benches to
@@ -85,6 +107,12 @@ class ExecContext {
 
   ThreadPool& pool() { return *pool_; }
   Metrics& metrics() { return metrics_; }
+  MemoryManager& memory() { return memory_; }
+  const MemoryManager& memory() const { return memory_; }
+
+  /// Scratch directory for this engine's spill files (config.spill_dir, or
+  /// a default under the system temp directory).
+  std::string spill_dir() const;
 
   /// Installs a fresh cancellation token (armed with the configured query
   /// timeout) for the next query. Called by SqlContext at the top of each
@@ -110,6 +138,7 @@ class ExecContext {
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
+  MemoryManager memory_;
   CancellationTokenPtr cancellation_;
 };
 

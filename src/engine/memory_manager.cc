@@ -1,0 +1,112 @@
+#include "engine/memory_manager.h"
+
+#include <algorithm>
+
+#include "engine/exec_context.h"
+
+namespace ssql {
+
+MemoryReservation::MemoryReservation(MemoryReservation&& other) noexcept
+    : mgr_(other.mgr_), reserved_(other.reserved_) {
+  other.mgr_ = nullptr;
+  other.reserved_ = 0;
+}
+
+MemoryReservation::~MemoryReservation() { Release(); }
+
+bool MemoryReservation::TryGrow(int64_t bytes) {
+  if (bytes <= 0 || mgr_ == nullptr) return true;
+  if (!mgr_->TryReserve(bytes)) return false;
+  reserved_ += bytes;
+  return true;
+}
+
+bool MemoryReservation::EnsureReserved(int64_t needed_total) {
+  int64_t deficit = needed_total - reserved_;
+  if (deficit <= 0) return true;
+  if (TryGrow(std::max(deficit, kMemoryReserveChunkBytes))) return true;
+  return TryGrow(deficit);
+}
+
+void MemoryReservation::ForceGrow(int64_t bytes) {
+  if (bytes <= 0 || mgr_ == nullptr) return;
+  mgr_->ForceReserve(bytes);
+  reserved_ += bytes;
+}
+
+void MemoryReservation::Shrink(int64_t bytes) {
+  bytes = std::min(bytes, reserved_);
+  if (bytes <= 0 || mgr_ == nullptr) return;
+  mgr_->ReleaseBytes(bytes);
+  reserved_ -= bytes;
+}
+
+void MemoryReservation::Release() {
+  if (mgr_ != nullptr && reserved_ > 0) mgr_->ReleaseBytes(reserved_);
+  reserved_ = 0;
+}
+
+void MemoryManager::Configure(int64_t limit_bytes, bool spill_enabled,
+                              Metrics* metrics) {
+  limit_.store(limit_bytes < 0 ? -1 : limit_bytes, std::memory_order_relaxed);
+  spill_enabled_ = spill_enabled;
+  metrics_ = metrics;
+  // Live reservations (there should be none between queries) keep their
+  // bytes; only the peak tracking restarts.
+  peak_.store(reserved_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  published_peak_.store(0, std::memory_order_relaxed);
+}
+
+std::string MemoryManager::OverBudgetMessage(const std::string& consumer) const {
+  return "query memory limit of " + std::to_string(limit_bytes()) +
+         " bytes exceeded by " + consumer +
+         " and spilling is disabled; raise query_memory_limit_bytes or set "
+         "spill_enabled";
+}
+
+bool MemoryManager::TryReserve(int64_t bytes) {
+  int64_t limit = limit_.load(std::memory_order_relaxed);
+  int64_t current = reserved_.load(std::memory_order_relaxed);
+  while (true) {
+    if (limit >= 0 && current + bytes > limit) return false;
+    if (reserved_.compare_exchange_weak(current, current + bytes,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  PublishPeak();
+  return true;
+}
+
+void MemoryManager::ForceReserve(int64_t bytes) {
+  reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  PublishPeak();
+}
+
+void MemoryManager::ReleaseBytes(int64_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryManager::PublishPeak() {
+  int64_t current = reserved_.load(std::memory_order_relaxed);
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (current > peak &&
+         !peak_.compare_exchange_weak(peak, current,
+                                      std::memory_order_relaxed)) {
+  }
+  // Metrics counters are additive, so the peak is published as deltas over
+  // what was already recorded for this query.
+  if (metrics_ == nullptr) return;
+  int64_t new_peak = peak_.load(std::memory_order_relaxed);
+  int64_t published = published_peak_.load(std::memory_order_relaxed);
+  while (new_peak > published) {
+    if (published_peak_.compare_exchange_weak(published, new_peak,
+                                              std::memory_order_relaxed)) {
+      metrics_->Add("memory.peak_reserved_bytes", new_peak - published);
+      break;
+    }
+  }
+}
+
+}  // namespace ssql

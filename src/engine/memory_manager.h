@@ -1,0 +1,106 @@
+#ifndef SSQL_ENGINE_MEMORY_MANAGER_H_
+#define SSQL_ENGINE_MEMORY_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ssql {
+
+class Metrics;
+class MemoryManager;
+
+/// Granularity in which operators grow their reservations. Charging row by
+/// row would hammer the shared budget counters; a chunk amortizes that while
+/// keeping the bound tight enough for testing with small budgets (the exact
+/// deficit is requested when a whole chunk no longer fits).
+inline constexpr int64_t kMemoryReserveChunkBytes = 64 * 1024;
+
+/// RAII grant of query memory held by one operator instance (a partition
+/// task's hash-aggregation map, sort run buffer, or hash-join build side).
+/// All bookkeeping goes through the owning MemoryManager; destruction
+/// releases the grant, so an exception unwind always returns the bytes.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryReservation&& other) noexcept;
+  MemoryReservation& operator=(MemoryReservation&&) = delete;
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation();
+
+  /// Tries to grow the grant by `bytes`; false when the query budget would
+  /// be exceeded — the caller must spill (or fail if spilling is off).
+  bool TryGrow(int64_t bytes);
+
+  /// Grows the grant to at least `needed_total` bytes, requesting a full
+  /// kMemoryReserveChunkBytes when possible and the exact deficit
+  /// otherwise. False when even the exact deficit is denied.
+  bool EnsureReserved(int64_t needed_total);
+
+  /// Grows unconditionally, letting the budget overshoot. Used for the
+  /// irreducible working set (a single row, group, or spill bucket) so
+  /// progress is always possible even under a tiny budget.
+  void ForceGrow(int64_t bytes);
+
+  void Shrink(int64_t bytes);
+
+  /// Returns the entire grant (also done by the destructor).
+  void Release();
+
+  int64_t reserved() const { return reserved_; }
+
+ private:
+  friend class MemoryManager;
+  explicit MemoryReservation(MemoryManager* mgr) : mgr_(mgr) {}
+
+  MemoryManager* mgr_ = nullptr;
+  int64_t reserved_ = 0;
+};
+
+/// Owns the per-query memory budget (EngineConfig::query_memory_limit_bytes)
+/// and tracks what the blocking operators have reserved, across all
+/// concurrently running partition tasks. Grants are handed out as
+/// MemoryReservations; when a grow would push the total over the budget it
+/// is denied and the requesting operator must shed state — spill to disk
+/// when EngineConfig::spill_enabled, or fail the query with a clear error
+/// otherwise. Publishes "memory.peak_reserved_bytes" on the engine metrics.
+class MemoryManager {
+ public:
+  /// (Re)arms the budget for the next query; `limit_bytes < 0` = unlimited.
+  /// Called by ExecContext at construction and at BeginQuery.
+  void Configure(int64_t limit_bytes, bool spill_enabled, Metrics* metrics);
+
+  bool limited() const {
+    return limit_.load(std::memory_order_relaxed) >= 0;
+  }
+  bool spill_enabled() const { return spill_enabled_; }
+  int64_t limit_bytes() const { return limit_.load(std::memory_order_relaxed); }
+  int64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
+  MemoryReservation CreateReservation() { return MemoryReservation(this); }
+
+  /// Error text for operators that are over budget and cannot spill.
+  std::string OverBudgetMessage(const std::string& consumer) const;
+
+ private:
+  friend class MemoryReservation;
+
+  bool TryReserve(int64_t bytes);
+  void ForceReserve(int64_t bytes);
+  void ReleaseBytes(int64_t bytes);
+  void PublishPeak();
+
+  std::atomic<int64_t> limit_{-1};
+  bool spill_enabled_ = true;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> published_peak_{0};
+  Metrics* metrics_ = nullptr;
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_ENGINE_MEMORY_MANAGER_H_

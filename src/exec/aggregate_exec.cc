@@ -1,9 +1,11 @@
 #include "exec/aggregate_exec.h"
 
+#include <optional>
 #include <unordered_map>
 
 #include "catalyst/codegen/compiled_expression.h"
 #include "catalyst/expr/literal.h"
+#include "util/spill_file.h"
 
 namespace ssql {
 
@@ -31,6 +33,169 @@ struct GroupKeyHash {
 };
 
 using GroupMap = std::unordered_map<GroupKey, std::vector<Value>, GroupKeyHash>;
+
+/// Number of hash buckets a spilled group map is scattered into; the drain
+/// phase needs only one bucket's groups in memory at a time.
+constexpr size_t kAggSpillFanout = 16;
+
+/// Map node + bucket-array overhead per group beyond the boxed values.
+constexpr int64_t kGroupEntryOverhead = 64;
+
+/// The hash-aggregation working set of one partition task, with Grace-style
+/// spilling: group banks live in an in-memory map charged against a
+/// MemoryReservation; when a grant is denied the map is scattered into
+/// kAggSpillFanout spill files by (mixed) key hash as [key..., accumulator
+/// ...] rows and the map restarts empty. Drain() then re-aggregates each
+/// bucket separately — all rows of a group share a bucket — merging partial
+/// accumulators with AggregateFunction::Merge, which is exactly how the
+/// Final stage combines shuffled accumulators. Used by both the Partial and
+/// Final generic paths; callers choose how a new group's bank is built and
+/// how rows fold into an existing bank.
+class SpillingGroupMap {
+ public:
+  SpillingGroupMap(ExecContext& ctx, std::string consumer, size_t key_width,
+                   const std::vector<AggregatePtr>& aggs)
+      : ctx_(ctx),
+        consumer_(std::move(consumer)),
+        key_width_(key_width),
+        aggs_(aggs),
+        reservation_(ctx.memory().CreateReservation()) {}
+
+  /// Returns the accumulator bank for `key`, inserting the bank built by
+  /// `init` when the key is new (spilling first if over budget). The
+  /// pointer is valid until the next FindOrInsert call.
+  std::vector<Value>* FindOrInsert(
+      GroupKey key, const std::function<std::vector<Value>()>& init) {
+    auto it = groups_.find(key);
+    if (it != groups_.end()) return &it->second;
+    std::vector<Value> accs = init();
+    int64_t entry_bytes = kGroupEntryOverhead;
+    for (const Value& v : key.values) entry_bytes += EstimateValueBytes(v);
+    for (const Value& v : accs) entry_bytes += EstimateValueBytes(v);
+    Charge(entry_bytes);
+    it = groups_.emplace(std::move(key), std::move(accs)).first;
+    return &it->second;
+  }
+
+  /// Emits every surviving group exactly once via `sink`, merging spilled
+  /// buckets back through a (smaller) in-memory map. Leaves the map empty
+  /// and the reservation released; spill files are deleted as each bucket
+  /// finishes (and by RAII on any unwind).
+  void Drain(const std::function<void(GroupKey, std::vector<Value>)>& sink) {
+    if (spill_buckets_.empty()) {
+      for (auto& [key, accs] : groups_) {
+        sink(GroupKey{key.values}, std::move(accs));
+      }
+      groups_.clear();
+      used_bytes_ = 0;
+      reservation_.Release();
+      return;
+    }
+    // Uniform handling: push the in-memory remainder to disk too, then
+    // re-aggregate bucket by bucket.
+    SpillMap();
+    for (auto& bucket : spill_buckets_) {
+      if (!bucket) continue;
+      bucket->FinishWrites();
+      GroupMap merged;
+      int64_t used = 0;
+      size_t cancel_check = 0;
+      SpillFile::Reader reader(*bucket);
+      Row row;
+      while (reader.Next(&row)) {
+        ctx_.CheckCancelledEvery(&cancel_check);
+        GroupKey key;
+        key.values.assign(row.values().begin(),
+                          row.values().begin() + key_width_);
+        auto it = merged.find(key);
+        if (it == merged.end()) {
+          int64_t entry_bytes = kGroupEntryOverhead;
+          for (const Value& v : row.values()) {
+            entry_bytes += EstimateValueBytes(v);
+          }
+          // A bucket that still exceeds the budget is processed anyway
+          // (single-level recursion); the overshoot is 1/kAggSpillFanout
+          // of the original working set.
+          if (!reservation_.EnsureReserved(used + entry_bytes)) {
+            reservation_.ForceGrow(entry_bytes);
+          }
+          used += entry_bytes;
+          std::vector<Value> accs(row.values().begin() + key_width_,
+                                  row.values().end());
+          merged.emplace(std::move(key), std::move(accs));
+          continue;
+        }
+        for (size_t j = 0; j < aggs_.size(); ++j) {
+          aggs_[j]->Merge(&it->second[j], row.Get(key_width_ + j));
+        }
+      }
+      for (auto& [key, accs] : merged) {
+        sink(GroupKey{key.values}, std::move(accs));
+      }
+      reservation_.Release();
+      bucket.reset();  // deletes the file as soon as its bucket is done
+    }
+  }
+
+  bool spilled() const { return !spill_buckets_.empty(); }
+
+ private:
+  /// Reserves `entry_bytes` more, spilling the current map when denied.
+  void Charge(int64_t entry_bytes) {
+    if (reservation_.EnsureReserved(used_bytes_ + entry_bytes)) {
+      used_bytes_ += entry_bytes;
+      return;
+    }
+    if (!ctx_.memory().spill_enabled()) {
+      throw ExecutionError(ctx_.memory().OverBudgetMessage(consumer_));
+    }
+    SpillMap();
+    // The new group is the irreducible working set: admit it even if the
+    // budget (shared with concurrent partitions) is still exhausted.
+    if (!reservation_.EnsureReserved(entry_bytes)) {
+      reservation_.ForceGrow(entry_bytes);
+    }
+    used_bytes_ = entry_bytes;
+  }
+
+  /// Scatters the in-memory map into the bucket files and restarts empty.
+  void SpillMap() {
+    if (spill_buckets_.empty()) spill_buckets_.resize(kAggSpillFanout);
+    int64_t wrote = 0;
+    size_t cancel_check = 0;
+    size_t files_created = 0;
+    for (auto& [key, accs] : groups_) {
+      ctx_.CheckCancelledEvery(&cancel_check);
+      size_t b = MixHash64(GroupKeyHash{}(key)) % kAggSpillFanout;
+      if (!spill_buckets_[b]) {
+        spill_buckets_[b].emplace(ctx_.spill_dir(), consumer_);
+        ++files_created;
+      }
+      Row row;
+      row.Reserve(key.values.size() + accs.size());
+      for (const Value& v : key.values) row.Append(v);
+      for (const Value& v : accs) row.Append(v);
+      wrote += spill_buckets_[b]->Append(row);
+    }
+    if (files_created > 0) {
+      ctx_.metrics().Add("memory.spill_files",
+                         static_cast<int64_t>(files_created));
+    }
+    if (wrote > 0) ctx_.metrics().Add("memory.spill_bytes", wrote);
+    groups_.clear();
+    used_bytes_ = 0;
+    reservation_.Release();
+  }
+
+  ExecContext& ctx_;
+  std::string consumer_;
+  size_t key_width_;
+  const std::vector<AggregatePtr>& aggs_;
+  GroupMap groups_;
+  int64_t used_bytes_ = 0;
+  MemoryReservation reservation_;
+  std::vector<std::optional<SpillFile>> spill_buckets_;
+};
 
 }  // namespace
 
@@ -84,7 +249,9 @@ RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
 
-  if (ctx.config().codegen_enabled) {
+  // The typed fast path keeps its whole working set in unaccounted flat
+  // arrays, so it only runs when no memory budget is in force.
+  if (ctx.config().codegen_enabled && !ctx.memory().limited()) {
     RowDataset fast;
     if (TryExecutePartialFast(ctx, input, child_out, &fast)) return fast;
   }
@@ -104,33 +271,35 @@ RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
   }
 
   return input.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
-    GroupMap groups;
+    SpillingGroupMap groups(ctx, "aggregate.partial", bound_groupings.size(),
+                            bound_aggs);
     size_t cancel_check = 0;
     for (const Row& row : part.rows) {
       ctx.CheckCancelledEvery(&cancel_check);
       GroupKey key;
       key.values.reserve(bound_groupings.size());
       for (const auto& g : bound_groupings) key.values.push_back(g->Eval(row));
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        std::vector<Value> accs;
-        accs.reserve(bound_aggs.size());
-        for (const auto& agg : bound_aggs) accs.push_back(agg->InitAccumulator());
-        it = groups.emplace(std::move(key), std::move(accs)).first;
-      }
+      std::vector<Value>* accs =
+          groups.FindOrInsert(std::move(key), [&] {
+            std::vector<Value> init;
+            init.reserve(bound_aggs.size());
+            for (const auto& agg : bound_aggs) {
+              init.push_back(agg->InitAccumulator());
+            }
+            return init;
+          });
       for (size_t j = 0; j < bound_aggs.size(); ++j) {
-        bound_aggs[j]->Update(&it->second[j], row);
+        bound_aggs[j]->Update(&(*accs)[j], row);
       }
     }
     auto out = std::make_shared<RowPartition>();
-    out->rows.reserve(groups.size());
-    for (auto& [key, accs] : groups) {
+    groups.Drain([&](GroupKey key, std::vector<Value> accs) {
       Row row;
       row.Reserve(key.values.size() + accs.size());
-      for (const auto& v : key.values) row.Append(v);
+      for (auto& v : key.values) row.Append(std::move(v));
       for (auto& a : accs) row.Append(std::move(a));
       out->rows.push_back(std::move(row));
-    }
+    });
     return out;
   }, "aggregate.partial");
 }
@@ -487,37 +656,36 @@ RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
 
   bool global = k == 0;
 
-  if (ctx.config().codegen_enabled && !global) {
+  if (ctx.config().codegen_enabled && !global && !ctx.memory().limited()) {
     RowDataset fast;
     if (TryExecuteFinalFast(ctx, input, result_exprs, &fast)) return fast;
   }
 
   RowDataset merged = input.MapPartitions(ctx, [&](size_t, const RowPartition&
                                                                 part) {
-    GroupMap groups;
+    SpillingGroupMap groups(ctx, "aggregate.final", k, agg_functions_);
     size_t cancel_check = 0;
     for (const Row& row : part.rows) {
       ctx.CheckCancelledEvery(&cancel_check);
       GroupKey key;
       key.values.reserve(k);
       for (size_t i = 0; i < k; ++i) key.values.push_back(row.Get(i));
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        std::vector<Value> accs;
-        accs.reserve(m);
+      bool inserted = false;
+      std::vector<Value>* accs = groups.FindOrInsert(std::move(key), [&] {
+        inserted = true;
+        std::vector<Value> init;
+        init.reserve(m);
+        for (size_t j = 0; j < m; ++j) init.push_back(row.Get(k + j));
+        return init;
+      });
+      if (!inserted) {
         for (size_t j = 0; j < m; ++j) {
-          accs.push_back(row.Get(k + j));
+          agg_functions_[j]->Merge(&(*accs)[j], row.Get(k + j));
         }
-        groups.emplace(std::move(key), std::move(accs));
-        continue;
-      }
-      for (size_t j = 0; j < m; ++j) {
-        agg_functions_[j]->Merge(&it->second[j], row.Get(k + j));
       }
     }
     auto out = std::make_shared<RowPartition>();
-    out->rows.reserve(groups.size());
-    for (auto& [key, accs] : groups) {
+    groups.Drain([&](GroupKey key, std::vector<Value> accs) {
       Row base;
       base.Reserve(k + m);
       for (const auto& v : key.values) base.Append(v);
@@ -528,7 +696,7 @@ RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
       result.Reserve(result_exprs.size());
       for (const auto& e : result_exprs) result.Append(e->Eval(base));
       out->rows.push_back(std::move(result));
-    }
+    });
     return out;
   }, "aggregate.final");
 

@@ -86,7 +86,9 @@ RowDataset IntervalJoinExec::Execute(ExecContext& ctx) const {
   std::vector<Row> build = interval_side->Execute(ctx).Collect();
   std::vector<IntervalTree::Interval> intervals;
   intervals.reserve(build.size());
+  size_t build_cancel_check = 0;
   for (size_t i = 0; i < build.size(); ++i) {
+    ctx.CheckCancelledEvery(&build_cancel_check);
     Value s = bound_start->Eval(build[i]);
     Value e = bound_end->Eval(build[i]);
     if (s.is_null() || e.is_null()) continue;
@@ -100,7 +102,9 @@ RowDataset IntervalJoinExec::Execute(ExecContext& ctx) const {
   return stream.MapPartitions(ctx, [&](size_t, const RowPartition& part) {
     auto out = std::make_shared<RowPartition>();
     std::vector<size_t> matches;
+    size_t cancel_check = 0;
     for (const Row& row : part.rows) {
+      ctx.CheckCancelledEvery(&cancel_check);
       Value p = bound_point->Eval(row);
       if (p.is_null()) continue;
       matches.clear();

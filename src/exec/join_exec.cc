@@ -1,9 +1,12 @@
 #include "exec/join_exec.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "exec/exchange_exec.h"
+#include "util/spill_file.h"
 
 namespace ssql {
 
@@ -74,6 +77,19 @@ BuildMap BuildHashTable(const std::vector<Row>& rows,
   return map;
 }
 
+/// Hash-table node + index-vector overhead per build row beyond the row
+/// payload, used when charging a build side against the memory budget.
+constexpr int64_t kJoinEntryOverhead = 64;
+
+/// Buckets a Grace-partitioned join scatters each side into.
+constexpr size_t kJoinSpillFanout = 16;
+
+int64_t EstimateBuildBytes(const std::vector<Row>& rows) {
+  int64_t bytes = 0;
+  for (const Row& r : rows) bytes += EstimateRowBytes(r) + kJoinEntryOverhead;
+  return bytes;
+}
+
 }  // namespace
 
 JoinExecBase::JoinExecBase(PhysPtr left, PhysPtr right, ExprVector left_keys,
@@ -130,9 +146,23 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
   ExprPtr bound_residual =
       residual_ ? BindReferences(residual_, joined_out) : nullptr;
 
-  // Broadcast: collect and hash the build side once.
+  // Broadcast: collect and hash the build side once. A broadcast build
+  // cannot spill (every probe task needs the whole table), so going over
+  // budget is a hard error; the planner avoids this by capping the
+  // broadcast threshold at the memory limit.
   std::vector<Row> build = right_->Execute(ctx).Collect();
   ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+  MemoryReservation reservation = ctx.memory().CreateReservation();
+  int64_t build_bytes = EstimateBuildBytes(build);
+  if (!reservation.EnsureReserved(build_bytes)) {
+    throw ExecutionError(
+        "query memory limit of " + std::to_string(ctx.memory().limit_bytes()) +
+        " bytes exceeded by join.broadcast build side (~" +
+        std::to_string(build_bytes) +
+        " bytes); broadcast joins cannot spill — raise "
+        "query_memory_limit_bytes or lower broadcast_threshold_bytes so the "
+        "planner picks a shuffle join");
+  }
   BuildMap table = BuildHashTable(build, bound_right);
 
   RowDataset stream = left_->Execute(ctx);
@@ -211,43 +241,129 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
                                                             left_part) {
     const RowPartition& right_part = *right_shuffled.partition(p);
     auto out = std::make_shared<RowPartition>();
-    BuildMap table = BuildHashTable(right_part.rows, bound_right);
-    std::vector<uint8_t> right_matched(right_part.rows.size(), 0);
-
     size_t cancel_check = 0;
-    for (const Row& row : left_part.rows) {
-      ctx.CheckCancelledEvery(&cancel_check);
-      JoinKey key = EvalKey(row, bound_left);
-      const std::vector<size_t>* matches = nullptr;
-      if (!key.has_null) {
-        auto it = table.find(key);
-        if (it != table.end()) matches = &it->second;
-      }
-      bool matched = false;
-      if (matches != nullptr) {
-        for (size_t idx : *matches) {
-          Row joined = Row::Concat(row, right_part.rows[idx]);
-          if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
-            continue;
+
+    // One hash-join pass: hash `build`, stream probe rows from `next_probe`.
+    // Correct per Grace bucket because equal keys always share a bucket, and
+    // every input row lands in exactly one bucket (so each unmatched row is
+    // null-extended/emitted exactly once across passes).
+    auto join_pass = [&](const std::vector<Row>& build,
+                         const std::function<const Row*()>& next_probe) {
+      BuildMap table = BuildHashTable(build, bound_right);
+      std::vector<uint8_t> right_matched(build.size(), 0);
+      while (const Row* probe = next_probe()) {
+        ctx.CheckCancelledEvery(&cancel_check);
+        const Row& row = *probe;
+        JoinKey key = EvalKey(row, bound_left);
+        const std::vector<size_t>* matches = nullptr;
+        if (!key.has_null) {
+          auto it = table.find(key);
+          if (it != table.end()) matches = &it->second;
+        }
+        bool matched = false;
+        if (matches != nullptr) {
+          for (size_t idx : *matches) {
+            Row joined = Row::Concat(row, build[idx]);
+            if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
+              continue;
+            }
+            matched = true;
+            right_matched[idx] = 1;
+            if (semi || anti) break;
+            out->rows.push_back(std::move(joined));
           }
-          matched = true;
-          right_matched[idx] = 1;
-          if (semi || anti) break;
-          out->rows.push_back(std::move(joined));
+        }
+        if (semi && matched) out->rows.push_back(row);
+        if (anti && !matched) out->rows.push_back(row);
+        if (left_outer && !matched && !semi && !anti) {
+          out->rows.push_back(NullExtendRight(row, right_width));
         }
       }
-      if (semi && matched) out->rows.push_back(row);
-      if (anti && !matched) out->rows.push_back(row);
-      if (left_outer && !matched && !semi && !anti) {
-        out->rows.push_back(NullExtendRight(row, right_width));
+      if (right_outer) {
+        for (size_t i = 0; i < build.size(); ++i) {
+          if (right_matched[i] == 0) {
+            out->rows.push_back(NullExtendLeft(left_width, build[i]));
+          }
+        }
       }
+    };
+
+    MemoryReservation reservation = ctx.memory().CreateReservation();
+    if (reservation.EnsureReserved(EstimateBuildBytes(right_part.rows))) {
+      size_t i = 0;
+      join_pass(right_part.rows, [&]() -> const Row* {
+        return i < left_part.rows.size() ? &left_part.rows[i++] : nullptr;
+      });
+      return out;
     }
-    if (right_outer) {
-      for (size_t i = 0; i < right_part.rows.size(); ++i) {
-        if (right_matched[i] == 0) {
-          out->rows.push_back(NullExtendLeft(left_width, right_part.rows[i]));
+    if (!ctx.memory().spill_enabled()) {
+      throw ExecutionError(ctx.memory().OverBudgetMessage("join.build"));
+    }
+    reservation.Release();
+
+    // Grace fallback: scatter both sides to disk by mixed key hash, then
+    // join bucket by bucket with a 1/kJoinSpillFanout-sized build table.
+    // Null-key rows scatter by their (deterministic) null hash and never
+    // match, which preserves outer/anti semantics within their bucket.
+    struct BucketPair {
+      std::optional<SpillFile> build, probe;
+    };
+    std::vector<BucketPair> buckets(kJoinSpillFanout);
+    int64_t wrote = 0;
+    size_t files_created = 0;
+    auto scatter = [&](const std::vector<Row>& rows, const ExprVector& keys,
+                       bool build_side) {
+      for (const Row& row : rows) {
+        ctx.CheckCancelledEvery(&cancel_check);
+        size_t b =
+            MixHash64(JoinKeyHash{}(EvalKey(row, keys))) % kJoinSpillFanout;
+        auto& file = build_side ? buckets[b].build : buckets[b].probe;
+        if (!file) {
+          file.emplace(ctx.spill_dir(),
+                       build_side ? "join-build" : "join-probe");
+          ++files_created;
+        }
+        wrote += file->Append(row);
+      }
+    };
+    scatter(right_part.rows, bound_right, /*build_side=*/true);
+    scatter(left_part.rows, bound_left, /*build_side=*/false);
+    if (files_created > 0) {
+      ctx.metrics().Add("memory.spill_files",
+                        static_cast<int64_t>(files_created));
+    }
+    if (wrote > 0) ctx.metrics().Add("memory.spill_bytes", wrote);
+
+    for (auto& bucket : buckets) {
+      std::vector<Row> build;
+      if (bucket.build) {
+        bucket.build->FinishWrites();
+        build.reserve(bucket.build->row_count());
+        SpillFile::Reader reader(*bucket.build);
+        Row row;
+        while (reader.Next(&row)) {
+          ctx.CheckCancelledEvery(&cancel_check);
+          build.push_back(std::move(row));
         }
       }
+      // A bucket that still exceeds the budget is joined anyway
+      // (single-level recursion); the overshoot is bounded by the fanout.
+      if (!reservation.EnsureReserved(EstimateBuildBytes(build))) {
+        reservation.ForceGrow(EstimateBuildBytes(build));
+      }
+      if (bucket.probe) {
+        bucket.probe->FinishWrites();
+        SpillFile::Reader reader(*bucket.probe);
+        Row scratch;
+        join_pass(build, [&]() -> const Row* {
+          return reader.Next(&scratch) ? &scratch : nullptr;
+        });
+      } else {
+        join_pass(build, []() -> const Row* { return nullptr; });
+      }
+      reservation.Release();
+      bucket.build.reset();  // delete each pair as soon as it is joined
+      bucket.probe.reset();
     }
     return out;
   }, "join.probe");
@@ -380,6 +496,16 @@ RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
 
   std::vector<Row> build = right_->Execute(ctx).Collect();
   ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+  MemoryReservation reservation = ctx.memory().CreateReservation();
+  int64_t build_bytes = EstimateBuildBytes(build);
+  if (!reservation.EnsureReserved(build_bytes)) {
+    throw ExecutionError(
+        "query memory limit of " + std::to_string(ctx.memory().limit_bytes()) +
+        " bytes exceeded by join.nested_loop build side (~" +
+        std::to_string(build_bytes) +
+        " bytes); nested-loop builds cannot spill — raise "
+        "query_memory_limit_bytes");
+  }
 
   RowDataset stream = left_->Execute(ctx);
   bool semi = join_type_ == JoinType::kLeftSemi;

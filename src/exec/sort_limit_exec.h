@@ -1,6 +1,7 @@
 #ifndef SSQL_EXEC_SORT_LIMIT_EXEC_H_
 #define SSQL_EXEC_SORT_LIMIT_EXEC_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,13 @@ class SortExec : public PhysicalPlan {
   std::string Describe() const override;
 
  private:
+  /// Memory-bounded local sort for one partition: budgeted buffer, stable-
+  /// sorted runs spilled to disk when a grant is denied, then a stable
+  /// k-way merge of the run files plus the in-memory tail.
+  std::shared_ptr<RowPartition> ExternalSortPartition(
+      ExecContext& ctx, const RowPartition& part,
+      const std::function<bool(const Row&, const Row&)>& less) const;
+
   std::vector<std::shared_ptr<const SortOrder>> orders_;
   PhysPtr child_;
 };

@@ -1,0 +1,279 @@
+#include "util/spill_file.h"
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "util/status.h"
+
+namespace ssql {
+
+namespace {
+
+// Serialization tags; one per spillable Value alternative.
+enum : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt32 = 2,
+  kTagInt64 = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagDecimal = 6,
+  kTagDate = 7,
+  kTagTimestamp = 8,
+  kTagArray = 9,
+  kTagStruct = 10,
+  kTagMap = 11,
+};
+
+template <typename T>
+void PutRaw(std::string* buf, T v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void SerializeValue(const Value& v, std::string* buf) {
+  switch (v.type_id()) {
+    case TypeId::kNull:
+      buf->push_back(static_cast<char>(kTagNull));
+      return;
+    case TypeId::kBoolean:
+      buf->push_back(static_cast<char>(kTagBool));
+      buf->push_back(v.bool_value() ? 1 : 0);
+      return;
+    case TypeId::kInt32:
+      buf->push_back(static_cast<char>(kTagInt32));
+      PutRaw(buf, v.i32());
+      return;
+    case TypeId::kInt64:
+      buf->push_back(static_cast<char>(kTagInt64));
+      PutRaw(buf, v.i64());
+      return;
+    case TypeId::kDouble:
+      buf->push_back(static_cast<char>(kTagDouble));
+      PutRaw(buf, v.f64());
+      return;
+    case TypeId::kString:
+      buf->push_back(static_cast<char>(kTagString));
+      PutRaw(buf, static_cast<uint32_t>(v.str().size()));
+      buf->append(v.str());
+      return;
+    case TypeId::kDecimal:
+      buf->push_back(static_cast<char>(kTagDecimal));
+      PutRaw(buf, v.decimal().unscaled());
+      PutRaw(buf, static_cast<int32_t>(v.decimal().precision()));
+      PutRaw(buf, static_cast<int32_t>(v.decimal().scale()));
+      return;
+    case TypeId::kDate:
+      buf->push_back(static_cast<char>(kTagDate));
+      PutRaw(buf, v.date().days);
+      return;
+    case TypeId::kTimestamp:
+      buf->push_back(static_cast<char>(kTagTimestamp));
+      PutRaw(buf, v.timestamp().micros);
+      return;
+    case TypeId::kArray: {
+      buf->push_back(static_cast<char>(kTagArray));
+      const auto& elems = v.array().elements;
+      PutRaw(buf, static_cast<uint32_t>(elems.size()));
+      for (const Value& e : elems) SerializeValue(e, buf);
+      return;
+    }
+    case TypeId::kStruct: {
+      buf->push_back(static_cast<char>(kTagStruct));
+      const auto& fields = v.struct_data().fields;
+      PutRaw(buf, static_cast<uint32_t>(fields.size()));
+      for (const Value& f : fields) SerializeValue(f, buf);
+      return;
+    }
+    case TypeId::kMap: {
+      buf->push_back(static_cast<char>(kTagMap));
+      const auto& entries = v.map().entries;
+      PutRaw(buf, static_cast<uint32_t>(entries.size()));
+      for (const auto& [k, val] : entries) {
+        SerializeValue(k, buf);
+        SerializeValue(val, buf);
+      }
+      return;
+    }
+    default:
+      throw ExecutionError(
+          "cannot spill value of an opaque user-defined type to disk");
+  }
+}
+
+template <typename T>
+T ReadRaw(std::ifstream* in, const std::string& path) {
+  T v;
+  if (!in->read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    throw IoError("truncated spill file: " + path);
+  }
+  return v;
+}
+
+Value DeserializeValue(std::ifstream* in, const std::string& path) {
+  uint8_t tag = ReadRaw<uint8_t>(in, path);
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool:
+      return Value(ReadRaw<uint8_t>(in, path) != 0);
+    case kTagInt32:
+      return Value(ReadRaw<int32_t>(in, path));
+    case kTagInt64:
+      return Value(ReadRaw<int64_t>(in, path));
+    case kTagDouble:
+      return Value(ReadRaw<double>(in, path));
+    case kTagString: {
+      uint32_t n = ReadRaw<uint32_t>(in, path);
+      std::string s(n, '\0');
+      if (n > 0 && !in->read(s.data(), n)) {
+        throw IoError("truncated spill file: " + path);
+      }
+      return Value(std::move(s));
+    }
+    case kTagDecimal: {
+      int64_t unscaled = ReadRaw<int64_t>(in, path);
+      int32_t precision = ReadRaw<int32_t>(in, path);
+      int32_t scale = ReadRaw<int32_t>(in, path);
+      return Value(Decimal(unscaled, precision, scale));
+    }
+    case kTagDate:
+      return Value(DateValue{ReadRaw<int32_t>(in, path)});
+    case kTagTimestamp:
+      return Value(TimestampValue{ReadRaw<int64_t>(in, path)});
+    case kTagArray: {
+      uint32_t n = ReadRaw<uint32_t>(in, path);
+      std::vector<Value> elems;
+      elems.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) elems.push_back(DeserializeValue(in, path));
+      return Value::Array(std::move(elems));
+    }
+    case kTagStruct: {
+      uint32_t n = ReadRaw<uint32_t>(in, path);
+      std::vector<Value> fields;
+      fields.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) fields.push_back(DeserializeValue(in, path));
+      return Value::Struct(std::move(fields));
+    }
+    case kTagMap: {
+      uint32_t n = ReadRaw<uint32_t>(in, path);
+      std::vector<std::pair<Value, Value>> entries;
+      entries.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Value k = DeserializeValue(in, path);
+        Value v = DeserializeValue(in, path);
+        entries.emplace_back(std::move(k), std::move(v));
+      }
+      return Value::Map(std::move(entries));
+    }
+    default:
+      throw IoError("corrupt spill file (bad value tag): " + path);
+  }
+}
+
+}  // namespace
+
+int64_t EstimateValueBytes(const Value& v) {
+  // sizeof(Value) covers the variant's inline alternatives.
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  switch (v.type_id()) {
+    case TypeId::kString:
+      return bytes + static_cast<int64_t>(v.str().size());
+    case TypeId::kArray: {
+      for (const Value& e : v.array().elements) bytes += EstimateValueBytes(e);
+      return bytes + 32;  // ArrayData box + control block
+    }
+    case TypeId::kStruct: {
+      for (const Value& f : v.struct_data().fields) bytes += EstimateValueBytes(f);
+      return bytes + 32;
+    }
+    case TypeId::kMap: {
+      for (const auto& [k, val] : v.map().entries) {
+        bytes += EstimateValueBytes(k) + EstimateValueBytes(val);
+      }
+      return bytes + 32;
+    }
+    default:
+      return bytes;
+  }
+}
+
+int64_t EstimateRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row.values()) bytes += EstimateValueBytes(v);
+  return bytes;
+}
+
+uint64_t MixHash64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+SpillFile::SpillFile(const std::string& dir, const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create spill directory '" + dir + "': " + ec.message());
+  }
+  path_ = dir + "/" + prefix + "-" + std::to_string(::getpid()) + "-" +
+          std::to_string(counter.fetch_add(1)) + ".spill";
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw IoError("cannot open spill file '" + path_ + "' for writing");
+  }
+}
+
+SpillFile::~SpillFile() {
+  if (path_.empty()) return;  // moved-from
+  if (out_.is_open()) out_.close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // best effort; never throws
+}
+
+int64_t SpillFile::Append(const Row& row) {
+  buffer_.clear();
+  PutRaw(&buffer_, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row.values()) SerializeValue(v, &buffer_);
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out_) {
+    throw IoError("write to spill file '" + path_ + "' failed (disk full?)");
+  }
+  ++rows_;
+  bytes_ += static_cast<int64_t>(buffer_.size());
+  return static_cast<int64_t>(buffer_.size());
+}
+
+void SpillFile::FinishWrites() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  if (!out_) {
+    throw IoError("flush of spill file '" + path_ + "' failed (disk full?)");
+  }
+  out_.close();
+}
+
+SpillFile::Reader::Reader(const SpillFile& file)
+    : path_(file.path()), remaining_(file.row_count()) {
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    throw IoError("cannot open spill file '" + path_ + "' for reading");
+  }
+}
+
+bool SpillFile::Reader::Next(Row* row) {
+  if (remaining_ == 0) return false;
+  --remaining_;
+  uint32_t n = ReadRaw<uint32_t>(&in_, path_);
+  Row out;
+  out.Reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out.Append(DeserializeValue(&in_, path_));
+  *row = std::move(out);
+  return true;
+}
+
+}  // namespace ssql

@@ -1,0 +1,85 @@
+#ifndef SSQL_UTIL_SPILL_FILE_H_
+#define SSQL_UTIL_SPILL_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "types/row.h"
+
+namespace ssql {
+
+/// Rough heap footprint of a boxed value / row, used by operators to charge
+/// their MemoryReservation. Deliberately an over-estimate (boxing overhead
+/// dominates for small values) so budgets err toward spilling early.
+int64_t EstimateValueBytes(const Value& v);
+int64_t EstimateRowBytes(const Row& row);
+
+/// splitmix64 finalizer. Spill fan-out must not reuse the raw shuffle hash:
+/// rows inside a shuffled partition all satisfy `hash % num_partitions ==
+/// p`, so `hash % fanout` would collapse to a handful of buckets. Mixing
+/// decorrelates the two modular slices.
+uint64_t MixHash64(uint64_t h);
+
+/// A temporary on-disk run of serialized rows, RAII-managed: the backing
+/// file is created uniquely named under `dir` (created if missing) and is
+/// deleted by the destructor — on success, error and cancellation unwinds
+/// alike, so a query can never leave orphan scratch files behind.
+///
+/// Lifecycle: Append() rows, FinishWrites(), then read back through one or
+/// more Readers. The serialization is a self-describing tag+payload binary
+/// format covering every Value alternative except opaque UDT objects
+/// (which cannot be spilled and raise ExecutionError).
+class SpillFile {
+ public:
+  /// Creates and opens the file; throws IoError if the directory cannot be
+  /// created or the file cannot be opened.
+  SpillFile(const std::string& dir, const std::string& prefix);
+  ~SpillFile();
+
+  SpillFile(SpillFile&& other) noexcept
+      : path_(std::move(other.path_)),
+        out_(std::move(other.out_)),
+        rows_(other.rows_),
+        bytes_(other.bytes_) {
+    other.path_.clear();  // moved-from state must not delete the file
+  }
+  SpillFile& operator=(SpillFile&& other) = delete;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends one row; returns the number of bytes written.
+  int64_t Append(const Row& row);
+
+  /// Flushes and closes the write stream; must precede any Reader.
+  void FinishWrites();
+
+  size_t row_count() const { return rows_; }
+  int64_t bytes_written() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// Sequential reader over a finished spill file. Must not outlive the
+  /// SpillFile (whose destructor deletes the backing file).
+  class Reader {
+   public:
+    explicit Reader(const SpillFile& file);
+    /// Reads the next row into `*row`; false at end-of-file.
+    bool Next(Row* row);
+
+   private:
+    std::ifstream in_;
+    std::string path_;  // for error messages
+    size_t remaining_;
+  };
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t rows_ = 0;
+  int64_t bytes_ = 0;
+  std::string buffer_;  // per-Append scratch, reused across calls
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_SPILL_FILE_H_

@@ -13,9 +13,12 @@
 
 #include "api/sql_context.h"
 #include "catalyst/expr/literal.h"
+#include "catalyst/expr/udf_expr.h"
 #include "engine/dataset.h"
 #include "engine/exec_context.h"
 #include "engine/task_runner.h"
+#include "exec/interval_join_exec.h"
+#include "exec/scan_exec.h"
 #include "util/thread_pool.h"
 
 namespace ssql {
@@ -259,6 +262,84 @@ TEST(CancellationTest, ZeroTimeoutAbortsEveryQueryShapeAndPoolStaysUsable) {
   ctx.config().query_timeout_ms = -1;
   auto rows = t1.Join(t2, t1("x") == t2("k")).Collect();
   EXPECT_EQ(rows.size(), 50u);
+}
+
+TEST(CancellationTest, ShuffleMapSidePollsInsideTheRowLoop) {
+  // A cancellation arriving mid-way through hashing a large partition must
+  // abort within the polling interval, not after the whole partition (or
+  // the whole shuffle) has been processed.
+  EngineConfig config;
+  config.num_threads = 1;
+  ExecContext ctx(config);
+  std::vector<Row> rows;
+  for (int i = 0; i < 10000; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::SinglePartition(std::move(rows));
+
+  std::atomic<int> hashed{0};
+  try {
+    d.ShuffleByHash(ctx, 4, [&](const Row& row) -> uint64_t {
+      if (hashed.fetch_add(1) == 0) {
+        ctx.cancellation()->Cancel("mid-shuffle abort");
+      }
+      return static_cast<uint64_t>(row.GetInt32(0));
+    });
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-shuffle abort"),
+              std::string::npos);
+  }
+  // Polls run every 64 rows, so only a sliver of the 10000-row partition
+  // may have been hashed after the cancel.
+  EXPECT_LT(hashed.load(), 200);
+}
+
+TEST(CancellationTest, IntervalJoinProbeLoopPollsPerRow) {
+  // Same property for the range join's probe loop: the per-row poll must
+  // notice a cancellation long before the 10000-row probe side is drained.
+  EngineConfig config;
+  config.num_threads = 1;
+  config.default_parallelism = 1;
+  ExecContext ctx(config);
+
+  AttributeVector ia = {
+      AttributeReference::Make("s", DataType::Double(), false),
+      AttributeReference::Make("e", DataType::Double(), false)};
+  AttributeVector pa = {
+      AttributeReference::Make("p", DataType::Double(), false)};
+  std::vector<Row> intervals;
+  for (int i = 0; i < 4; ++i) {
+    intervals.push_back(Row({Value(0.0), Value(1000.0)}));
+  }
+  std::vector<Row> points;
+  for (int i = 0; i < 10000; ++i) {
+    points.push_back(Row({Value(static_cast<double>(i % 100))}));
+  }
+  auto left = std::make_shared<LocalTableScanExec>(
+      ia, std::make_shared<const std::vector<Row>>(std::move(intervals)));
+  auto right = std::make_shared<LocalTableScanExec>(
+      pa, std::make_shared<const std::vector<Row>>(std::move(points)));
+
+  std::atomic<int> probed{0};
+  ExprPtr point = ScalarUDF::Make(
+      "cancel_then_count", {pa[0]}, DataType::Double(),
+      [&](const std::vector<Value>& args) -> Value {
+        if (probed.fetch_add(1) == 0) {
+          ctx.cancellation()->Cancel("mid-probe abort");
+        }
+        return args[0];
+      },
+      /*deterministic=*/false);
+
+  IntervalJoinExec join(left, right, /*interval_on_left=*/true,
+                        ia[0], ia[1], point, nullptr);
+  try {
+    join.Execute(ctx);
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-probe abort"),
+              std::string::npos);
+  }
+  EXPECT_LT(probed.load(), 200);
 }
 
 // ---- CSV parse modes -------------------------------------------------------

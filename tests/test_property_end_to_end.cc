@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <random>
 
@@ -215,7 +217,10 @@ void SetupTables(SqlContext& ctx, const std::string& colf_path) {
 class EndToEndPropertyTest : public ::testing::TestWithParam<int> {
  protected:
   static void SetUpTestSuite() {
-    colf_path_ = new std::string(::testing::TempDir() + "/prop_t2.colf");
+    // Unique per process: ctest runs each seed of this suite as its own
+    // process, and a shared path would let them clobber each other's file.
+    colf_path_ = new std::string(::testing::TempDir() + "/prop_t2." +
+                                 std::to_string(::getpid()) + ".colf");
     auto t2 = StructType::Make({
         Field("a", DataType::Int32(), true),
         Field("v", DataType::Double(), true),
