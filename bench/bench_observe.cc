@@ -1,0 +1,108 @@
+// Instrumentation overhead: the same queries with the per-query span tree
+// recorded (profiling_enabled, the default) vs the bare legacy-metrics mode.
+// Spans are created per operator/stage/task — never per row — so the two
+// modes should stay within a few percent of each other (~3% budget); a
+// larger gap means someone put profile work on a per-row path. The third
+// variant additionally writes the Chrome trace-event file each query, to
+// price the export itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "bench/workloads.h"
+
+namespace ssql {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 100000;
+constexpr int kKeys = 2000;
+
+enum Mode : int64_t { kUnprofiled = 0, kProfiled = 1, kProfiledWithTrace = 2 };
+
+const char* TracePath() { return "/tmp/ssql-bench-observe-trace.json"; }
+
+SqlContext* MakeContext(Mode mode) {
+  EngineConfig config = SparkSqlConfig();
+  config.profiling_enabled = mode != kUnprofiled;
+  if (mode == kProfiledWithTrace) config.trace_path = TracePath();
+  auto* ctx = new SqlContext(config);
+
+  std::mt19937_64 rng(7);
+  auto schema = StructType::Make({
+      Field("k", DataType::Int32(), false),
+      Field("v", DataType::Int32(), false),
+  });
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.push_back(Row({Value(static_cast<int32_t>(rng() % kKeys)),
+                        Value(static_cast<int32_t>(rng() % 1000))}));
+  }
+  ctx->CreateDataFrame(schema, std::move(rows)).RegisterTempTable("t");
+
+  auto dim = StructType::Make({
+      Field("k", DataType::Int32(), false),
+      Field("w", DataType::Int32(), false),
+  });
+  std::vector<Row> dim_rows;
+  dim_rows.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    dim_rows.push_back(Row({Value(int32_t(i)), Value(int32_t(i * 2))}));
+  }
+  ctx->CreateDataFrame(dim, std::move(dim_rows)).RegisterTempTable("dim");
+  return ctx;
+}
+
+/// state.range(0): Mode above.
+void RunQuery(benchmark::State& state, const std::string& sql) {
+  Mode mode = static_cast<Mode>(state.range(0));
+  SqlContext* ctx = MakeContext(mode);
+  size_t result_rows = 0;
+  for (auto _ : state) {
+    result_rows = ctx->Sql(sql).Collect().size();
+  }
+  state.counters["result_rows"] = static_cast<double>(result_rows);
+  if (mode != kUnprofiled) {
+    state.counters["spans"] = static_cast<double>(
+        ctx->exec().profile().root() != nullptr
+            ? 1 + ctx->exec().profile().root()->children.size()
+            : 0);
+  }
+  delete ctx;
+  if (mode == kProfiledWithTrace) std::remove(TracePath());
+}
+
+void BM_FilterAggregate(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT k, sum(v), count(*) FROM t WHERE v < 900 GROUP BY k");
+}
+
+void BM_JoinAggregate(benchmark::State& state) {
+  RunQuery(state,
+           "SELECT t.k, sum(dim.w) FROM t JOIN dim ON t.k = dim.k GROUP BY "
+           "t.k");
+}
+
+void BM_SortLimit(benchmark::State& state) {
+  RunQuery(state, "SELECT k, v FROM t ORDER BY v DESC, k LIMIT 100");
+}
+
+BENCHMARK(BM_FilterAggregate)
+    ->Arg(kUnprofiled)->Arg(kProfiled)->Arg(kProfiledWithTrace)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JoinAggregate)
+    ->Arg(kUnprofiled)->Arg(kProfiled)->Arg(kProfiledWithTrace)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortLimit)
+    ->Arg(kUnprofiled)->Arg(kProfiled)->Arg(kProfiledWithTrace)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssql
+
+BENCHMARK_MAIN();

@@ -7,7 +7,11 @@
 //   ssql> SELECT count(*) FROM t
 //
 // Pipe a script: printf 'SELECT 1+1\n.quit\n' | ./build/examples/sql_shell
+//
+// Set SSQL_TRACE_PATH=/path/trace.json to write each query's profile as
+// Chrome trace-event JSON (open in Perfetto or chrome://tracing).
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -17,7 +21,11 @@
 using namespace ssql;  // NOLINT — example brevity
 
 int main() {
-  SqlContext ctx;
+  EngineConfig config;
+  if (const char* trace = std::getenv("SSQL_TRACE_PATH")) {
+    config.trace_path = trace;
+  }
+  SqlContext ctx(config);
   std::cout << "sparksql-cpp console — SQL statements, or .tables / "
                ".explain <sql> / .metrics / .quit\n";
   std::string line;

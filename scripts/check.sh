@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 check: full build + test suite, then the fault-tolerance and
-# memory/spill tests again under AddressSanitizer/UBSan (retry,
-# cancellation, reservation accounting and spill-file cleanup exercise
-# concurrent code and raw buffers worth running instrumented).
+# Tier-1 check: full build + test suite, then the fault-tolerance,
+# memory/spill and observability tests again under AddressSanitizer/UBSan
+# (retry, cancellation, reservation accounting, spill-file cleanup and the
+# concurrent span/counter updates exercise concurrent code and raw buffers
+# worth running instrumented). Finishes with a quick overhead sanity pass of
+# bench_observe (profiled vs un-profiled execution).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +13,11 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=ON >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
+./build-sanitize/tests/test_observability
+
+# Smoke the instrumentation-overhead benchmark (a few quick repetitions; the
+# full comparison is a manual/CI readout, not a gate).
+./build/bench/bench_observe --benchmark_min_time=0.05

@@ -202,14 +202,11 @@ DataFrame DataFrame::Cache() const {
 }
 
 std::string DataFrame::Explain(bool extended) const {
-  std::string out;
-  PlanPtr optimized = ctx_->Optimize(plan_);
-  if (extended) {
-    out += "== Analyzed Logical Plan ==\n" + plan_->TreeString();
-    out += "== Optimized Logical Plan ==\n" + optimized->TreeString();
-  }
-  out += "== Physical Plan ==\n" + ctx_->PlanPhysical(optimized)->TreeString();
-  return out;
+  return Explain(extended ? ExplainMode::kExtended : ExplainMode::kSimple);
+}
+
+std::string DataFrame::Explain(ExplainMode mode) const {
+  return ctx_->ExplainText(plan_, mode);
 }
 
 DataFrame GroupedData::Agg(const std::vector<Column>& aggregates) const {

@@ -125,7 +125,14 @@ class DataFrame {
   DataFrame Cache() const;
 
   /// Logical/optimized/physical plans, like Spark's explain(true).
+  /// `extended` adds the analyzed + optimized logical plans and the
+  /// planner's join-selection decisions (broadcast-threshold reasoning).
   std::string Explain(bool extended = false) const;
+
+  /// Mode-based form; ExplainMode::kAnalyze executes the query and renders
+  /// the physical tree annotated with per-operator actuals (rows, time,
+  /// spill) from the query profile.
+  std::string Explain(ExplainMode mode) const;
 
  private:
   SqlContext* ctx_ = nullptr;

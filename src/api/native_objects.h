@@ -74,7 +74,7 @@ class ObjectRelation : public BaseRelation, public PrunedScan {
       for (int c : columns) row.Append(extractors[c](object));
       rows.push_back(std::move(row));
     }
-    ctx.metrics().Add("source.rows_scanned",
+    ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
                       static_cast<int64_t>(objects_->size()));
     ctx.metrics().Add("objects.fields_extracted",
                       static_cast<int64_t>(columns.size() * objects_->size()));

@@ -176,7 +176,43 @@ DataFrame SqlContext::Sql(const std::string& statement) {
     catalog_.RegisterTable(parsed.table_name, analyzed);
     return CreateDataFrame(StructType::Make({}), {});
   }
+  if (parsed.kind == ParsedStatement::Kind::kExplain) {
+    PlanPtr analyzed = Analyze(parsed.plan);
+    std::string text = ExplainText(analyzed, parsed.explain_mode);
+    Row row;
+    row.Append(Value(text));
+    return CreateDataFrame(
+        StructType::Make({Field("plan", DataType::String(), false)}),
+        {std::move(row)});
+  }
   return DataFrame(this, parsed.plan);
+}
+
+std::string SqlContext::ExplainText(const PlanPtr& analyzed_plan,
+                                    ExplainMode mode) {
+  PlanPtr with_cache = SubstituteCached(analyzed_plan);
+  PlanPtr optimized = Optimize(with_cache);
+  std::vector<std::string> decisions;
+  PhysPtr physical = PlanPhysical(optimized, &decisions);
+
+  std::string out;
+  if (mode == ExplainMode::kExtended) {
+    out += "== Analyzed Logical Plan ==\n" + analyzed_plan->TreeString();
+    out += "== Optimized Logical Plan ==\n" + optimized->TreeString();
+    out += "== Join Selection ==\n";
+    if (decisions.empty()) {
+      out += "(no join decisions)\n";
+    } else {
+      for (const std::string& d : decisions) out += d + "\n";
+    }
+  }
+  out += "== Physical Plan ==\n" + physical->TreeString();
+  if (mode == ExplainMode::kAnalyze) {
+    // Run the query for real; the profile then carries the actuals.
+    Execute(analyzed_plan);
+    out += "\n" + exec_.profile().RenderAnalyzed();
+  }
+  return out;
 }
 
 void SqlContext::RegisterTable(const std::string& name, const DataFrame& df) {
@@ -200,13 +236,15 @@ PlanPtr SqlContext::Analyze(const PlanPtr& plan) const {
 }
 
 PlanPtr SqlContext::Optimize(const PlanPtr& plan,
-                             std::vector<RuleExecutor::TraceEntry>* trace) const {
-  return optimizer_->Optimize(plan, trace);
+                             std::vector<RuleExecutor::TraceEntry>* trace,
+                             QueryProfile* profile) const {
+  return optimizer_->Optimize(plan, trace, profile);
 }
 
-PhysPtr SqlContext::PlanPhysical(const PlanPtr& optimized) const {
+PhysPtr SqlContext::PlanPhysical(const PlanPtr& optimized,
+                                 std::vector<std::string>* decisions) const {
   PhysicalPlanner planner(exec_.config());
-  return planner.Plan(optimized);
+  return planner.Plan(optimized, decisions);
 }
 
 PlanPtr SqlContext::SubstituteCached(const PlanPtr& plan) const {
@@ -235,12 +273,34 @@ PlanPtr SqlContext::SubstituteCached(const PlanPtr& plan) const {
 
 RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan) {
   // Arm a fresh cancellation token (and the configured wall-clock timeout)
-  // for this query; operators poll it cooperatively during execution.
+  // and a fresh profile for this query; operators poll the token
+  // cooperatively during execution.
   exec_.BeginQuery();
-  PlanPtr with_cache = SubstituteCached(analyzed_plan);
-  PlanPtr optimized = Optimize(with_cache);
-  PhysPtr physical = PlanPhysical(optimized);
-  return physical->Execute(exec_);
+  QueryProfile& profile = exec_.profile();
+  try {
+    ProfileSpan* phase = profile.BeginSpan(SpanKind::kPhase, "optimize");
+    PlanPtr with_cache = SubstituteCached(analyzed_plan);
+    PlanPtr optimized = Optimize(with_cache, nullptr,
+                                 profile.detailed() ? &profile : nullptr);
+    profile.EndSpan(phase);
+
+    phase = profile.BeginSpan(SpanKind::kPhase, "planning");
+    PhysPtr physical = PlanPhysical(optimized);
+    profile.EndSpan(phase);
+
+    phase = profile.BeginSpan(SpanKind::kPhase, "execution");
+    RowDataset out = physical->Execute(exec_);
+    profile.EndSpan(phase);
+
+    exec_.FinishQuery("ok");
+    return out;
+  } catch (const std::exception& e) {
+    exec_.FinishQuery(std::string("error: ") + e.what());
+    throw;
+  } catch (...) {
+    exec_.FinishQuery("error: unknown");
+    throw;
+  }
 }
 
 void SqlContext::CachePlan(const PlanPtr& analyzed_plan) {

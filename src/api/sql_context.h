@@ -80,8 +80,15 @@ class SqlContext {
   DataFrame ReadColf(const std::string& path);
 
   /// Runs a SQL statement. SELECT returns its result DataFrame; CREATE
-  /// TEMPORARY TABLE registers the source and returns an empty DataFrame.
+  /// TEMPORARY TABLE registers the source and returns an empty DataFrame;
+  /// EXPLAIN [EXTENDED|ANALYZE] returns a single-row DataFrame whose "plan"
+  /// column holds the rendered plan (ANALYZE actually runs the query and
+  /// annotates the plan with per-operator actuals).
   DataFrame Sql(const std::string& statement);
+
+  /// Renders an analyzed plan per `mode`. kAnalyze executes the query and
+  /// includes the profiled actuals; the other modes never execute.
+  std::string ExplainText(const PlanPtr& analyzed_plan, ExplainMode mode);
 
   // ---- registration -----------------------------------------------------
 
@@ -100,9 +107,16 @@ class SqlContext {
 
   PlanPtr Analyze(const PlanPtr& plan) const;
   PlanPtr Optimize(const PlanPtr& plan,
-                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr) const;
-  PhysPtr PlanPhysical(const PlanPtr& optimized) const;
+                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr,
+                   QueryProfile* profile = nullptr) const;
+  /// `decisions`, when non-null, receives the planner's strategy notes
+  /// (join algorithm choices with the broadcast-threshold reasoning).
+  PhysPtr PlanPhysical(const PlanPtr& optimized,
+                       std::vector<std::string>* decisions = nullptr) const;
   /// Full pipeline: substitute cached subtrees, optimize, plan, execute.
+  /// Each Catalyst phase runs under a profile span; the profile is closed
+  /// (and the trace file / slow-query log emitted) on success and error
+  /// alike, and stays readable via exec().profile() until the next query.
   RowDataset Execute(const PlanPtr& analyzed_plan);
 
   // ---- caching (Section 3.6) --------------------------------------------

@@ -49,8 +49,9 @@ Optimizer::Optimizer(OptimizerOptions options)
     : executor_(MakeBatches(options)) {}
 
 PlanPtr Optimizer::Optimize(const PlanPtr& plan,
-                            std::vector<RuleExecutor::TraceEntry>* trace) const {
-  return executor_.Execute(plan, trace);
+                            std::vector<RuleExecutor::TraceEntry>* trace,
+                            QueryProfile* profile) const {
+  return executor_.Execute(plan, trace, profile);
 }
 
 }  // namespace ssql

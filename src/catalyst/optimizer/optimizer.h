@@ -20,9 +20,12 @@ class Optimizer {
  public:
   explicit Optimizer(OptimizerOptions options = OptimizerOptions());
 
-  /// Rewrites an analyzed plan. Optionally records which rules fired.
+  /// Rewrites an analyzed plan. Optionally records which rules fired
+  /// (`trace`) and per-rule invocation/effective/time statistics
+  /// (`profile`).
   PlanPtr Optimize(const PlanPtr& plan,
-                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr) const;
+                   std::vector<RuleExecutor::TraceEntry>* trace = nullptr,
+                   QueryProfile* profile = nullptr) const;
 
  private:
   RuleExecutor executor_;

@@ -18,6 +18,15 @@ using PlanPtr = std::shared_ptr<const LogicalPlan>;
 using PlanVector = std::vector<PlanPtr>;
 using PlanRewrite = std::function<PlanPtr(const PlanPtr&)>;
 
+/// How much EXPLAIN reveals. Lives next to the logical plan because both
+/// the SQL front end (EXPLAIN statements) and the DataFrame API
+/// (DataFrame::Explain) consume it.
+enum class ExplainMode {
+  kSimple,    // physical plan only
+  kExtended,  // analyzed + optimized logical plans, join selection, physical
+  kAnalyze,   // run the query, then render the plan with actuals
+};
+
 /// Base class of logical operators — the second tree family of Catalyst
 /// (Section 4.3): analysis and logical optimization are rewrites over these
 /// nodes, sharing the same TransformUp/TransformDown machinery as

@@ -93,8 +93,21 @@ std::optional<RangeJoinPattern> DetectRangeJoin(const ExprVector& conjuncts,
 
 }  // namespace
 
-PhysPtr PhysicalPlanner::Plan(const PlanPtr& logical) const {
-  return PlanNode(logical);
+PhysPtr PhysicalPlanner::Plan(const PlanPtr& logical,
+                              std::vector<std::string>* decisions) const {
+  decisions_ = decisions;
+  try {
+    PhysPtr out = PlanNode(logical);
+    decisions_ = nullptr;
+    return out;
+  } catch (...) {
+    decisions_ = nullptr;
+    throw;
+  }
+}
+
+void PhysicalPlanner::Note(const std::string& line) const {
+  if (decisions_ != nullptr) decisions_->push_back(line);
 }
 
 PhysPtr PhysicalPlanner::PlanNode(const PlanPtr& plan) const {
@@ -204,6 +217,8 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
     if (range.has_value()) {
       AttributeVector interval_attrs =
           range->interval_on_left ? left_out : right_out;
+      Note("IntervalJoin: range-overlap pattern detected (interval side: " +
+           std::string(range->interval_on_left ? "left" : "right") + ")");
       return std::make_shared<IntervalJoinExec>(
           left, right, range->interval_on_left, range->start, range->end,
           range->point, CombineConjuncts(range->residual));
@@ -233,6 +248,7 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
   ExprPtr residual_cond = CombineConjuncts(residual);
 
   if (left_keys.empty()) {
+    Note("NestedLoopJoin: no equi-join keys in the condition");
     return std::make_shared<NestedLoopJoinExec>(left, right, join.join_type(),
                                                 residual_cond);
   }
@@ -254,25 +270,49 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
     // route to the shuffle hash join, which degrades to a Grace join on
     // disk instead of failing.
     uint64_t broadcast_threshold = config_.broadcast_threshold_bytes;
-    if (config_.query_memory_limit_bytes >= 0) {
-      broadcast_threshold = std::min(
-          broadcast_threshold,
-          static_cast<uint64_t>(config_.query_memory_limit_bytes));
+    if (config_.query_memory_limit_bytes >= 0 &&
+        broadcast_threshold >
+            static_cast<uint64_t>(config_.query_memory_limit_bytes)) {
+      broadcast_threshold =
+          static_cast<uint64_t>(config_.query_memory_limit_bytes);
+      Note("broadcast threshold capped at query_memory_limit_bytes=" +
+           std::to_string(config_.query_memory_limit_bytes) +
+           " (broadcast builds cannot spill)");
     }
+    std::string size_text =
+        right_size ? std::to_string(*right_size) + " bytes (estimated)"
+                   : "unknown";
     if (broadcastable_type && right_size &&
         *right_size <= broadcast_threshold) {
+      Note("BroadcastHashJoin: build side " + size_text +
+           " <= broadcast threshold " + std::to_string(broadcast_threshold) +
+           " bytes");
       return std::make_shared<BroadcastHashJoinExec>(
           left, right, std::move(left_keys), std::move(right_keys),
           join.join_type(), residual_cond);
     }
+    if (!broadcastable_type) {
+      Note("broadcast rejected: join type " +
+           std::string(JoinTypeName(join.join_type())) +
+           " cannot broadcast the right side");
+    } else {
+      Note("broadcast rejected: build side " + size_text +
+           " > broadcast threshold " + std::to_string(broadcast_threshold) +
+           " bytes");
+    }
     if (config_.prefer_sort_merge_join &&
         join.join_type() == JoinType::kInner) {
+      Note("SortMergeJoin: prefer_sort_merge_join is set");
       return std::make_shared<SortMergeJoinExec>(
           left, right, std::move(left_keys), std::move(right_keys),
           join.join_type(), residual_cond);
     }
+  } else {
+    Note("join selection disabled: every equi-join becomes a "
+         "ShuffleHashJoin");
   }
 
+  Note("ShuffleHashJoin: fallback shuffle strategy");
   return std::make_shared<ShuffleHashJoinExec>(left, right, std::move(left_keys),
                                                std::move(right_keys),
                                                join.join_type(), residual_cond);

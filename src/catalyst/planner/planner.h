@@ -20,15 +20,22 @@ class PhysicalPlanner {
   explicit PhysicalPlanner(const EngineConfig& config) : config_(config) {}
 
   /// Plans an optimized, resolved logical plan. Throws on unsupported
-  /// shapes (e.g. full outer non-equi joins).
-  PhysPtr Plan(const PlanPtr& logical) const;
+  /// shapes (e.g. full outer non-equi joins). When `decisions` is non-null
+  /// it receives one human-readable line per strategy choice made (join
+  /// algorithm picked, size estimate vs broadcast threshold, ...), the
+  /// material EXPLAIN EXTENDED prints as "Join Selection".
+  PhysPtr Plan(const PlanPtr& logical,
+               std::vector<std::string>* decisions = nullptr) const;
 
  private:
   PhysPtr PlanNode(const PlanPtr& plan) const;
   PhysPtr PlanJoin(const Join& join) const;
   PhysPtr PlanAggregate(const Aggregate& agg) const;
+  void Note(const std::string& line) const;
 
   EngineConfig config_;
+  // Valid only during a Plan() call; planning is single-threaded.
+  mutable std::vector<std::string>* decisions_ = nullptr;
 };
 
 }  // namespace ssql

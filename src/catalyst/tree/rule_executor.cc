@@ -1,11 +1,14 @@
 #include "catalyst/tree/rule_executor.h"
 
+#include "engine/query_profile.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace ssql {
 
 PlanPtr RuleExecutor::Execute(const PlanPtr& plan,
-                              std::vector<TraceEntry>* trace) const {
+                              std::vector<TraceEntry>* trace,
+                              QueryProfile* profile) const {
   PlanPtr current = plan;
   for (const RuleBatch& batch : batches_) {
     int iteration = 0;
@@ -14,9 +17,20 @@ PlanPtr RuleExecutor::Execute(const PlanPtr& plan,
       std::string before = current->TreeString();
       for (const PlanRule& rule : batch.rules) {
         std::string rule_before = current->TreeString();
+        int64_t rule_start_ns = profile != nullptr ? TraceNowNs() : 0;
         PlanPtr next = rule.apply(current);
+        // "Effective" means the rewrite changed the tree, not merely that a
+        // new node was allocated — rules often rebuild identical subtrees.
+        // Only rendered when someone is listening (trace/profile).
+        bool effective = (trace != nullptr || profile != nullptr) && next &&
+                         next.get() != current.get() &&
+                         next->TreeString() != rule_before;
+        if (profile != nullptr) {
+          profile->AddRuleStat(batch.name, rule.name, effective,
+                               TraceNowNs() - rule_start_ns);
+        }
         if (next && next.get() != current.get()) {
-          if (trace != nullptr && next->TreeString() != rule_before) {
+          if (trace != nullptr && effective) {
             trace->push_back({batch.name, rule.name, iteration});
           }
           current = std::move(next);

@@ -9,6 +9,8 @@
 
 namespace ssql {
 
+class QueryProfile;
+
 /// A whole-plan rewrite rule — Catalyst's Rule[LogicalPlan] (Section 4.2).
 /// Rules return a new plan (or the input unchanged); most are written as a
 /// TransformUp/TransformDown with pattern-matching lambdas.
@@ -44,9 +46,12 @@ class RuleExecutor {
 
   /// Applies all batches in order; returns the rewritten plan. If `trace`
   /// is non-null, appends one entry per rule application that changed the
-  /// plan.
+  /// plan. If `profile` is non-null, per-rule invocation counts, effective
+  /// rewrites, and wall time are accumulated on it (the "EXPLAIN-style
+  /// debugging" statistics shown by EXPLAIN ANALYZE).
   PlanPtr Execute(const PlanPtr& plan,
-                  std::vector<TraceEntry>* trace = nullptr) const;
+                  std::vector<TraceEntry>* trace = nullptr,
+                  QueryProfile* profile = nullptr) const;
 
   const std::vector<RuleBatch>& batches() const { return batches_; }
 

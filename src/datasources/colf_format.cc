@@ -180,8 +180,9 @@ std::vector<Row> ColfRelation::ScanFiltered(
       out.push_back(std::move(row));
     }
   }
-  ctx.metrics().Add("source.rows_scanned", rows_scanned);
-  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(out.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned, rows_scanned);
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(out.size()));
   ctx.metrics().Add("colf.row_groups_skipped", groups_skipped);
   return out;
 }

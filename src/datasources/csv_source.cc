@@ -212,7 +212,7 @@ std::vector<Row> CsvRelation::ScanAll(ExecContext& ctx) const {
       ++malformed_count;
       switch (mode_) {
         case ParseMode::kFailFast:
-          ctx.metrics().Add("source.malformed_records",
+          ctx.profile().Add(nullptr, ProfileCounter::kMalformedRecords,
                             static_cast<int64_t>(malformed_count));
           throw ParseError(
               FormatRecordError("malformed CSV record", path_, line_no, line));
@@ -232,11 +232,14 @@ std::vector<Row> CsvRelation::ScanAll(ExecContext& ctx) const {
     }
     rows.push_back(std::move(row));
   }
-  ctx.metrics().Add("source.rows_scanned", static_cast<int64_t>(rows.size()));
-  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(rows.size()));
-  ctx.metrics().Add("source.malformed_records",
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
+                    static_cast<int64_t>(rows.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(rows.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kMalformedRecords,
                     static_cast<int64_t>(malformed_count));
-  ctx.metrics().Add("source.rows_dropped", static_cast<int64_t>(dropped));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsDropped,
+                    static_cast<int64_t>(dropped));
   return rows;
 }
 

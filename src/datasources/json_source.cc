@@ -149,12 +149,14 @@ std::vector<Row> JsonRelation::ScanAll(ExecContext& ctx) const {
     }
     rows.push_back(std::move(row));
   }
-  ctx.metrics().Add("source.rows_scanned", static_cast<int64_t>(rows.size()));
-  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(rows.size()));
-  ctx.metrics().Add(
-      "source.malformed_records",
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
+                    static_cast<int64_t>(rows.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(rows.size()));
+  ctx.profile().Add(
+      nullptr, ProfileCounter::kMalformedRecords,
       static_cast<int64_t>(corrupt_records_.size() + dropped_records_));
-  ctx.metrics().Add("source.rows_dropped",
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsDropped,
                     static_cast<int64_t>(dropped_records_));
   return rows;
 }

@@ -96,9 +96,10 @@ std::vector<Row> KvdbRelation::ScanFiltered(
   ctx.metrics().Add("kvdb.rows_examined",
                     static_cast<int64_t>(table->rows.size()));
   ctx.metrics().Add("kvdb.rows_shipped", static_cast<int64_t>(out.size()));
-  ctx.metrics().Add("source.rows_scanned",
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
                     static_cast<int64_t>(table->rows.size()));
-  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(out.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -126,9 +127,10 @@ std::vector<Row> KvdbRelation::ScanCatalyst(
   ctx.metrics().Add("kvdb.rows_examined",
                     static_cast<int64_t>(table->rows.size()));
   ctx.metrics().Add("kvdb.rows_shipped", static_cast<int64_t>(out.size()));
-  ctx.metrics().Add("source.rows_scanned",
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
                     static_cast<int64_t>(table->rows.size()));
-  ctx.metrics().Add("source.rows_returned", static_cast<int64_t>(out.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -74,9 +74,11 @@ RowDataset RowDataset::ShuffleByHash(
     }
   });
 
-  // Track shuffle volume for benchmarks/tests.
+  // Track shuffle volume for benchmarks/tests; attributed to the operator
+  // that launched the shuffle.
   size_t shuffled = TotalRows();
-  ctx.metrics().Add("shuffle.rows", static_cast<int64_t>(shuffled));
+  ctx.profile().Add(nullptr, ProfileCounter::kShuffleRows,
+                    static_cast<int64_t>(shuffled));
 
   // Reduce side: concatenate bucket `p` from every mapper. The move below
   // consumes the buckets, so everything that can throw (allocation aside)

@@ -1,6 +1,9 @@
 #include "engine/exec_context.h"
 
+#include <cstdio>
 #include <filesystem>
+
+#include "util/trace.h"
 
 namespace ssql {
 
@@ -27,6 +30,9 @@ void ValidateEngineConfig(const EngineConfig& config) {
   }
   if (config.task_retry_backoff_ms < 0) {
     fail("task_retry_backoff_ms must be >= 0");
+  }
+  if (!config.trace_path.empty() && !config.profiling_enabled) {
+    fail("trace_path requires profiling_enabled (a trace needs spans)");
   }
   // Surface malformed specs now instead of when the first stage runs.
   try {
@@ -61,19 +67,40 @@ ExecContext::ExecContext(EngineConfig config)
     : config_((ValidateEngineConfig(config), config)),
       pool_(std::make_unique<ThreadPool>(config.num_threads)),
       cancellation_(std::make_shared<CancellationToken>()) {
+  profile_ =
+      std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
   memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
-                    &metrics_);
+                    profile_.get());
 }
 
 CancellationTokenPtr ExecContext::BeginQuery() {
   auto token = std::make_shared<CancellationToken>();
   token->SetTimeout(config_.query_timeout_ms);
   cancellation_ = token;
-  // Re-arm the memory budget so config changes made between queries take
-  // effect and peak tracking restarts.
+  // A fresh profile per query; re-arm the memory budget so config changes
+  // made between queries take effect and peak tracking restarts.
+  profile_ =
+      std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
   memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
-                    &metrics_);
+                    profile_.get());
   return token;
+}
+
+void ExecContext::FinishQuery(const std::string& status) {
+  if (profile_->finished()) return;
+  profile_->Finish(status);
+  if (!config_.trace_path.empty()) {
+    try {
+      WriteTextFile(config_.trace_path, profile_->ToChromeTraceJson());
+    } catch (const SsqlError& e) {
+      std::fprintf(stderr, "ssql: failed to write trace: %s\n", e.what());
+    }
+  }
+  if (config_.slow_query_threshold_ms >= 0 &&
+      profile_->WallNs() / 1'000'000 >= config_.slow_query_threshold_ms) {
+    std::fprintf(stderr, "ssql: slow query: %s\n",
+                 profile_->SummaryLine().c_str());
+  }
 }
 
 std::string ExecContext::spill_dir() const {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "engine/memory_manager.h"
+#include "engine/query_profile.h"
 #include "engine/task_runner.h"
 #include "util/thread_pool.h"
 
@@ -72,6 +73,17 @@ struct EngineConfig {
   /// Created on first use; spill files are deleted on success, error and
   /// cancellation alike.
   std::string spill_dir;
+  /// Record the per-query span tree (operators, stages, tasks, phases).
+  /// When false only the flat legacy metrics are maintained — the baseline
+  /// mode bench_observe compares against to bound instrumentation overhead.
+  bool profiling_enabled = true;
+  /// When non-empty, each query writes its profile as Chrome trace-event
+  /// JSON to this path (open in Perfetto or chrome://tracing). The file is
+  /// overwritten per query.
+  std::string trace_path;
+  /// Queries whose wall time exceeds this threshold log a one-line summary
+  /// to stderr. Negative = disabled (default); 0 logs every query.
+  int64_t slow_query_threshold_ms = -1;
 };
 
 /// Validates an EngineConfig, throwing ExecutionError with a descriptive
@@ -110,6 +122,15 @@ class ExecContext {
   MemoryManager& memory() { return memory_; }
   const MemoryManager& memory() const { return memory_; }
 
+  /// The current query's profile. Always non-null: a fresh profile is
+  /// installed by BeginQuery, and a default one exists from construction so
+  /// operators executed outside SqlContext (unit tests driving a
+  /// PhysicalPlan directly) are still attributed somewhere. Counter adds go
+  /// through the profile, which forwards migrated keys to the legacy
+  /// metrics() bag.
+  QueryProfile& profile() { return *profile_; }
+  const QueryProfile& profile() const { return *profile_; }
+
   /// Scratch directory for this engine's spill files (config.spill_dir, or
   /// a default under the system temp directory).
   std::string spill_dir() const;
@@ -118,6 +139,13 @@ class ExecContext {
   /// timeout) for the next query. Called by SqlContext at the top of each
   /// execution; must not be called while partition tasks are in flight.
   CancellationTokenPtr BeginQuery();
+
+  /// Closes the current query's profile (stamping unfinished spans with
+  /// `status`), writes the trace file if config.trace_path is set, and logs
+  /// a summary line when the query exceeded slow_query_threshold_ms.
+  /// Idempotent per query; IO failures writing the trace are reported to
+  /// stderr, never thrown (observability must not fail the query).
+  void FinishQuery(const std::string& status);
 
   /// The current query's token. Always non-null; shared with partition
   /// tasks, so another thread may Cancel() it to abort the running query.
@@ -140,6 +168,7 @@ class ExecContext {
   Metrics metrics_;
   MemoryManager memory_;
   CancellationTokenPtr cancellation_;
+  std::unique_ptr<QueryProfile> profile_;
 };
 
 }  // namespace ssql

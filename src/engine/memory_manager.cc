@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "engine/exec_context.h"
+#include "engine/query_profile.h"
 
 namespace ssql {
 
@@ -47,10 +47,10 @@ void MemoryReservation::Release() {
 }
 
 void MemoryManager::Configure(int64_t limit_bytes, bool spill_enabled,
-                              Metrics* metrics) {
+                              QueryProfile* profile) {
   limit_.store(limit_bytes < 0 ? -1 : limit_bytes, std::memory_order_relaxed);
   spill_enabled_ = spill_enabled;
-  metrics_ = metrics;
+  profile_ = profile;
   // Live reservations (there should be none between queries) keep their
   // bytes; only the peak tracking restarts.
   peak_.store(reserved_.load(std::memory_order_relaxed),
@@ -95,15 +95,18 @@ void MemoryManager::PublishPeak() {
          !peak_.compare_exchange_weak(peak, current,
                                       std::memory_order_relaxed)) {
   }
-  // Metrics counters are additive, so the peak is published as deltas over
-  // what was already recorded for this query.
-  if (metrics_ == nullptr) return;
+  // Profile counters are additive, so the peak is published as deltas over
+  // what was already recorded for this query. The profile attributes the
+  // delta to the operator whose reservation raised the high-water mark and
+  // forwards the legacy "memory.peak_reserved_bytes" aggregate.
+  if (profile_ == nullptr) return;
   int64_t new_peak = peak_.load(std::memory_order_relaxed);
   int64_t published = published_peak_.load(std::memory_order_relaxed);
   while (new_peak > published) {
     if (published_peak_.compare_exchange_weak(published, new_peak,
                                               std::memory_order_relaxed)) {
-      metrics_->Add("memory.peak_reserved_bytes", new_peak - published);
+      profile_->Add(nullptr, ProfileCounter::kPeakReservedBytes,
+                    new_peak - published);
       break;
     }
   }

@@ -7,8 +7,8 @@
 
 namespace ssql {
 
-class Metrics;
 class MemoryManager;
+class QueryProfile;
 
 /// Granularity in which operators grow their reservations. Charging row by
 /// row would hammer the shared budget counters; a chunk amortizes that while
@@ -64,12 +64,15 @@ class MemoryReservation {
 /// MemoryReservations; when a grow would push the total over the budget it
 /// is denied and the requesting operator must shed state — spill to disk
 /// when EngineConfig::spill_enabled, or fail the query with a clear error
-/// otherwise. Publishes "memory.peak_reserved_bytes" on the engine metrics.
+/// otherwise. Publishes the peak reservation through the query profile,
+/// which both attributes it to the operator running at the time and keeps
+/// the legacy "memory.peak_reserved_bytes" aggregate current.
 class MemoryManager {
  public:
   /// (Re)arms the budget for the next query; `limit_bytes < 0` = unlimited.
   /// Called by ExecContext at construction and at BeginQuery.
-  void Configure(int64_t limit_bytes, bool spill_enabled, Metrics* metrics);
+  void Configure(int64_t limit_bytes, bool spill_enabled,
+                 QueryProfile* profile);
 
   bool limited() const {
     return limit_.load(std::memory_order_relaxed) >= 0;
@@ -98,7 +101,7 @@ class MemoryManager {
   std::atomic<int64_t> reserved_{0};
   std::atomic<int64_t> peak_{0};
   std::atomic<int64_t> published_peak_{0};
-  Metrics* metrics_ = nullptr;
+  QueryProfile* profile_ = nullptr;
 };
 
 }  // namespace ssql

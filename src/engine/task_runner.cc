@@ -114,6 +114,11 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
   const int max_retries = std::max(0, config.task_max_retries);
   const int backoff_ms = std::max(0, config.task_retry_backoff_ms);
 
+  QueryProfile& profile = ctx_.profile();
+  ProfileSpan* stage_span =
+      profile.BeginSpan(SpanKind::kStage, stage, nullptr,
+                        std::to_string(num_partitions) + " partitions");
+
   // Shared stage state: a fatal failure in any task aborts siblings that
   // have not started yet; every failure is recorded for the final message.
   struct StageState {
@@ -123,8 +128,9 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
   };
   auto state = std::make_shared<StageState>();
 
-  auto record_failure = [&](size_t partition, const std::string& what) {
-    ctx_.metrics().Add("task.failures", 1);
+  auto record_failure = [&](ProfileSpan* task_span, size_t partition,
+                            const std::string& what) {
+    profile.Add(task_span, ProfileCounter::kFailures, 1);
     state->abort.store(true, std::memory_order_release);
     std::lock_guard<std::mutex> lock(state->mu);
     state->errors.push_back("partition " + std::to_string(partition) + ": " +
@@ -135,35 +141,49 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
   tasks.reserve(num_partitions);
   for (size_t p = 0; p < num_partitions; ++p) {
     tasks.push_back([&, p] {
+      // A failed sibling or a cancelled/timed-out query stops this task
+      // before it does any work (Spark: killing a stage's pending tasks).
+      if (state->abort.load(std::memory_order_acquire) ||
+          token->IsCancelled()) {
+        return;
+      }
+      // One task span per partition covering all of its attempts; the whole
+      // retry loop stays on this thread, so the span's CPU delta is valid.
+      ProfileSpan* task_span = profile.BeginSpan(
+          SpanKind::kTask, "p" + std::to_string(p), stage_span);
       for (int attempt = 0;; ++attempt) {
-        // A failed sibling or a cancelled/timed-out query stops this task
-        // before it does any work (Spark: killing a stage's pending tasks).
-        if (state->abort.load(std::memory_order_acquire) ||
-            token->IsCancelled()) {
+        if (attempt > 0 && (state->abort.load(std::memory_order_acquire) ||
+                            token->IsCancelled())) {
+          profile.EndSpan(task_span, "aborted");
           return;
         }
-        ctx_.metrics().Add("task.attempts", 1);
+        profile.Add(task_span, ProfileCounter::kAttempts, 1);
         try {
           if (injector.enabled()) injector.MaybeFail(stage, p, attempt);
           body(p);
+          profile.EndSpan(task_span, "ok");
           return;
         } catch (const RetryableError& e) {
           if (attempt >= max_retries) {
-            record_failure(p, std::string(e.what()) + " (gave up after " +
-                                  std::to_string(attempt + 1) + " attempts)");
+            record_failure(task_span, p,
+                           std::string(e.what()) + " (gave up after " +
+                               std::to_string(attempt + 1) + " attempts)");
+            profile.EndSpan(task_span, std::string("error: ") + e.what());
             return;
           }
-          ctx_.metrics().Add("task.retries", 1);
+          profile.Add(task_span, ProfileCounter::kRetries, 1);
           if (backoff_ms > 0) {
             int shift = std::min(attempt, 6);  // cap exponential growth
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(backoff_ms << shift));
           }
         } catch (const std::exception& e) {
-          record_failure(p, e.what());
+          record_failure(task_span, p, e.what());
+          profile.EndSpan(task_span, std::string("error: ") + e.what());
           return;
         } catch (...) {
-          record_failure(p, "unknown error");
+          record_failure(task_span, p, "unknown error");
+          profile.EndSpan(task_span, "error: unknown");
           return;
         }
       }
@@ -173,14 +193,21 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
 
   // Cancellation/timeout outranks task failures: skipped tasks are a
   // consequence, not the cause.
-  token->ThrowIfCancelled();
+  if (token->IsCancelled()) {
+    profile.EndSpan(stage_span, "cancelled");
+    token->ThrowIfCancelled();
+  }
 
   std::lock_guard<std::mutex> lock(state->mu);
-  if (state->errors.empty()) return;
+  if (state->errors.empty()) {
+    profile.EndSpan(stage_span, "ok");
+    return;
+  }
   std::string message = "stage '" + stage + "': " +
                         std::to_string(state->errors.size()) +
                         " task(s) failed";
   for (const std::string& err : state->errors) message += "\n  " + err;
+  profile.EndSpan(stage_span, "error: " + message);
   throw ExecutionError(message);
 }
 

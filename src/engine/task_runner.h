@@ -95,8 +95,10 @@ class FaultInjector {
 ///     stage is collected into one ExecutionError naming the partitions;
 ///   * the query's CancellationToken is polled before each attempt, so a
 ///     cancelled or timed-out query stops scheduling work promptly;
-///   * per-stage counters land on ExecContext::Metrics: "task.attempts",
-///     "task.retries", "task.failures".
+///   * each stage opens a profile span with one task span per partition
+///     (covering all of its attempts), carrying the attempts/retries/
+///     failures counters — which also feed the legacy ExecContext::Metrics
+///     keys "task.attempts", "task.retries", "task.failures".
 ///
 /// Bodies are re-executed from scratch on retry, so they must be
 /// idempotent; a body that destructively consumes shared input must only

@@ -178,10 +178,12 @@ class SpillingGroupMap {
       wrote += spill_buckets_[b]->Append(row);
     }
     if (files_created > 0) {
-      ctx_.metrics().Add("memory.spill_files",
+      ctx_.profile().Add(nullptr, ProfileCounter::kSpillFiles,
                          static_cast<int64_t>(files_created));
     }
-    if (wrote > 0) ctx_.metrics().Add("memory.spill_bytes", wrote);
+    if (wrote > 0) {
+      ctx_.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
+    }
     groups_.clear();
     used_bytes_ = 0;
     reservation_.Release();
@@ -240,7 +242,7 @@ AttributeVector HashAggregateExec::Output() const {
   return out;
 }
 
-RowDataset HashAggregateExec::Execute(ExecContext& ctx) const {
+RowDataset HashAggregateExec::ExecuteImpl(ExecContext& ctx) const {
   return mode_ == AggregateMode::kPartial ? ExecutePartial(ctx)
                                           : ExecuteFinal(ctx);
 }

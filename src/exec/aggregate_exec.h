@@ -36,7 +36,7 @@ class HashAggregateExec : public PhysicalPlan {
   }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override;
-  RowDataset Execute(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(ExecContext& ctx) const override;
   std::string Describe() const override;
 
   /// The synthesized attributes of the partial stage's output:

@@ -132,7 +132,7 @@ std::string JoinExecBase::Describe() const {
   return s;
 }
 
-RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
+RowDataset BroadcastHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -151,7 +151,10 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
   // budget is a hard error; the planner avoids this by capping the
   // broadcast threshold at the memory limit.
   std::vector<Row> build = right_->Execute(ctx).Collect();
-  ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kBroadcastRows,
+                    static_cast<int64_t>(build.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kBuildRows,
+                    static_cast<int64_t>(build.size()));
   MemoryReservation reservation = ctx.memory().CreateReservation();
   int64_t build_bytes = EstimateBuildBytes(build);
   if (!reservation.EnsureReserved(build_bytes)) {
@@ -166,6 +169,8 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
   BuildMap table = BuildHashTable(build, bound_right);
 
   RowDataset stream = left_->Execute(ctx);
+  ctx.profile().Add(nullptr, ProfileCounter::kProbeRows,
+                    static_cast<int64_t>(stream.TotalRows()));
   bool semi = join_type_ == JoinType::kLeftSemi;
   bool anti = join_type_ == JoinType::kLeftAnti;
   bool left_outer = join_type_ == JoinType::kLeftOuter;
@@ -204,7 +209,7 @@ RowDataset BroadcastHashJoinExec::Execute(ExecContext& ctx) const {
   }, "join.probe");
 }
 
-RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
+RowDataset ShuffleHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -242,6 +247,10 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
     const RowPartition& right_part = *right_shuffled.partition(p);
     auto out = std::make_shared<RowPartition>();
     size_t cancel_check = 0;
+    ctx.profile().Add(nullptr, ProfileCounter::kBuildRows,
+                      static_cast<int64_t>(right_part.rows.size()));
+    ctx.profile().Add(nullptr, ProfileCounter::kProbeRows,
+                      static_cast<int64_t>(left_part.rows.size()));
 
     // One hash-join pass: hash `build`, stream probe rows from `next_probe`.
     // Correct per Grace bucket because equal keys always share a bucket, and
@@ -329,10 +338,12 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
     scatter(right_part.rows, bound_right, /*build_side=*/true);
     scatter(left_part.rows, bound_left, /*build_side=*/false);
     if (files_created > 0) {
-      ctx.metrics().Add("memory.spill_files",
+      ctx.profile().Add(nullptr, ProfileCounter::kSpillFiles,
                         static_cast<int64_t>(files_created));
     }
-    if (wrote > 0) ctx.metrics().Add("memory.spill_bytes", wrote);
+    if (wrote > 0) {
+      ctx.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
+    }
 
     for (auto& bucket : buckets) {
       std::vector<Row> build;
@@ -369,7 +380,7 @@ RowDataset ShuffleHashJoinExec::Execute(ExecContext& ctx) const {
   }, "join.probe");
 }
 
-RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
+RowDataset SortMergeJoinExec::ExecuteImpl(ExecContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -405,6 +416,10 @@ RowDataset SortMergeJoinExec::Execute(ExecContext& ctx) const {
                                                             left_part) {
     const RowPartition& right_part = *right_shuffled.partition(p);
     auto out = std::make_shared<RowPartition>();
+    ctx.profile().Add(nullptr, ProfileCounter::kBuildRows,
+                      static_cast<int64_t>(right_part.rows.size()));
+    ctx.profile().Add(nullptr, ProfileCounter::kProbeRows,
+                      static_cast<int64_t>(left_part.rows.size()));
 
     // Sort both sides by key (null keys dropped: inner join).
     struct Keyed {
@@ -482,7 +497,7 @@ AttributeVector NestedLoopJoinExec::Output() const {
   return out;
 }
 
-RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
+RowDataset NestedLoopJoinExec::ExecuteImpl(ExecContext& ctx) const {
   if (join_type_ == JoinType::kRightOuter || join_type_ == JoinType::kFullOuter) {
     throw ExecutionError(
         "NestedLoopJoin does not support right/full outer joins");
@@ -495,7 +510,10 @@ RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
       condition_ ? BindReferences(condition_, joined_out) : nullptr;
 
   std::vector<Row> build = right_->Execute(ctx).Collect();
-  ctx.metrics().Add("broadcast.rows", static_cast<int64_t>(build.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kBroadcastRows,
+                    static_cast<int64_t>(build.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kBuildRows,
+                    static_cast<int64_t>(build.size()));
   MemoryReservation reservation = ctx.memory().CreateReservation();
   int64_t build_bytes = EstimateBuildBytes(build);
   if (!reservation.EnsureReserved(build_bytes)) {
@@ -508,6 +526,8 @@ RowDataset NestedLoopJoinExec::Execute(ExecContext& ctx) const {
   }
 
   RowDataset stream = left_->Execute(ctx);
+  ctx.profile().Add(nullptr, ProfileCounter::kProbeRows,
+                    static_cast<int64_t>(stream.TotalRows()));
   bool semi = join_type_ == JoinType::kLeftSemi;
   bool anti = join_type_ == JoinType::kLeftAnti;
   bool left_outer = join_type_ == JoinType::kLeftOuter;

@@ -2,6 +2,27 @@
 
 namespace ssql {
 
+RowDataset PhysicalPlan::Execute(ExecContext& ctx) const {
+  QueryProfile& profile = ctx.profile();
+  if (!profile.detailed()) return ExecuteImpl(ctx);
+  ProfileSpan* span = profile.BeginOperator(NodeName(), Describe());
+  try {
+    RowDataset out = ExecuteImpl(ctx);
+    profile.Add(span, ProfileCounter::kRowsOut,
+                static_cast<int64_t>(out.TotalRows()));
+    profile.Add(span, ProfileCounter::kBatches,
+                static_cast<int64_t>(out.num_partitions()));
+    profile.EndOperator(span, "ok");
+    return out;
+  } catch (const std::exception& e) {
+    profile.EndOperator(span, std::string("error: ") + e.what());
+    throw;
+  } catch (...) {
+    profile.EndOperator(span, "error: unknown");
+    throw;
+  }
+}
+
 std::string PhysicalPlan::TreeString() const {
   std::string out;
   TreeStringInternal(0, &out);

@@ -28,8 +28,12 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   /// Output attributes (positions define the produced row layout).
   virtual AttributeVector Output() const = 0;
 
-  /// Runs the subtree to completion.
-  virtual RowDataset Execute(ExecContext& ctx) const = 0;
+  /// Runs the subtree to completion, wrapped in a profiling span: the
+  /// operator's rows_out/batches and wall time are recorded on the query
+  /// profile, stages/tasks/spills started while it runs attribute to it,
+  /// and an exception closes the span with an error status before
+  /// propagating. The actual work is ExecuteImpl().
+  RowDataset Execute(ExecContext& ctx) const;
 
   /// One-line description for EXPLAIN.
   virtual std::string Describe() const { return NodeName(); }
@@ -38,6 +42,12 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   std::string TreeString() const;
 
   void Foreach(const std::function<void(const PhysicalPlan&)>& fn) const;
+
+ protected:
+  /// The operator's execution logic; subclasses override this instead of
+  /// Execute() so every operator is instrumented uniformly. Children must
+  /// be pulled with child->Execute(ctx) (the wrapper), never ExecuteImpl.
+  virtual RowDataset ExecuteImpl(ExecContext& ctx) const = 0;
 
  private:
   void TreeStringInternal(int indent, std::string* out) const;

@@ -59,7 +59,7 @@ class LocalPartitionCache {
 
 }  // namespace
 
-RowDataset LocalTableScanExec::Execute(ExecContext& ctx) const {
+RowDataset LocalTableScanExec::ExecuteImpl(ExecContext& ctx) const {
   size_t parts = ctx.config().default_parallelism;
   return *LocalPartitionCache::Global().Get(rows_, parts);
 }
@@ -80,7 +80,7 @@ AttributeVector DataSourceScanExec::Output() const {
   return out;
 }
 
-RowDataset DataSourceScanExec::Execute(ExecContext& ctx) const {
+RowDataset DataSourceScanExec::ExecuteImpl(ExecContext& ctx) const {
   std::vector<Row> rows;
   bool need_recheck = false;
 
@@ -181,7 +181,7 @@ std::string DataSourceScanExec::Describe() const {
   return s;
 }
 
-RowDataset CachedScanExec::Execute(ExecContext& ctx) const {
+RowDataset CachedScanExec::ExecuteImpl(ExecContext& ctx) const {
   ctx.metrics().Add("cache.scans", 1);
   return table_->Scan(columns_, &ctx);
 }
@@ -201,7 +201,7 @@ ProjectFilterExec::ProjectFilterExec(std::vector<NamedExprPtr> projections,
 
 AttributeVector ProjectFilterExec::Output() const { return output_; }
 
-RowDataset ProjectFilterExec::Execute(ExecContext& ctx) const {
+RowDataset ProjectFilterExec::ExecuteImpl(ExecContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
   bool codegen = ctx.config().codegen_enabled;
@@ -281,7 +281,7 @@ std::string ProjectFilterExec::Describe() const {
   return s;
 }
 
-RowDataset SampleExec::Execute(ExecContext& ctx) const {
+RowDataset SampleExec::ExecuteImpl(ExecContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   double fraction = fraction_;
   uint64_t seed = seed_;
@@ -300,7 +300,7 @@ RowDataset SampleExec::Execute(ExecContext& ctx) const {
   }, "sample");
 }
 
-RowDataset UnionExec::Execute(ExecContext& ctx) const {
+RowDataset UnionExec::ExecuteImpl(ExecContext& ctx) const {
   std::vector<RowPartitionPtr> parts;
   for (const auto& child : children_) {
     RowDataset d = child->Execute(ctx);

@@ -7,7 +7,7 @@
 
 namespace ssql {
 
-RowDataset SortExec::Execute(ExecContext& ctx) const {
+RowDataset SortExec::ExecuteImpl(ExecContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
 
@@ -81,8 +81,8 @@ std::shared_ptr<RowPartition> SortExec::ExternalSortPartition(
     int64_t wrote = 0;
     for (const Row& r : buffer) wrote += run.Append(r);
     run.FinishWrites();
-    ctx.metrics().Add("memory.spill_files", 1);
-    ctx.metrics().Add("memory.spill_bytes", wrote);
+    ctx.profile().Add(nullptr, ProfileCounter::kSpillFiles, 1);
+    ctx.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
     runs.push_back(std::move(run));
     buffer.clear();
     used = 0;
@@ -158,7 +158,7 @@ std::string SortExec::Describe() const {
   return s + "]";
 }
 
-RowDataset LimitExec::Execute(ExecContext& ctx) const {
+RowDataset LimitExec::ExecuteImpl(ExecContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   size_t limit = n_ < 0 ? 0 : static_cast<size_t>(n_);
 

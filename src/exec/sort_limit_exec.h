@@ -20,7 +20,7 @@ class SortExec : public PhysicalPlan {
   std::string NodeName() const override { return "Sort"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset Execute(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(ExecContext& ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -43,7 +43,7 @@ class LimitExec : public PhysicalPlan {
   std::string NodeName() const override { return "Limit"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset Execute(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(ExecContext& ctx) const override;
   std::string Describe() const override {
     return "Limit " + std::to_string(n_);
   }

@@ -42,6 +42,19 @@ class Parser {
       ExpectEnd();
       return stmt;
     }
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt.kind = ParsedStatement::Kind::kExplain;
+      if (AcceptKeyword("ANALYZE")) {
+        stmt.explain_mode = ExplainMode::kAnalyze;
+      } else if (AcceptKeyword("EXTENDED")) {
+        stmt.explain_mode = ExplainMode::kExtended;
+      } else {
+        stmt.explain_mode = ExplainMode::kSimple;
+      }
+      stmt.plan = ParseQuery();
+      ExpectEnd();
+      return stmt;
+    }
     stmt.kind = ParsedStatement::Kind::kQuery;
     stmt.plan = ParseQuery();
     ExpectEnd();

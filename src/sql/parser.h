@@ -8,15 +8,19 @@
 
 namespace ssql {
 
-/// The result of parsing one SQL statement: either a query producing an
-/// unresolved logical plan, or a CREATE TEMPORARY TABLE ... USING command
-/// (the data source registration syntax of Section 4.4.1).
+/// The result of parsing one SQL statement: a query producing an
+/// unresolved logical plan, a CREATE TEMPORARY TABLE ... USING command
+/// (the data source registration syntax of Section 4.4.1), or an
+/// EXPLAIN [EXTENDED|ANALYZE] wrapper around a query.
 struct ParsedStatement {
-  enum class Kind { kQuery, kCreateTempTable, kCreateTempView };
+  enum class Kind { kQuery, kCreateTempTable, kCreateTempView, kExplain };
   Kind kind = Kind::kQuery;
 
-  // kQuery: the query plan. kCreateTempView: the view's plan.
+  // kQuery/kExplain: the query plan. kCreateTempView: the view's plan.
   PlanPtr plan;
+
+  // kExplain only
+  ExplainMode explain_mode = ExplainMode::kSimple;
 
   // kCreateTempTable / kCreateTempView
   std::string table_name;

@@ -1,0 +1,110 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "util/status.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace ssql {
+
+int64_t TraceNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t TraceThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return 0;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool LooksLikeInteger(const std::string& v) {
+  if (v.empty()) return false;
+  size_t i = v[0] == '-' ? 1 : 0;
+  if (i == v.size()) return false;
+  for (; i < v.size(); ++i) {
+    if (v[i] < '0' || v[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(e.category) + "\"";
+    out += ",\"ts\":" + std::to_string(e.ts_us);
+    out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(e.args[i].first) + "\":";
+        if (LooksLikeInteger(e.args[i].second)) {
+          out += e.args[i].second;
+        } else {
+          out += "\"" + JsonEscape(e.args[i].second) + "\"";
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) {
+    throw IoError("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace ssql

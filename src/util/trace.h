@@ -1,0 +1,52 @@
+#ifndef SSQL_UTIL_TRACE_H_
+#define SSQL_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssql {
+
+/// Monotonic wall clock in nanoseconds (steady_clock), the time base of all
+/// profiling spans. Not related to the system clock — only differences are
+/// meaningful.
+int64_t TraceNowNs();
+
+/// CPU time consumed by the calling thread, in nanoseconds. Returns 0 on
+/// platforms without a per-thread CPU clock; callers treat a 0 delta as
+/// "unavailable". Valid only for intervals measured on one thread.
+int64_t TraceThreadCpuNs();
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// One complete ("ph":"X") event of the Chrome trace-event format, the
+/// interchange format Perfetto / chrome://tracing load directly. Times are
+/// microseconds relative to an arbitrary origin shared by all events of one
+/// trace; `tid` is a synthetic lane — events on the same lane must nest by
+/// containment, which the profiler guarantees by assigning one lane per OS
+/// thread.
+struct TraceEvent {
+  std::string name;
+  std::string category;  // "query", "phase", "stage", "task", "operator"
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  int tid = 0;
+  /// Extra key/value annotations rendered under "args". Values are emitted
+  /// verbatim when they parse as integers, as JSON strings otherwise.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Renders events as a Chrome trace JSON document:
+///   {"displayTimeUnit":"ms","traceEvents":[{"ph":"X",...}, ...]}
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes `content` to `path` atomically enough for our purposes (truncate +
+/// write + close). Throws IoError on failure.
+void WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_TRACE_H_

@@ -51,8 +51,9 @@ std::vector<std::string> Canonical(const std::vector<Row>& rows) {
 
 TEST(MemoryManagerTest, ReservationAccounting) {
   Metrics metrics;
+  QueryProfile profile(&metrics);
   MemoryManager mgr;
-  mgr.Configure(1000, /*spill_enabled=*/true, &metrics);
+  mgr.Configure(1000, /*spill_enabled=*/true, &profile);
   EXPECT_TRUE(mgr.limited());
   EXPECT_EQ(mgr.limit_bytes(), 1000);
 
@@ -83,10 +84,11 @@ TEST(MemoryManagerTest, ReservationAccounting) {
 
 TEST(MemoryManagerTest, ChunkedGrowthFallsBackToExactDeficit) {
   Metrics metrics;
+  QueryProfile profile(&metrics);
   MemoryManager mgr;
   // Budget below one chunk: EnsureReserved must fall back to the exact
   // deficit instead of denying everything.
-  mgr.Configure(kMemoryReserveChunkBytes / 2, true, &metrics);
+  mgr.Configure(kMemoryReserveChunkBytes / 2, true, &profile);
   MemoryReservation r = mgr.CreateReservation();
   EXPECT_TRUE(r.EnsureReserved(100));
   EXPECT_EQ(r.reserved(), 100);
@@ -94,8 +96,9 @@ TEST(MemoryManagerTest, ChunkedGrowthFallsBackToExactDeficit) {
 
 TEST(MemoryManagerTest, UnlimitedGrantsEverything) {
   Metrics metrics;
+  QueryProfile profile(&metrics);
   MemoryManager mgr;
-  mgr.Configure(-1, true, &metrics);
+  mgr.Configure(-1, true, &profile);
   EXPECT_FALSE(mgr.limited());
   MemoryReservation r = mgr.CreateReservation();
   EXPECT_TRUE(r.TryGrow(int64_t{1} << 50));
@@ -103,8 +106,9 @@ TEST(MemoryManagerTest, UnlimitedGrantsEverything) {
 
 TEST(MemoryManagerTest, ReservationReleasesOnDestruction) {
   Metrics metrics;
+  QueryProfile profile(&metrics);
   MemoryManager mgr;
-  mgr.Configure(1000, true, &metrics);
+  mgr.Configure(1000, true, &profile);
   {
     MemoryReservation r = mgr.CreateReservation();
     EXPECT_TRUE(r.TryGrow(800));
