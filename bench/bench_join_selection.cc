@@ -17,7 +17,8 @@ namespace {
 constexpr size_t kStreamRows = 200000;
 
 struct Fixture {
-  ExecContext ctx{SparkSqlConfig()};
+  ExecContext engine{SparkSqlConfig()};
+  QueryContextPtr query = engine.BeginQuery();
   AttributeVector left_attrs = {
       AttributeReference::Make("lk", DataType::Int32(), false),
       AttributeReference::Make("lv", DataType::Int32(), false)};
@@ -86,7 +87,7 @@ void RunJoin(benchmark::State& state, Algo algo) {
   }
   size_t result = 0;
   for (auto _ : state) {
-    result = join->Execute(f.ctx).TotalRows();
+    result = join->Execute(*f.query).TotalRows();
     benchmark::DoNotOptimize(result);
   }
   state.counters["build_rows"] = static_cast<double>(build_rows);

@@ -68,8 +68,8 @@ void RunQuery(benchmark::State& state, const std::string& sql) {
   state.counters["result_rows"] = static_cast<double>(result_rows);
   if (mode != kUnprofiled) {
     state.counters["spans"] = static_cast<double>(
-        ctx->exec().profile().root() != nullptr
-            ? 1 + ctx->exec().profile().root()->children.size()
+        ctx->last_profile().root() != nullptr
+            ? 1 + ctx->last_profile().root()->children.size()
             : 0);
   }
   delete ctx;

@@ -66,7 +66,7 @@ int main() {
             << ctx.exec().metrics().Get("kvdb.rows_shipped") << "\n\n";
 
   // -- Same query with pushdown disabled, for contrast. ---------------------
-  ctx.config().pushdown_enabled = false;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.pushdown_enabled = false; });
   ctx.RefreshOptimizer();
   ctx.exec().metrics().Reset();
   DataFrame no_pushdown = ctx.Sql(query);

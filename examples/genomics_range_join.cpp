@@ -56,9 +56,9 @@ int main() {
 
   int64_t fast = run("interval-tree rule enabled");
 
-  ctx.config().range_join_enabled = false;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = false; });
   int64_t slow = run("naive nested-loop plan");
-  ctx.config().range_join_enabled = true;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = true; });
 
   std::cout << (fast == slow ? "answers agree" : "ANSWERS DIFFER — bug!")
             << "\n";

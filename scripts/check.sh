@@ -3,7 +3,8 @@
 # memory/spill and observability tests again under AddressSanitizer/UBSan
 # (retry, cancellation, reservation accounting, spill-file cleanup and the
 # concurrent span/counter updates exercise concurrent code and raw buffers
-# worth running instrumented). Finishes with a quick overhead sanity pass of
+# worth running instrumented), then the concurrency suite under
+# ThreadSanitizer. Finishes with a quick overhead sanity pass of
 # bench_observe (profiled vs un-profiled execution).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,11 +13,18 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-cmake -B build-sanitize -S . -DSSQL_SANITIZE=ON >/dev/null
+cmake -B build-sanitize -S . -DSSQL_SANITIZE=address >/dev/null
 cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
 ./build-sanitize/tests/test_observability
+
+# The concurrency suite (N driver threads on one SqlContext) again under
+# ThreadSanitizer: races between QueryContexts, the admission gate, and the
+# shared memory pool are exactly what TSan exists to catch.
+cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target test_concurrency >/dev/null
+./build-tsan/tests/test_concurrency
 
 # Smoke the instrumentation-overhead benchmark (a few quick repetitions; the
 # full comparison is a manual/CI readout, not a gate).

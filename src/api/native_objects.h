@@ -62,7 +62,7 @@ class ObjectRelation : public BaseRelation, public PrunedScan {
     return objects_->size() * (sizeof(T) + 16);
   }
 
-  std::vector<Row> ScanColumns(ExecContext& ctx,
+  std::vector<Row> ScanColumns(QueryContext& ctx,
                                const std::vector<int>& columns) const override {
     std::vector<Row> rows;
     rows.reserve(objects_->size());

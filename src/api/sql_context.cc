@@ -27,16 +27,16 @@ class CachedTableSource : public BaseRelation,
   }
 
   std::vector<Row> ScanFiltered(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const override {
     return ScanPartitions(ctx, columns, filters).Collect();
   }
 
   RowDataset ScanPartitions(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const override {
     ctx.metrics().Add("cache.scans", 1);
-    if (filters.empty()) return table_->Scan(columns, &ctx);
+    if (filters.empty()) return table_->Scan(columns, &ctx.engine());
 
     // Bind filter columns to ordinals once.
     SchemaPtr sch = table_->schema();
@@ -111,6 +111,19 @@ SqlContext::SqlContext(EngineConfig config)
 void SqlContext::RefreshOptimizer() {
   optimizer_ = std::make_unique<Optimizer>(
       OptimizerOptions{exec_.config().pushdown_enabled});
+}
+
+void SqlContext::SetConfig(const EngineConfig& config) {
+  exec_.SetConfig(config);
+  RefreshOptimizer();
+}
+
+QueryProfile& SqlContext::last_profile() const {
+  std::lock_guard<std::mutex> lock(last_query_mu_);
+  if (!last_query_) {
+    throw ExecutionError("last_profile(): no query has been executed yet");
+  }
+  return last_query_->profile();
 }
 
 DataFrame SqlContext::CreateDataFrame(const SchemaPtr& schema,
@@ -208,9 +221,10 @@ std::string SqlContext::ExplainText(const PlanPtr& analyzed_plan,
   }
   out += "== Physical Plan ==\n" + physical->TreeString();
   if (mode == ExplainMode::kAnalyze) {
-    // Run the query for real; the profile then carries the actuals.
-    Execute(analyzed_plan);
-    out += "\n" + exec_.profile().RenderAnalyzed();
+    // Run the query for real; its profile then carries the actuals.
+    QueryContextPtr query;
+    ExecuteInternal(analyzed_plan, QueryOptions(), &query);
+    out += "\n" + query->profile().RenderAnalyzed();
   }
   return out;
 }
@@ -272,11 +286,29 @@ PlanPtr SqlContext::SubstituteCached(const PlanPtr& plan) const {
 }
 
 RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan) {
-  // Arm a fresh cancellation token (and the configured wall-clock timeout)
-  // and a fresh profile for this query; operators poll the token
-  // cooperatively during execution.
-  exec_.BeginQuery();
-  QueryProfile& profile = exec_.profile();
+  return ExecuteInternal(analyzed_plan, QueryOptions(), nullptr);
+}
+
+RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan,
+                               const QueryOptions& options) {
+  return ExecuteInternal(analyzed_plan, options, nullptr);
+}
+
+RowDataset SqlContext::ExecuteInternal(const PlanPtr& analyzed_plan,
+                                       const QueryOptions& options,
+                                       QueryContextPtr* out_query) {
+  // Open a per-query context: fresh cancellation token (with the wall-clock
+  // timeout armed now, after admission, so queue wait doesn't burn budget),
+  // fresh profile, and a memory budget carved from the engine pool.
+  // Everything engine-wide (pool, catalog, cache) stays shared.
+  QueryContextPtr query = exec_.BeginQuery(options);
+  {
+    std::lock_guard<std::mutex> lock(last_query_mu_);
+    last_query_ = query;
+  }
+  if (out_query != nullptr) *out_query = query;
+  if (options.on_start) options.on_start(*query);
+  QueryProfile& profile = query->profile();
   try {
     ProfileSpan* phase = profile.BeginSpan(SpanKind::kPhase, "optimize");
     PlanPtr with_cache = SubstituteCached(analyzed_plan);
@@ -289,16 +321,16 @@ RowDataset SqlContext::Execute(const PlanPtr& analyzed_plan) {
     profile.EndSpan(phase);
 
     phase = profile.BeginSpan(SpanKind::kPhase, "execution");
-    RowDataset out = physical->Execute(exec_);
+    RowDataset out = physical->Execute(*query);
     profile.EndSpan(phase);
 
-    exec_.FinishQuery("ok");
+    query->Finish("ok");
     return out;
   } catch (const std::exception& e) {
-    exec_.FinishQuery(std::string("error: ") + e.what());
+    query->Finish(std::string("error: ") + e.what());
     throw;
   } catch (...) {
-    exec_.FinishQuery("error: unknown");
+    query->Finish("error: unknown");
     throw;
   }
 }

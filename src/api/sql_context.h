@@ -2,6 +2,7 @@
 #define SSQL_API_SQL_CONTEXT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "columnar/columnar_cache.h"
 #include "datasources/data_source.h"
 #include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "exec/physical_plan.h"
 
 namespace ssql {
@@ -114,10 +116,18 @@ class SqlContext {
   PhysPtr PlanPhysical(const PlanPtr& optimized,
                        std::vector<std::string>* decisions = nullptr) const;
   /// Full pipeline: substitute cached subtrees, optimize, plan, execute.
-  /// Each Catalyst phase runs under a profile span; the profile is closed
-  /// (and the trace file / slow-query log emitted) on success and error
-  /// alike, and stays readable via exec().profile() until the next query.
+  /// Opens a QueryContext via ExecContext::BeginQuery (blocking in FIFO
+  /// order when max_concurrent_queries is saturated); each Catalyst phase
+  /// runs under the query's profile span, and the context is finished (the
+  /// trace file / slow-query log emitted, spill dir removed) on success and
+  /// error alike. The finished query's profile stays readable via
+  /// last_profile() until the next Execute on this thread of control.
+  /// Thread-safe: any number of threads may Execute concurrently on one
+  /// SqlContext.
   RowDataset Execute(const PlanPtr& analyzed_plan);
+  /// Variant with per-query knobs (timeout override, on_start hook that
+  /// receives the live QueryContext right after admission).
+  RowDataset Execute(const PlanPtr& analyzed_plan, const QueryOptions& options);
 
   // ---- caching (Section 3.6) --------------------------------------------
 
@@ -132,8 +142,30 @@ class SqlContext {
   Catalog& catalog() { return catalog_; }
   FunctionRegistry& functions() { return functions_; }
   ExecContext& exec() { return exec_; }
-  EngineConfig& config() { return exec_.mutable_config(); }
+  const EngineConfig& config() const { return exec_.config(); }
   const Analyzer& analyzer() const { return analyzer_; }
+
+  /// Replaces the engine configuration. Validates the new config and
+  /// rejects the change (ConfigError) while any query is in flight —
+  /// running queries hold a snapshot, so a mid-flight swap would silently
+  /// apply to some operators and not others. Also rebuilds the optimizer
+  /// so pushdown toggles take effect.
+  void SetConfig(const EngineConfig& config);
+
+  /// Copy-mutate-swap convenience: UpdateConfig([](EngineConfig& c) {
+  /// c.spill_enabled = false; }).
+  template <typename Fn>
+  void UpdateConfig(Fn&& fn) {
+    EngineConfig next = exec_.config();
+    fn(next);
+    SetConfig(next);
+  }
+
+  /// Profile of the most recently started query (kept alive after it
+  /// finishes). Throws ExecutionError before the first Execute. Under
+  /// concurrent Execute calls "last" means last admitted — concurrent
+  /// tests should grab their own QueryContext via QueryOptions::on_start.
+  QueryProfile& last_profile() const;
 
   /// Rebuilds the optimizer after config changes (pushdown toggles).
   void RefreshOptimizer();
@@ -144,12 +176,18 @@ class SqlContext {
   /// Replaces cached subtrees with InMemoryRelation leaves.
   PlanPtr SubstituteCached(const PlanPtr& plan) const;
 
+  RowDataset ExecuteInternal(const PlanPtr& analyzed_plan,
+                             const QueryOptions& options,
+                             QueryContextPtr* out_query);
+
   ExecContext exec_;
   Catalog catalog_;
   FunctionRegistry functions_;
   Analyzer analyzer_;
   std::unique_ptr<Optimizer> optimizer_;
   CacheManager cache_;
+  mutable std::mutex last_query_mu_;
+  QueryContextPtr last_query_;  // most recently admitted query
 };
 
 }  // namespace ssql

@@ -105,7 +105,7 @@ std::optional<uint64_t> ColfRelation::EstimatedSizeBytes() const {
 }
 
 std::vector<Row> ColfRelation::ScanFiltered(
-    ExecContext& ctx, const std::vector<int>& columns,
+    QueryContext& ctx, const std::vector<int>& columns,
     const std::vector<FilterSpec>& filters) const {
   std::string data = ReadWholeFile(path_);
   size_t pos = kMagicLen;

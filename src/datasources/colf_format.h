@@ -34,7 +34,7 @@ class ColfRelation : public BaseRelation, public PrunedFilteredScan {
   std::optional<uint64_t> EstimatedSizeBytes() const override;
 
   std::vector<Row> ScanFiltered(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const override;
 
  private:

@@ -165,7 +165,7 @@ std::optional<uint64_t> CsvRelation::EstimatedSizeBytes() const {
   return static_cast<uint64_t>(st.st_size);
 }
 
-std::vector<Row> CsvRelation::ScanAll(ExecContext& ctx) const {
+std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
   std::ifstream in(path_);
   if (!in.good()) {
     throw IoError("cannot open CSV file: " + path_ + " (" +

@@ -41,7 +41,7 @@ class CsvRelation : public BaseRelation, public TableScan {
   SchemaPtr schema() const override { return schema_; }
   std::optional<uint64_t> EstimatedSizeBytes() const override;
 
-  std::vector<Row> ScanAll(ExecContext& ctx) const override;
+  std::vector<Row> ScanAll(QueryContext& ctx) const override;
 
   /// Writes rows as CSV (used by tests/benches to create inputs and by
   /// Figure 10's materialization step).

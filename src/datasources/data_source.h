@@ -12,7 +12,7 @@
 #include "catalyst/plan/logical_plan.h"
 #include "columnar/encoding.h"
 #include "engine/dataset.h"
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -67,7 +67,7 @@ class BaseRelation : public SourceRelation {
 class TableScan {
  public:
   virtual ~TableScan() = default;
-  virtual std::vector<Row> ScanAll(ExecContext& ctx) const = 0;
+  virtual std::vector<Row> ScanAll(QueryContext& ctx) const = 0;
 };
 
 /// Column pruning: return only the requested columns, in request order
@@ -75,7 +75,7 @@ class TableScan {
 class PrunedScan {
  public:
   virtual ~PrunedScan() = default;
-  virtual std::vector<Row> ScanColumns(ExecContext& ctx,
+  virtual std::vector<Row> ScanColumns(QueryContext& ctx,
                                        const std::vector<int>& columns) const = 0;
 };
 
@@ -87,7 +87,7 @@ class PrunedFilteredScan {
  public:
   virtual ~PrunedFilteredScan() = default;
   virtual std::vector<Row> ScanFiltered(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const = 0;
   /// Whether rows returned are guaranteed to satisfy all `filters`.
   virtual bool FiltersAreExact() const { return true; }
@@ -102,7 +102,7 @@ class PartitionedScan {
   /// `filters` must be evaluated exactly (like PrunedFilteredScan sources
   /// in this repository).
   virtual RowDataset ScanPartitions(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const = 0;
 };
 
@@ -112,7 +112,7 @@ class PartitionedScan {
 class CatalystScan {
  public:
   virtual ~CatalystScan() = default;
-  virtual std::vector<Row> ScanCatalyst(ExecContext& ctx,
+  virtual std::vector<Row> ScanCatalyst(QueryContext& ctx,
                                         const std::vector<int>& columns,
                                         const ExprVector& predicates) const = 0;
 };

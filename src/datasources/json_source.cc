@@ -131,7 +131,7 @@ std::optional<uint64_t> JsonRelation::EstimatedSizeBytes() const {
   return static_cast<uint64_t>(st.st_size);
 }
 
-std::vector<Row> JsonRelation::ScanAll(ExecContext& ctx) const {
+std::vector<Row> JsonRelation::ScanAll(QueryContext& ctx) const {
   std::vector<Row> rows;
   rows.reserve(records_->size() + corrupt_records_.size());
   size_t cancel_check = 0;

@@ -39,7 +39,7 @@ class JsonRelation : public BaseRelation, public TableScan {
   SchemaPtr schema() const override { return schema_; }
   std::optional<uint64_t> EstimatedSizeBytes() const override;
 
-  std::vector<Row> ScanAll(ExecContext& ctx) const override;
+  std::vector<Row> ScanAll(QueryContext& ctx) const override;
 
  private:
   std::string path_;

@@ -65,7 +65,7 @@ std::optional<uint64_t> KvdbRelation::EstimatedSizeBytes() const {
 }
 
 std::vector<Row> KvdbRelation::ScanFiltered(
-    ExecContext& ctx, const std::vector<int>& columns,
+    QueryContext& ctx, const std::vector<int>& columns,
     const std::vector<FilterSpec>& filters) const {
   auto table = KvdbDatabase::Global().GetTable(table_name_);
   if (!table) throw ExecutionError("kvdb table dropped: " + table_name_);
@@ -104,7 +104,7 @@ std::vector<Row> KvdbRelation::ScanFiltered(
 }
 
 std::vector<Row> KvdbRelation::ScanCatalyst(
-    ExecContext& ctx, const std::vector<int>& columns,
+    QueryContext& ctx, const std::vector<int>& columns,
     const ExprVector& predicates) const {
   auto table = KvdbDatabase::Global().GetTable(table_name_);
   if (!table) throw ExecutionError("kvdb table dropped: " + table_name_);

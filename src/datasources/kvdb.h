@@ -59,10 +59,10 @@ class KvdbRelation : public BaseRelation,
   std::optional<uint64_t> EstimatedSizeBytes() const override;
 
   std::vector<Row> ScanFiltered(
-      ExecContext& ctx, const std::vector<int>& columns,
+      QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const override;
 
-  std::vector<Row> ScanCatalyst(ExecContext& ctx,
+  std::vector<Row> ScanCatalyst(QueryContext& ctx,
                                 const std::vector<int>& columns,
                                 const ExprVector& predicates) const override;
 

@@ -1,6 +1,6 @@
 #include "engine/dataset.h"
 
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 
 namespace ssql {
 
@@ -47,7 +47,7 @@ std::vector<Row> RowDataset::Collect() const {
 }
 
 RowDataset RowDataset::MapPartitions(
-    ExecContext& ctx,
+    QueryContext& ctx,
     const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn,
     const std::string& stage) const {
   std::vector<RowPartitionPtr> out(partitions_.size());
@@ -57,7 +57,7 @@ RowDataset RowDataset::MapPartitions(
 }
 
 RowDataset RowDataset::ShuffleByHash(
-    ExecContext& ctx, size_t num_out,
+    QueryContext& ctx, size_t num_out,
     const std::function<uint64_t(const Row&)>& key_hash,
     const std::string& stage) const {
   if (num_out == 0) num_out = 1;

@@ -9,7 +9,7 @@
 
 namespace ssql {
 
-class ExecContext;
+class QueryContext;
 
 /// One horizontal slice of a dataset; the unit of parallel work, standing in
 /// for a Spark partition living on some executor.
@@ -52,14 +52,14 @@ class RowDataset {
   /// re-invoked for a partition after a retryable failure and must be
   /// idempotent.
   RowDataset MapPartitions(
-      ExecContext& ctx,
+      QueryContext& ctx,
       const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn,
       const std::string& stage = "map") const;
 
   /// Hash-repartitions rows into `num_out` partitions using `key_hash`,
   /// which maps a row to a 64-bit hash. This is the engine's shuffle; it
   /// runs as two TaskRunner stages, "<stage>.map" and "<stage>.reduce".
-  RowDataset ShuffleByHash(ExecContext& ctx, size_t num_out,
+  RowDataset ShuffleByHash(QueryContext& ctx, size_t num_out,
                            const std::function<uint64_t(const Row&)>& key_hash,
                            const std::string& stage = "shuffle") const;
 

@@ -1,8 +1,9 @@
 #include "engine/exec_context.h"
 
-#include <cstdio>
+#include <algorithm>
 #include <filesystem>
 
+#include "engine/query_context.h"
 #include "util/trace.h"
 
 namespace ssql {
@@ -31,6 +32,17 @@ void ValidateEngineConfig(const EngineConfig& config) {
   if (config.task_retry_backoff_ms < 0) {
     fail("task_retry_backoff_ms must be >= 0");
   }
+  if (config.max_concurrent_queries < 0) {
+    fail("max_concurrent_queries must be >= 0 (use 0 for no admission gate)");
+  }
+  if (config.total_memory_limit_bytes >= 0 &&
+      config.query_memory_limit_bytes > config.total_memory_limit_bytes) {
+    fail("query_memory_limit_bytes (" +
+         std::to_string(config.query_memory_limit_bytes) +
+         ") exceeds total_memory_limit_bytes (" +
+         std::to_string(config.total_memory_limit_bytes) +
+         "); a single query could never use its budget");
+  }
   if (!config.trace_path.empty() && !config.profiling_enabled) {
     fail("trace_path requires profiling_enabled (a trace needs spans)");
   }
@@ -43,8 +55,13 @@ void ValidateEngineConfig(const EngineConfig& config) {
 }
 
 void Metrics::Add(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+  // Forward outside the lock: the parent has its own mutex and no back
+  // edges, so this cannot deadlock.
+  if (parent_ != nullptr) parent_->Add(name, delta);
 }
 
 int64_t Metrics::Get(const std::string& name) const {
@@ -65,47 +82,89 @@ std::unordered_map<std::string, int64_t> Metrics::Snapshot() const {
 
 ExecContext::ExecContext(EngineConfig config)
     : config_((ValidateEngineConfig(config), config)),
-      pool_(std::make_unique<ThreadPool>(config.num_threads)),
-      cancellation_(std::make_shared<CancellationToken>()) {
-  profile_ =
-      std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
-  memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
-                    profile_.get());
+      pool_(std::make_unique<ThreadPool>(config.num_threads)) {
+  engine_memory_.Configure(config_.total_memory_limit_bytes,
+                           config_.spill_enabled, /*profile=*/nullptr);
 }
 
-CancellationTokenPtr ExecContext::BeginQuery() {
-  auto token = std::make_shared<CancellationToken>();
-  token->SetTimeout(config_.query_timeout_ms);
-  cancellation_ = token;
-  // A fresh profile per query; re-arm the memory budget so config changes
-  // made between queries take effect and peak tracking restarts.
-  profile_ =
-      std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
-  memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
-                    profile_.get());
-  return token;
+ExecContext::~ExecContext() {
+  // Queries hold a raw back-pointer; finishing them after the engine is
+  // gone would be use-after-free. By contract every QueryContext must be
+  // finished (or destroyed) before its engine — assert-by-cancel here so a
+  // leaked query at least stops scheduling new work.
+  CancelAllQueries("engine shutdown");
 }
 
-void ExecContext::FinishQuery(const std::string& status) {
-  if (profile_->finished()) return;
-  profile_->Finish(status);
-  if (!config_.trace_path.empty()) {
-    try {
-      WriteTextFile(config_.trace_path, profile_->ToChromeTraceJson());
-    } catch (const SsqlError& e) {
-      std::fprintf(stderr, "ssql: failed to write trace: %s\n", e.what());
-    }
+void ExecContext::SetConfig(const EngineConfig& config) {
+  ValidateEngineConfig(config);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!active_.empty() || serving_ != next_ticket_) {
+    throw ExecutionError(
+        "cannot change EngineConfig while " +
+        std::to_string(active_.size() + (next_ticket_ - serving_)) +
+        " query(ies) are running or queued; wait for the engine to go idle");
   }
-  if (config_.slow_query_threshold_ms >= 0 &&
-      profile_->WallNs() / 1'000'000 >= config_.slow_query_threshold_ms) {
-    std::fprintf(stderr, "ssql: slow query: %s\n",
-                 profile_->SummaryLine().c_str());
+  bool pool_changed = config.num_threads != config_.num_threads;
+  config_ = config;
+  engine_memory_.Configure(config_.total_memory_limit_bytes,
+                           config_.spill_enabled, /*profile=*/nullptr);
+  if (pool_changed) {
+    // Safe: no queries are running or queued, so the pool is idle.
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  admission_cv_.notify_all();
 }
 
-std::string ExecContext::spill_dir() const {
+std::string ExecContext::spill_root() const {
   if (!config_.spill_dir.empty()) return config_.spill_dir;
   return (std::filesystem::temp_directory_path() / "ssql-spill").string();
+}
+
+QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  admission_cv_.wait(lock, [&] {
+    size_t max = static_cast<size_t>(config_.max_concurrent_queries);
+    return ticket == serving_ && (max == 0 || active_.size() < max);
+  });
+  ++serving_;
+  // Process-unique (not merely engine-unique): two SqlContexts in one
+  // process share the spill root, so ids must not collide across engines.
+  static std::atomic<uint64_t> g_query_ids{0};
+  const uint64_t id = g_query_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  EngineConfig snapshot = config_;
+  if (options.timeout_ms.has_value()) {
+    snapshot.query_timeout_ms = *options.timeout_ms;
+  }
+  // The constructor is private; can't use make_shared.
+  QueryContextPtr query(new QueryContext(*this, id, std::move(snapshot)));
+  active_.push_back(query.get());
+  // Wake the next ticket holder: its predicate also checks the slot count,
+  // so this is correct even when the gate is full.
+  admission_cv_.notify_all();
+  return query;
+}
+
+void ExecContext::EndQuery(QueryContext* query) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(std::remove(active_.begin(), active_.end(), query),
+                  active_.end());
+  }
+  admission_cv_.notify_all();
+}
+
+size_t ExecContext::active_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+void ExecContext::CancelAllQueries(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (QueryContext* query : active_) {
+    query->cancellation()->Cancel(reason);
+  }
 }
 
 }  // namespace ssql

@@ -2,11 +2,15 @@
 #define SSQL_ENGINE_EXEC_CONTEXT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/memory_manager.h"
 #include "engine/query_profile.h"
@@ -14,6 +18,9 @@
 #include "util/thread_pool.h"
 
 namespace ssql {
+
+class QueryContext;
+using QueryContextPtr = std::shared_ptr<QueryContext>;
 
 /// Engine configuration. Flags mirror the features whose presence/absence
 /// the paper's evaluation toggles (codegen, pushdown, join selection),
@@ -54,6 +61,8 @@ struct EngineConfig {
   int task_retry_backoff_ms = 1;
   /// Per-query wall-clock budget enforced cooperatively between partitions
   /// and inside operator loops. Negative = unlimited; 0 expires instantly.
+  /// The clock starts when the query is admitted, not while it queues
+  /// behind the admission gate.
   int64_t query_timeout_ms = -1;
   /// Deterministic fault injection for testing/benching the retry paths:
   /// "<stage>:<partition>:<attempt>[-<last>]" entries, comma-separated
@@ -66,20 +75,32 @@ struct EngineConfig {
   /// the operator spills to disk (spill_enabled) or the query fails with an
   /// ExecutionError naming the stage and partition.
   int64_t query_memory_limit_bytes = -1;
+  /// Engine-wide cap on operator memory summed over every concurrently
+  /// running query. Each query's reservations are carved out of this pool
+  /// in addition to its own query_memory_limit_bytes cap, so N concurrent
+  /// queries cannot multiply the per-query budget past what the host has.
+  /// Negative = unlimited (the default).
+  int64_t total_memory_limit_bytes = -1;
+  /// Admission gate: at most this many queries execute concurrently on the
+  /// engine; excess BeginQuery callers block in FIFO order until a slot
+  /// frees up, so a burst degrades to waiting rather than to memory
+  /// exhaustion. 0 = unlimited (no gate).
+  int max_concurrent_queries = 0;
   /// Allow blocking operators to fall back to disk when over budget:
   /// external hash aggregation, external sort runs, Grace hash join.
   bool spill_enabled = true;
-  /// Scratch directory for spill files; empty = "<system temp>/ssql-spill".
-  /// Created on first use; spill files are deleted on success, error and
-  /// cancellation alike.
+  /// Scratch directory root for spill files; empty = "<system temp>/
+  /// ssql-spill". Each query spills into its own "q<pid>-<id>" subdirectory
+  /// so one query's cleanup can never touch another's live run files.
   std::string spill_dir;
   /// Record the per-query span tree (operators, stages, tasks, phases).
   /// When false only the flat legacy metrics are maintained — the baseline
   /// mode bench_observe compares against to bound instrumentation overhead.
   bool profiling_enabled = true;
   /// When non-empty, each query writes its profile as Chrome trace-event
-  /// JSON to this path (open in Perfetto or chrome://tracing). The file is
-  /// overwritten per query.
+  /// JSON to this path suffixed with the query id ("trace.json" becomes
+  /// "trace-q3.json"), so concurrent or sequential queries never clobber
+  /// each other's file. The resolved path is logged to stderr.
   std::string trace_path;
   /// Queries whose wall time exceeds this threshold log a one-line summary
   /// to stderr. Negative = disabled (default); 0 logs every query.
@@ -90,12 +111,29 @@ struct EngineConfig {
 /// message for values that would otherwise deadlock (a zero-thread pool),
 /// crash, or silently misbehave mid-query (a malformed fault-injection spec
 /// is only parsed when the first stage runs). Called eagerly when an
-/// ExecContext — and therefore a SqlContext — is constructed.
+/// ExecContext — and therefore a SqlContext — is constructed, and again on
+/// every SetConfig.
 void ValidateEngineConfig(const EngineConfig& config);
+
+/// Per-query execution knobs passed to BeginQuery, overriding the engine
+/// defaults for one query only (the engine-wide EngineConfig is immutable
+/// while queries are in flight; these are the sanctioned per-query escape
+/// hatches).
+struct QueryOptions {
+  /// Overrides EngineConfig::query_timeout_ms for this query when set.
+  std::optional<int64_t> timeout_ms;
+  /// Invoked by SqlContext::Execute right after the query is admitted and
+  /// its QueryContext exists, before any plan work runs. Lets callers grab
+  /// the query's cancellation token (e.g. to cancel it from another thread)
+  /// without racing the execution itself.
+  std::function<void(QueryContext&)> on_start;
+};
 
 /// Simple named counters published by operators (rows scanned, rows shipped
 /// from data sources, shuffle bytes, ...). Used by tests and benches to
-/// assert that pushdown actually reduced data movement.
+/// assert that pushdown actually reduced data movement. A Metrics bag may
+/// have a parent: adds are applied locally and then forwarded, which is how
+/// each query's private view folds into the engine-wide aggregate.
 class Metrics {
  public:
   void Add(const std::string& name, int64_t delta);
@@ -103,72 +141,95 @@ class Metrics {
   void Reset();
   std::unordered_map<std::string, int64_t> Snapshot() const;
 
+  /// Forwards every future Add to `parent` as well (null to detach).
+  void SetParent(Metrics* parent) { parent_ = parent; }
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, int64_t> counters_;
+  Metrics* parent_ = nullptr;
 };
 
-/// Per-engine runtime state shared by all queries of a SqlContext: the
-/// worker pool (the "cluster") and metrics. Cheap to share by reference.
+/// Engine-wide runtime state shared by every query of a SqlContext: the
+/// worker pool (the "cluster"), the legacy metrics aggregate, the total
+/// memory pool, and the admission gate. Holds NO per-query state — that
+/// lives in the QueryContext handed out by BeginQuery(), so any number of
+/// queries can run concurrently over one ExecContext without sharing
+/// profiles, cancellation tokens, budgets or spill directories.
+///
+/// Thread-safety: every member function may be called from any thread.
+/// SetConfig is rejected while queries are running or queued.
 class ExecContext {
  public:
   explicit ExecContext(EngineConfig config = EngineConfig());
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
 
   const EngineConfig& config() const { return config_; }
-  EngineConfig& mutable_config() { return config_; }
+
+  /// Validates `config` and installs it. Throws ExecutionError if the
+  /// config is invalid or if any query is running or queued (a mid-query
+  /// mutation would race with its tasks); callers must retry once the
+  /// engine is idle. A num_threads change rebuilds the worker pool.
+  void SetConfig(const EngineConfig& config);
+
+  /// Copy-mutate-swap convenience over SetConfig:
+  ///   ctx.UpdateConfig([](EngineConfig& c) { c.codegen_enabled = false; });
+  template <typename Fn>
+  void UpdateConfig(Fn&& fn) {
+    EngineConfig copy = config_;
+    fn(copy);
+    SetConfig(copy);
+  }
 
   ThreadPool& pool() { return *pool_; }
   Metrics& metrics() { return metrics_; }
-  MemoryManager& memory() { return memory_; }
-  const MemoryManager& memory() const { return memory_; }
 
-  /// The current query's profile. Always non-null: a fresh profile is
-  /// installed by BeginQuery, and a default one exists from construction so
-  /// operators executed outside SqlContext (unit tests driving a
-  /// PhysicalPlan directly) are still attributed somewhere. Counter adds go
-  /// through the profile, which forwards migrated keys to the legacy
-  /// metrics() bag.
-  QueryProfile& profile() { return *profile_; }
-  const QueryProfile& profile() const { return *profile_; }
+  /// The engine-wide memory pool (EngineConfig::total_memory_limit_bytes)
+  /// that per-query budgets draw from.
+  MemoryManager& engine_memory() { return engine_memory_; }
 
-  /// Scratch directory for this engine's spill files (config.spill_dir, or
-  /// a default under the system temp directory).
-  std::string spill_dir() const;
+  /// Root scratch directory for spill files (config.spill_dir, or a default
+  /// under the system temp directory). Queries spill into per-query
+  /// subdirectories beneath it — see QueryContext::spill_dir().
+  std::string spill_root() const;
 
-  /// Installs a fresh cancellation token (armed with the configured query
-  /// timeout) for the next query. Called by SqlContext at the top of each
-  /// execution; must not be called while partition tasks are in flight.
-  CancellationTokenPtr BeginQuery();
+  /// Admits one query (blocking FIFO behind max_concurrent_queries) and
+  /// returns its freshly created QueryContext: a new profile, cancellation
+  /// token armed with the query timeout, a memory budget carved from the
+  /// engine pool, and a private spill namespace. Thread-safe; any number of
+  /// queries may be begun concurrently.
+  QueryContextPtr BeginQuery() { return BeginQuery(QueryOptions()); }
+  QueryContextPtr BeginQuery(const QueryOptions& options);
 
-  /// Closes the current query's profile (stamping unfinished spans with
-  /// `status`), writes the trace file if config.trace_path is set, and logs
-  /// a summary line when the query exceeded slow_query_threshold_ms.
-  /// Idempotent per query; IO failures writing the trace are reported to
-  /// stderr, never thrown (observability must not fail the query).
-  void FinishQuery(const std::string& status);
+  /// Number of admitted queries that have not finished yet.
+  size_t active_queries() const;
 
-  /// The current query's token. Always non-null; shared with partition
-  /// tasks, so another thread may Cancel() it to abort the running query.
-  const CancellationTokenPtr& cancellation() const { return cancellation_; }
-
-  /// Throws ExecutionError if the current query was cancelled or timed out.
-  void CheckCancelled() const { cancellation_->ThrowIfCancelled(); }
-
-  /// Cheap form for tight row loops: polls the token every
-  /// kCancellationCheckInterval increments of `*counter`.
-  void CheckCancelledEvery(size_t* counter) const {
-    if ((++*counter & (kCancellationCheckInterval - 1)) == 0) {
-      CheckCancelled();
-    }
-  }
+  /// Cancels every admitted, unfinished query (their tokens; cooperative).
+  void CancelAllQueries(const std::string& reason);
 
  private:
+  friend class QueryContext;
+
+  /// Called by QueryContext::Finish: unregisters the query and frees its
+  /// admission slot.
+  void EndQuery(QueryContext* query);
+
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
-  MemoryManager memory_;
-  CancellationTokenPtr cancellation_;
-  std::unique_ptr<QueryProfile> profile_;
+  MemoryManager engine_memory_;
+
+  // Admission gate + active-query registry. `serving_` / `next_ticket_`
+  // implement FIFO ordering: a caller is admitted only when its ticket is
+  // up AND a slot is free, so later arrivals cannot jump the queue.
+  mutable std::mutex mu_;
+  std::condition_variable admission_cv_;
+  uint64_t next_ticket_ = 0;
+  uint64_t serving_ = 0;
+  std::vector<QueryContext*> active_;
 };
 
 }  // namespace ssql

@@ -47,10 +47,11 @@ void MemoryReservation::Release() {
 }
 
 void MemoryManager::Configure(int64_t limit_bytes, bool spill_enabled,
-                              QueryProfile* profile) {
+                              QueryProfile* profile, MemoryManager* parent) {
   limit_.store(limit_bytes < 0 ? -1 : limit_bytes, std::memory_order_relaxed);
   spill_enabled_ = spill_enabled;
   profile_ = profile;
+  parent_ = parent;
   // Live reservations (there should be none between queries) keep their
   // bytes; only the peak tracking restarts.
   peak_.store(reserved_.load(std::memory_order_relaxed),
@@ -75,17 +76,26 @@ bool MemoryManager::TryReserve(int64_t bytes) {
       break;
     }
   }
+  // The grant must also fit the parent pool (the engine-wide total across
+  // all concurrent queries); an exhausted pool denies the grow, which the
+  // operator handles exactly like its own budget denial — by spilling.
+  if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
   PublishPeak();
   return true;
 }
 
 void MemoryManager::ForceReserve(int64_t bytes) {
   reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->ForceReserve(bytes);
   PublishPeak();
 }
 
 void MemoryManager::ReleaseBytes(int64_t bytes) {
   reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->ReleaseBytes(bytes);
 }
 
 void MemoryManager::PublishPeak() {

@@ -58,21 +58,32 @@ class MemoryReservation {
   int64_t reserved_ = 0;
 };
 
-/// Owns the per-query memory budget (EngineConfig::query_memory_limit_bytes)
-/// and tracks what the blocking operators have reserved, across all
-/// concurrently running partition tasks. Grants are handed out as
-/// MemoryReservations; when a grow would push the total over the budget it
-/// is denied and the requesting operator must shed state — spill to disk
-/// when EngineConfig::spill_enabled, or fail the query with a clear error
-/// otherwise. Publishes the peak reservation through the query profile,
-/// which both attributes it to the operator running at the time and keeps
-/// the legacy "memory.peak_reserved_bytes" aggregate current.
+/// Owns one memory budget and tracks what the blocking operators have
+/// reserved against it, across all concurrently running partition tasks.
+/// Used at two levels:
+///
+///   * per query — the QueryContext's budget
+///     (EngineConfig::query_memory_limit_bytes), with `parent` set to the
+///     engine pool so every grant is simultaneously carved from the
+///     engine-wide total;
+///   * per engine — ExecContext's pool
+///     (EngineConfig::total_memory_limit_bytes), bounding the sum over all
+///     concurrent queries. No profile, no parent.
+///
+/// Grants are handed out as MemoryReservations; when a grow would push
+/// either level over its budget it is denied and the requesting operator
+/// must shed state — spill to disk when EngineConfig::spill_enabled, or
+/// fail the query with a clear error otherwise. Publishes the peak
+/// reservation through the query profile, which both attributes it to the
+/// operator running at the time and keeps the legacy
+/// "memory.peak_reserved_bytes" aggregate current.
 class MemoryManager {
  public:
-  /// (Re)arms the budget for the next query; `limit_bytes < 0` = unlimited.
-  /// Called by ExecContext at construction and at BeginQuery.
+  /// (Re)arms the budget; `limit_bytes < 0` = unlimited. Called once per
+  /// QueryContext at BeginQuery (with the engine pool as `parent`) and by
+  /// ExecContext at construction/SetConfig for the engine-wide pool.
   void Configure(int64_t limit_bytes, bool spill_enabled,
-                 QueryProfile* profile);
+                 QueryProfile* profile, MemoryManager* parent = nullptr);
 
   bool limited() const {
     return limit_.load(std::memory_order_relaxed) >= 0;
@@ -102,6 +113,7 @@ class MemoryManager {
   std::atomic<int64_t> peak_{0};
   std::atomic<int64_t> published_peak_{0};
   QueryProfile* profile_ = nullptr;
+  MemoryManager* parent_ = nullptr;
 };
 
 }  // namespace ssql

@@ -1,0 +1,85 @@
+#include "engine/query_context.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/trace.h"
+
+namespace ssql {
+
+QueryContext::QueryContext(ExecContext& engine, uint64_t query_id,
+                           EngineConfig config)
+    : engine_(engine),
+      query_id_(query_id),
+      config_(std::move(config)),
+      cancellation_(std::make_shared<CancellationToken>()) {
+  metrics_.SetParent(&engine_.metrics());
+  profile_ =
+      std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
+  memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
+                    profile_.get(), &engine_.engine_memory());
+  // The timeout clock starts at admission: time spent queued behind the
+  // admission gate does not count against the query's wall-clock budget.
+  cancellation_->SetTimeout(config_.query_timeout_ms);
+}
+
+QueryContext::~QueryContext() {
+  // Backstop for callers that never reached Finish (exceptions escaping
+  // before SqlContext::Execute's handlers, abandoned unit-test queries):
+  // the admission slot must be returned and the profile closed.
+  Finish("abandoned");
+}
+
+std::string QueryContext::spill_dir() const {
+  // The pid keeps two processes sharing one tmp root apart; the query id
+  // keeps this engine's queries apart.
+  return (std::filesystem::path(engine_.spill_root()) /
+          ("q" + std::to_string(::getpid()) + "-" +
+           std::to_string(query_id_)))
+      .string();
+}
+
+std::string ResolveTracePath(const std::string& base, uint64_t query_id) {
+  const std::string suffix = "-q" + std::to_string(query_id);
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+void QueryContext::Finish(const std::string& status) {
+  bool expected = false;
+  if (!finished_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  profile_->Finish(status);
+  if (!config_.trace_path.empty()) {
+    const std::string path = ResolveTracePath(config_.trace_path, query_id_);
+    try {
+      WriteTextFile(path, profile_->ToChromeTraceJson());
+      std::fprintf(stderr, "ssql: query %llu trace written to %s\n",
+                   static_cast<unsigned long long>(query_id_), path.c_str());
+    } catch (const SsqlError& e) {
+      std::fprintf(stderr, "ssql: failed to write trace: %s\n", e.what());
+    }
+  }
+  if (config_.slow_query_threshold_ms >= 0 &&
+      profile_->WallNs() / 1'000'000 >= config_.slow_query_threshold_ms) {
+    std::fprintf(stderr, "ssql: slow query: %s\n",
+                 profile_->SummaryLine().c_str());
+  }
+  // Remove this query's private spill namespace. Operators have unwound by
+  // the time Finish runs (their SpillFiles already deleted the run files),
+  // so only the empty directory remains — and because the directory is
+  // namespaced by query id, this can never delete another query's files.
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir(), ec);
+  engine_.EndQuery(this);
+}
+
+}  // namespace ssql

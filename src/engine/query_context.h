@@ -1,0 +1,129 @@
+#ifndef SSQL_ENGINE_QUERY_CONTEXT_H_
+#define SSQL_ENGINE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/exec_context.h"
+#include "engine/memory_manager.h"
+#include "engine/query_profile.h"
+#include "engine/task_runner.h"
+
+namespace ssql {
+
+/// Everything that belongs to ONE running query, created by
+/// ExecContext::BeginQuery() and threaded through SqlContext::Execute,
+/// TaskRunner and every physical operator / data source scan:
+///
+///   * its QueryProfile (span tree + counters),
+///   * its CancellationToken (user abort + wall-clock timeout),
+///   * its MemoryManager budget, carved from the engine-wide pool so
+///     query_memory_limit_bytes stays a per-query cap while
+///     total_memory_limit_bytes bounds the sum over concurrent queries,
+///   * a query-id-namespaced spill subdirectory,
+///   * a per-query Metrics view that folds into the engine aggregate, and
+///   * an immutable snapshot of the EngineConfig taken at admission.
+///
+/// Engine-wide state (worker pool, catalog, columnar cache, legacy metrics
+/// bag) stays on the ExecContext, reachable via engine(). N QueryContexts
+/// may execute concurrently over one engine without sharing any of the
+/// above — the cross-query races this separation fixes were: profile spans
+/// interleaving, cancellation cross-talk, and spill-file collisions.
+///
+/// Lifecycle: BeginQuery() → operators run → Finish(status) exactly once
+/// (idempotent; also run by the destructor as a backstop). Finish closes
+/// the profile, writes the query-id-suffixed trace file, emits the
+/// slow-query log line, removes the spill subdirectory, and releases the
+/// engine admission slot.
+class QueryContext {
+ public:
+  ~QueryContext();
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Process-unique id (1-based) naming the spill namespace and trace file.
+  uint64_t query_id() const { return query_id_; }
+
+  /// The engine this query runs on (pool, catalog-side state, aggregates).
+  ExecContext& engine() const { return engine_; }
+
+  /// The EngineConfig snapshot taken when this query was admitted (with any
+  /// QueryOptions overrides applied). Stable for the query's lifetime even
+  /// if the engine config changes between queries.
+  const EngineConfig& config() const { return config_; }
+
+  /// The shared worker pool — tasks of concurrent queries interleave here.
+  ThreadPool& pool() const { return engine_.pool(); }
+
+  /// This query's metrics view. Adds fold into the engine-wide
+  /// ExecContext::metrics() aggregate; Gets read this query's counts only.
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// This query's memory budget (never shared with other queries).
+  MemoryManager& memory() { return memory_; }
+  const MemoryManager& memory() const { return memory_; }
+
+  /// This query's profile. Always non-null; stays readable after Finish.
+  QueryProfile& profile() { return *profile_; }
+  const QueryProfile& profile() const { return *profile_; }
+
+  /// This query's token. Shared with partition tasks, so another thread may
+  /// Cancel() it to abort this query — and only this query.
+  const CancellationTokenPtr& cancellation() const { return cancellation_; }
+
+  /// Cancels this query (cooperative; idempotent).
+  void Cancel(const std::string& reason) { cancellation_->Cancel(reason); }
+
+  /// Throws ExecutionError if this query was cancelled or timed out.
+  void CheckCancelled() const { cancellation_->ThrowIfCancelled(); }
+
+  /// Cheap form for tight row loops: polls the token every
+  /// kCancellationCheckInterval increments of `*counter`.
+  void CheckCancelledEvery(size_t* counter) const {
+    if ((++*counter & (kCancellationCheckInterval - 1)) == 0) {
+      CheckCancelled();
+    }
+  }
+
+  /// This query's private spill directory: "<spill root>/q<pid>-<id>".
+  /// Created on first use by SpillFile; removed wholesale by Finish, which
+  /// is safe precisely because no other query ever writes here.
+  std::string spill_dir() const;
+
+  /// Closes the profile (stamping unfinished spans with `status`), writes
+  /// the trace file if config.trace_path is set (suffixed with the query
+  /// id; the resolved path is logged to stderr), logs a summary line when
+  /// the query exceeded slow_query_threshold_ms, removes the spill
+  /// subdirectory, and releases the engine admission slot. Idempotent; IO
+  /// failures writing the trace are reported to stderr, never thrown
+  /// (observability must not fail the query).
+  void Finish(const std::string& status);
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+ private:
+  friend class ExecContext;
+  QueryContext(ExecContext& engine, uint64_t query_id, EngineConfig config);
+
+  ExecContext& engine_;
+  const uint64_t query_id_;
+  const EngineConfig config_;
+  Metrics metrics_;
+  std::unique_ptr<QueryProfile> profile_;
+  CancellationTokenPtr cancellation_;
+  MemoryManager memory_;
+  std::atomic<bool> finished_{false};
+};
+
+/// Resolves the per-query trace file path: inserts "-q<id>" before the
+/// final extension ("trace.json" → "trace-q3.json"; extensionless paths
+/// get the suffix appended). Exposed for tests.
+std::string ResolveTracePath(const std::string& base, uint64_t query_id);
+
+}  // namespace ssql
+
+#endif  // SSQL_ENGINE_QUERY_CONTEXT_H_

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <thread>
 
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "util/string_util.h"
 
 namespace ssql {

@@ -14,7 +14,7 @@
 
 namespace ssql {
 
-class ExecContext;
+class QueryContext;
 
 /// Cooperative cancellation shared by the driver and every partition task
 /// of a query. Cancellation has two sources: an explicit Cancel() (user
@@ -106,7 +106,7 @@ class FaultInjector {
 /// fault injector fires before the body runs, preserving this).
 class TaskRunner {
  public:
-  explicit TaskRunner(ExecContext& ctx) : ctx_(ctx) {}
+  explicit TaskRunner(QueryContext& ctx) : ctx_(ctx) {}
 
   /// Runs `body(p)` for every partition p in [0, num_partitions) and blocks
   /// until the stage completes or fails.
@@ -114,7 +114,7 @@ class TaskRunner {
                 const std::function<void(size_t)>& body) const;
 
  private:
-  ExecContext& ctx_;
+  QueryContext& ctx_;
 };
 
 }  // namespace ssql

@@ -53,7 +53,7 @@ constexpr int64_t kGroupEntryOverhead = 64;
 /// how rows fold into an existing bank.
 class SpillingGroupMap {
  public:
-  SpillingGroupMap(ExecContext& ctx, std::string consumer, size_t key_width,
+  SpillingGroupMap(QueryContext& ctx, std::string consumer, size_t key_width,
                    const std::vector<AggregatePtr>& aggs)
       : ctx_(ctx),
         consumer_(std::move(consumer)),
@@ -189,7 +189,7 @@ class SpillingGroupMap {
     reservation_.Release();
   }
 
-  ExecContext& ctx_;
+  QueryContext& ctx_;
   std::string consumer_;
   size_t key_width_;
   const std::vector<AggregatePtr>& aggs_;
@@ -242,12 +242,12 @@ AttributeVector HashAggregateExec::Output() const {
   return out;
 }
 
-RowDataset HashAggregateExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset HashAggregateExec::ExecuteImpl(QueryContext& ctx) const {
   return mode_ == AggregateMode::kPartial ? ExecutePartial(ctx)
                                           : ExecuteFinal(ctx);
 }
 
-RowDataset HashAggregateExec::ExecutePartial(ExecContext& ctx) const {
+RowDataset HashAggregateExec::ExecutePartial(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
 
@@ -421,7 +421,7 @@ bool CategorizeFastAggs(const std::vector<AggregatePtr>& agg_functions,
 
 }  // namespace
 
-bool HashAggregateExec::TryExecutePartialFast(ExecContext& ctx,
+bool HashAggregateExec::TryExecutePartialFast(QueryContext& ctx,
                                               const RowDataset& input,
                                               const AttributeVector& child_out,
                                               RowDataset* out) const {
@@ -616,7 +616,7 @@ bool HashAggregateExec::TryExecutePartialFast(ExecContext& ctx,
   return true;
 }
 
-RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
+RowDataset HashAggregateExec::ExecuteFinal(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   size_t k = groupings_.size();
   size_t m = agg_functions_.size();
@@ -716,7 +716,7 @@ RowDataset HashAggregateExec::ExecuteFinal(ExecContext& ctx) const {
 }
 
 
-bool HashAggregateExec::TryExecuteFinalFast(ExecContext& ctx,
+bool HashAggregateExec::TryExecuteFinalFast(QueryContext& ctx,
                                             const RowDataset& input,
                                             const ExprVector& result_exprs,
                                             RowDataset* out) const {

@@ -36,7 +36,7 @@ class HashAggregateExec : public PhysicalPlan {
   }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override;
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
   /// The synthesized attributes of the partial stage's output:
@@ -45,8 +45,8 @@ class HashAggregateExec : public PhysicalPlan {
   const AttributeVector& partial_output() const { return partial_output_; }
 
  private:
-  RowDataset ExecutePartial(ExecContext& ctx) const;
-  RowDataset ExecuteFinal(ExecContext& ctx) const;
+  RowDataset ExecutePartial(QueryContext& ctx) const;
+  RowDataset ExecuteFinal(QueryContext& ctx) const;
 
   /// Codegen fast path for the map-side combine: when the grouping key is
   /// a single integer-like column and every aggregate is a simple
@@ -55,14 +55,14 @@ class HashAggregateExec : public PhysicalPlan {
   /// allocation per row. This is where Section 4.3.4's code generation
   /// pays off for aggregation (the Figure 9 DataFrame bar). Returns false
   /// when the shape is unsupported and the generic path must run.
-  bool TryExecutePartialFast(ExecContext& ctx, const RowDataset& input,
+  bool TryExecutePartialFast(QueryContext& ctx, const RowDataset& input,
                              const AttributeVector& child_out,
                              RowDataset* out) const;
 
   /// Matching fast path for the reduce side: merges the typed partial
   /// accumulators without boxed group keys. Same shape conditions as the
   /// partial fast path.
-  bool TryExecuteFinalFast(ExecContext& ctx, const RowDataset& input,
+  bool TryExecuteFinalFast(QueryContext& ctx, const RowDataset& input,
                            const ExprVector& result_exprs,
                            RowDataset* out) const;
 

@@ -10,7 +10,7 @@ uint64_t HashRowKeys(const Row& row, const ExprVector& bound_keys) {
   return h;
 }
 
-RowDataset ExchangeExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset ExchangeExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
   ExprVector bound;
@@ -32,7 +32,7 @@ std::string ExchangeExec::Describe() const {
   return s + ")";
 }
 
-RowDataset CoalesceExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset CoalesceExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   return RowDataset::SinglePartition(input.Collect());
 }

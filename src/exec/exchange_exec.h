@@ -21,7 +21,7 @@ class ExchangeExec : public PhysicalPlan {
   std::string NodeName() const override { return "Exchange"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -38,7 +38,7 @@ class CoalesceExec : public PhysicalPlan {
   std::string NodeName() const override { return "Coalesce"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 
  private:
   PhysPtr child_;

@@ -65,7 +65,7 @@ AttributeVector IntervalJoinExec::Output() const {
   return out;
 }
 
-RowDataset IntervalJoinExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset IntervalJoinExec::ExecuteImpl(QueryContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;

@@ -31,7 +31,7 @@ class IntervalJoinExec : public PhysicalPlan {
   std::string NodeName() const override { return "IntervalJoin"; }
   std::vector<PhysPtr> Children() const override { return {left_, right_}; }
   AttributeVector Output() const override;
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
  private:

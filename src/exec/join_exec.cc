@@ -132,7 +132,7 @@ std::string JoinExecBase::Describe() const {
   return s;
 }
 
-RowDataset BroadcastHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset BroadcastHashJoinExec::ExecuteImpl(QueryContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -209,7 +209,7 @@ RowDataset BroadcastHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
   }, "join.probe");
 }
 
-RowDataset ShuffleHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset ShuffleHashJoinExec::ExecuteImpl(QueryContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -380,7 +380,7 @@ RowDataset ShuffleHashJoinExec::ExecuteImpl(ExecContext& ctx) const {
   }, "join.probe");
 }
 
-RowDataset SortMergeJoinExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset SortMergeJoinExec::ExecuteImpl(QueryContext& ctx) const {
   AttributeVector left_out = left_->Output();
   AttributeVector right_out = right_->Output();
   AttributeVector joined_out = left_out;
@@ -497,7 +497,7 @@ AttributeVector NestedLoopJoinExec::Output() const {
   return out;
 }
 
-RowDataset NestedLoopJoinExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset NestedLoopJoinExec::ExecuteImpl(QueryContext& ctx) const {
   if (join_type_ == JoinType::kRightOuter || join_type_ == JoinType::kFullOuter) {
     throw ExecutionError(
         "NestedLoopJoin does not support right/full outer joins");

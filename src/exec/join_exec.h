@@ -41,7 +41,7 @@ class BroadcastHashJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
   std::string NodeName() const override { return "BroadcastHashJoin"; }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 };
 
 /// Shuffle hash join: both sides are hash-partitioned by key, then each
@@ -50,7 +50,7 @@ class ShuffleHashJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
   std::string NodeName() const override { return "ShuffleHashJoin"; }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 };
 
 /// Sort-merge join: both sides shuffled by key, sorted per partition, and
@@ -60,7 +60,7 @@ class SortMergeJoinExec : public JoinExecBase {
  public:
   using JoinExecBase::JoinExecBase;
   std::string NodeName() const override { return "SortMergeJoin"; }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 };
 
 /// Nested loop join for non-equi conditions and cross joins. The right
@@ -73,7 +73,7 @@ class NestedLoopJoinExec : public PhysicalPlan {
   std::string NodeName() const override { return "NestedLoopJoin"; }
   std::vector<PhysPtr> Children() const override { return {left_, right_}; }
   AttributeVector Output() const override;
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
  private:

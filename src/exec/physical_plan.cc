@@ -2,7 +2,7 @@
 
 namespace ssql {
 
-RowDataset PhysicalPlan::Execute(ExecContext& ctx) const {
+RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
   QueryProfile& profile = ctx.profile();
   if (!profile.detailed()) return ExecuteImpl(ctx);
   ProfileSpan* span = profile.BeginOperator(NodeName(), Describe());

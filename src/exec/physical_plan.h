@@ -7,7 +7,7 @@
 
 #include "catalyst/expr/attribute.h"
 #include "engine/dataset.h"
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 
 namespace ssql {
 
@@ -33,7 +33,7 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   /// profile, stages/tasks/spills started while it runs attribute to it,
   /// and an exception closes the span with an error status before
   /// propagating. The actual work is ExecuteImpl().
-  RowDataset Execute(ExecContext& ctx) const;
+  RowDataset Execute(QueryContext& ctx) const;
 
   /// One-line description for EXPLAIN.
   virtual std::string Describe() const { return NodeName(); }
@@ -47,7 +47,7 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   /// The operator's execution logic; subclasses override this instead of
   /// Execute() so every operator is instrumented uniformly. Children must
   /// be pulled with child->Execute(ctx) (the wrapper), never ExecuteImpl.
-  virtual RowDataset ExecuteImpl(ExecContext& ctx) const = 0;
+  virtual RowDataset ExecuteImpl(QueryContext& ctx) const = 0;
 
  private:
   void TreeStringInternal(int indent, std::string* out) const;

@@ -59,7 +59,7 @@ class LocalPartitionCache {
 
 }  // namespace
 
-RowDataset LocalTableScanExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset LocalTableScanExec::ExecuteImpl(QueryContext& ctx) const {
   size_t parts = ctx.config().default_parallelism;
   return *LocalPartitionCache::Global().Get(rows_, parts);
 }
@@ -80,7 +80,7 @@ AttributeVector DataSourceScanExec::Output() const {
   return out;
 }
 
-RowDataset DataSourceScanExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset DataSourceScanExec::ExecuteImpl(QueryContext& ctx) const {
   std::vector<Row> rows;
   bool need_recheck = false;
 
@@ -181,9 +181,9 @@ std::string DataSourceScanExec::Describe() const {
   return s;
 }
 
-RowDataset CachedScanExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset CachedScanExec::ExecuteImpl(QueryContext& ctx) const {
   ctx.metrics().Add("cache.scans", 1);
-  return table_->Scan(columns_, &ctx);
+  return table_->Scan(columns_, &ctx.engine());
 }
 
 ProjectFilterExec::ProjectFilterExec(std::vector<NamedExprPtr> projections,
@@ -201,7 +201,7 @@ ProjectFilterExec::ProjectFilterExec(std::vector<NamedExprPtr> projections,
 
 AttributeVector ProjectFilterExec::Output() const { return output_; }
 
-RowDataset ProjectFilterExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset ProjectFilterExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
   bool codegen = ctx.config().codegen_enabled;
@@ -281,7 +281,7 @@ std::string ProjectFilterExec::Describe() const {
   return s;
 }
 
-RowDataset SampleExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset SampleExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   double fraction = fraction_;
   uint64_t seed = seed_;
@@ -300,7 +300,7 @@ RowDataset SampleExec::ExecuteImpl(ExecContext& ctx) const {
   }, "sample");
 }
 
-RowDataset UnionExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset UnionExec::ExecuteImpl(QueryContext& ctx) const {
   std::vector<RowPartitionPtr> parts;
   for (const auto& child : children_) {
     RowDataset d = child->Execute(ctx);

@@ -23,7 +23,7 @@ class LocalTableScanExec : public PhysicalPlan {
   std::string NodeName() const override { return "LocalTableScan"; }
   std::vector<PhysPtr> Children() const override { return {}; }
   AttributeVector Output() const override { return output_; }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override {
     return "LocalTableScan " + FormatAttributes(output_) +
            " rows=" + std::to_string(rows_->size());
@@ -47,7 +47,7 @@ class DataSourceScanExec : public PhysicalPlan {
   std::string NodeName() const override { return "Scan"; }
   std::vector<PhysPtr> Children() const override { return {}; }
   AttributeVector Output() const override;
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -101,7 +101,7 @@ class CachedScanExec : public PhysicalPlan {
   std::string NodeName() const override { return "InMemoryColumnarScan"; }
   std::vector<PhysPtr> Children() const override { return {}; }
   AttributeVector Output() const override { return output_; }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override {
     return "InMemoryColumnarScan " + FormatAttributes(output_);
   }
@@ -129,7 +129,7 @@ class ProjectFilterExec : public PhysicalPlan {
   }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override;
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
   const ExprPtr& condition() const { return condition_; }
@@ -152,7 +152,7 @@ class SampleExec : public PhysicalPlan {
   std::string NodeName() const override { return "Sample"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 
  private:
   double fraction_;
@@ -169,7 +169,7 @@ class UnionExec : public PhysicalPlan {
   std::string NodeName() const override { return "Union"; }
   std::vector<PhysPtr> Children() const override { return children_; }
   AttributeVector Output() const override { return children_[0]->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
 
  private:
   std::vector<PhysPtr> children_;

@@ -7,7 +7,7 @@
 
 namespace ssql {
 
-RowDataset SortExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset SortExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   AttributeVector child_out = child_->Output();
 
@@ -61,7 +61,7 @@ RowDataset SortExec::ExecuteImpl(ExecContext& ctx) const {
 }
 
 std::shared_ptr<RowPartition> SortExec::ExternalSortPartition(
-    ExecContext& ctx, const RowPartition& part,
+    QueryContext& ctx, const RowPartition& part,
     const std::function<bool(const Row&, const Row&)>& less) const {
   size_t task_check = 0;
   auto task_less = [&](const Row& a, const Row& b) {
@@ -158,7 +158,7 @@ std::string SortExec::Describe() const {
   return s + "]";
 }
 
-RowDataset LimitExec::ExecuteImpl(ExecContext& ctx) const {
+RowDataset LimitExec::ExecuteImpl(QueryContext& ctx) const {
   RowDataset input = child_->Execute(ctx);
   size_t limit = n_ < 0 ? 0 : static_cast<size_t>(n_);
 

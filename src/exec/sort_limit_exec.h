@@ -20,7 +20,7 @@ class SortExec : public PhysicalPlan {
   std::string NodeName() const override { return "Sort"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
  private:
@@ -28,7 +28,7 @@ class SortExec : public PhysicalPlan {
   /// sorted runs spilled to disk when a grant is denied, then a stable
   /// k-way merge of the run files plus the in-memory tail.
   std::shared_ptr<RowPartition> ExternalSortPartition(
-      ExecContext& ctx, const RowPartition& part,
+      QueryContext& ctx, const RowPartition& part,
       const std::function<bool(const Row&, const Row&)>& less) const;
 
   std::vector<std::shared_ptr<const SortOrder>> orders_;
@@ -43,7 +43,7 @@ class LimitExec : public PhysicalPlan {
   std::string NodeName() const override { return "Limit"; }
   std::vector<PhysPtr> Children() const override { return {child_}; }
   AttributeVector Output() const override { return child_->Output(); }
-  RowDataset ExecuteImpl(ExecContext& ctx) const override;
+  RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override {
     return "Limit " + std::to_string(n_);
   }

@@ -242,7 +242,7 @@ class SloppyRelation : public BaseRelation, public PrunedFilteredScan {
     return StructType::Make({Field("n", DataType::Int32(), false)});
   }
   std::vector<Row> ScanFiltered(
-      ExecContext&, const std::vector<int>& columns,
+      QueryContext&, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const override {
     std::vector<Row> rows;
     for (int i = 0; i < 100; ++i) {

@@ -323,7 +323,7 @@ TEST(DataSourceRegistryTest, ThirdPartySourceExtension) {
     SchemaPtr schema() const override {
       return StructType::Make({Field("n", DataType::Int32(), false)});
     }
-    std::vector<Row> ScanAll(ExecContext&) const override {
+    std::vector<Row> ScanAll(QueryContext&) const override {
       return {Row({Value(int32_t{1})}), Row({Value(int32_t{2})})};
     }
   };

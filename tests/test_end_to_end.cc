@@ -223,11 +223,11 @@ TEST_F(EndToEndTest, CodegenAndInterpretedAgree) {
   const char* query =
       "SELECT name, age * 2 + 1, salary / 2 FROM employees "
       "WHERE age > 20 AND name LIKE '%a%' ORDER BY name";
-  ctx_.config().codegen_enabled = true;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.codegen_enabled = true; });
   auto with_codegen = ctx_.Sql(query).Collect();
-  ctx_.config().codegen_enabled = false;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.codegen_enabled = false; });
   auto interpreted = ctx_.Sql(query).Collect();
-  ctx_.config().codegen_enabled = true;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.codegen_enabled = true; });
   ASSERT_EQ(with_codegen.size(), interpreted.size());
   for (size_t i = 0; i < with_codegen.size(); ++i) {
     EXPECT_TRUE(with_codegen[i].Equals(interpreted[i]))

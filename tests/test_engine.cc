@@ -8,6 +8,7 @@
 
 #include "engine/dataset.h"
 #include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "engine/rdd.h"
 #include "util/thread_pool.h"
 
@@ -57,10 +58,12 @@ TEST(RowDatasetTest, FromRowsBalancesPartitions) {
 
 TEST(RowDatasetTest, MapPartitionsRunsInParallel) {
   ExecContext ctx(TestConfig());
+  QueryContextPtr query = ctx.BeginQuery();
   std::vector<Row> rows;
   for (int i = 0; i < 100; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::FromRows(rows, 4);
-  RowDataset doubled = d.MapPartitions(ctx, [](size_t, const RowPartition& p) {
+  RowDataset doubled =
+      d.MapPartitions(*query, [](size_t, const RowPartition& p) {
     auto out = std::make_shared<RowPartition>();
     for (const Row& r : p.rows) {
       out->rows.push_back(Row({Value(int32_t(r.GetInt32(0) * 2))}));
@@ -74,13 +77,14 @@ TEST(RowDatasetTest, MapPartitionsRunsInParallel) {
 
 TEST(RowDatasetTest, ShuffleColocatesEqualKeys) {
   ExecContext ctx(TestConfig());
+  QueryContextPtr query = ctx.BeginQuery();
   std::vector<Row> rows;
   for (int i = 0; i < 1000; ++i) {
     rows.push_back(Row({Value(int32_t(i % 13)), Value(int32_t(i))}));
   }
   RowDataset d = RowDataset::FromRows(rows, 5);
   RowDataset shuffled = d.ShuffleByHash(
-      ctx, 4, [](const Row& r) { return r.Get(0).Hash(); });
+      *query, 4, [](const Row& r) { return r.Get(0).Hash(); });
   EXPECT_EQ(shuffled.num_partitions(), 4u);
   EXPECT_EQ(shuffled.TotalRows(), 1000u);
   // Each key appears in exactly one partition.

@@ -112,7 +112,9 @@ class JoinAlgorithmTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(JoinAlgorithmTest, AllAlgorithmsMatchReferenceOnInnerJoin) {
   std::mt19937_64 rng(GetParam() * 7717);
-  ExecContext ctx(TestConfig());
+  ExecContext engine(TestConfig());
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   for (int trial = 0; trial < 5; ++trial) {
     auto left_rows = RandomKeyedRows(&rng, 30 + rng() % 50, 8, 0.1);
     auto right_rows = RandomKeyedRows(&rng, 30 + rng() % 50, 8, 0.1);
@@ -145,7 +147,9 @@ TEST_P(JoinAlgorithmTest, AllAlgorithmsMatchReferenceOnInnerJoin) {
 
 TEST_P(JoinAlgorithmTest, OuterAndSemiJoinsMatchReference) {
   std::mt19937_64 rng(GetParam() * 104659);
-  ExecContext ctx(TestConfig());
+  ExecContext engine(TestConfig());
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   auto left_rows = RandomKeyedRows(&rng, 40, 10, 0.1);
   auto right_rows = RandomKeyedRows(&rng, 40, 10, 0.1);
   AttributeVector la = KeyedAttrs("lk", "lv");
@@ -174,7 +178,9 @@ TEST_P(JoinAlgorithmTest, OuterAndSemiJoinsMatchReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinAlgorithmTest, ::testing::Values(1, 2, 3));
 
 TEST(JoinExecTest, ResidualConditionFiltersMatches) {
-  ExecContext ctx(TestConfig());
+  ExecContext engine(TestConfig());
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   AttributeVector la = KeyedAttrs("lk", "lv");
   AttributeVector ra = KeyedAttrs("rk", "rv");
   std::vector<Row> left = {Row({Value(int32_t{1}), Value(int32_t{10})}),
@@ -242,11 +248,11 @@ TEST_F(JoinSelectionTest, LargeBuildSideGetsShuffleJoin) {
 }
 
 TEST_F(JoinSelectionTest, JoinSelectionDisabledForcesShuffle) {
-  ctx_.config().join_selection_enabled = false;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.join_selection_enabled = false; });
   std::string plan =
       PhysicalPlanFor("SELECT big.v FROM big JOIN small ON big.id = small.id");
   EXPECT_EQ(plan.find("BroadcastHashJoin"), std::string::npos) << plan;
-  ctx_.config().join_selection_enabled = true;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.join_selection_enabled = true; });
 }
 
 TEST_F(JoinSelectionTest, PreferSortMergeConfig) {
@@ -274,11 +280,11 @@ TEST_F(JoinSelectionTest, ResultsIdenticalAcrossStrategies) {
       "SELECT big.v, small.id FROM big JOIN small ON big.id = small.id "
       "WHERE big.v < 100";
   auto baseline = Canonical(ctx_.Sql(sql).Collect());
-  ctx_.config().join_selection_enabled = false;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.join_selection_enabled = false; });
   EXPECT_EQ(Canonical(ctx_.Sql(sql).Collect()), baseline);
-  ctx_.config().join_selection_enabled = true;
-  ctx_.config().prefer_sort_merge_join = true;
-  ctx_.config().broadcast_threshold_bytes = 1;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.join_selection_enabled = true; });
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.prefer_sort_merge_join = true; });
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.broadcast_threshold_bytes = 1; });
   EXPECT_EQ(Canonical(ctx_.Sql(sql).Collect()), baseline);
 }
 
@@ -406,9 +412,9 @@ TEST_F(ExecOpsTest, UnionConcatenates) {
 TEST_F(ExecOpsTest, OperatorFusionProducesSameResults) {
   const char* sql = "SELECT k, v * 2 FROM data WHERE v > 100 AND k IS NOT NULL";
   auto fused = Canonical(ctx_.Sql(sql).Collect());
-  ctx_.config().operator_fusion_enabled = false;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.operator_fusion_enabled = false; });
   auto unfused = Canonical(ctx_.Sql(sql).Collect());
-  ctx_.config().operator_fusion_enabled = true;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.operator_fusion_enabled = true; });
   EXPECT_EQ(fused, unfused);
 }
 

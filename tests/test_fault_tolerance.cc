@@ -111,7 +111,7 @@ TEST(TaskRetryTest, InjectedFaultsAreRetriedTransparently) {
   // attempt; the query must still produce the full result, with exactly two
   // retries on the books.
   SqlContext ctx;
-  ctx.config().fault_injection_spec = "project:1:0,project:3:0";
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "project:1:0,project:3:0"; });
   DataFrame df = Numbers(ctx, 100);
   ctx.exec().metrics().Reset();
   auto rows = df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
@@ -122,8 +122,8 @@ TEST(TaskRetryTest, InjectedFaultsAreRetriedTransparently) {
 
 TEST(TaskRetryTest, RetriesDisabledFailsNamingThePartition) {
   SqlContext ctx;
-  ctx.config().fault_injection_spec = "project:1:0";
-  ctx.config().task_max_retries = 0;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "project:1:0"; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.task_max_retries = 0; });
   DataFrame df = Numbers(ctx, 100);
   try {
     df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
@@ -139,7 +139,7 @@ TEST(TaskRetryTest, RetriesDisabledFailsNamingThePartition) {
 TEST(TaskRetryTest, ExhaustedRetriesReportAttemptCount) {
   // Failing attempts 0..2 exhausts the default budget of 2 retries.
   SqlContext ctx;
-  ctx.config().fault_injection_spec = "project:2:0-2";
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "project:2:0-2"; });
   DataFrame df = Numbers(ctx, 100);
   try {
     df.Where(df("x") < Lit(Value(int32_t{50}))).Collect();
@@ -151,7 +151,9 @@ TEST(TaskRetryTest, ExhaustedRetriesReportAttemptCount) {
 }
 
 TEST(TaskRunnerTest, FatalErrorsAreAggregatedWithPartition) {
-  ExecContext ctx;
+  ExecContext engine;
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   std::vector<Row> rows;
   for (int i = 0; i < 16; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::FromRows(std::move(rows), 4);
@@ -177,7 +179,9 @@ TEST(TaskRunnerTest, FatalErrorsAreAggregatedWithPartition) {
 TEST(TaskRunnerTest, FatalFailureCancelsPendingSiblings) {
   EngineConfig config;
   config.num_threads = 1;
-  ExecContext ctx(config);
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   std::vector<Row> rows;
   for (int i = 0; i < 64; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::FromRows(std::move(rows), 64);
@@ -199,8 +203,10 @@ TEST(TaskRunnerTest, FatalFailureCancelsPendingSiblings) {
 // ---- cancellation and timeouts ---------------------------------------------
 
 TEST(CancellationTest, PreCancelledTokenAbortsStage) {
-  ExecContext ctx;
-  ctx.cancellation()->Cancel("user abort");
+  ExecContext engine;
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  ctx.Cancel("user abort");
   std::vector<Row> rows;
   for (int i = 0; i < 8; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::FromRows(std::move(rows), 4);
@@ -220,8 +226,9 @@ TEST(CancellationTest, PreCancelledTokenAbortsStage) {
 TEST(CancellationTest, TimeoutFiresMidStage) {
   EngineConfig config;
   config.query_timeout_ms = 40;
-  ExecContext ctx(config);
-  ctx.BeginQuery();
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   std::vector<Row> rows;
   for (int i = 0; i < 4; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::FromRows(std::move(rows), 2);
@@ -249,7 +256,7 @@ TEST(CancellationTest, ZeroTimeoutAbortsEveryQueryShapeAndPoolStaysUsable) {
       StructType::Make({Field("k", DataType::Int32(), false)}),
       std::move(rows2));
 
-  ctx.config().query_timeout_ms = 0;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_timeout_ms = 0; });
   // Filter, join, aggregation and sort plans must all abort promptly.
   EXPECT_THROW(t1.Where(t1("x") < Lit(Value(int32_t{10}))).Collect(),
                ExecutionError);
@@ -259,7 +266,7 @@ TEST(CancellationTest, ZeroTimeoutAbortsEveryQueryShapeAndPoolStaysUsable) {
 
   // Disabling the timeout leaves the engine fully usable: the pool did not
   // deadlock or lose workers.
-  ctx.config().query_timeout_ms = -1;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_timeout_ms = -1; });
   auto rows = t1.Join(t2, t1("x") == t2("k")).Collect();
   EXPECT_EQ(rows.size(), 50u);
 }
@@ -270,7 +277,9 @@ TEST(CancellationTest, ShuffleMapSidePollsInsideTheRowLoop) {
   // the whole shuffle) has been processed.
   EngineConfig config;
   config.num_threads = 1;
-  ExecContext ctx(config);
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
   std::vector<Row> rows;
   for (int i = 0; i < 10000; ++i) rows.push_back(Row({Value(int32_t(i))}));
   RowDataset d = RowDataset::SinglePartition(std::move(rows));
@@ -279,7 +288,7 @@ TEST(CancellationTest, ShuffleMapSidePollsInsideTheRowLoop) {
   try {
     d.ShuffleByHash(ctx, 4, [&](const Row& row) -> uint64_t {
       if (hashed.fetch_add(1) == 0) {
-        ctx.cancellation()->Cancel("mid-shuffle abort");
+        ctx.Cancel("mid-shuffle abort");
       }
       return static_cast<uint64_t>(row.GetInt32(0));
     });
@@ -299,7 +308,9 @@ TEST(CancellationTest, IntervalJoinProbeLoopPollsPerRow) {
   EngineConfig config;
   config.num_threads = 1;
   config.default_parallelism = 1;
-  ExecContext ctx(config);
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
 
   AttributeVector ia = {
       AttributeReference::Make("s", DataType::Double(), false),
@@ -324,7 +335,7 @@ TEST(CancellationTest, IntervalJoinProbeLoopPollsPerRow) {
       "cancel_then_count", {pa[0]}, DataType::Double(),
       [&](const std::vector<Value>& args) -> Value {
         if (probed.fetch_add(1) == 0) {
-          ctx.cancellation()->Cancel("mid-probe abort");
+          ctx.Cancel("mid-probe abort");
         }
         return args[0];
       },

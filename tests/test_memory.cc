@@ -195,9 +195,9 @@ class SpillQueryTest : public ::testing::Test {
   SpillQueryTest() {
     scratch_ = UniqueScratchDir("query");
     std::filesystem::remove_all(scratch_);
-    ctx_.config().spill_dir = scratch_;
-    ctx_.config().num_threads = 4;
-    ctx_.config().default_parallelism = 4;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.spill_dir = scratch_; });
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.num_threads = 4; });
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.default_parallelism = 4; });
 
     std::mt19937_64 rng(42);
     auto schema = StructType::Make({
@@ -230,13 +230,13 @@ class SpillQueryTest : public ::testing::Test {
   /// Runs `sql` unlimited, then under `limit_bytes`, and asserts identical
   /// results, nonzero spill metrics, and an empty scratch dir afterwards.
   void CheckSpillingAgrees(const std::string& sql, int64_t limit_bytes) {
-    ctx_.config().query_memory_limit_bytes = -1;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = -1; });
     auto expected = Canonical(ctx_.Sql(sql).Collect());
 
-    ctx_.config().query_memory_limit_bytes = limit_bytes;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = limit_bytes; });
     ctx_.exec().metrics().Reset();
     auto actual = Canonical(ctx_.Sql(sql).Collect());
-    ctx_.config().query_memory_limit_bytes = -1;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = -1; });
 
     EXPECT_EQ(actual, expected) << sql;
     EXPECT_GT(ctx_.exec().metrics().Get("memory.spill_bytes"), 0) << sql;
@@ -249,8 +249,8 @@ class SpillQueryTest : public ::testing::Test {
   /// fails with an error naming the stage and partition.
   void CheckFailsWithoutSpilling(const std::string& sql, int64_t limit_bytes,
                                  const std::string& stage) {
-    ctx_.config().query_memory_limit_bytes = limit_bytes;
-    ctx_.config().spill_enabled = false;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = limit_bytes; });
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.spill_enabled = false; });
     try {
       ctx_.Sql(sql).Collect();
       FAIL() << "expected ExecutionError for: " << sql;
@@ -260,8 +260,8 @@ class SpillQueryTest : public ::testing::Test {
       EXPECT_NE(what.find("partition"), std::string::npos) << what;
       EXPECT_NE(what.find("query memory limit"), std::string::npos) << what;
     }
-    ctx_.config().spill_enabled = true;
-    ctx_.config().query_memory_limit_bytes = -1;
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.spill_enabled = true; });
+    ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = -1; });
     EXPECT_EQ(FilesIn(scratch_), 0u);
   }
 
@@ -309,11 +309,11 @@ TEST_F(SpillQueryTest, BudgetCapsPlannerBroadcastThreshold) {
 
   // ...but a broadcast build cannot spill, so a budget below the build size
   // must route the join to the (spillable) shuffle hash join.
-  ctx_.config().query_memory_limit_bytes = 48 * 1024;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = 48 * 1024; });
   ctx_.exec().metrics().Reset();
   auto rows =
       ctx_.Sql("SELECT t.k, dim.w FROM t JOIN dim ON t.k = dim.k").Collect();
-  ctx_.config().query_memory_limit_bytes = -1;
+  ctx_.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = -1; });
   EXPECT_EQ(ctx_.exec().metrics().Get("broadcast.rows"), 0);
   EXPECT_GT(rows.size(), 0u);
   EXPECT_EQ(FilesIn(scratch_), 0u);
@@ -324,7 +324,9 @@ TEST(BroadcastOverBudgetTest, DirectBroadcastJoinFailsWithClearError) {
   config.num_threads = 2;
   config.default_parallelism = 2;
   config.query_memory_limit_bytes = 256;
-  ExecContext ctx(config);
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
 
   AttributeVector la = {AttributeReference::Make("lk", DataType::Int32(), true),
                         AttributeReference::Make("lv", DataType::Int32(), false)};
@@ -387,19 +389,22 @@ TEST(GraceJoinTest, AllJoinTypesAgreeWithInMemoryPath) {
     config.num_threads = 2;
     config.default_parallelism = 3;
     ExecContext unlimited(config);
+    QueryContextPtr ref_query = unlimited.BeginQuery();
     ShuffleHashJoinExec ref_join(scan(la, left_rows), scan(ra, right_rows),
                                  {la[0]}, {ra[0]}, type, nullptr);
-    auto expected = Canonical(ref_join.Execute(unlimited).Collect());
+    auto expected = Canonical(ref_join.Execute(*ref_query).Collect());
 
     config.query_memory_limit_bytes = 1024;  // force the Grace fallback
     config.spill_dir = scratch;
     ExecContext limited(config);
+    QueryContextPtr grace_query = limited.BeginQuery();
     ShuffleHashJoinExec grace_join(scan(la, left_rows), scan(ra, right_rows),
                                    {la[0]}, {ra[0]}, type, nullptr);
-    EXPECT_EQ(Canonical(grace_join.Execute(limited).Collect()), expected)
+    EXPECT_EQ(Canonical(grace_join.Execute(*grace_query).Collect()), expected)
         << JoinTypeName(type);
     EXPECT_GT(limited.metrics().Get("memory.spill_bytes"), 0)
         << JoinTypeName(type);
+    grace_query->Finish("ok");  // removes the query's spill subdirectory
     EXPECT_EQ(FilesIn(scratch), 0u) << JoinTypeName(type);
   }
   std::filesystem::remove_all(scratch);
@@ -414,9 +419,9 @@ TEST(SpillFaultTest, InjectedFaultRetriesWithoutOrphanSpillFiles) {
   std::string scratch = UniqueScratchDir("fault");
   std::filesystem::remove_all(scratch);
   SqlContext ctx;
-  ctx.config().spill_dir = scratch;
-  ctx.config().num_threads = 2;
-  ctx.config().default_parallelism = 2;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.spill_dir = scratch; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.num_threads = 2; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.default_parallelism = 2; });
 
   auto schema = StructType::Make({
       Field("k", DataType::String(), false),
@@ -432,8 +437,8 @@ TEST(SpillFaultTest, InjectedFaultRetriesWithoutOrphanSpillFiles) {
 
   auto expected = Canonical(ctx.Sql(sql).Collect());
 
-  ctx.config().query_memory_limit_bytes = 16 * 1024;
-  ctx.config().fault_injection_spec = "aggregate.partial:1:0";
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = 16 * 1024; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "aggregate.partial:1:0"; });
   ctx.exec().metrics().Reset();
   auto actual = Canonical(ctx.Sql(sql).Collect());
 
@@ -451,9 +456,9 @@ TEST(SpillFaultTest, MidSpillRetryableErrorRetriesAndCleansUp) {
   std::string scratch = UniqueScratchDir("midspill");
   std::filesystem::remove_all(scratch);
   SqlContext ctx;
-  ctx.config().spill_dir = scratch;
-  ctx.config().num_threads = 1;  // deterministic call ordering
-  ctx.config().default_parallelism = 1;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.spill_dir = scratch; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.num_threads = 1; });  // deterministic call ordering
+  ctx.UpdateConfig([&](EngineConfig& c) { c.default_parallelism = 1; });
 
   auto schema = StructType::Make({
       Field("k", DataType::String(), false),
@@ -480,7 +485,7 @@ TEST(SpillFaultTest, MidSpillRetryableErrorRetriesAndCleansUp) {
   ASSERT_GT(calls->load(), 0);
 
   *calls = 0;
-  ctx.config().query_memory_limit_bytes = 8 * 1024;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = 8 * 1024; });
   ctx.exec().metrics().Reset();
   auto actual = Canonical(ctx.Sql(sql).Collect());
 
@@ -497,10 +502,10 @@ TEST(SpillFaultTest, CancellationMidSpillLeavesNoScratchFiles) {
   std::string scratch = UniqueScratchDir("cancelspill");
   std::filesystem::remove_all(scratch);
   SqlContext ctx;
-  ctx.config().spill_dir = scratch;
-  ctx.config().num_threads = 1;
-  ctx.config().default_parallelism = 1;
-  ctx.config().query_memory_limit_bytes = 8 * 1024;
+  ctx.UpdateConfig([&](EngineConfig& c) { c.spill_dir = scratch; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.num_threads = 1; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.default_parallelism = 1; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_memory_limit_bytes = 8 * 1024; });
 
   auto schema = StructType::Make({
       Field("k", DataType::String(), false),
@@ -518,7 +523,7 @@ TEST(SpillFaultTest, CancellationMidSpillLeavesNoScratchFiles) {
   ctx.RegisterUdf("cancel_at", DataType::Int32(),
                   [calls, exec](const std::vector<Value>& args) -> Value {
                     if (calls->fetch_add(1) + 1 == 3000) {
-                      exec->cancellation()->Cancel("test abort");
+                      exec->CancelAllQueries("test abort");
                     }
                     return args[0];
                   });

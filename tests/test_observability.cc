@@ -74,6 +74,19 @@ std::string Slurp(const std::string& path) {
   return ss.str();
 }
 
+/// Trace files are written as "<stem>-q<id>.json" with a process-global
+/// query id; find the (single) one matching `base`'s stem.
+std::string FindTraceFile(const std::string& base) {
+  namespace fs = std::filesystem;
+  fs::path basep(base);
+  std::string prefix = basep.stem().string() + "-q";
+  for (const auto& entry : fs::directory_iterator(basep.parent_path())) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) return entry.path().string();
+  }
+  return "";
+}
+
 // ---- rows in/out agree with result cardinalities ---------------------------
 
 TEST(ProfileCountersTest, RowsAgreeAcrossScanFilterJoinAggregateSort) {
@@ -89,7 +102,7 @@ TEST(ProfileCountersTest, RowsAgreeAcrossScanFilterJoinAggregateSort) {
   std::vector<Row> rows = result.Collect();
   ASSERT_EQ(rows.size(), 10u);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   ASSERT_TRUE(profile.finished());
 
   // The root-most operator's rows_out is the query's result cardinality.
@@ -154,7 +167,7 @@ TEST(SpanTreeTest, SpansNestAndCloseOnSuccess) {
   df.RegisterTempTable("t");
   ctx.Sql("SELECT k, sum(x) FROM t GROUP BY k").Collect();
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   ExpectSpansNestAndClose(profile);
   EXPECT_EQ(profile.root()->status, "ok");
 
@@ -178,13 +191,13 @@ TEST(SpanTreeTest, SpansNestAndCloseOnSuccess) {
 
 TEST(SpanTreeTest, SpansCloseOnErrorWithErrorStatus) {
   SqlContext ctx;
-  ctx.config().fault_injection_spec = "project:1:0";
-  ctx.config().task_max_retries = 0;  // first failure is fatal
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "project:1:0"; });
+  ctx.UpdateConfig([&](EngineConfig& c) { c.task_max_retries = 0; });  // first failure is fatal
   DataFrame df = Numbers(ctx, 100);
   df.RegisterTempTable("t");
   EXPECT_THROW(ctx.Sql("SELECT x + 1 FROM t").Collect(), ExecutionError);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   ExpectSpansNestAndClose(profile);
   EXPECT_NE(profile.root()->status.find("error"), std::string::npos)
       << profile.root()->status;
@@ -210,13 +223,13 @@ TEST(SpanTreeTest, SpansCloseOnErrorWithErrorStatus) {
 
 TEST(SpanTreeTest, RetriedTaskStaysOneSpanAndCountsAttempts) {
   SqlContext ctx;
-  ctx.config().fault_injection_spec = "project:1:0,project:3:0";
+  ctx.UpdateConfig([&](EngineConfig& c) { c.fault_injection_spec = "project:1:0,project:3:0"; });
   DataFrame df = Numbers(ctx, 100);
   df.RegisterTempTable("t");
   std::vector<Row> rows = ctx.Sql("SELECT x + 1 FROM t").Collect();
   EXPECT_EQ(rows.size(), 100u);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   ExpectSpansNestAndClose(profile);
   EXPECT_EQ(profile.root()->status, "ok");
   EXPECT_EQ(profile.Total(ProfileCounter::kRetries), 2);
@@ -237,12 +250,12 @@ TEST(SpanTreeTest, RetriedTaskStaysOneSpanAndCountsAttempts) {
 
 TEST(SpanTreeTest, SpansCloseOnCancellation) {
   SqlContext ctx;
-  ctx.config().query_timeout_ms = 0;  // expires instantly
+  ctx.UpdateConfig([&](EngineConfig& c) { c.query_timeout_ms = 0; });  // expires instantly
   DataFrame df = Numbers(ctx, 1000);
   df.RegisterTempTable("t");
   EXPECT_THROW(ctx.Sql("SELECT x + 1 FROM t").Collect(), ExecutionError);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   ExpectSpansNestAndClose(profile);
   EXPECT_NE(profile.root()->status, "ok");
 }
@@ -346,9 +359,10 @@ TEST(TraceExportTest, TraceJsonParsesAndCoversAllStages) {
          "JOIN dim ON fact.k = dim.k GROUP BY fact.x")
       .Collect();
 
-  ASSERT_TRUE(std::filesystem::exists(trace_path));
-  JsonValue doc = ParseJson(Slurp(trace_path));
-  std::filesystem::remove(trace_path);
+  std::string resolved = FindTraceFile(trace_path);
+  ASSERT_FALSE(resolved.empty()) << "no trace file written for " << trace_path;
+  JsonValue doc = ParseJson(Slurp(resolved));
+  std::filesystem::remove(resolved);
 
   ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
   const JsonValue* unit = doc.Find("displayTimeUnit");
@@ -408,7 +422,7 @@ TEST(RuleStatsTest, EffectiveMovesOnlyWhenARuleRewrites) {
   // Two stacked filters: CombineFilters must fire and be counted effective.
   ctx.Sql("SELECT x FROM (SELECT x, k FROM t WHERE x < 90) sub WHERE x > 10")
       .Collect();
-  auto stats = ctx.exec().profile().rule_stats();
+  auto stats = ctx.last_profile().rule_stats();
   bool saw_effective = false, saw_ineffective = false;
   for (const auto& [key, stat] : stats) {
     EXPECT_GT(stat.invocations, 0) << key;
@@ -425,7 +439,7 @@ TEST(RuleStatsTest, EffectiveMovesOnlyWhenARuleRewrites) {
 
   // A plan those rules cannot touch: the same rules run but stay at zero.
   ctx.Sql("SELECT x FROM t").Collect();
-  stats = ctx.exec().profile().rule_stats();
+  stats = ctx.last_profile().rule_stats();
   combine = stats.find("Operator Optimizations/CombineFilters");
   ASSERT_NE(combine, stats.end());
   EXPECT_GT(combine->second.invocations, 0);
@@ -451,7 +465,7 @@ TEST(LegacyReconcileTest, SpillCountersMatchLegacyAggregates) {
           .Collect();
   ASSERT_EQ(rows.size(), 20000u);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   Metrics& metrics = ctx.exec().metrics();
   EXPECT_GT(profile.Total(ProfileCounter::kSpillBytes), 0);
   EXPECT_EQ(profile.Total(ProfileCounter::kSpillBytes),
@@ -486,7 +500,7 @@ TEST(LegacyReconcileTest, SourceCountersForwardToLegacyKeys) {
   EXPECT_EQ(df.Collect().size(), 3u);
   std::filesystem::remove(path);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   Metrics& metrics = ctx.exec().metrics();
   EXPECT_EQ(profile.Total(ProfileCounter::kRowsDropped), 1);
   EXPECT_EQ(metrics.Get("source.rows_dropped"), 1);
@@ -505,7 +519,7 @@ TEST(ProfilingDisabledTest, LegacyMetricsStillWorkWithoutSpans) {
   std::vector<Row> rows = ctx.Sql("SELECT k, sum(x) FROM t GROUP BY k").Collect();
   EXPECT_EQ(rows.size(), 10u);
 
-  const QueryProfile& profile = ctx.exec().profile();
+  const QueryProfile& profile = ctx.last_profile();
   EXPECT_FALSE(profile.detailed());
   EXPECT_EQ(profile.root(), nullptr);
   EXPECT_TRUE(profile.finished());

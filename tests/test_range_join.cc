@@ -103,12 +103,12 @@ TEST_F(RangeJoinTest, PlannerDetectsIntervalJoin) {
 }
 
 TEST_F(RangeJoinTest, DisabledRuleFallsBackToNestedLoop) {
-  ctx_->config().range_join_enabled = false;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = false; });
   DataFrame df = ctx_->Sql(kQuery);
   std::string plan = ctx_->PlanPhysical(ctx_->Optimize(df.plan()))->TreeString();
   EXPECT_EQ(plan.find("IntervalJoin"), std::string::npos) << plan;
   EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
-  ctx_->config().range_join_enabled = true;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = true; });
 }
 
 TEST_F(RangeJoinTest, IntervalAndNestedLoopAgree) {
@@ -120,9 +120,9 @@ TEST_F(RangeJoinTest, IntervalAndNestedLoopAgree) {
     return out;
   };
   auto fast = canonical(ctx_->Sql(kQuery).Collect());
-  ctx_->config().range_join_enabled = false;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = false; });
   auto slow = canonical(ctx_->Sql(kQuery).Collect());
-  ctx_->config().range_join_enabled = true;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = true; });
   EXPECT_GT(fast.size(), 0u);
   EXPECT_EQ(fast, slow);
 }
@@ -139,12 +139,12 @@ TEST_F(RangeJoinTest, PointProbeFormAlsoDetected) {
   EXPECT_NE(plan.find("IntervalJoin"), std::string::npos) << plan;
   // And results match the nested loop.
   auto fast = df.Count();
-  ctx_->config().range_join_enabled = false;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = false; });
   auto slow = ctx_->Sql(
                       "SELECT * FROM a JOIN pts ON a.start < pts.p AND "
                       "pts.p < a.end")
                   .Count();
-  ctx_->config().range_join_enabled = true;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.range_join_enabled = true; });
   EXPECT_EQ(fast, slow);
 }
 

@@ -180,10 +180,10 @@ TEST_F(CboTest, SelectiveFilterEnablesBroadcastOnlyWithCbo) {
   EXPECT_EQ(default_plan.find("BroadcastHashJoin"), std::string::npos)
       << default_plan;
   // Future-work CBO: the filtered side is now estimated small enough.
-  ctx_->config().cbo_filter_selectivity = true;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.cbo_filter_selectivity = true; });
   std::string cbo_plan = PlanFor(sql);
   EXPECT_NE(cbo_plan.find("BroadcastHashJoin"), std::string::npos) << cbo_plan;
-  ctx_->config().cbo_filter_selectivity = false;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.cbo_filter_selectivity = false; });
 }
 
 TEST_F(CboTest, ResultsIdenticalEitherWay) {
@@ -191,9 +191,9 @@ TEST_F(CboTest, ResultsIdenticalEitherWay) {
       "SELECT big_a.id FROM big_a JOIN big_b "
       "ON big_a.id = big_b.id WHERE big_b.v < 10 ORDER BY big_a.id";
   auto baseline = ctx_->Sql(sql).Collect();
-  ctx_->config().cbo_filter_selectivity = true;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.cbo_filter_selectivity = true; });
   auto with_cbo = ctx_->Sql(sql).Collect();
-  ctx_->config().cbo_filter_selectivity = false;
+  ctx_->UpdateConfig([&](EngineConfig& c) { c.cbo_filter_selectivity = false; });
   ASSERT_EQ(baseline.size(), with_cbo.size());
   for (size_t i = 0; i < baseline.size(); ++i) {
     EXPECT_TRUE(baseline[i].Equals(with_cbo[i]));

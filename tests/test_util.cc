@@ -97,7 +97,7 @@ TEST(FailureInjectionTest, SourceErrorsPropagateCleanly) {
     SchemaPtr schema() const override {
       return StructType::Make({Field("x", DataType::Int32(), false)});
     }
-    std::vector<Row> ScanAll(ExecContext&) const override {
+    std::vector<Row> ScanAll(QueryContext&) const override {
       throw IoError("disk exploded");
     }
   };
