@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <random>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/workloads.h"
+#include "util/metrics_registry.h"
 
 namespace ssql {
 namespace bench {
@@ -99,6 +103,69 @@ BENCHMARK(BM_JoinAggregate)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SortLimit)
     ->Arg(kUnprofiled)->Arg(kProfiled)->Arg(kProfiledWithTrace)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- registry primitives ---------------------------------------------------
+
+// Cost of one histogram observation (two relaxed atomic adds) — the price
+// paid per query / per operator / per spill event on the hot path.
+void BM_HistogramRecord(benchmark::State& state) {
+  HistogramMetric h;
+  int64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = (v * 31 + 7) & 0xfffff;  // spread across buckets
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Cost of one legacy Metrics::Add — after the parent-forwarding fix this is
+// a single mutex acquisition on the query-private bag.
+void BM_MetricsAdd(benchmark::State& state) {
+  Metrics metrics;
+  for (auto _ : state) {
+    metrics.Add("bench.counter", 1);
+  }
+  benchmark::DoNotOptimize(metrics.Get("bench.counter"));
+}
+BENCHMARK(BM_MetricsAdd);
+
+// ---- system-table scan overhead --------------------------------------------
+
+// One SELECT over system.queries while state.range(0) background query
+// threads hammer the engine — the overhead a monitoring dashboard imposes
+// on a busy engine, and vice versa.
+void BM_SystemTableScan(benchmark::State& state) {
+  const int background = static_cast<int>(state.range(0));
+  SqlContext* ctx = MakeContext(kProfiled);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < background; ++i) {
+    workers.emplace_back([ctx, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ctx->Sql("SELECT k, sum(v) FROM t WHERE v < 900 GROUP BY k")
+            .Collect();
+      }
+    });
+  }
+
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = ctx->Sql("SELECT status, count(*) FROM system.queries "
+                    "GROUP BY status")
+               .Collect()
+               .size();
+  }
+  state.counters["status_groups"] = static_cast<double>(rows);
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  delete ctx;
+}
+BENCHMARK(BM_SystemTableScan)
+    ->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,6 +10,8 @@
 //
 // Set SSQL_TRACE_PATH=/path/trace.json to write each query's profile as
 // Chrome trace-event JSON (open in Perfetto or chrome://tracing).
+// Set SSQL_METRICS_PATH=/path/metrics.prom to keep a Prometheus text
+// snapshot of the engine registry refreshed after every query.
 
 #include <cstdlib>
 #include <iostream>
@@ -24,6 +26,9 @@ int main() {
   EngineConfig config;
   if (const char* trace = std::getenv("SSQL_TRACE_PATH")) {
     config.trace_path = trace;
+  }
+  if (const char* metrics = std::getenv("SSQL_METRICS_PATH")) {
+    config.metrics_path = metrics;
   }
   SqlContext ctx(config);
   std::cout << "sparksql-cpp console — SQL statements, or .tables / "
@@ -43,9 +48,7 @@ int main() {
         continue;
       }
       if (trimmed == ".metrics") {
-        for (const auto& [name, value] : ctx.exec().metrics().Snapshot()) {
-          std::cout << "  " << name << " = " << value << "\n";
-        }
+        std::cout << ctx.ExportMetricsText();
         continue;
       }
       if (trimmed.rfind(".explain ", 0) == 0) {

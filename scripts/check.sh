@@ -14,17 +14,21 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=address >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
 ./build-sanitize/tests/test_observability
+./build-sanitize/tests/test_system_tables
 
 # The concurrency suite (N driver threads on one SqlContext) again under
 # ThreadSanitizer: races between QueryContexts, the admission gate, and the
-# shared memory pool are exactly what TSan exists to catch.
+# shared memory pool are exactly what TSan exists to catch. The system-table
+# suite joins it because its scans read live engine state (active query list,
+# metrics registry, memory pool) while other threads mutate it.
 cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_concurrency >/dev/null
+cmake --build build-tsan -j --target test_concurrency --target test_system_tables >/dev/null
 ./build-tsan/tests/test_concurrency
+./build-tsan/tests/test_system_tables
 
 # Smoke the instrumentation-overhead benchmark (a few quick repetitions; the
 # full comparison is a manual/CI readout, not a gate).

@@ -2,6 +2,7 @@
 
 #include "catalyst/planner/planner.h"
 #include "columnar/column_vector.h"
+#include "datasources/system_tables.h"
 #include "exec/scan_exec.h"
 #include "sql/parser.h"
 
@@ -106,7 +107,15 @@ SqlContext::SqlContext(EngineConfig config)
     : exec_(config),
       analyzer_(&catalog_, &functions_),
       optimizer_(std::make_unique<Optimizer>(
-          OptimizerOptions{config.pushdown_enabled})) {}
+          OptimizerOptions{config.pushdown_enabled})) {
+  // The system. catalog: engine state served through the same data source
+  // API as any external table (pruning and filter pushdown included).
+  RegisterSystemTables(catalog_, exec_);
+}
+
+std::string SqlContext::ExportMetricsText() const {
+  return exec_.ExportMetricsText();
+}
 
 void SqlContext::RefreshOptimizer() {
   optimizer_ = std::make_unique<Optimizer>(

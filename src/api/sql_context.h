@@ -142,6 +142,11 @@ class SqlContext {
   Catalog& catalog() { return catalog_; }
   FunctionRegistry& functions() { return functions_; }
   ExecContext& exec() { return exec_; }
+
+  /// Prometheus text exposition of the engine's metrics registry plus the
+  /// legacy counter bag — the programmatic twin of
+  /// EngineConfig::metrics_path.
+  std::string ExportMetricsText() const;
   const EngineConfig& config() const { return exec_.config(); }
   const Analyzer& analyzer() const { return analyzer_; }
 

@@ -105,7 +105,12 @@ std::vector<RuleBatch> Analyzer::MakeBatches() {
           if (rel == nullptr) return p;
           PlanPtr table = catalog->Lookup(rel->name());
           if (!table) return p;  // CheckAnalysis reports unknown tables
-          return SubqueryAlias::Make(rel->name(), table);
+          // Qualify by the last segment of a dotted name ("system.queries"
+          // → "queries"), matching how the parser picks default aliases.
+          const std::string& name = rel->name();
+          const size_t dot = name.find_last_of('.');
+          return SubqueryAlias::Make(
+              dot == std::string::npos ? name : name.substr(dot + 1), table);
         });
       }};
 

@@ -1,17 +1,42 @@
 #include "catalyst/analysis/catalog.h"
 
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace ssql {
 
+namespace {
+
+bool IsSystemName(const std::string& lower) {
+  return lower.rfind("system.", 0) == 0;
+}
+
+}  // namespace
+
 void Catalog::RegisterTable(const std::string& name, PlanPtr plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = ToLower(name);
+  if (IsSystemName(key)) {
+    throw AnalysisError("cannot register table '" + name +
+                        "': the system. namespace is reserved for engine "
+                        "virtual tables");
+  }
+  tables_[key] = std::move(plan);
+}
+
+void Catalog::RegisterSystemTable(const std::string& name, PlanPtr plan) {
   std::lock_guard<std::mutex> lock(mu_);
   tables_[ToLower(name)] = std::move(plan);
 }
 
 void Catalog::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  tables_.erase(ToLower(name));
+  const std::string key = ToLower(name);
+  if (IsSystemName(key)) {
+    throw AnalysisError("cannot drop '" + name +
+                        "': system tables are engine-owned");
+  }
+  tables_.erase(key);
 }
 
 PlanPtr Catalog::Lookup(const std::string& name) const {

@@ -18,10 +18,16 @@ namespace ssql {
 /// same way, as LogicalRelation plans.
 class Catalog {
  public:
-  /// Registers (or replaces) a temporary table backed by `plan`.
+  /// Registers (or replaces) a temporary table backed by `plan`. Names
+  /// under the reserved `system.` namespace are rejected with
+  /// AnalysisError — those tables are engine-owned (RegisterSystemTable).
   void RegisterTable(const std::string& name, PlanPtr plan);
 
-  /// Drops a table; no-op if absent.
+  /// Registers an engine-owned virtual table; the only way to put a plan
+  /// under the reserved `system.` namespace.
+  void RegisterSystemTable(const std::string& name, PlanPtr plan);
+
+  /// Drops a table; no-op if absent. `system.` tables cannot be dropped.
   void DropTable(const std::string& name);
 
   /// Looks up a table plan; returns nullptr if unknown. Lookup is

@@ -1,0 +1,306 @@
+#include "datasources/system_tables.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "catalyst/analysis/catalog.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+std::vector<Row> SystemTableRelation::ScanFiltered(
+    QueryContext& ctx, const std::vector<int>& columns,
+    const std::vector<FilterSpec>& filters) const {
+  std::vector<Row> snapshot = generator_(ctx);
+
+  std::vector<std::pair<int, const FilterSpec*>> bound;
+  bound.reserve(filters.size());
+  for (const auto& f : filters) {
+    int idx = schema_->FieldIndex(f.column);
+    if (idx < 0) {
+      throw ExecutionError(name_ + ": unknown filter column " + f.column);
+    }
+    bound.emplace_back(idx, &f);
+  }
+
+  std::vector<Row> out;
+  out.reserve(snapshot.size());
+  for (Row& row : snapshot) {
+    bool keep = true;
+    for (const auto& [idx, spec] : bound) {
+      if (!spec->Matches(row.Get(idx))) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    Row projected;
+    projected.Reserve(columns.size());
+    for (int c : columns) projected.Append(row.Get(c));
+    out.push_back(std::move(projected));
+  }
+
+  ctx.metrics().Add("system.scans", 1);
+  ctx.metrics().Add(
+      "system.columns_pruned",
+      static_cast<int64_t>(schema_->num_fields() - columns.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
+                    static_cast<int64_t>(snapshot.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
+                    static_cast<int64_t>(out.size()));
+  ctx.engine()
+      .registry()
+      .Counter("ssql_system_table_scans_total",
+               "Scans served by system.* virtual tables")
+      .Increment();
+  return out;
+}
+
+namespace {
+
+SchemaPtr QueriesSchema() {
+  return StructType::Make({
+      Field("id", DataType::Int64(), false),
+      Field("status", DataType::String(), false),
+      Field("start_unix_ms", DataType::Int64(), false),
+      Field("duration_ms", DataType::Int64(), false),
+      Field("rows_out", DataType::Int64(), false),
+      Field("spill_bytes", DataType::Int64(), false),
+      Field("peak_memory_bytes", DataType::Int64(), false),
+      Field("error", DataType::String(), true),
+  });
+}
+
+std::vector<Row> QueriesRows(QueryContext& ctx) {
+  std::vector<Row> rows;
+  for (const QueryRecord& r : ctx.engine().QueryRecords()) {
+    Row row;
+    row.Reserve(8);
+    row.Append(static_cast<int64_t>(r.id));
+    row.Append(r.status);
+    row.Append(r.start_unix_ms);
+    row.Append(r.duration_ms);
+    row.Append(r.rows_out);
+    row.Append(r.spill_bytes);
+    row.Append(r.peak_memory_bytes);
+    row.Append(r.error.empty() ? Value() : Value(r.error));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SchemaPtr QueryOperatorsSchema() {
+  return StructType::Make({
+      Field("query_id", DataType::Int64(), false),
+      Field("operator_id", DataType::Int64(), false),
+      Field("parent_id", DataType::Int64(), false),
+      Field("depth", DataType::Int64(), false),
+      Field("name", DataType::String(), false),
+      Field("detail", DataType::String(), true),
+      Field("status", DataType::String(), false),
+      Field("wall_ns", DataType::Int64(), false),
+      Field("rows_in", DataType::Int64(), false),
+      Field("rows_out", DataType::Int64(), false),
+      Field("batches", DataType::Int64(), false),
+      Field("spill_bytes", DataType::Int64(), false),
+  });
+}
+
+std::vector<Row> QueryOperatorsRows(QueryContext& ctx) {
+  std::vector<Row> rows;
+  for (const QueryRecord& r : ctx.engine().QueryRecords()) {
+    for (const QueryProfile::OperatorActual& op : r.operators) {
+      Row row;
+      row.Reserve(12);
+      row.Append(static_cast<int64_t>(r.id));
+      row.Append(static_cast<int64_t>(op.id));
+      row.Append(static_cast<int64_t>(op.parent_id));
+      row.Append(static_cast<int64_t>(op.depth));
+      row.Append(op.name);
+      row.Append(op.detail.empty() ? Value() : Value(op.detail));
+      row.Append(op.status);
+      row.Append(op.wall_ns);
+      row.Append(op.rows_in);
+      row.Append(op.rows_out);
+      row.Append(op.batches);
+      row.Append(op.spill_bytes);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+SchemaPtr MetricsSchema() {
+  return StructType::Make({
+      Field("name", DataType::String(), false),
+      Field("kind", DataType::String(), false),
+      Field("value", DataType::Int64(), false),
+      Field("sum", DataType::Int64(), true),
+      Field("p50", DataType::Int64(), true),
+      Field("p95", DataType::Int64(), true),
+      Field("p99", DataType::Int64(), true),
+      Field("help", DataType::String(), true),
+  });
+}
+
+std::vector<Row> MetricsRows(QueryContext& ctx) {
+  std::vector<Row> rows;
+  for (const MetricSnapshot& m : ctx.engine().registry().Snapshot()) {
+    const bool hist = m.kind == "histogram";
+    Row row;
+    row.Reserve(8);
+    row.Append(m.name);
+    row.Append(m.kind);
+    row.Append(m.value);
+    row.Append(hist ? Value(m.sum) : Value());
+    row.Append(hist ? Value(m.p50) : Value());
+    row.Append(hist ? Value(m.p95) : Value());
+    row.Append(hist ? Value(m.p99) : Value());
+    row.Append(m.help.empty() ? Value() : Value(m.help));
+    rows.push_back(std::move(row));
+  }
+  // The legacy flat counters ride along so everything the engine counts is
+  // reachable from SQL; sorted for deterministic output.
+  auto legacy = ctx.engine().metrics().Snapshot();
+  std::vector<std::pair<std::string, int64_t>> sorted(legacy.begin(),
+                                                      legacy.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [name, value] : sorted) {
+    Row row;
+    row.Reserve(8);
+    row.Append(name);
+    row.Append("legacy");
+    row.Append(value);
+    for (int i = 0; i < 5; ++i) row.Append(Value());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SchemaPtr MemorySchema() {
+  return StructType::Make({
+      Field("scope", DataType::String(), false),
+      Field("query_id", DataType::Int64(), true),
+      Field("limit_bytes", DataType::Int64(), true),
+      Field("reserved_bytes", DataType::Int64(), false),
+  });
+}
+
+std::vector<Row> MemoryRows(QueryContext& ctx) {
+  std::vector<Row> rows;
+  ExecContext& engine = ctx.engine();
+  Row pool;
+  pool.Reserve(4);
+  pool.Append("engine");
+  pool.Append(Value());
+  const int64_t pool_limit = engine.engine_memory().limit_bytes();
+  pool.Append(pool_limit < 0 ? Value() : Value(pool_limit));
+  pool.Append(engine.engine_memory().reserved_bytes());
+  rows.push_back(std::move(pool));
+  for (const ExecContext::MemoryRecord& r : engine.QueryMemoryRecords()) {
+    Row row;
+    row.Reserve(4);
+    row.Append("query");
+    row.Append(static_cast<int64_t>(r.query_id));
+    row.Append(r.limit_bytes < 0 ? Value() : Value(r.limit_bytes));
+    row.Append(r.reserved_bytes);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SchemaPtr TablesSchema() {
+  return StructType::Make({
+      Field("name", DataType::String(), false),
+      Field("is_system", DataType::Boolean(), false),
+      Field("columns", DataType::Int64(), true),
+  });
+}
+
+SchemaPtr ColumnsSchema() {
+  return StructType::Make({
+      Field("table_name", DataType::String(), false),
+      Field("column_name", DataType::String(), false),
+      Field("ordinal", DataType::Int64(), false),
+      Field("type", DataType::String(), false),
+      Field("nullable", DataType::Boolean(), false),
+  });
+}
+
+bool IsSystemTableName(const std::string& name) {
+  return name.rfind("system.", 0) == 0;
+}
+
+/// Output attributes of a catalog plan, or empty when the stored plan is
+/// not self-describing (an unresolved view over a dropped table, say) —
+/// introspection must not fail the introspecting query.
+AttributeVector SafeOutput(const PlanPtr& plan) {
+  try {
+    return plan->Output();
+  } catch (const SsqlError&) {
+    return {};
+  }
+}
+
+std::vector<Row> TablesRows(QueryContext& ctx, Catalog* catalog) {
+  (void)ctx;
+  std::vector<Row> rows;
+  for (const std::string& name : catalog->TableNames()) {
+    PlanPtr plan = catalog->Lookup(name);
+    Row row;
+    row.Reserve(3);
+    row.Append(name);
+    row.Append(IsSystemTableName(name));
+    if (plan && plan->resolved()) {
+      row.Append(static_cast<int64_t>(SafeOutput(plan).size()));
+    } else {
+      row.Append(Value());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<Row> ColumnsRows(QueryContext& ctx, Catalog* catalog) {
+  (void)ctx;
+  std::vector<Row> rows;
+  for (const std::string& name : catalog->TableNames()) {
+    PlanPtr plan = catalog->Lookup(name);
+    if (!plan || !plan->resolved()) continue;
+    AttributeVector output = SafeOutput(plan);
+    for (size_t i = 0; i < output.size(); ++i) {
+      Row row;
+      row.Reserve(5);
+      row.Append(name);
+      row.Append(output[i]->name());
+      row.Append(static_cast<int64_t>(i));
+      row.Append(output[i]->data_type()->ToString());
+      row.Append(output[i]->nullable());
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+void RegisterSystemTables(Catalog& catalog, ExecContext& engine) {
+  (void)engine;  // generators reach the engine through ctx.engine()
+  Catalog* cat = &catalog;
+  auto add = [cat](const std::string& name, SchemaPtr schema,
+                   SystemTableRelation::Generator gen) {
+    cat->RegisterSystemTable(
+        name, LogicalRelation::Make(std::make_shared<SystemTableRelation>(
+                  name, std::move(schema), std::move(gen))));
+  };
+  add("system.queries", QueriesSchema(), QueriesRows);
+  add("system.query_operators", QueryOperatorsSchema(), QueryOperatorsRows);
+  add("system.metrics", MetricsSchema(), MetricsRows);
+  add("system.memory", MemorySchema(), MemoryRows);
+  add("system.tables", TablesSchema(),
+      [cat](QueryContext& ctx) { return TablesRows(ctx, cat); });
+  add("system.columns", ColumnsSchema(),
+      [cat](QueryContext& ctx) { return ColumnsRows(ctx, cat); });
+}
+
+}  // namespace ssql

@@ -1,9 +1,11 @@
 #include "engine/exec_context.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "engine/query_context.h"
+#include "util/log.h"
 #include "util/trace.h"
 
 namespace ssql {
@@ -46,6 +48,13 @@ void ValidateEngineConfig(const EngineConfig& config) {
   if (!config.trace_path.empty() && !config.profiling_enabled) {
     fail("trace_path requires profiling_enabled (a trace needs spans)");
   }
+  if (!config.log_level.empty()) {
+    try {
+      ParseLogLevel(config.log_level);
+    } catch (const ExecutionError& e) {
+      fail(e.what());
+    }
+  }
   // Surface malformed specs now instead of when the first stage runs.
   try {
     FaultInjector::Parse(config.fault_injection_spec);
@@ -55,13 +64,13 @@ void ValidateEngineConfig(const EngineConfig& config) {
 }
 
 void Metrics::Add(const std::string& name, int64_t delta) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_[name] += delta;
-  }
-  // Forward outside the lock: the parent has its own mutex and no back
-  // edges, so this cannot deadlock.
-  if (parent_ != nullptr) parent_->Add(name, delta);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Metrics::Merge(const std::unordered_map<std::string, int64_t>& other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, delta] : other) counters_[name] += delta;
 }
 
 int64_t Metrics::Get(const std::string& name) const {
@@ -85,6 +94,24 @@ ExecContext::ExecContext(EngineConfig config)
       pool_(std::make_unique<ThreadPool>(config.num_threads)) {
   engine_memory_.Configure(config_.total_memory_limit_bytes,
                            config_.spill_enabled, /*profile=*/nullptr);
+  if (!config_.log_level.empty()) {
+    SetLogLevel(ParseLogLevel(config_.log_level));
+  }
+  admission_wait_hist_ = &registry_.Histogram(
+      "ssql_admission_wait_us",
+      "Time queries waited behind the admission gate, microseconds");
+  query_latency_hist_ = &registry_.Histogram(
+      "ssql_query_latency_us", "End-to-end query wall time, microseconds");
+  queries_started_ =
+      &registry_.Counter("ssql_queries_started_total", "Queries admitted");
+  queries_finished_ = &registry_.Counter("ssql_queries_finished_total",
+                                         "Queries that completed ok");
+  queries_failed_ =
+      &registry_.Counter("ssql_queries_failed_total", "Queries that errored");
+  queries_cancelled_ = &registry_.Counter(
+      "ssql_queries_cancelled_total", "Queries cancelled or timed out");
+  active_queries_gauge_ =
+      &registry_.Gauge("ssql_active_queries", "Queries currently executing");
 }
 
 ExecContext::~ExecContext() {
@@ -93,6 +120,8 @@ ExecContext::~ExecContext() {
   // finished (or destroyed) before its engine — assert-by-cancel here so a
   // leaked query at least stops scheduling new work.
   CancelAllQueries("engine shutdown");
+  // Final scrape-file refresh so short-lived processes leave a dump behind.
+  WriteMetricsFile();
 }
 
 void ExecContext::SetConfig(const EngineConfig& config) {
@@ -112,6 +141,13 @@ void ExecContext::SetConfig(const EngineConfig& config) {
     // Safe: no queries are running or queued, so the pool is idle.
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+  if (!config_.log_level.empty()) {
+    SetLogLevel(ParseLogLevel(config_.log_level));
+  }
+  // A shrunken retention applies immediately (oldest evicted first).
+  while (finished_.size() > config_.finished_query_retention) {
+    finished_.pop_front();
+  }
   admission_cv_.notify_all();
 }
 
@@ -121,6 +157,7 @@ std::string ExecContext::spill_root() const {
 }
 
 QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
+  const int64_t wait_start_ns = TraceNowNs();
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t ticket = next_ticket_++;
   admission_cv_.wait(lock, [&] {
@@ -128,6 +165,8 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
     return ticket == serving_ && (max == 0 || active_.size() < max);
   });
   ++serving_;
+  admission_wait_hist_->Record((TraceNowNs() - wait_start_ns) / 1000);
+  queries_started_->Increment();
   // Process-unique (not merely engine-unique): two SqlContexts in one
   // process share the spill root, so ids must not collide across engines.
   static std::atomic<uint64_t> g_query_ids{0};
@@ -140,19 +179,99 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
   // The constructor is private; can't use make_shared.
   QueryContextPtr query(new QueryContext(*this, id, std::move(snapshot)));
   active_.push_back(query.get());
+  active_queries_gauge_->Set(static_cast<int64_t>(active_.size()));
   // Wake the next ticket holder: its predicate also checks the slot count,
   // so this is correct even when the gate is full.
   admission_cv_.notify_all();
   return query;
 }
 
-void ExecContext::EndQuery(QueryContext* query) {
+void ExecContext::EndQuery(QueryContext* query, QueryRecord record) {
+  query_latency_hist_->Record(record.duration_ms * 1000);
+  if (record.status == "FINISHED") {
+    queries_finished_->Increment();
+  } else if (record.status == "CANCELLED") {
+    queries_cancelled_->Increment();
+  } else {
+    queries_failed_->Increment();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Removal and retirement under one lock: a concurrent QueryRecords()
+    // snapshot sees this query exactly once, as RUNNING or as finished.
     active_.erase(std::remove(active_.begin(), active_.end(), query),
                   active_.end());
+    active_queries_gauge_->Set(static_cast<int64_t>(active_.size()));
+    if (config_.finished_query_retention > 0) {
+      finished_.push_back(std::move(record));
+      while (finished_.size() > config_.finished_query_retention) {
+        finished_.pop_front();
+      }
+    }
   }
   admission_cv_.notify_all();
+  WriteMetricsFile();
+}
+
+QueryRecord ExecContext::LiveRecordLocked(const QueryContext& query) {
+  QueryRecord record;
+  record.id = query.query_id();
+  const CancellationToken& token = *query.cancellation();
+  record.status = token.IsCancelled() ? "CANCELLED" : "RUNNING";
+  record.error = token.StatusMessage();
+  record.start_unix_ms = query.start_unix_ms();
+  record.duration_ms = query.ElapsedMs();
+  if (query.profile().detailed()) {
+    QueryProfile::Stats stats = query.profile().AggregateStats();
+    record.rows_out = stats.rows_out;
+    record.spill_bytes = stats.spill_bytes;
+    record.peak_memory_bytes = stats.peak_reserved_bytes;
+  } else {
+    record.spill_bytes = query.metrics().Get("memory.spill_bytes");
+    record.peak_memory_bytes = query.metrics().Get("memory.peak_reserved_bytes");
+  }
+  return record;
+}
+
+std::vector<QueryRecord> ExecContext::QueryRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> out;
+  out.reserve(active_.size() + finished_.size());
+  for (const QueryContext* query : active_) {
+    out.push_back(LiveRecordLocked(*query));
+  }
+  for (const QueryRecord& record : finished_) out.push_back(record);
+  return out;
+}
+
+std::vector<ExecContext::MemoryRecord> ExecContext::QueryMemoryRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MemoryRecord> out;
+  out.reserve(active_.size());
+  for (const QueryContext* query : active_) {
+    MemoryRecord record;
+    record.query_id = query->query_id();
+    record.limit_bytes = query->memory().limit_bytes();
+    record.reserved_bytes = query->memory().reserved_bytes();
+    out.push_back(record);
+  }
+  return out;
+}
+
+std::string ExecContext::ExportMetricsText() const {
+  return registry_.ExportPrometheusText() +
+         LegacyCountersPrometheusText(metrics_.Snapshot(), "ssql_legacy_");
+}
+
+void ExecContext::WriteMetricsFile() {
+  if (config_.metrics_path.empty()) return;
+  std::lock_guard<std::mutex> lock(metrics_file_mu_);
+  try {
+    WriteTextFile(config_.metrics_path, ExportMetricsText());
+  } catch (const SsqlError& e) {
+    LogEvent(LogLevel::kWarn, "metrics.write_failed",
+             {{"path", config_.metrics_path}, {"error", e.what()}});
+  }
 }
 
 size_t ExecContext::active_queries() const {
@@ -162,6 +281,11 @@ size_t ExecContext::active_queries() const {
 
 void ExecContext::CancelAllQueries(const std::string& reason) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.empty()) {
+    LogEvent(LogLevel::kInfo, "engine.cancel_all",
+             {{"reason", reason},
+              {"queries", static_cast<int64_t>(active_.size())}});
+  }
   for (QueryContext* query : active_) {
     query->cancellation()->Cancel(reason);
   }

@@ -12,9 +12,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <deque>
+
 #include "engine/memory_manager.h"
 #include "engine/query_profile.h"
 #include "engine/task_runner.h"
+#include "util/metrics_registry.h"
 #include "util/thread_pool.h"
 
 namespace ssql {
@@ -103,8 +106,25 @@ struct EngineConfig {
   /// each other's file. The resolved path is logged to stderr.
   std::string trace_path;
   /// Queries whose wall time exceeds this threshold log a one-line summary
-  /// to stderr. Negative = disabled (default); 0 logs every query.
+  /// through the structured logger (level WARN, event "query.slow").
+  /// Negative = disabled (default); 0 logs every query.
   int64_t slow_query_threshold_ms = -1;
+  /// Minimum severity for the structured logger ("trace", "debug", "info",
+  /// "warn", "error", "off"). Empty (default) leaves the process-wide
+  /// level alone (initially from the SSQL_LOG environment variable, else
+  /// info). The logger is process-global, so the last engine configured
+  /// wins — see util/log.h.
+  std::string log_level;
+  /// When non-empty, the Prometheus text exposition of the metrics
+  /// registry + legacy counters (what SqlContext::ExportMetricsText
+  /// returns) is rewritten to this path after every query finishes and at
+  /// engine shutdown — a file scrape target for node_exporter-style
+  /// collection. Write failures are logged, never thrown.
+  std::string metrics_path;
+  /// How many finished queries system.queries / system.query_operators
+  /// retain (a ring buffer: oldest evicted first). 0 disables retention —
+  /// only running queries are visible.
+  size_t finished_query_retention = 128;
 };
 
 /// Validates an EngineConfig, throwing ExecutionError with a descriptive
@@ -131,9 +151,11 @@ struct QueryOptions {
 
 /// Simple named counters published by operators (rows scanned, rows shipped
 /// from data sources, shuffle bytes, ...). Used by tests and benches to
-/// assert that pushdown actually reduced data movement. A Metrics bag may
-/// have a parent: adds are applied locally and then forwarded, which is how
-/// each query's private view folds into the engine-wide aggregate.
+/// assert that pushdown actually reduced data movement. Each query gets a
+/// private bag; Add touches only that bag's mutex (hot operator paths used
+/// to take a second, engine-wide mutex per add — measured contention in
+/// bench_observe), and the whole bag is folded into the engine aggregate
+/// once, via Merge, when the query finishes.
 class Metrics {
  public:
   void Add(const std::string& name, int64_t delta);
@@ -141,13 +163,32 @@ class Metrics {
   void Reset();
   std::unordered_map<std::string, int64_t> Snapshot() const;
 
-  /// Forwards every future Add to `parent` as well (null to detach).
-  void SetParent(Metrics* parent) { parent_ = parent; }
+  /// Adds every counter of `other` into this bag (the query-finish fold).
+  void Merge(const std::unordered_map<std::string, int64_t>& other);
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, int64_t> counters_;
-  Metrics* parent_ = nullptr;
+};
+
+/// Snapshot row of one (running or finished) query, the backing record of
+/// the system.queries table. Running queries synthesize one from live
+/// state; finished queries leave one in the engine's bounded ring buffer,
+/// with the per-operator actuals flattened out of the QueryProfile for
+/// system.query_operators.
+struct QueryRecord {
+  uint64_t id = 0;
+  /// RUNNING | FINISHED | ERROR | CANCELLED | ABANDONED. A running query
+  /// whose cancellation token has fired already reads CANCELLED (the
+  /// cancel is cooperative — tasks are still unwinding).
+  std::string status;
+  int64_t start_unix_ms = 0;
+  int64_t duration_ms = 0;
+  int64_t rows_out = 0;
+  int64_t spill_bytes = 0;
+  int64_t peak_memory_bytes = 0;
+  std::string error;  // empty unless ERROR/CANCELLED/ABANDONED
+  std::vector<QueryProfile::OperatorActual> operators;  // finished only
 };
 
 /// Engine-wide runtime state shared by every query of a SqlContext: the
@@ -187,6 +228,17 @@ class ExecContext {
   ThreadPool& pool() { return *pool_; }
   Metrics& metrics() { return metrics_; }
 
+  /// The typed engine-wide metrics registry (counters / gauges / latency
+  /// histograms), exported in Prometheus text format by
+  /// ExportMetricsText() and served by the system.metrics table.
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  /// Prometheus text exposition of the registry plus the legacy counter
+  /// bag (as ssql_legacy_* gauges). Also what EngineConfig::metrics_path
+  /// receives after each query.
+  std::string ExportMetricsText() const;
+
   /// The engine-wide memory pool (EngineConfig::total_memory_limit_bytes)
   /// that per-query budgets draw from.
   MemoryManager& engine_memory() { return engine_memory_; }
@@ -208,19 +260,56 @@ class ExecContext {
   size_t active_queries() const;
 
   /// Cancels every admitted, unfinished query (their tokens; cooperative).
+  /// Affected rows in system.queries read CANCELLED immediately (live
+  /// view) and permanently once each query unwinds into the ring buffer.
   void CancelAllQueries(const std::string& reason);
+
+  /// One QueryRecord per query the engine knows about: every running query
+  /// (status RUNNING, or CANCELLED when its token has fired) followed by
+  /// the retained finished queries, oldest first. One lock acquisition, so
+  /// a query is never seen twice (mid-finish it atomically moves from the
+  /// active set to the ring buffer) — the contract system.queries relies
+  /// on while other queries execute concurrently.
+  std::vector<QueryRecord> QueryRecords() const;
+
+  /// Per-query memory reservations of the running queries, for
+  /// system.memory: (query id, limit or -1, reserved bytes).
+  struct MemoryRecord {
+    uint64_t query_id = 0;
+    int64_t limit_bytes = -1;
+    int64_t reserved_bytes = 0;
+  };
+  std::vector<MemoryRecord> QueryMemoryRecords() const;
 
  private:
   friend class QueryContext;
 
-  /// Called by QueryContext::Finish: unregisters the query and frees its
-  /// admission slot.
-  void EndQuery(QueryContext* query);
+  /// Called by QueryContext::Finish: atomically unregisters the query,
+  /// retires `record` into the finished-query ring buffer, and frees the
+  /// admission slot; then (outside the lock) refreshes metrics_path.
+  void EndQuery(QueryContext* query, QueryRecord record);
+
+  /// Builds the live record for a running query. Caller holds mu_.
+  static QueryRecord LiveRecordLocked(const QueryContext& query);
+
+  void WriteMetricsFile();
 
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
+  MetricsRegistry registry_;
   MemoryManager engine_memory_;
+
+  // Hot-path instrument handles, resolved once at construction.
+  HistogramMetric* admission_wait_hist_ = nullptr;
+  HistogramMetric* query_latency_hist_ = nullptr;
+  CounterMetric* queries_started_ = nullptr;
+  CounterMetric* queries_finished_ = nullptr;
+  CounterMetric* queries_failed_ = nullptr;
+  CounterMetric* queries_cancelled_ = nullptr;
+  GaugeMetric* active_queries_gauge_ = nullptr;
+
+  std::mutex metrics_file_mu_;  // serializes metrics_path rewrites
 
   // Admission gate + active-query registry. `serving_` / `next_ticket_`
   // implement FIFO ordering: a caller is admitted only when its ticket is
@@ -230,6 +319,7 @@ class ExecContext {
   uint64_t next_ticket_ = 0;
   uint64_t serving_ = 0;
   std::vector<QueryContext*> active_;
+  std::deque<QueryRecord> finished_;  // ring buffer, oldest first
 };
 
 }  // namespace ssql

@@ -2,20 +2,32 @@
 
 #include <unistd.h>
 
-#include <cstdio>
+#include <chrono>
 #include <filesystem>
 
+#include "util/log.h"
 #include "util/trace.h"
 
 namespace ssql {
+
+namespace {
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 QueryContext::QueryContext(ExecContext& engine, uint64_t query_id,
                            EngineConfig config)
     : engine_(engine),
       query_id_(query_id),
       config_(std::move(config)),
+      start_unix_ms_(NowUnixMs()),
+      start_steady_ns_(TraceNowNs()),
       cancellation_(std::make_shared<CancellationToken>()) {
-  metrics_.SetParent(&engine_.metrics());
   profile_ =
       std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
   memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
@@ -30,6 +42,10 @@ QueryContext::~QueryContext() {
   // before SqlContext::Execute's handlers, abandoned unit-test queries):
   // the admission slot must be returned and the profile closed.
   Finish("abandoned");
+}
+
+int64_t QueryContext::ElapsedMs() const {
+  return (TraceNowNs() - start_steady_ns_) / 1'000'000;
 }
 
 std::string QueryContext::spill_dir() const {
@@ -62,16 +78,17 @@ void QueryContext::Finish(const std::string& status) {
     const std::string path = ResolveTracePath(config_.trace_path, query_id_);
     try {
       WriteTextFile(path, profile_->ToChromeTraceJson());
-      std::fprintf(stderr, "ssql: query %llu trace written to %s\n",
-                   static_cast<unsigned long long>(query_id_), path.c_str());
+      LogEvent(LogLevel::kInfo, "trace.written",
+               {{"query", query_id_}, {"path", path}});
     } catch (const SsqlError& e) {
-      std::fprintf(stderr, "ssql: failed to write trace: %s\n", e.what());
+      LogEvent(LogLevel::kWarn, "trace.write_failed",
+               {{"query", query_id_}, {"path", path}, {"error", e.what()}});
     }
   }
   if (config_.slow_query_threshold_ms >= 0 &&
       profile_->WallNs() / 1'000'000 >= config_.slow_query_threshold_ms) {
-    std::fprintf(stderr, "ssql: slow query: %s\n",
-                 profile_->SummaryLine().c_str());
+    LogEvent(LogLevel::kWarn, "query.slow",
+             {{"query", query_id_}, {"summary", profile_->SummaryLine()}});
   }
   // Remove this query's private spill namespace. Operators have unwound by
   // the time Finish runs (their SpillFiles already deleted the run files),
@@ -79,7 +96,48 @@ void QueryContext::Finish(const std::string& status) {
   // namespaced by query id, this can never delete another query's files.
   std::error_code ec;
   std::filesystem::remove_all(spill_dir(), ec);
-  engine_.EndQuery(this);
+
+  // Build the retained record before folding metrics: the fallback stats
+  // below read this query's (still-local) bag.
+  QueryRecord record;
+  record.id = query_id_;
+  if (status == "ok") {
+    record.status = "FINISHED";
+  } else if (cancellation_->IsCancelled()) {
+    // Covers explicit Cancel(), CancelAllQueries() and timeouts, whatever
+    // exception text the unwind produced.
+    record.status = "CANCELLED";
+    record.error = cancellation_->StatusMessage();
+  } else if (status == "abandoned") {
+    record.status = "ABANDONED";
+  } else {
+    record.status = "ERROR";
+    record.error = status;
+  }
+  record.start_unix_ms = start_unix_ms_;
+  record.duration_ms = ElapsedMs();
+  if (profile_->detailed()) {
+    QueryProfile::Stats stats = profile_->AggregateStats();
+    record.rows_out = stats.rows_out;
+    record.spill_bytes = stats.spill_bytes;
+    record.peak_memory_bytes = stats.peak_reserved_bytes;
+    record.operators = profile_->OperatorActuals();
+  } else {
+    record.spill_bytes = metrics_.Get("memory.spill_bytes");
+    record.peak_memory_bytes = metrics_.Get("memory.peak_reserved_bytes");
+  }
+
+  LogEvent(LogLevel::kDebug, "query.finish",
+           {{"query", query_id_},
+            {"status", record.status},
+            {"wall_ms", record.duration_ms},
+            {"rows", record.rows_out},
+            {"spill_bytes", record.spill_bytes}});
+
+  // Fold this query's counters into the engine aggregate in one pass —
+  // per-Add parent forwarding (two mutexes per Add) is gone.
+  engine_.metrics().Merge(metrics_.Snapshot());
+  engine_.EndQuery(this, std::move(record));
 }
 
 }  // namespace ssql

@@ -47,6 +47,14 @@ class QueryContext {
   /// Process-unique id (1-based) naming the spill namespace and trace file.
   uint64_t query_id() const { return query_id_; }
 
+  /// Wall-clock admission time (milliseconds since the Unix epoch) — the
+  /// start_unix_ms column of system.queries.
+  int64_t start_unix_ms() const { return start_unix_ms_; }
+
+  /// Milliseconds elapsed since admission, on the monotonic clock. Safe to
+  /// call from any thread at any point in the query's life.
+  int64_t ElapsedMs() const;
+
   /// The engine this query runs on (pool, catalog-side state, aggregates).
   ExecContext& engine() const { return engine_; }
 
@@ -58,8 +66,9 @@ class QueryContext {
   /// The shared worker pool — tasks of concurrent queries interleave here.
   ThreadPool& pool() const { return engine_.pool(); }
 
-  /// This query's metrics view. Adds fold into the engine-wide
-  /// ExecContext::metrics() aggregate; Gets read this query's counts only.
+  /// This query's metrics view. Adds are local to this query; Finish folds
+  /// the whole bag into the engine-wide ExecContext::metrics() aggregate in
+  /// one pass (so a running query takes exactly one lock per Add).
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
@@ -96,11 +105,12 @@ class QueryContext {
 
   /// Closes the profile (stamping unfinished spans with `status`), writes
   /// the trace file if config.trace_path is set (suffixed with the query
-  /// id; the resolved path is logged to stderr), logs a summary line when
-  /// the query exceeded slow_query_threshold_ms, removes the spill
-  /// subdirectory, and releases the engine admission slot. Idempotent; IO
-  /// failures writing the trace are reported to stderr, never thrown
-  /// (observability must not fail the query).
+  /// id), logs a "query.slow" event when the query exceeded
+  /// slow_query_threshold_ms, folds this query's metrics into the engine
+  /// aggregate, removes the spill subdirectory, and retires the query into
+  /// the engine's finished ring (releasing the admission slot). Idempotent;
+  /// IO failures writing the trace are logged, never thrown (observability
+  /// must not fail the query).
   void Finish(const std::string& status);
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
@@ -112,6 +122,8 @@ class QueryContext {
   ExecContext& engine_;
   const uint64_t query_id_;
   const EngineConfig config_;
+  const int64_t start_unix_ms_;
+  const int64_t start_steady_ns_;
   Metrics metrics_;
   std::unique_ptr<QueryProfile> profile_;
   CancellationTokenPtr cancellation_;

@@ -256,6 +256,72 @@ std::map<std::string, QueryProfile::RuleStat> QueryProfile::rule_stats()
   return rule_stats_;
 }
 
+QueryProfile::Stats QueryProfile::AggregateStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  if (root_ == nullptr) return stats;
+  stats.wall_ns = root_->WallNs();
+  for (const ProfileSpan& span : spans_) {
+    stats.spill_bytes += span.Counter(ProfileCounter::kSpillBytes);
+    stats.peak_reserved_bytes = std::max(
+        stats.peak_reserved_bytes,
+        span.Counter(ProfileCounter::kPeakReservedBytes));
+    if (span.kind == SpanKind::kOperator) {
+      ++stats.operators;
+      if (span.parent == nullptr || span.parent->kind != SpanKind::kOperator) {
+        stats.rows_out += span.Counter(ProfileCounter::kRowsOut);
+      }
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+/// Spill bytes charged to `span`'s non-operator subtree (its stages and
+/// tasks), mirroring AppendOperatorExtras' attribution.
+int64_t SubtreeSpillBytes(const ProfileSpan* span) {
+  int64_t v = span->Counter(ProfileCounter::kSpillBytes);
+  for (const ProfileSpan* child : span->children) {
+    if (child->kind != SpanKind::kOperator) v += SubtreeSpillBytes(child);
+  }
+  return v;
+}
+
+void FlattenOperators(const ProfileSpan* span, uint32_t parent_id, int depth,
+                      std::vector<QueryProfile::OperatorActual>* out) {
+  for (const ProfileSpan* child : span->children) {
+    if (child->kind != SpanKind::kOperator) {
+      FlattenOperators(child, parent_id, depth, out);
+      continue;
+    }
+    QueryProfile::OperatorActual row;
+    row.id = child->id;
+    row.parent_id = parent_id;
+    row.depth = depth;
+    row.name = child->name;
+    row.detail = child->detail;
+    row.status = child->status;
+    row.wall_ns = child->WallNs();
+    row.rows_in = child->Counter(ProfileCounter::kRowsIn);
+    row.rows_out = child->Counter(ProfileCounter::kRowsOut);
+    row.batches = child->Counter(ProfileCounter::kBatches);
+    row.spill_bytes = SubtreeSpillBytes(child);
+    out->push_back(std::move(row));
+    FlattenOperators(child, child->id, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<QueryProfile::OperatorActual> QueryProfile::OperatorActuals()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<OperatorActual> out;
+  if (root_ != nullptr) FlattenOperators(root_, 0, 0, &out);
+  return out;
+}
+
 void QueryProfile::Finish(const std::string& status) {
   if (root_ == nullptr) return;
   std::vector<ProfileSpan*> open;

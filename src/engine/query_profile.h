@@ -153,6 +153,40 @@ class QueryProfile {
   /// "batch/rule" → stat, in lexicographic order.
   std::map<std::string, RuleStat> rule_stats() const;
 
+  // ---- snapshots for system tables -------------------------------------
+
+  /// Query-level aggregates, computable at any point in the query's life
+  /// (including from another thread while tasks run — everything read is
+  /// either mutex-guarded or atomic). Feeds the live system.queries view
+  /// and the finished-query ring buffer.
+  struct Stats {
+    int64_t wall_ns = 0;
+    int64_t rows_out = 0;  // top-level operators only (the result rows)
+    int64_t spill_bytes = 0;
+    int64_t peak_reserved_bytes = 0;
+    int64_t operators = 0;
+  };
+  Stats AggregateStats() const;
+
+  /// One operator span flattened to a relational row — what
+  /// system.query_operators serves for each retained query.
+  struct OperatorActual {
+    uint32_t id = 0;
+    uint32_t parent_id = 0;  // enclosing operator span; 0 = top level
+    int depth = 0;
+    std::string name;
+    std::string detail;
+    std::string status;
+    int64_t wall_ns = 0;
+    int64_t rows_in = 0;
+    int64_t rows_out = 0;
+    int64_t batches = 0;
+    int64_t spill_bytes = 0;  // incl. this operator's stage/task subtree
+  };
+  /// Pre-order (parents before children). Empty when detail recording is
+  /// off.
+  std::vector<OperatorActual> OperatorActuals() const;
+
   // ---- finish + rendering ----------------------------------------------
 
   /// Closes the root span and force-closes any span left open (error and

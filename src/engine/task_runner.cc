@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "engine/query_context.h"
+#include "util/log.h"
 #include "util/string_util.h"
 
 namespace ssql {
@@ -172,6 +173,12 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
             return;
           }
           profile.Add(task_span, ProfileCounter::kRetries, 1);
+          LogEvent(LogLevel::kDebug, "task.retry",
+                   {{"query", ctx_.query_id()},
+                    {"stage", stage},
+                    {"partition", p},
+                    {"attempt", attempt + 1},
+                    {"error", e.what()}});
           if (backoff_ms > 0) {
             int shift = std::min(attempt, 6);  // cap exponential growth
             std::this_thread::sleep_for(

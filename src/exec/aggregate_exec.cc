@@ -183,6 +183,11 @@ class SpillingGroupMap {
     }
     if (wrote > 0) {
       ctx_.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
+      ctx_.engine()
+          .registry()
+          .Histogram("ssql_spill_write_bytes",
+                     "Bytes written per spill event")
+          .Record(wrote);
     }
     groups_.clear();
     used_bytes_ = 0;

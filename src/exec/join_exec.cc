@@ -343,6 +343,11 @@ RowDataset ShuffleHashJoinExec::ExecuteImpl(QueryContext& ctx) const {
     }
     if (wrote > 0) {
       ctx.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
+      ctx.engine()
+          .registry()
+          .Histogram("ssql_spill_write_bytes",
+                     "Bytes written per spill event")
+          .Record(wrote);
     }
 
     for (auto& bucket : buckets) {

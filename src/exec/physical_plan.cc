@@ -1,13 +1,24 @@
 #include "exec/physical_plan.h"
 
+#include "util/trace.h"
+
 namespace ssql {
 
 RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
   QueryProfile& profile = ctx.profile();
-  if (!profile.detailed()) return ExecuteImpl(ctx);
+  HistogramMetric& op_wall = ctx.engine().registry().Histogram(
+      "ssql_operator_wall_us", "Per-operator wall time, microseconds");
+  if (!profile.detailed()) {
+    const int64_t start_ns = TraceNowNs();
+    RowDataset out = ExecuteImpl(ctx);
+    op_wall.Record((TraceNowNs() - start_ns) / 1000);
+    return out;
+  }
   ProfileSpan* span = profile.BeginOperator(NodeName(), Describe());
+  const int64_t start_ns = TraceNowNs();
   try {
     RowDataset out = ExecuteImpl(ctx);
+    op_wall.Record((TraceNowNs() - start_ns) / 1000);
     profile.Add(span, ProfileCounter::kRowsOut,
                 static_cast<int64_t>(out.TotalRows()));
     profile.Add(span, ProfileCounter::kBatches,
@@ -15,9 +26,11 @@ RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
     profile.EndOperator(span, "ok");
     return out;
   } catch (const std::exception& e) {
+    op_wall.Record((TraceNowNs() - start_ns) / 1000);
     profile.EndOperator(span, std::string("error: ") + e.what());
     throw;
   } catch (...) {
+    op_wall.Record((TraceNowNs() - start_ns) / 1000);
     profile.EndOperator(span, "error: unknown");
     throw;
   }

@@ -83,6 +83,10 @@ std::shared_ptr<RowPartition> SortExec::ExternalSortPartition(
     run.FinishWrites();
     ctx.profile().Add(nullptr, ProfileCounter::kSpillFiles, 1);
     ctx.profile().Add(nullptr, ProfileCounter::kSpillBytes, wrote);
+    ctx.engine()
+        .registry()
+        .Histogram("ssql_spill_write_bytes", "Bytes written per spill event")
+        .Record(wrote);
     runs.push_back(std::move(run));
     buffer.clear();
     used = 0;

@@ -339,9 +339,17 @@ class Parser {
       plan = ParseQuery();
       ExpectSymbol(")");
     } else {
+      // Dotted names ("system.queries") address namespaced tables; the
+      // default qualifier is the last segment, so `queries.status` works
+      // without an explicit alias (matching Spark's db.table behaviour).
       std::string name = ExpectIdentifier();
-      plan = UnresolvedRelation::Make(name);
       default_alias = name;
+      while (Peek().IsSymbol(".") && Peek(1).kind == TokenKind::kIdentifier) {
+        Advance();
+        default_alias = ExpectIdentifier();
+        name += "." + default_alias;
+      }
+      plan = UnresolvedRelation::Make(name);
     }
     std::string alias = default_alias;
     if (AcceptKeyword("AS")) {

@@ -1,0 +1,152 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace ssql {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("SSQL_LOG");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kInfo;
+  try {
+    return ParseLogLevel(env);
+  } catch (const SsqlError&) {
+    // A bad env var must not crash process startup; fall back loudly.
+    std::fprintf(stderr, "ssql [WARN] log.bad_env SSQL_LOG=%s\n", env);
+    return LogLevel::kInfo;
+  }
+}
+
+std::atomic<int>& GlobalLevel() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+struct SinkSlot {
+  std::mutex mu;
+  std::shared_ptr<LogSink> sink;  // null = default stderr sink
+};
+
+SinkSlot& GlobalSink() {
+  static SinkSlot* slot = new SinkSlot();
+  return *slot;
+}
+
+bool NeedsQuoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void AppendValue(const std::string& v, std::string* out) {
+  if (!NeedsQuoting(v)) {
+    *out += v;
+    return;
+  }
+  *out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default: *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  value = buf;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw ExecutionError(
+      "unknown log level '" + name +
+      "' (expected trace, debug, info, warn, error, or off)");
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(GlobalLevel().load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  GlobalLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  return level != LogLevel::kOff && level >= GetLogLevel();
+}
+
+void SetLogSink(LogSink sink) {
+  SinkSlot& slot = GlobalSink();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.sink = sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
+std::string FormatLogLine(LogLevel level, const std::string& event,
+                          std::initializer_list<LogField> fields) {
+  std::string line = "ssql [";
+  line += LogLevelName(level);
+  line += "] ";
+  line += event;
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    AppendValue(f.value, &line);
+  }
+  return line;
+}
+
+void LogEvent(LogLevel level, const std::string& event,
+              std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level)) return;
+  const std::string line = FormatLogLine(level, event, fields);
+  std::shared_ptr<LogSink> sink;
+  {
+    SinkSlot& slot = GlobalSink();
+    std::lock_guard<std::mutex> lock(slot.mu);
+    sink = slot.sink;
+  }
+  if (sink) {
+    (*sink)(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace ssql

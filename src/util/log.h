@@ -1,0 +1,88 @@
+#ifndef SSQL_UTIL_LOG_H_
+#define SSQL_UTIL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+namespace ssql {
+
+/// Leveled structured logging for the engine. One event is one line:
+///
+///   ssql [WARN] query.slow query=3 wall_ms=5210 rows_out=17 status=ok
+///
+/// i.e. a severity, a dotted event name, and key=value fields (values are
+/// quoted when they contain spaces or quotes, so lines stay grep- and
+/// machine-parseable). This replaces the scattered raw std::cerr writes:
+/// every engine-side message — slow queries, trace paths, task retries,
+/// spills, cancellations — goes through LogEvent so one knob
+/// (EngineConfig::log_level or the SSQL_LOG environment variable) and one
+/// sink control all of it.
+///
+/// The level and sink are process-global (logging is ambient context, like
+/// stderr itself); per-engine configuration via EngineConfig::log_level is
+/// applied at SqlContext construction / SetConfig. The initial level is
+/// read once from SSQL_LOG ("trace", "debug", "info", "warn", "error",
+/// "off"), defaulting to info.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+/// Stable upper-case name ("TRACE", ..., "OFF") used in rendered lines.
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); throws ExecutionError on
+/// unknown names so config typos surface at SetConfig time, not silently.
+LogLevel ParseLogLevel(const std::string& name);
+
+/// The current global threshold. Events below it are dropped before any
+/// formatting work happens.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// True if an event at `level` would currently be emitted — use to guard
+/// expensive field computation.
+bool LogEnabled(LogLevel level);
+
+/// Where rendered lines go. The default sink writes to stderr; tests
+/// install a capturing sink. Passing nullptr restores the default.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void SetLogSink(LogSink sink);
+
+/// One key=value field of a structured event. Implicit constructors keep
+/// call sites terse: {"query", id}, {"path", path}, {"wall_ms", 5210}.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)), value(std::to_string(v)) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+
+  std::string key;
+  std::string value;
+};
+
+/// Emits one structured event if `level` passes the threshold.
+void LogEvent(LogLevel level, const std::string& event,
+              std::initializer_list<LogField> fields);
+
+/// Renders an event to its line form without emitting it (used by the
+/// emitter and by tests asserting on the exact format).
+std::string FormatLogLine(LogLevel level, const std::string& event,
+                          std::initializer_list<LogField> fields);
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_LOG_H_

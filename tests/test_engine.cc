@@ -98,6 +98,11 @@ TEST(RowDatasetTest, ShuffleColocatesEqualKeys) {
   for (const auto& [key, parts] : locations) {
     EXPECT_EQ(parts.size(), 1u) << "key " << key << " spread over partitions";
   }
+  // Counters accumulate in the query-private bag and fold into the engine
+  // bag once, when the query finishes.
+  EXPECT_EQ(query->metrics().Get("shuffle.rows"), 1000);
+  EXPECT_EQ(ctx.metrics().Get("shuffle.rows"), 0);
+  query->Finish("ok");
   EXPECT_EQ(ctx.metrics().Get("shuffle.rows"), 1000);
 }
 
