@@ -4,6 +4,14 @@
 // spill/merge rounds, reporting the spilled byte volume per iteration.
 // The interesting readout is the slope: external operators should degrade
 // smoothly (a constant factor for disk + serde), not fall off a cliff.
+//
+// A second dimension measures the chaos machinery itself: "armed" runs the
+// same workload with fault points configured but never firing (the pure
+// per-call overhead of the injection checks on the hot spill path), and
+// "faulted" injects retryable spill-write faults healed by task retry (the
+// cost of the retry/backoff loop under a realistic transient-fault rate).
+// The armed-vs-off delta is the number that must stay ~zero: resilience
+// instrumentation may not tax the happy path.
 
 #include <benchmark/benchmark.h>
 
@@ -19,10 +27,32 @@ namespace {
 constexpr size_t kRows = 100000;
 constexpr int kKeys = 5000;
 
+/// Fault configuration dimension (state.range(1)).
+enum FaultMode { kFaultsOff = 0, kFaultsArmed = 1, kFaultsFiring = 2 };
+
 /// One context per budget so metrics and the spill scratch stay separate.
-SqlContext* MakeContext(int64_t memory_limit) {
+SqlContext* MakeContext(int64_t memory_limit, int fault_mode) {
   EngineConfig config = SparkSqlConfig();
   config.query_memory_limit_bytes = memory_limit;
+  config.task_retry_backoff_ms = 1;
+  switch (fault_mode) {
+    case kFaultsArmed:
+      // Checks run on every spill write/read but the trigger never fires
+      // (first-hit window far beyond any real hit count): measures the
+      // pure instrumentation overhead on the happy path.
+      config.fault_injection_spec = "spill.write=n1000000000,seed=7";
+      break;
+    case kFaultsFiring:
+      // ~1 in 100k spill writes throws a retryable fault; the failed task
+      // re-runs with backoff, so the run measures retry amplification at a
+      // rate the 3-attempt budget almost always heals (a faulted write that
+      // lands outside a task boundary — e.g. the driver-side final merge —
+      // still fails the query, and failed_iters reports it).
+      config.fault_injection_spec = "spill.write=p0.00001:retryable,seed=7";
+      break;
+    default:
+      break;
+  }
   auto* ctx = new SqlContext(config);
 
   std::mt19937_64 rng(99);
@@ -53,17 +83,31 @@ SqlContext* MakeContext(int64_t memory_limit) {
 }
 
 /// state.range(0): memory budget in KiB, 0 = unlimited.
+/// state.range(1): FaultMode (off / armed-but-silent / firing).
 void RunQuery(benchmark::State& state, const std::string& sql) {
   int64_t limit = state.range(0) == 0 ? -1 : state.range(0) * 1024;
-  SqlContext* ctx = MakeContext(limit);
+  SqlContext* ctx = MakeContext(limit, static_cast<int>(state.range(1)));
   size_t result_rows = 0;
+  int64_t failed_iters = 0;
   for (auto _ : state) {
-    result_rows = ctx->Sql(sql).Collect().size();
+    // Under kFaultsFiring a query can still die (all task attempts hit a
+    // fault); count it rather than aborting the benchmark — the failure
+    // rate is part of the readout.
+    try {
+      result_rows = ctx->Sql(sql).Collect().size();
+    } catch (const SsqlError&) {
+      ++failed_iters;
+    }
   }
   state.counters["result_rows"] = static_cast<double>(result_rows);
   state.counters["spill_bytes_per_iter"] = benchmark::Counter(
       static_cast<double>(ctx->exec().metrics().Get("memory.spill_bytes")),
       benchmark::Counter::kAvgIterations);
+  state.counters["faults_injected"] = static_cast<double>(
+      ctx->exec().registry().Counter("ssql_faults_injected_total").value());
+  state.counters["task_retries"] =
+      static_cast<double>(ctx->exec().metrics().Get("task.retries"));
+  state.counters["failed_iters"] = static_cast<double>(failed_iters);
   delete ctx;
 }
 
@@ -79,13 +123,31 @@ void BM_JoinSpill(benchmark::State& state) {
   RunQuery(state, "SELECT t.k, t.v, dim.w FROM t JOIN dim ON t.k = dim.k");
 }
 
-// 0 = unlimited (in-memory paths); 1024 KiB forces a handful of spills;
-// 64 KiB forces many rounds through tiny spill files.
-BENCHMARK(BM_AggregateSpill)->Arg(0)->Arg(1024)->Arg(64)
+// Budget axis: 0 = unlimited (in-memory paths); 1024 KiB forces a handful
+// of spills; 64 KiB forces many rounds through tiny spill files.
+// Fault axis: off / armed-but-silent on every budget (the armed-vs-off
+// delta is the happy-path tax), firing only on the spilling budgets (the
+// in-memory path never reaches a spill fault point).
+BENCHMARK(BM_AggregateSpill)
+    ->Args({0, kFaultsOff})->Args({0, kFaultsArmed})
+    ->Args({1024, kFaultsOff})->Args({1024, kFaultsArmed})
+    ->Args({1024, kFaultsFiring})
+    ->Args({64, kFaultsOff})->Args({64, kFaultsArmed})
+    ->Args({64, kFaultsFiring})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SortSpill)->Arg(0)->Arg(1024)->Arg(64)
+BENCHMARK(BM_SortSpill)
+    ->Args({0, kFaultsOff})->Args({0, kFaultsArmed})
+    ->Args({1024, kFaultsOff})->Args({1024, kFaultsArmed})
+    ->Args({1024, kFaultsFiring})
+    ->Args({64, kFaultsOff})->Args({64, kFaultsArmed})
+    ->Args({64, kFaultsFiring})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_JoinSpill)->Arg(0)->Arg(1024)->Arg(64)
+BENCHMARK(BM_JoinSpill)
+    ->Args({0, kFaultsOff})->Args({0, kFaultsArmed})
+    ->Args({1024, kFaultsOff})->Args({1024, kFaultsArmed})
+    ->Args({1024, kFaultsFiring})
+    ->Args({64, kFaultsOff})->Args({64, kFaultsArmed})
+    ->Args({64, kFaultsFiring})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -14,7 +14,7 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=address >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables --target test_chaos >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
 ./build-sanitize/tests/test_observability
@@ -26,9 +26,22 @@ cmake --build build-sanitize -j --target test_fault_tolerance --target test_memo
 # suite joins it because its scans read live engine state (active query list,
 # metrics registry, memory pool) while other threads mutate it.
 cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_concurrency --target test_system_tables >/dev/null
+cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_chaos >/dev/null
 ./build-tsan/tests/test_concurrency
 ./build-tsan/tests/test_system_tables
+
+# Chaos harness: seeded rounds of concurrent queries with random fault
+# injection at every I/O boundary, checking post-round invariants (memory
+# pool drained, disk quota released, spill dir empty, no stuck admission
+# tickets). 10 distinct seeds, each under both ASan and TSan — faults take
+# error paths the happy-path suites never reach, which is exactly where
+# use-after-free and lock-order bugs hide.
+for seed in 1 2 3 4 5 6 7 8 9 10; do
+  echo "chaos seed ${seed} (ASan)"
+  SSQL_CHAOS_SEED="${seed}" ./build-sanitize/tests/test_chaos
+  echo "chaos seed ${seed} (TSan)"
+  SSQL_CHAOS_SEED="${seed}" ./build-tsan/tests/test_chaos
+done
 
 # Smoke the instrumentation-overhead benchmark (a few quick repetitions; the
 # full comparison is a manual/CI readout, not a gate).

@@ -335,6 +335,10 @@ RowDataset SqlContext::ExecuteInternal(const PlanPtr& analyzed_plan,
 
     query->Finish("ok");
     return out;
+  } catch (const SsqlError& e) {
+    // Preserve the taxonomy code for system.queries / per-code counters.
+    query->Finish(std::string("error: ") + e.what(), e.code());
+    throw;
   } catch (const std::exception& e) {
     query->Finish(std::string("error: ") + e.what());
     throw;

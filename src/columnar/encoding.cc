@@ -54,13 +54,28 @@ struct Reader {
   size_t n;
   size_t pos = 0;
 
-  uint8_t U8() { return p[pos++]; }
+  /// Every read is bounds-checked: a truncated buffer (file cut mid-write,
+  /// short read) must surface as IoError, never as out-of-bounds indexing.
+  void Need(size_t k) const {
+    if (pos > n || n - pos < k) {
+      throw IoError("truncated columnar data (need " + std::to_string(k) +
+                    " bytes at offset " + std::to_string(pos) + ", have " +
+                    std::to_string(pos > n ? 0 : n - pos) + ")");
+    }
+  }
+
+  uint8_t U8() {
+    Need(1);
+    return p[pos++];
+  }
   uint32_t U32() {
+    Need(4);
     uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[pos++]) << (8 * i);
     return v;
   }
   int64_t I64() {
+    Need(8);
     uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[pos++]) << (8 * i);
     return static_cast<int64_t>(v);
@@ -73,6 +88,7 @@ struct Reader {
   }
   std::string Str() {
     uint32_t len = U32();
+    Need(len);
     std::string s(reinterpret_cast<const char*>(p + pos), len);
     pos += len;
     return s;
@@ -347,6 +363,7 @@ EncodedColumn DeserializeColumn(const std::string& in, size_t* offset,
   col.min = read_stat();
   col.max = read_stat();
   uint32_t len = r.U32();
+  r.Need(len);
   col.data.assign(r.p + r.pos, r.p + r.pos + len);
   r.pos += len;
   *offset = r.pos;

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 
 #include "columnar/column_vector.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace ssql {
@@ -19,7 +20,14 @@ void PutU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
 }
 
-uint32_t GetU32(const std::string& in, size_t* pos) {
+uint32_t GetU32(const std::string& in, size_t* pos, const std::string& path) {
+  // Bounds-checked: a truncated file must surface as IoError, not as
+  // undefined behaviour indexing past the buffer.
+  if (*pos > in.size() || in.size() - *pos < 4) {
+    throw IoError("truncated colf file: " + path + " (need 4 bytes at offset " +
+                  std::to_string(*pos) + ", have " +
+                  std::to_string(in.size() - std::min(*pos, in.size())) + ")");
+  }
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<uint32_t>(static_cast<uint8_t>(in[*pos])) << (8 * i);
@@ -38,12 +46,23 @@ std::string SchemaToString(const StructType& schema) {
   return out;
 }
 
-std::string ReadWholeFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) throw IoError("cannot open colf file: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+std::string ReadWholeFile(const std::string& path, const FaultPointSet& faults,
+                          const IoRetryPolicy& policy) {
+  std::string data;
+  RunWithIoRetry(policy, "read colf '" + path + "'", [&] {
+    faults.MaybeFail("source.open", path);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) throw IoError("cannot open colf file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad() || buffer.fail()) {
+      // rdbuf() streaming swallows read errors; unchecked, a read failure
+      // here would scan a silently truncated byte buffer.
+      throw IoError("I/O error reading colf file: " + path);
+    }
+    data = buffer.str();
+  });
+  return data;
 }
 
 }  // namespace
@@ -76,13 +95,20 @@ void WriteColfFile(const std::string& path, const SchemaPtr& schema,
 }
 
 SchemaPtr ReadColfSchema(const std::string& path) {
-  std::string data = ReadWholeFile(path);
+  // Open()-time read: no query exists yet, so use the process-global fault
+  // points and retry policy (see util/fault_points.h).
+  std::string data =
+      ReadWholeFile(path, *GlobalFaultPoints(), GlobalIoRetryPolicy());
   if (data.size() < kMagicLen + 4 ||
       std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
     throw IoError("not a colf file: " + path);
   }
   size_t pos = kMagicLen;
-  uint32_t len = GetU32(data, &pos);
+  uint32_t len = GetU32(data, &pos, path);
+  if (pos + len > data.size()) {
+    throw IoError("truncated colf file: " + path +
+                  " (schema extends past end of file)");
+  }
   return ParseSchemaString(data.substr(pos, len));
 }
 
@@ -107,11 +133,20 @@ std::optional<uint64_t> ColfRelation::EstimatedSizeBytes() const {
 std::vector<Row> ColfRelation::ScanFiltered(
     QueryContext& ctx, const std::vector<int>& columns,
     const std::vector<FilterSpec>& filters) const {
-  std::string data = ReadWholeFile(path_);
+  const FaultPointSet& faults = ctx.fault_points();
+  std::string data = ReadWholeFile(path_, faults, ctx.io_retry_policy());
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    throw IoError("not a colf file: " + path_);
+  }
   size_t pos = kMagicLen;
-  uint32_t schema_len = GetU32(data, &pos);
+  uint32_t schema_len = GetU32(data, &pos, path_);
+  if (pos + schema_len > data.size()) {
+    throw IoError("truncated colf file: " + path_ +
+                  " (schema extends past end of file)");
+  }
   pos += schema_len;
-  uint32_t num_groups = GetU32(data, &pos);
+  uint32_t num_groups = GetU32(data, &pos, path_);
 
   // Map filter column names to ordinals once.
   struct BoundFilter {
@@ -130,7 +165,8 @@ std::vector<Row> ColfRelation::ScanFiltered(
   int64_t groups_skipped = 0;
   int64_t rows_scanned = 0;
   for (uint32_t g = 0; g < num_groups; ++g) {
-    uint32_t group_rows = GetU32(data, &pos);
+    faults.MaybeFail("source.read", path_);
+    uint32_t group_rows = GetU32(data, &pos, path_);
     // Deserialize all column headers/payloads of this group (cheap: the
     // payload bytes are only decoded on demand below).
     std::vector<EncodedColumn> cols;

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 
 #include "catalyst/expr/cast.h"
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace ssql {
@@ -92,16 +93,27 @@ std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options)
     strict = true;
   }
 
-  std::ifstream in(path);
-  if (!in.good()) {
-    throw IoError("cannot open CSV file: " + path + " (" +
-                  std::strerror(errno) + ")");
+  SchemaPtr explicit_schema;
+  if (auto it = options.find("schema"); it != options.end()) {
+    explicit_schema = ParseSchemaString(it->second);
   }
 
+  // Open + schema-inference sample run before any query exists, so transient
+  // failures use the process-global fault points / retry policy. The body is
+  // idempotent: all inference state is local to one attempt.
   SchemaPtr schema;
-  if (auto it = options.find("schema"); it != options.end()) {
-    schema = ParseSchemaString(it->second);
-  } else {
+  const std::shared_ptr<const FaultPointSet> faults = GlobalFaultPoints();
+  RunWithIoRetry(GlobalIoRetryPolicy(), "open CSV '" + path + "'", [&] {
+    faults->MaybeFail("source.open", path);
+    std::ifstream in(path);
+    if (!in.good()) {
+      throw IoError("cannot open CSV file: " + path + " (" +
+                    std::strerror(errno) + ")");
+    }
+    if (explicit_schema) {
+      schema = explicit_schema;
+      return;
+    }
     // Infer from a sample of up to 100 data lines.
     std::string line;
     std::vector<std::string> names;
@@ -131,6 +143,12 @@ std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options)
         types[i] = MergeCellTypes(types[i], t);
       }
     }
+    if (in.bad()) {
+      // getline stops on error as well as EOF — without this check a read
+      // failure mid-sample would silently infer from a truncated prefix.
+      throw IoError("I/O error reading CSV file: " + path + " (" +
+                    std::strerror(errno) + ")");
+    }
     if (names.empty()) throw IoError("empty CSV file: " + path);
     types.resize(names.size(), DataType::String());
     std::vector<Field> fields;
@@ -140,7 +158,7 @@ std::shared_ptr<CsvRelation> CsvRelation::Open(const DataSourceOptions& options)
       fields.emplace_back(names[i], t);
     }
     schema = StructType::Make(std::move(fields));
-  }
+  });
 
   // Under an explicit PERMISSIVE mode the raw text of malformed records is
   // surfaced in an extra string column appended to the schema.
@@ -166,13 +184,20 @@ std::optional<uint64_t> CsvRelation::EstimatedSizeBytes() const {
 }
 
 std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
+  size_t data_fields = schema_->num_fields() - (corrupt_column_ >= 0 ? 1 : 0);
+  std::vector<Row> rows;
+  const FaultPointSet& faults = ctx.fault_points();
+  // The whole scan is one retry body: a transient open/read failure rereads
+  // the file from the top (rows are cleared first, so attempts are
+  // idempotent). Non-I/O failures — ParseError, cancellation — propagate.
+  RunWithIoRetry(ctx.io_retry_policy(), "scan CSV '" + path_ + "'", [&] {
+  rows.clear();
+  faults.MaybeFail("source.open", path_);
   std::ifstream in(path_);
   if (!in.good()) {
     throw IoError("cannot open CSV file: " + path_ + " (" +
                   std::strerror(errno) + ")");
   }
-  size_t data_fields = schema_->num_fields() - (corrupt_column_ >= 0 ? 1 : 0);
-  std::vector<Row> rows;
   std::string line;
   bool skip_header = header_;
   size_t line_no = 0;
@@ -186,6 +211,7 @@ std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
       continue;
     }
     ctx.CheckCancelledEvery(&cancel_check);
+    faults.MaybeFail("source.read", path_);
     auto cells = SplitCsvLine(line, delimiter_);
 
     // A record is malformed when its cell count does not match the schema
@@ -232,6 +258,12 @@ std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
     }
     rows.push_back(std::move(row));
   }
+  if (in.bad()) {
+    // A stream error ends getline exactly like EOF; unchecked, a file
+    // truncated or yanked mid-scan would return a silent partial result.
+    throw IoError("I/O error reading CSV file: " + path_ + " (" +
+                  std::strerror(errno) + ")");
+  }
   ctx.profile().Add(nullptr, ProfileCounter::kRowsScanned,
                     static_cast<int64_t>(rows.size()));
   ctx.profile().Add(nullptr, ProfileCounter::kRowsReturned,
@@ -240,6 +272,7 @@ std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
                     static_cast<int64_t>(malformed_count));
   ctx.profile().Add(nullptr, ProfileCounter::kRowsDropped,
                     static_cast<int64_t>(dropped));
+  });  // end retry body
   return rows;
 }
 

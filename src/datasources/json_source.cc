@@ -6,6 +6,7 @@
 #include <sstream>
 #include <sys/stat.h>
 
+#include "util/fault_points.h"
 #include "util/string_util.h"
 
 namespace ssql {
@@ -37,14 +38,28 @@ std::shared_ptr<JsonRelation> JsonRelation::Open(const DataSourceOptions& option
     corrupt_name = it->second;
   }
 
-  std::ifstream in(path);
-  if (!in.good()) {
-    throw IoError("cannot open JSON file: " + path + " (" +
-                  std::strerror(errno) + ")");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  // All of this source's file I/O happens here at Open() time (records are
+  // pre-parsed; ScanAll never touches the file), before any query exists —
+  // so transient failures use the process-global fault points/retry policy.
+  std::string text;
+  const std::shared_ptr<const FaultPointSet> faults = GlobalFaultPoints();
+  RunWithIoRetry(GlobalIoRetryPolicy(), "open JSON '" + path + "'", [&] {
+    faults->MaybeFail("source.open", path);
+    std::ifstream in(path);
+    if (!in.good()) {
+      throw IoError("cannot open JSON file: " + path + " (" +
+                    std::strerror(errno) + ")");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad() || buffer.fail()) {
+      // rdbuf() streaming swallows read errors; unchecked, a truncated read
+      // would silently parse (and infer a schema from) a partial file.
+      throw IoError("I/O error reading JSON file: " + path + " (" +
+                    std::strerror(errno) + ")");
+    }
+    text = buffer.str();
+  });
 
   auto records = std::make_shared<std::vector<JsonValue>>();
   std::vector<std::string> corrupt;

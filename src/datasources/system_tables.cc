@@ -68,6 +68,7 @@ SchemaPtr QueriesSchema() {
       Field("spill_bytes", DataType::Int64(), false),
       Field("peak_memory_bytes", DataType::Int64(), false),
       Field("error", DataType::String(), true),
+      Field("error_code", DataType::String(), true),
   });
 }
 
@@ -75,7 +76,7 @@ std::vector<Row> QueriesRows(QueryContext& ctx) {
   std::vector<Row> rows;
   for (const QueryRecord& r : ctx.engine().QueryRecords()) {
     Row row;
-    row.Reserve(8);
+    row.Reserve(9);
     row.Append(static_cast<int64_t>(r.id));
     row.Append(r.status);
     row.Append(r.start_unix_ms);
@@ -84,6 +85,7 @@ std::vector<Row> QueriesRows(QueryContext& ctx) {
     row.Append(r.spill_bytes);
     row.Append(r.peak_memory_bytes);
     row.Append(r.error.empty() ? Value() : Value(r.error));
+    row.Append(r.error_code.empty() ? Value() : Value(r.error_code));
     rows.push_back(std::move(row));
   }
   return rows;

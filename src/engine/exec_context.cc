@@ -34,8 +34,21 @@ void ValidateEngineConfig(const EngineConfig& config) {
   if (config.task_retry_backoff_ms < 0) {
     fail("task_retry_backoff_ms must be >= 0");
   }
+  if (config.io_max_retries < 0) {
+    fail("io_max_retries must be >= 0 (use 0 to disable I/O retries)");
+  }
+  if (config.io_retry_backoff_ms < 0) {
+    fail("io_retry_backoff_ms must be >= 0");
+  }
   if (config.max_concurrent_queries < 0) {
     fail("max_concurrent_queries must be >= 0 (use 0 for no admission gate)");
+  }
+  if (config.max_queued_queries < 0) {
+    fail("max_queued_queries must be >= 0 (use 0 for an unbounded queue)");
+  }
+  if (config.max_queued_queries > 0 && config.max_concurrent_queries == 0) {
+    fail("max_queued_queries without max_concurrent_queries is meaningless "
+         "(nothing ever queues when the gate is unlimited)");
   }
   if (config.total_memory_limit_bytes >= 0 &&
       config.query_memory_limit_bytes > config.total_memory_limit_bytes) {
@@ -55,9 +68,11 @@ void ValidateEngineConfig(const EngineConfig& config) {
       fail(e.what());
     }
   }
-  // Surface malformed specs now instead of when the first stage runs.
+  // Surface malformed specs now instead of when the first stage runs. The
+  // one spec carries both rule families; each parser validates its own.
   try {
     FaultInjector::Parse(config.fault_injection_spec);
+    FaultPointSet::Parse(config.fault_injection_spec);
   } catch (const ExecutionError& e) {
     fail(e.what());
   }
@@ -92,11 +107,6 @@ std::unordered_map<std::string, int64_t> Metrics::Snapshot() const {
 ExecContext::ExecContext(EngineConfig config)
     : config_((ValidateEngineConfig(config), config)),
       pool_(std::make_unique<ThreadPool>(config.num_threads)) {
-  engine_memory_.Configure(config_.total_memory_limit_bytes,
-                           config_.spill_enabled, /*profile=*/nullptr);
-  if (!config_.log_level.empty()) {
-    SetLogLevel(ParseLogLevel(config_.log_level));
-  }
   admission_wait_hist_ = &registry_.Histogram(
       "ssql_admission_wait_us",
       "Time queries waited behind the admission gate, microseconds");
@@ -110,8 +120,23 @@ ExecContext::ExecContext(EngineConfig config)
       &registry_.Counter("ssql_queries_failed_total", "Queries that errored");
   queries_cancelled_ = &registry_.Counter(
       "ssql_queries_cancelled_total", "Queries cancelled or timed out");
+  admission_rejected_ = &registry_.Counter(
+      "ssql_admission_rejected_total",
+      "Queries shed because the admission queue was full");
+  admission_timeouts_ = &registry_.Counter(
+      "ssql_admission_timeouts_total",
+      "Queries shed after waiting admission_timeout_ms behind the gate");
+  io_retries_ = &registry_.Counter(
+      "ssql_io_retries_total", "Transient I/O failures retried with backoff");
+  faults_injected_ = &registry_.Counter(
+      "ssql_faults_injected_total",
+      "Errors thrown by configured fault-injection points");
   active_queries_gauge_ =
       &registry_.Gauge("ssql_active_queries", "Queries currently executing");
+  spill_disk_used_gauge_ = &registry_.Gauge(
+      "ssql_spill_disk_used_bytes",
+      "Live spill bytes charged against spill_disk_limit_bytes");
+  ApplyConfigLocked();
 }
 
 ExecContext::~ExecContext() {
@@ -122,28 +147,52 @@ ExecContext::~ExecContext() {
   CancelAllQueries("engine shutdown");
   // Final scrape-file refresh so short-lived processes leave a dump behind.
   WriteMetricsFile();
+  // The fault-point set may outlive this engine through the process-global
+  // I/O hooks; its counter handle must not.
+  fault_points_->set_fired_counter(nullptr);
+}
+
+void ExecContext::ApplyConfigLocked() {
+  if (!config_.log_level.empty()) {
+    SetLogLevel(ParseLogLevel(config_.log_level));
+  }
+  engine_memory_.Configure(config_.total_memory_limit_bytes,
+                           config_.spill_enabled, /*profile=*/nullptr);
+  disk_quota_.Configure(config_.spill_disk_limit_bytes);
+  if (fault_points_) fault_points_->set_fired_counter(nullptr);
+  fault_points_ = std::make_shared<FaultPointSet>(
+      FaultPointSet::Parse(config_.fault_injection_spec));
+  fault_points_->set_fired_counter(faults_injected_);
+  // Open()-time I/O (schema inference before any query exists) uses these
+  // process-global hooks; like the logger, the last engine configured wins.
+  // The global on_retry only logs — it must not capture engine state, since
+  // the hooks can outlive this engine.
+  IoRetryPolicy global_policy;
+  global_policy.max_retries = config_.io_max_retries;
+  global_policy.backoff_ms = config_.io_retry_backoff_ms;
+  global_policy.on_retry = [](int retry, const std::string& error) {
+    LogEvent(LogLevel::kWarn, "io.retry",
+             {{"attempt", static_cast<int64_t>(retry)}, {"error", error}});
+  };
+  SetGlobalIoHooks(fault_points_, std::move(global_policy));
 }
 
 void ExecContext::SetConfig(const EngineConfig& config) {
   ValidateEngineConfig(config);
   std::unique_lock<std::mutex> lock(mu_);
-  if (!active_.empty() || serving_ != next_ticket_) {
+  if (!active_.empty() || !waiting_.empty()) {
     throw ExecutionError(
         "cannot change EngineConfig while " +
-        std::to_string(active_.size() + (next_ticket_ - serving_)) +
+        std::to_string(active_.size() + waiting_.size()) +
         " query(ies) are running or queued; wait for the engine to go idle");
   }
   bool pool_changed = config.num_threads != config_.num_threads;
   config_ = config;
-  engine_memory_.Configure(config_.total_memory_limit_bytes,
-                           config_.spill_enabled, /*profile=*/nullptr);
   if (pool_changed) {
     // Safe: no queries are running or queued, so the pool is idle.
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
-  if (!config_.log_level.empty()) {
-    SetLogLevel(ParseLogLevel(config_.log_level));
-  }
+  ApplyConfigLocked();
   // A shrunken retention applies immediately (oldest evicted first).
   while (finished_.size() > config_.finished_query_retention) {
     finished_.pop_front();
@@ -159,12 +208,43 @@ std::string ExecContext::spill_root() const {
 QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
   const int64_t wait_start_ns = TraceNowNs();
   std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t ticket = next_ticket_++;
-  admission_cv_.wait(lock, [&] {
-    size_t max = static_cast<size_t>(config_.max_concurrent_queries);
-    return ticket == serving_ && (max == 0 || active_.size() < max);
-  });
-  ++serving_;
+  fault_points_->MaybeFail("admission.enqueue", "BeginQuery");
+  const size_t max = static_cast<size_t>(config_.max_concurrent_queries);
+  auto slot_free = [&] { return max == 0 || active_.size() < max; };
+  // FIFO: even with a free slot, arrivals behind parked waiters must queue.
+  if (!waiting_.empty() || !slot_free()) {
+    if (config_.max_queued_queries > 0 &&
+        waiting_.size() >= static_cast<size_t>(config_.max_queued_queries)) {
+      admission_rejected_->Increment();
+      throw ResourceExhausted(
+          "admission queue full: " + std::to_string(waiting_.size()) +
+          " query(ies) already waiting (max_queued_queries=" +
+          std::to_string(config_.max_queued_queries) + "); shedding load");
+    }
+    const uint64_t ticket = next_ticket_++;
+    waiting_.push_back(ticket);
+    auto ready = [&] { return waiting_.front() == ticket && slot_free(); };
+    if (config_.admission_timeout_ms < 0) {
+      admission_cv_.wait(lock, ready);
+    } else {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(config_.admission_timeout_ms);
+      if (!admission_cv_.wait_until(lock, deadline, ready)) {
+        // Remove our ticket (the deque exists so an abandoning waiter CAN
+        // leave the line) and wake whoever is now at the front.
+        waiting_.erase(std::find(waiting_.begin(), waiting_.end(), ticket));
+        admission_timeouts_->Increment();
+        admission_cv_.notify_all();
+        throw ResourceExhausted(
+            "query admission timed out after " +
+            std::to_string(config_.admission_timeout_ms) +
+            " ms behind the admission gate (max_concurrent_queries=" +
+            std::to_string(config_.max_concurrent_queries) + ")");
+      }
+    }
+    waiting_.pop_front();
+  }
   admission_wait_hist_->Record((TraceNowNs() - wait_start_ns) / 1000);
   queries_started_->Increment();
   // Process-unique (not merely engine-unique): two SqlContexts in one
@@ -195,6 +275,14 @@ void ExecContext::EndQuery(QueryContext* query, QueryRecord record) {
   } else {
     queries_failed_->Increment();
   }
+  if (!record.error_code.empty()) {
+    // Per-taxonomy-code failure counters, e.g. ssql_errors_IO_ERROR_total.
+    registry_
+        .Counter("ssql_errors_" + record.error_code + "_total",
+                 "Queries failed with this error code")
+        .Increment();
+  }
+  spill_disk_used_gauge_->Set(disk_quota_.used_bytes());
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Removal and retirement under one lock: a concurrent QueryRecords()
@@ -267,8 +355,11 @@ void ExecContext::WriteMetricsFile() {
   if (config_.metrics_path.empty()) return;
   std::lock_guard<std::mutex> lock(metrics_file_mu_);
   try {
+    fault_points_->MaybeFail("metrics.snapshot", config_.metrics_path);
     WriteTextFile(config_.metrics_path, ExportMetricsText());
-  } catch (const SsqlError& e) {
+  } catch (const std::exception& e) {
+    // Telemetry must never fail a query — even an injected enospc here is
+    // absorbed into a warning.
     LogEvent(LogLevel::kWarn, "metrics.write_failed",
              {{"path", config_.metrics_path}, {"error", e.what()}});
   }

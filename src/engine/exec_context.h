@@ -18,6 +18,7 @@
 #include "engine/query_profile.h"
 #include "engine/task_runner.h"
 #include "util/metrics_registry.h"
+#include "util/spill_file.h"
 #include "util/thread_pool.h"
 
 namespace ssql {
@@ -67,9 +68,25 @@ struct EngineConfig {
   /// The clock starts when the query is admitted, not while it queues
   /// behind the admission gate.
   int64_t query_timeout_ms = -1;
-  /// Deterministic fault injection for testing/benching the retry paths:
-  /// "<stage>:<partition>:<attempt>[-<last>]" entries, comma-separated
-  /// ("*" matches any stage). Empty = disabled. See FaultInjector.
+  /// Extra attempts per data-source open/read and other I/O boundaries that
+  /// fail with a transient IoError/RetryableError, before the failure
+  /// becomes fatal (and, on a task boundary, possibly task-retried too).
+  /// 0 disables I/O retries.
+  int io_max_retries = 2;
+  /// Base backoff between I/O retry attempts; doubles per attempt (capped)
+  /// plus deterministic jitter in [0, io_retry_backoff_ms].
+  int io_retry_backoff_ms = 1;
+  /// Deterministic fault injection for testing/benching the failure paths.
+  /// Two comma-separated rule families share this one spec:
+  ///   * task rules "<stage>:<partition>:<attempt>[-<last>]" fail whole
+  ///     partition attempts with RetryableError (see FaultInjector);
+  ///   * site rules "<site>=<trigger>[:<kind>]" fire at named I/O fault
+  ///     points — spill.write, spill.read, source.open, source.read,
+  ///     metrics.snapshot, admission.enqueue, trace.write — with trigger
+  ///     "*" | "n<first>[-<last>]" | "p<probability>" and kind
+  ///     retryable|io|enospc; "seed=<N>" makes the probability mode
+  ///     deterministic (see FaultPointSet).
+  /// Empty = disabled.
   std::string fault_injection_spec;
   /// Per-query memory budget shared by all blocking operators (hash
   /// aggregation maps, sort run buffers, hash-join build sides) across all
@@ -89,6 +106,21 @@ struct EngineConfig {
   /// frees up, so a burst degrades to waiting rather than to memory
   /// exhaustion. 0 = unlimited (no gate).
   int max_concurrent_queries = 0;
+  /// Longest a BeginQuery caller waits behind the admission gate before the
+  /// engine sheds it with ResourceExhausted instead of blocking forever.
+  /// Negative = wait indefinitely (the pre-overload-shedding behaviour).
+  int64_t admission_timeout_ms = -1;
+  /// At most this many queries may be queued behind the admission gate;
+  /// arrivals past the cap are refused immediately with ResourceExhausted
+  /// (bounding both caller threads parked in BeginQuery and the burst the
+  /// engine will eventually have to serve). 0 = unbounded queue.
+  int max_queued_queries = 0;
+  /// Engine-wide cap on bytes of live spill files summed over every
+  /// concurrently running query, the disk analogue of
+  /// total_memory_limit_bytes: exhaustion fails only the query that needed
+  /// more disk (with ResourceExhausted naming its stage) while siblings
+  /// keep their spill and keep running. Negative = unlimited (the default).
+  int64_t spill_disk_limit_bytes = -1;
   /// Allow blocking operators to fall back to disk when over budget:
   /// external hash aggregation, external sort runs, Grace hash join.
   bool spill_enabled = true;
@@ -188,6 +220,9 @@ struct QueryRecord {
   int64_t spill_bytes = 0;
   int64_t peak_memory_bytes = 0;
   std::string error;  // empty unless ERROR/CANCELLED/ABANDONED
+  /// Structured taxonomy of the failure (ErrorCodeName: "IO_ERROR",
+  /// "RESOURCE_EXHAUSTED", ...); empty unless status is ERROR.
+  std::string error_code;
   std::vector<QueryProfile::OperatorActual> operators;  // finished only
 };
 
@@ -243,6 +278,16 @@ class ExecContext {
   /// that per-query budgets draw from.
   MemoryManager& engine_memory() { return engine_memory_; }
 
+  /// The engine-wide spill-disk pool (EngineConfig::spill_disk_limit_bytes)
+  /// that per-query DiskQuotas are parented to.
+  DiskQuota& disk_quota() { return disk_quota_; }
+  const DiskQuota& disk_quota() const { return disk_quota_; }
+
+  /// The engine's site-based fault injector, parsed once from
+  /// EngineConfig::fault_injection_spec (shared by every query: hit
+  /// counters are engine-wide). Never null.
+  const FaultPointSet& fault_points() const { return *fault_points_; }
+
   /// Root scratch directory for spill files (config.spill_dir, or a default
   /// under the system temp directory). Queries spill into per-query
   /// subdirectories beneath it — see QueryContext::spill_dir().
@@ -294,11 +339,19 @@ class ExecContext {
 
   void WriteMetricsFile();
 
+  /// Installs the fault-point set, disk pool, gauges and process-global I/O
+  /// hooks for the current config_. Shared by the constructor and SetConfig.
+  void ApplyConfigLocked();
+
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
   MetricsRegistry registry_;
   MemoryManager engine_memory_;
+  DiskQuota disk_quota_;
+  // shared_ptr so the process-global Open-time I/O hooks (see
+  // SetGlobalIoHooks) can outlive this engine safely.
+  std::shared_ptr<FaultPointSet> fault_points_;
 
   // Hot-path instrument handles, resolved once at construction.
   HistogramMetric* admission_wait_hist_ = nullptr;
@@ -307,17 +360,24 @@ class ExecContext {
   CounterMetric* queries_finished_ = nullptr;
   CounterMetric* queries_failed_ = nullptr;
   CounterMetric* queries_cancelled_ = nullptr;
+  CounterMetric* admission_rejected_ = nullptr;
+  CounterMetric* admission_timeouts_ = nullptr;
+  CounterMetric* io_retries_ = nullptr;
+  CounterMetric* faults_injected_ = nullptr;
   GaugeMetric* active_queries_gauge_ = nullptr;
+  GaugeMetric* spill_disk_used_gauge_ = nullptr;
 
   std::mutex metrics_file_mu_;  // serializes metrics_path rewrites
 
-  // Admission gate + active-query registry. `serving_` / `next_ticket_`
-  // implement FIFO ordering: a caller is admitted only when its ticket is
-  // up AND a slot is free, so later arrivals cannot jump the queue.
+  // Admission gate + active-query registry. `waiting_` holds the tickets of
+  // parked BeginQuery callers in arrival order: a caller is admitted only
+  // when its ticket is at the front AND a slot is free, so later arrivals
+  // cannot jump the queue — and a timed-out caller removes its ticket,
+  // which is why this is a deque rather than the old served/next counters.
   mutable std::mutex mu_;
   std::condition_variable admission_cv_;
   uint64_t next_ticket_ = 0;
-  uint64_t serving_ = 0;
+  std::deque<uint64_t> waiting_;
   std::vector<QueryContext*> active_;
   std::deque<QueryRecord> finished_;  // ring buffer, oldest first
 };

@@ -32,6 +32,9 @@ QueryContext::QueryContext(ExecContext& engine, uint64_t query_id,
       std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
   memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
                     profile_.get(), &engine_.engine_memory());
+  // Per-query disk level (unlimited; attribution only) over the engine-wide
+  // spill_disk_limit_bytes pool — the disk mirror of the memory setup above.
+  disk_.Configure(/*limit_bytes=*/-1, &engine_.disk_quota());
   // The timeout clock starts at admission: time spent queued behind the
   // admission gate does not count against the query's wall-clock budget.
   cancellation_->SetTimeout(config_.query_timeout_ms);
@@ -57,6 +60,39 @@ std::string QueryContext::spill_dir() const {
       .string();
 }
 
+SpillFile QueryContext::MakeSpillFile(const std::string& prefix) {
+  SpillFile::Hooks hooks;
+  hooks.faults = &engine_.fault_points();
+  hooks.quota = &disk_;
+  hooks.consumer = prefix;
+  return SpillFile(spill_dir(), prefix, std::move(hooks));
+}
+
+IoRetryPolicy QueryContext::io_retry_policy() {
+  IoRetryPolicy policy;
+  policy.max_retries = config_.io_max_retries;
+  policy.backoff_ms = config_.io_retry_backoff_ms;
+  policy.jitter_seed = query_id_;
+  // Safe captures: partition tasks (the only users) always finish before
+  // this QueryContext or its engine are torn down.
+  const uint64_t id = query_id_;
+  Metrics* metrics = &metrics_;
+  MetricsRegistry* registry = &engine_.registry();
+  policy.on_retry = [id, metrics, registry](int retry,
+                                            const std::string& error) {
+    metrics->Add("io.retries", 1);
+    registry
+        ->Counter("ssql_io_retries_total",
+                  "Transient I/O failures retried with backoff")
+        .Increment();
+    LogEvent(LogLevel::kWarn, "io.retry",
+             {{"query", id},
+              {"attempt", static_cast<int64_t>(retry)},
+              {"error", error}});
+  };
+  return policy;
+}
+
 std::string ResolveTracePath(const std::string& base, uint64_t query_id) {
   const std::string suffix = "-q" + std::to_string(query_id);
   const size_t slash = base.find_last_of('/');
@@ -67,7 +103,7 @@ std::string ResolveTracePath(const std::string& base, uint64_t query_id) {
   return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
-void QueryContext::Finish(const std::string& status) {
+void QueryContext::Finish(const std::string& status, ErrorCode code) {
   bool expected = false;
   if (!finished_.compare_exchange_strong(expected, true,
                                          std::memory_order_acq_rel)) {
@@ -77,10 +113,12 @@ void QueryContext::Finish(const std::string& status) {
   if (!config_.trace_path.empty()) {
     const std::string path = ResolveTracePath(config_.trace_path, query_id_);
     try {
+      engine_.fault_points().MaybeFail("trace.write", path);
       WriteTextFile(path, profile_->ToChromeTraceJson());
       LogEvent(LogLevel::kInfo, "trace.written",
                {{"query", query_id_}, {"path", path}});
-    } catch (const SsqlError& e) {
+    } catch (const std::exception& e) {
+      // Observability must not fail the query; injected faults included.
       LogEvent(LogLevel::kWarn, "trace.write_failed",
                {{"query", query_id_}, {"path", path}, {"error", e.what()}});
     }
@@ -113,6 +151,12 @@ void QueryContext::Finish(const std::string& status) {
   } else {
     record.status = "ERROR";
     record.error = status;
+    // Structured taxonomy alongside the free-text message. Callers that
+    // caught an SsqlError pass its code; anything else reads as a plain
+    // execution error.
+    record.error_code =
+        ErrorCodeName(code == ErrorCode::kOk ? ErrorCode::kExecutionError
+                                             : code);
   }
   record.start_unix_ms = start_unix_ms_;
   record.duration_ms = ElapsedMs();

@@ -103,6 +103,28 @@ class QueryContext {
   /// is safe precisely because no other query ever writes here.
   std::string spill_dir() const;
 
+  /// This query's disk-quota level, parented to the engine-wide pool: what
+  /// every spill file created via MakeSpillFile charges.
+  DiskQuota& disk_quota() { return disk_; }
+  const DiskQuota& disk_quota() const { return disk_; }
+
+  /// Creates a spill file in this query's spill namespace with the engine's
+  /// fault points and this query's disk quota attached; `prefix` doubles as
+  /// the stage/consumer name a quota-exhaustion error reports. All operator
+  /// spill paths go through here so every spill write is charged and
+  /// injectable.
+  SpillFile MakeSpillFile(const std::string& prefix);
+
+  /// The engine's fault-point set (site-based injection), shared by every
+  /// query so hit windows span concurrent queries.
+  const FaultPointSet& fault_points() const { return engine_.fault_points(); }
+
+  /// I/O retry policy for this query's source reads: the config's
+  /// io_max_retries / io_retry_backoff_ms with jitter seeded by the query id
+  /// and an on_retry observer that bumps this query's "io.retries" metric,
+  /// the engine counter, and logs.
+  IoRetryPolicy io_retry_policy();
+
   /// Closes the profile (stamping unfinished spans with `status`), writes
   /// the trace file if config.trace_path is set (suffixed with the query
   /// id), logs a "query.slow" event when the query exceeded
@@ -111,7 +133,13 @@ class QueryContext {
   /// the engine's finished ring (releasing the admission slot). Idempotent;
   /// IO failures writing the trace are logged, never thrown (observability
   /// must not fail the query).
-  void Finish(const std::string& status);
+  void Finish(const std::string& status) { Finish(status, ErrorCode::kOk); }
+
+  /// As above, additionally recording the structured taxonomy code of the
+  /// failure (system.queries' error_code column, per-code engine counters).
+  /// Pass kOk for non-failures; generic non-SsqlError failures record
+  /// EXECUTION_ERROR via kExecutionError.
+  void Finish(const std::string& status, ErrorCode code);
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
@@ -128,6 +156,7 @@ class QueryContext {
   std::unique_ptr<QueryProfile> profile_;
   CancellationTokenPtr cancellation_;
   MemoryManager memory_;
+  DiskQuota disk_;  // per-query level over the engine pool
   std::atomic<bool> finished_{false};
 };
 

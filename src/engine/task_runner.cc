@@ -69,6 +69,9 @@ FaultInjector FaultInjector::Parse(const std::string& spec) {
   for (const std::string& entry : Split(spec, ',')) {
     std::string_view trimmed = Trim(entry);
     if (trimmed.empty()) continue;
+    // Site rules ("<site>=<trigger>[:<kind>]", incl. "seed=<N>") belong to
+    // FaultPointSet; the two rule families share one spec string.
+    if (trimmed.find('=') != std::string_view::npos) continue;
     std::vector<std::string> parts = Split(std::string(trimmed), ':');
     int64_t partition = -1, first = -1, last = -1;
     bool ok = parts.size() == 3 && !parts[0].empty() &&
@@ -126,14 +129,16 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
     std::atomic<bool> abort{false};
     std::mutex mu;
     std::vector<std::string> errors;  // "partition N: what happened"
+    ErrorCode code = ErrorCode::kOk;  // first failure's taxonomy code
   };
   auto state = std::make_shared<StageState>();
 
   auto record_failure = [&](ProfileSpan* task_span, size_t partition,
-                            const std::string& what) {
+                            const std::string& what, ErrorCode code) {
     profile.Add(task_span, ProfileCounter::kFailures, 1);
     state->abort.store(true, std::memory_order_release);
     std::lock_guard<std::mutex> lock(state->mu);
+    if (state->errors.empty()) state->code = code;
     state->errors.push_back("partition " + std::to_string(partition) + ": " +
                             what);
   };
@@ -168,7 +173,8 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
           if (attempt >= max_retries) {
             record_failure(task_span, p,
                            std::string(e.what()) + " (gave up after " +
-                               std::to_string(attempt + 1) + " attempts)");
+                               std::to_string(attempt + 1) + " attempts)",
+                           e.code());
             profile.EndSpan(task_span, std::string("error: ") + e.what());
             return;
           }
@@ -185,11 +191,13 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
                 std::chrono::milliseconds(backoff_ms << shift));
           }
         } catch (const std::exception& e) {
-          record_failure(task_span, p, e.what());
+          record_failure(task_span, p, e.what(),
+                         Status::FromException(e).code());
           profile.EndSpan(task_span, std::string("error: ") + e.what());
           return;
         } catch (...) {
-          record_failure(task_span, p, "unknown error");
+          record_failure(task_span, p, "unknown error",
+                         ErrorCode::kExecutionError);
           profile.EndSpan(task_span, "error: unknown");
           return;
         }
@@ -215,7 +223,14 @@ void TaskRunner::RunStage(const std::string& stage, size_t num_partitions,
                         " task(s) failed";
   for (const std::string& err : state->errors) message += "\n  " + err;
   profile.EndSpan(stage_span, "error: " + message);
-  throw ExecutionError(message);
+  // Rethrow with the first failed task's taxonomy code, so a typed error
+  // (ResourceExhausted from the disk quota, IoError from a dead source)
+  // keeps its category across the stage boundary and lands in
+  // system.queries' error_code column intact.
+  Status(state->code == ErrorCode::kOk ? ErrorCode::kExecutionError
+                                       : state->code,
+         message)
+      .ThrowIfError();
 }
 
 }  // namespace ssql

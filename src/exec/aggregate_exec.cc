@@ -168,7 +168,7 @@ class SpillingGroupMap {
       ctx_.CheckCancelledEvery(&cancel_check);
       size_t b = MixHash64(GroupKeyHash{}(key)) % kAggSpillFanout;
       if (!spill_buckets_[b]) {
-        spill_buckets_[b].emplace(ctx_.spill_dir(), consumer_);
+        spill_buckets_[b].emplace(ctx_.MakeSpillFile(consumer_));
         ++files_created;
       }
       Row row;

@@ -328,8 +328,8 @@ RowDataset ShuffleHashJoinExec::ExecuteImpl(QueryContext& ctx) const {
             MixHash64(JoinKeyHash{}(EvalKey(row, keys))) % kJoinSpillFanout;
         auto& file = build_side ? buckets[b].build : buckets[b].probe;
         if (!file) {
-          file.emplace(ctx.spill_dir(),
-                       build_side ? "join-build" : "join-probe");
+          file.emplace(
+              ctx.MakeSpillFile(build_side ? "join-build" : "join-probe"));
           ++files_created;
         }
         wrote += file->Append(row);

@@ -77,7 +77,7 @@ std::shared_ptr<RowPartition> SortExec::ExternalSortPartition(
   int64_t used = 0;
   auto spill_run = [&] {
     std::stable_sort(buffer.begin(), buffer.end(), task_less);
-    SpillFile run(ctx.spill_dir(), "sort");
+    SpillFile run = ctx.MakeSpillFile("sort");
     int64_t wrote = 0;
     for (const Row& r : buffer) wrote += run.Append(r);
     run.FinishWrites();

@@ -213,7 +213,48 @@ uint64_t MixHash64(uint64_t h) {
   return h ^ (h >> 31);
 }
 
-SpillFile::SpillFile(const std::string& dir, const std::string& prefix) {
+void DiskQuota::Configure(int64_t limit_bytes, DiskQuota* parent) {
+  limit_.store(limit_bytes < 0 ? -1 : limit_bytes, std::memory_order_relaxed);
+  used_.store(0, std::memory_order_relaxed);
+  parent_ = parent;
+}
+
+bool DiskQuota::TryCharge(int64_t bytes) {
+  if (bytes <= 0) return true;
+  int64_t limit = limit_.load(std::memory_order_relaxed);
+  int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit >= 0 && now > limit) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  if (parent_ != nullptr && !parent_->TryCharge(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void DiskQuota::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+namespace {
+
+///// Quota-charge granularity: amortizes the (shared, engine-wide) quota
+/// atomics over many small row appends, like kMemoryReserveChunkBytes does
+/// for the memory pool.
+constexpr int64_t kDiskChargeChunkBytes = 256 * 1024;
+
+}  // namespace
+
+SpillFile::SpillFile(const std::string& dir, const std::string& prefix)
+    : SpillFile(dir, prefix, Hooks()) {}
+
+SpillFile::SpillFile(const std::string& dir, const std::string& prefix,
+                     Hooks hooks)
+    : hooks_(std::move(hooks)) {
   static std::atomic<uint64_t> counter{0};
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -233,32 +274,79 @@ SpillFile::~SpillFile() {
   if (out_.is_open()) out_.close();
   std::error_code ec;
   std::filesystem::remove(path_, ec);  // best effort; never throws
+  if (hooks_.quota != nullptr) hooks_.quota->Release(charged_);
+}
+
+void SpillFile::ChargeQuota() {
+  if (hooks_.quota == nullptr || bytes_ <= charged_) return;
+  // Round the deficit up to whole chunks so per-row appends settle into one
+  // quota touch every kDiskChargeChunkBytes of spill.
+  int64_t deficit = bytes_ - charged_;
+  int64_t chunks = (deficit + kDiskChargeChunkBytes - 1) / kDiskChargeChunkBytes;
+  int64_t grant = chunks * kDiskChargeChunkBytes;
+  if (!hooks_.quota->TryCharge(grant)) {
+    // Exact deficit as the fallback before giving up, so a nearly-full
+    // quota still admits the tail of a run.
+    grant = deficit;
+    if (!hooks_.quota->TryCharge(grant)) {
+      const std::string stage =
+          hooks_.consumer.empty() ? "spill" : hooks_.consumer;
+      // Report the level whose limit was actually hit (the engine-wide pool
+      // for a default per-query quota, which itself is unlimited).
+      const DiskQuota* limiting = hooks_.quota->LimitingLevel();
+      const int64_t used = limiting ? limiting->used_bytes() : 0;
+      const int64_t limit = limiting ? limiting->limit_bytes() : 0;
+      throw ResourceExhausted(
+          "spill disk quota exhausted in stage '" + stage + "' writing '" +
+          path_ + "': " + std::to_string(used) +
+          " bytes of spill live against a limit of " + std::to_string(limit) +
+          " (raise EngineConfig::spill_disk_limit_bytes or reduce "
+          "concurrency)");
+    }
+  }
+  charged_ += grant;
 }
 
 int64_t SpillFile::Append(const Row& row) {
+  if (hooks_.faults != nullptr) hooks_.faults->MaybeFail("spill.write", path_);
+  if (!out_) {
+    throw IoError("spill file '" + path_ +
+                  "' is in a failed state (earlier write error?)");
+  }
   buffer_.clear();
   PutRaw(&buffer_, static_cast<uint32_t>(row.size()));
   for (const Value& v : row.values()) SerializeValue(v, &buffer_);
+  // Charge the quota before the bytes land so exhaustion fails the append
+  // without growing the file past the budget.
+  bytes_ += static_cast<int64_t>(buffer_.size());
+  ChargeQuota();
   out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
   if (!out_) {
     throw IoError("write to spill file '" + path_ + "' failed (disk full?)");
   }
   ++rows_;
-  bytes_ += static_cast<int64_t>(buffer_.size());
   return static_cast<int64_t>(buffer_.size());
 }
 
 void SpillFile::FinishWrites() {
   if (!out_.is_open()) return;
+  if (hooks_.faults != nullptr) hooks_.faults->MaybeFail("spill.write", path_);
   out_.flush();
   if (!out_) {
     throw IoError("flush of spill file '" + path_ + "' failed (disk full?)");
   }
   out_.close();
+  if (out_.fail()) {
+    throw IoError("close of spill file '" + path_ +
+                  "' failed (deferred write error?)");
+  }
 }
 
 SpillFile::Reader::Reader(const SpillFile& file)
-    : path_(file.path()), remaining_(file.row_count()) {
+    : path_(file.path()),
+      remaining_(file.row_count()),
+      faults_(file.hooks_.faults) {
+  if (faults_ != nullptr) faults_->MaybeFail("spill.read", path_);
   in_.open(path_, std::ios::binary);
   if (!in_) {
     throw IoError("cannot open spill file '" + path_ + "' for reading");
@@ -267,6 +355,7 @@ SpillFile::Reader::Reader(const SpillFile& file)
 
 bool SpillFile::Reader::Next(Row* row) {
   if (remaining_ == 0) return false;
+  if (faults_ != nullptr) faults_->MaybeFail("spill.read", path_);
   --remaining_;
   uint32_t n = ReadRaw<uint32_t>(&in_, path_);
   Row out;

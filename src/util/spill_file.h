@@ -1,11 +1,13 @@
 #ifndef SSQL_UTIL_SPILL_FILE_H_
 #define SSQL_UTIL_SPILL_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <string>
 
 #include "types/row.h"
+#include "util/fault_points.h"
 
 namespace ssql {
 
@@ -21,6 +23,45 @@ int64_t EstimateRowBytes(const Row& row);
 /// decorrelates the two modular slices.
 uint64_t MixHash64(uint64_t h);
 
+/// Byte budget for live spill files, the disk analogue of MemoryManager:
+/// two levels, an engine-wide pool (EngineConfig::spill_disk_limit_bytes)
+/// that every query's charges are carved from via `parent`, and a per-query
+/// level (unlimited by default) for attribution. A denied charge means the
+/// spill substrate itself is exhausted — the caller surfaces
+/// ResourceExhausted naming its stage, that one query fails cleanly, and
+/// siblings keep their already-charged bytes and keep running. Charges are
+/// released as spill files are deleted (RAII), so a failed or cancelled
+/// query automatically returns its disk the way it returns its memory.
+class DiskQuota {
+ public:
+  /// (Re)arms the budget; `limit_bytes < 0` = unlimited.
+  void Configure(int64_t limit_bytes, DiskQuota* parent = nullptr);
+
+  /// Tries to charge `bytes` against this level and every ancestor; false
+  /// (with full rollback) when any level would exceed its limit.
+  bool TryCharge(int64_t bytes);
+
+  void Release(int64_t bytes);
+
+  int64_t limit_bytes() const { return limit_.load(std::memory_order_relaxed); }
+  int64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+
+  /// The nearest level (this or an ancestor) with a finite limit — the one
+  /// a denied charge actually hit, for error messages. Null when every
+  /// level is unlimited (in which case TryCharge can never fail).
+  const DiskQuota* LimitingLevel() const {
+    for (const DiskQuota* q = this; q != nullptr; q = q->parent_) {
+      if (q->limit_bytes() >= 0) return q;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::atomic<int64_t> limit_{-1};
+  std::atomic<int64_t> used_{0};
+  DiskQuota* parent_ = nullptr;
+};
+
 /// A temporary on-disk run of serialized rows, RAII-managed: the backing
 /// file is created uniquely named under `dir` (created if missing) and is
 /// deleted by the destructor — on success, error and cancellation unwinds
@@ -30,28 +71,50 @@ uint64_t MixHash64(uint64_t h);
 /// more Readers. The serialization is a self-describing tag+payload binary
 /// format covering every Value alternative except opaque UDT objects
 /// (which cannot be spilled and raise ExecutionError).
+///
+/// Every write and flush checks the stream's failure bits and surfaces
+/// IoError naming the path and operation — a full disk must fail the query
+/// loudly, never truncate a run that reads back as silent wrong answers.
 class SpillFile {
  public:
+  /// Optional I/O instrumentation threaded in by QueryContext::MakeSpillFile:
+  /// the engine's fault-point set (sites "spill.write" / "spill.read"), the
+  /// query's disk quota, and the consumer label ("agg-partial", "sort",
+  /// "join-build") that exhaustion errors name as the stage.
+  struct Hooks {
+    const FaultPointSet* faults = nullptr;
+    DiskQuota* quota = nullptr;
+    std::string consumer;
+  };
+
   /// Creates and opens the file; throws IoError if the directory cannot be
-  /// created or the file cannot be opened.
+  /// created or the file cannot be opened. (Two overloads, not a default
+  /// argument: a nested-class NSDMI default inside the enclosing class
+  /// trips GCC's incomplete-class rule.)
   SpillFile(const std::string& dir, const std::string& prefix);
+  SpillFile(const std::string& dir, const std::string& prefix, Hooks hooks);
   ~SpillFile();
 
   SpillFile(SpillFile&& other) noexcept
       : path_(std::move(other.path_)),
         out_(std::move(other.out_)),
         rows_(other.rows_),
-        bytes_(other.bytes_) {
+        bytes_(other.bytes_),
+        charged_(other.charged_),
+        hooks_(std::move(other.hooks_)) {
     other.path_.clear();  // moved-from state must not delete the file
+    other.charged_ = 0;   // ... nor release the quota charge
   }
   SpillFile& operator=(SpillFile&& other) = delete;
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
-  /// Appends one row; returns the number of bytes written.
+  /// Appends one row; returns the number of bytes written. Throws IoError
+  /// on any stream failure and ResourceExhausted when the disk quota is.
   int64_t Append(const Row& row);
 
-  /// Flushes and closes the write stream; must precede any Reader.
+  /// Flushes and closes the write stream; must precede any Reader. Throws
+  /// IoError if the flush or close fails (deferred ENOSPC surfaces here).
   void FinishWrites();
 
   size_t row_count() const { return rows_; }
@@ -63,20 +126,28 @@ class SpillFile {
   class Reader {
    public:
     explicit Reader(const SpillFile& file);
-    /// Reads the next row into `*row`; false at end-of-file.
+    /// Reads the next row into `*row`; false at end-of-file. Throws IoError
+    /// on truncation or corruption — a short file is an error, not an EOF.
     bool Next(Row* row);
 
    private:
     std::ifstream in_;
     std::string path_;  // for error messages
     size_t remaining_;
+    const FaultPointSet* faults_;
   };
 
  private:
+  /// Charges the quota for growth up to `bytes_`, in chunks so the shared
+  /// engine-level atomics are not hit on every row.
+  void ChargeQuota();
+
   std::string path_;
   std::ofstream out_;
   size_t rows_ = 0;
   int64_t bytes_ = 0;
+  int64_t charged_ = 0;  // quota bytes held; >= bytes_ while open
+  Hooks hooks_;
   std::string buffer_;  // per-Append scratch, reused across calls
 };
 

@@ -2,33 +2,38 @@
 
 namespace ssql {
 
-namespace {
-
-const char* CodeName(ErrorCode code) {
+const char* ErrorCodeName(ErrorCode code) {
   switch (code) {
     case ErrorCode::kOk:
       return "OK";
     case ErrorCode::kAnalysisError:
-      return "AnalysisError";
+      return "ANALYSIS_ERROR";
     case ErrorCode::kParseError:
-      return "ParseError";
+      return "PARSE_ERROR";
     case ErrorCode::kExecutionError:
-      return "ExecutionError";
+      return "EXECUTION_ERROR";
     case ErrorCode::kIoError:
-      return "IoError";
+      return "IO_ERROR";
     case ErrorCode::kInvalidArgument:
-      return "InvalidArgument";
+      return "INVALID_ARGUMENT";
     case ErrorCode::kNotImplemented:
-      return "NotImplemented";
+      return "NOT_IMPLEMENTED";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
-  return "Unknown";
+  return "UNKNOWN";
 }
-
-}  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  return std::string(CodeName(code_)) + ": " + message_;
+  return std::string(ErrorCodeName(code_)) + ": " + message_;
+}
+
+Status Status::FromException(const std::exception& e) {
+  if (const auto* ssql = dynamic_cast<const SsqlError*>(&e)) {
+    return Status(ssql->code(), ssql->what());
+  }
+  return Status(ErrorCode::kExecutionError, e.what());
 }
 
 void Status::ThrowIfError() const {
@@ -43,11 +48,16 @@ void Status::ThrowIfError() const {
       throw ::ssql::ParseError(message_);
     case ErrorCode::kIoError:
       throw ::ssql::IoError(message_);
-    case ErrorCode::kExecutionError:
     case ErrorCode::kInvalidArgument:
+      throw ::ssql::InvalidArgumentError(message_);
     case ErrorCode::kNotImplemented:
-      throw ::ssql::ExecutionError(ToString());
+      throw ::ssql::NotImplementedError(message_);
+    case ErrorCode::kResourceExhausted:
+      throw ::ssql::ResourceExhausted(message_);
+    case ErrorCode::kExecutionError:
+      throw ::ssql::ExecutionError(message_);
   }
+  throw ::ssql::ExecutionError(ToString());
 }
 
 }  // namespace ssql

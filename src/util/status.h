@@ -7,16 +7,26 @@
 
 namespace ssql {
 
-/// Error category for failures surfaced by the library.
+/// Error category for failures surfaced by the library. Every code maps to
+/// exactly one exception type below (Status::ThrowIfError throws it;
+/// SsqlError::code() recovers it), so callers can round-trip an error
+/// through a Status or across a serialization boundary without losing its
+/// category — the contract system.queries' error_code column relies on.
 enum class ErrorCode {
   kOk = 0,
-  kAnalysisError,    // name resolution / type checking failures
-  kParseError,       // SQL syntax errors
-  kExecutionError,   // runtime failures while executing a plan
-  kIoError,          // file / data source failures
-  kInvalidArgument,  // bad API usage
+  kAnalysisError,       // name resolution / type checking failures
+  kParseError,          // SQL syntax errors
+  kExecutionError,      // runtime failures while executing a plan
+  kIoError,             // file / data source failures
+  kInvalidArgument,     // bad API usage
   kNotImplemented,
+  kResourceExhausted,   // quota/overload shedding: disk quota, admission
 };
+
+/// Stable upper-snake name of a code ("IO_ERROR", "RESOURCE_EXHAUSTED", ...)
+/// — the value of the system.queries error_code column and the suffix of the
+/// per-code ssql_query_errors_* counters.
+const char* ErrorCodeName(ErrorCode code);
 
 /// Lightweight status object. Functions that can fail either return a
 /// Status/Result or throw the corresponding exception type below; the
@@ -47,6 +57,13 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(ErrorCode::kNotImplemented, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(ErrorCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// The inverse of ThrowIfError: captures an exception as a Status with
+  /// its original code (SsqlError) or kExecutionError (anything else).
+  static Status FromException(const std::exception& e);
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }
@@ -92,6 +109,12 @@ class ExecutionError : public SsqlError {
  public:
   explicit ExecutionError(const std::string& message)
       : SsqlError(ErrorCode::kExecutionError, message) {}
+
+ protected:
+  /// For subtypes that refine the category (ResourceExhausted) while staying
+  /// catchable as ExecutionError at existing handler sites.
+  ExecutionError(ErrorCode code, const std::string& message)
+      : SsqlError(code, message) {}
 };
 
 /// An ExecutionError subtype marking transient failures eligible for
@@ -109,6 +132,32 @@ class IoError : public SsqlError {
  public:
   explicit IoError(const std::string& message)
       : SsqlError(ErrorCode::kIoError, message) {}
+};
+
+/// Thrown on bad API usage detected at a library boundary.
+class InvalidArgumentError : public SsqlError {
+ public:
+  explicit InvalidArgumentError(const std::string& message)
+      : SsqlError(ErrorCode::kInvalidArgument, message) {}
+};
+
+/// Thrown for features the engine does not (yet) support.
+class NotImplementedError : public SsqlError {
+ public:
+  explicit NotImplementedError(const std::string& message)
+      : SsqlError(ErrorCode::kNotImplemented, message) {}
+};
+
+/// Thrown when the engine sheds load instead of degrading for everyone:
+/// spill disk quota exhausted, admission queue full, admission wait past
+/// admission_timeout_ms. Deliberately NOT retryable at task granularity —
+/// the resource will not free up within a task backoff window — and not an
+/// IoError, so the source-level I/O retry loop does not spin on it either.
+/// Subtypes ExecutionError so pre-taxonomy handler sites keep working.
+class ResourceExhausted : public ExecutionError {
+ public:
+  explicit ResourceExhausted(const std::string& message)
+      : ExecutionError(ErrorCode::kResourceExhausted, message) {}
 };
 
 }  // namespace ssql

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 
 #include "api/sql_context.h"
@@ -346,6 +347,166 @@ TEST(SchemaStringTest, ParseSchemaString) {
   EXPECT_EQ(AsDecimal(*s->field(6).type).precision(), 7);
   EXPECT_THROW(ParseSchemaString("a sometype"), AnalysisError);
   EXPECT_THROW(ParseSchemaString("justaname"), AnalysisError);
+}
+
+// ---------------------------------------------------------------------------
+// I/O failure semantics: a vanished or short file is an I/O error, never a
+// silent partial result. Parse modes (PERMISSIVE / DROPMALFORMED / FAILFAST)
+// govern *malformed records only* — an unreadable file must throw IoError
+// under every mode, after the bounded retry loop gives up.
+// ---------------------------------------------------------------------------
+
+const char* kAllModes[] = {"PERMISSIVE", "DROPMALFORMED", "FAILFAST"};
+
+TEST(CsvIoFailureTest, FileDeletedMidScanThrowsIoErrorUnderAllModes) {
+  for (const char* mode : kAllModes) {
+    SCOPED_TRACE(mode);
+    std::string path = ::testing::TempDir() + "/doomed.csv";
+    {
+      std::ofstream out(path);
+      out << "1,2\n3,4\n";
+    }
+    SqlContext ctx;
+    // Explicit schema: Open() never touches the file, so the DataFrame is
+    // built successfully and the deletion lands squarely on the scan.
+    DataFrame df = ctx.Read("csv", {{"path", path},
+                                    {"schema", "a bigint, b bigint"},
+                                    {"header", "false"},
+                                    {"mode", mode}});
+    std::filesystem::remove(path);
+    EXPECT_THROW(df.Collect(), IoError);
+  }
+}
+
+TEST(CsvIoFailureTest, TruncatedLastRecordFollowsParseMode) {
+  // A file cut off mid-record leaves a short last line. That is a malformed
+  // record, so here — and only here — the parse mode decides.
+  std::string path = ::testing::TempDir() + "/cutoff.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\n3,4\n5";  // truncated mid-record: second field missing
+  }
+  auto read = [&](const char* mode) {
+    SqlContext ctx;
+    return ctx.Read("csv", {{"path", path},
+                            {"schema", "a bigint, b bigint"},
+                            {"header", "false"},
+                            {"mode", mode}})
+        .Collect();
+  };
+  auto permissive = read("PERMISSIVE");
+  ASSERT_EQ(permissive.size(), 3u);  // kept as a null-filled row
+  EXPECT_TRUE(permissive[2].IsNullAt(0));
+  EXPECT_TRUE(permissive[2].IsNullAt(1));
+  EXPECT_EQ(read("DROPMALFORMED").size(), 2u);  // dropped
+  {
+    SqlContext ctx;
+    DataFrame df = ctx.Read("csv", {{"path", path},
+                                    {"schema", "a bigint, b bigint"},
+                                    {"header", "false"},
+                                    {"mode", "FAILFAST"}});
+    EXPECT_THROW(df.Collect(), ParseError);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(JsonIoFailureTest, FileDeletedBeforeOpenThrowsIoErrorUnderAllModes) {
+  // JSON does all of its file I/O at Open() time (records are pre-parsed),
+  // so the vanished-file case surfaces from Read() itself.
+  for (const char* mode : kAllModes) {
+    SCOPED_TRACE(mode);
+    std::string path = ::testing::TempDir() + "/gone.json";
+    {
+      std::ofstream out(path);
+      out << "{\"a\": 1}\n";
+    }
+    std::filesystem::remove(path);
+    SqlContext ctx;
+    EXPECT_THROW(ctx.Read("json", {{"path", path}, {"mode", mode}}), IoError);
+  }
+}
+
+TEST(JsonIoFailureTest, TruncatedLastRecordFollowsParseMode) {
+  std::string path = ::testing::TempDir() + "/cutoff.json";
+  {
+    std::ofstream out(path);
+    out << "{\"a\": 1}\n{\"a\": 2}\n{\"a\":";  // cut off mid-record
+  }
+  {
+    SqlContext ctx;
+    auto rows =
+        ctx.Read("json", {{"path", path}, {"mode", "PERMISSIVE"}}).Collect();
+    EXPECT_EQ(rows.size(), 3u);  // corrupt record kept as a null-filled row
+  }
+  {
+    SqlContext ctx;
+    auto rows =
+        ctx.Read("json", {{"path", path}, {"mode", "DROPMALFORMED"}}).Collect();
+    EXPECT_EQ(rows.size(), 2u);
+  }
+  {
+    SqlContext ctx;
+    EXPECT_THROW(ctx.Read("json", {{"path", path}, {"mode", "FAILFAST"}}),
+                 ParseError);
+  }
+  std::filesystem::remove(path);
+}
+
+class ColfIoFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = StructType::Make({Field("id", DataType::Int64(), false),
+                                Field("tag", DataType::String(), true)});
+    std::vector<Row> rows;
+    for (int i = 0; i < 300; ++i) {
+      rows.push_back(Row({Value(int64_t(i)), Value("tag_" + std::to_string(i))}));
+    }
+    path_ = ::testing::TempDir() + "/fragile.colf";
+    WriteColfFile(path_, schema_, rows, /*row_group_size=*/50);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  SchemaPtr schema_;
+  std::string path_;
+};
+
+TEST_F(ColfIoFailureTest, FileDeletedMidScanThrowsIoErrorUnderAllModes) {
+  // colf re-opens the file on every scan, so Open() (schema read) succeeds
+  // and the deletion lands on Collect(). The binary format has no malformed
+  // *records* — any mode option is accepted and the failure is IoError.
+  for (const char* mode : kAllModes) {
+    SCOPED_TRACE(mode);
+    SqlContext ctx;
+    DataFrame df = ctx.Read("colf", {{"path", path_}, {"mode", mode}});
+    std::filesystem::remove(path_);
+    EXPECT_THROW(df.Collect(), IoError);
+    // Restore for the next mode iteration.
+    SetUp();
+  }
+}
+
+TEST_F(ColfIoFailureTest, TruncatedFileThrowsIoErrorUnderAllModes) {
+  // Chop the file mid-row-group: the bounds-checked reader must refuse with
+  // IoError naming the truncation — never return a partial scan.
+  const auto full = std::filesystem::file_size(path_);
+  for (const char* mode : kAllModes) {
+    SCOPED_TRACE(mode);
+    SqlContext ctx;
+    DataFrame df = ctx.Read("colf", {{"path", path_}, {"mode", mode}});
+    std::filesystem::resize_file(path_, full / 2);
+    try {
+      df.Collect();
+      FAIL() << "truncated colf scan must not return rows";
+    } catch (const IoError& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+    SetUp();  // rewrite the full file for the next mode
+  }
+}
+
+TEST_F(ColfIoFailureTest, TruncatedSchemaThrowsIoError) {
+  std::filesystem::resize_file(path_, 6);  // magic survives, schema does not
+  EXPECT_THROW(ReadColfSchema(path_), IoError);
 }
 
 }  // namespace

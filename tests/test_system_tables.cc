@@ -370,10 +370,10 @@ TEST(SystemTablesTest, ColumnPruningOnSystemTablesIsObservable) {
   SqlContext ctx(SmallConfig());
   RegisterNumbers(ctx, 4);
   ctx.Sql("SELECT count(*) FROM numbers").Collect();
-  // system.queries has 8 columns; this query needs only `status`.
+  // system.queries has 9 columns; this query needs only `status`.
   ctx.Sql("SELECT status FROM system.queries").Collect();
   EXPECT_EQ(ctx.exec().metrics().Get("system.scans"), 1);
-  EXPECT_EQ(ctx.exec().metrics().Get("system.columns_pruned"), 7);
+  EXPECT_EQ(ctx.exec().metrics().Get("system.columns_pruned"), 8);
 
   // Filter pushdown reaches the source: scanned==all records, returned==
   // the matching subset (both recorded by the relation itself).
