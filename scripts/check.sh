@@ -24,18 +24,24 @@ cmake --build build-sanitize -j --target test_fault_tolerance --target test_memo
 # ThreadSanitizer: races between QueryContexts, the admission gate, and the
 # shared memory pool are exactly what TSan exists to catch. The system-table
 # suite joins it because its scans read live engine state (active query list,
-# metrics registry, memory pool) while other threads mutate it.
+# metrics registry, memory pool) while other threads mutate it, and the
+# fault-tolerance suite joins it because speculation deliberately races two
+# attempts of one partition against an exactly-once commit (plus the
+# watchdog thread scanning heartbeats that task threads publish).
 cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_chaos >/dev/null
+cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_fault_tolerance --target test_chaos >/dev/null
 ./build-tsan/tests/test_concurrency
 ./build-tsan/tests/test_system_tables
+./build-tsan/tests/test_fault_tolerance
 
 # Chaos harness: seeded rounds of concurrent queries with random fault
-# injection at every I/O boundary, checking post-round invariants (memory
-# pool drained, disk quota released, spill dir empty, no stuck admission
+# injection at every I/O boundary — speculation, the watchdog and corrupt
+# spill-bit rules armed — checking post-round invariants (memory pool
+# drained, disk quota released, spill dir empty, no stuck admission
 # tickets). 10 distinct seeds, each under both ASan and TSan — faults take
 # error paths the happy-path suites never reach, which is exactly where
-# use-after-free and lock-order bugs hide.
+# use-after-free and lock-order bugs hide. (SSQL_CHAOS_SPECULATION=0
+# disarms speculation when bisecting a failing seed.)
 for seed in 1 2 3 4 5 6 7 8 9 10; do
   echo "chaos seed ${seed} (ASan)"
   SSQL_CHAOS_SEED="${seed}" ./build-sanitize/tests/test_chaos

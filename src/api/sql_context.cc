@@ -53,15 +53,13 @@ class CachedTableSource : public BaseRelation,
 
     size_t chunks = table_->num_chunks();
     std::vector<RowPartitionPtr> partitions(chunks);
-    auto scan_chunk = [&](size_t idx) {
+    auto scan_chunk = [&](size_t idx) -> TaskRunner::TaskCommitFn {
       auto part = std::make_shared<RowPartition>();
+      auto commit = [&partitions, idx, part]() { partitions[idx] = part; };
       const auto& cols = table_->chunk_columns(idx);
       // Zone-map skipping over cached chunks, like colf row groups.
       for (const auto& [c, spec] : bound) {
-        if (!ColumnChunkMayMatch(cols[c], *spec)) {
-          partitions[idx] = std::move(part);
-          return;
-        }
+        if (!ColumnChunkMayMatch(cols[c], *spec)) return commit;
       }
       uint32_t n = table_->chunk_rows(idx);
       // Decode filter + requested columns only.
@@ -88,11 +86,13 @@ class CachedTableSource : public BaseRelation,
         for (int c : columns) row.Append(decoded[ordinal[c]].GetValue(r));
         part->rows.push_back(std::move(row));
       }
-      partitions[idx] = std::move(part);
+      return commit;
     };
-    // Each chunk scan is idempotent (rebuilds partitions[idx] from the
-    // immutable cached columns), so failed chunks can be retried.
-    TaskRunner(ctx).RunStage("scan", chunks, scan_chunk);
+    // Each chunk scan is idempotent (rebuilds its partition from the
+    // immutable cached columns), so failed chunks can be retried — and the
+    // two-phase shape lets a straggling chunk race a speculative duplicate,
+    // with only the winner's commit publishing into `partitions`.
+    TaskRunner(ctx).RunStageSpeculatable("scan", chunks, scan_chunk);
     return RowDataset(std::move(partitions));
   }
 

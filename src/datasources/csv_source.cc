@@ -212,6 +212,11 @@ std::vector<Row> CsvRelation::ScanAll(QueryContext& ctx) const {
     }
     ctx.CheckCancelledEvery(&cancel_check);
     faults.MaybeFail("source.read", path_);
+    // Corrupt-kind faults flip a bit in the raw line before parsing: unlike
+    // the CRC-framed spill path there is no checksum here, so the flip rides
+    // the existing malformed-record machinery (strict mode rejects what no
+    // longer parses; lenient mode nulls the bad cell).
+    faults.MaybeCorrupt("source.read", &line);
     auto cells = SplitCsvLine(line, delimiter_);
 
     // A record is malformed when its cell count does not match the schema

@@ -69,6 +69,8 @@ SchemaPtr QueriesSchema() {
       Field("peak_memory_bytes", DataType::Int64(), false),
       Field("error", DataType::String(), true),
       Field("error_code", DataType::String(), true),
+      Field("last_heartbeat_ms", DataType::Int64(), false),
+      Field("stalled", DataType::Boolean(), false),
   });
 }
 
@@ -76,7 +78,7 @@ std::vector<Row> QueriesRows(QueryContext& ctx) {
   std::vector<Row> rows;
   for (const QueryRecord& r : ctx.engine().QueryRecords()) {
     Row row;
-    row.Reserve(9);
+    row.Reserve(11);
     row.Append(static_cast<int64_t>(r.id));
     row.Append(r.status);
     row.Append(r.start_unix_ms);
@@ -86,6 +88,8 @@ std::vector<Row> QueriesRows(QueryContext& ctx) {
     row.Append(r.peak_memory_bytes);
     row.Append(r.error.empty() ? Value() : Value(r.error));
     row.Append(r.error_code.empty() ? Value() : Value(r.error_code));
+    row.Append(r.last_heartbeat_ms);
+    row.Append(r.stalled);
     rows.push_back(std::move(row));
   }
   return rows;

@@ -50,9 +50,15 @@ RowDataset RowDataset::MapPartitions(
     QueryContext& ctx,
     const std::function<RowPartitionPtr(size_t, const RowPartition&)>& fn,
     const std::string& stage) const {
+  // Two-phase (compute, then commit) so straggling partitions can run a
+  // speculative duplicate: both attempts build their own partition from the
+  // immutable input; whichever finishes first publishes into `out`.
   std::vector<RowPartitionPtr> out(partitions_.size());
-  TaskRunner(ctx).RunStage(stage, partitions_.size(),
-                           [&](size_t i) { out[i] = fn(i, *partitions_[i]); });
+  TaskRunner(ctx).RunStageSpeculatable(
+      stage, partitions_.size(), [&](size_t i) -> TaskRunner::TaskCommitFn {
+        RowPartitionPtr part = fn(i, *partitions_[i]);
+        return [&out, i, part]() { out[i] = part; };
+      });
   return RowDataset(std::move(out));
 }
 
@@ -61,18 +67,24 @@ RowDataset RowDataset::ShuffleByHash(
     const std::function<uint64_t(const Row&)>& key_hash,
     const std::string& stage) const {
   if (num_out == 0) num_out = 1;
-  // Map side: each input partition writes `num_out` buckets. assign()
-  // resets the buckets so a retried attempt starts from scratch.
+  // Map side: each input partition writes `num_out` buckets. Two-phase:
+  // every attempt buckets into its own local vector off the immutable input
+  // rows, and only the winning attempt's commit publishes into the shared
+  // `buckets` slot — so a speculative duplicate never half-overwrites a
+  // straggler's output.
   std::vector<std::vector<std::vector<Row>>> buckets(partitions_.size());
-  TaskRunner(ctx).RunStage(stage + ".map", partitions_.size(), [&](size_t i) {
-    auto& local = buckets[i];
-    local.assign(num_out, {});
-    size_t cancel_check = 0;
-    for (const Row& row : partitions_[i]->rows) {
-      ctx.CheckCancelledEvery(&cancel_check);
-      local[key_hash(row) % num_out].push_back(row);
-    }
-  });
+  TaskRunner(ctx).RunStageSpeculatable(
+      stage + ".map", partitions_.size(),
+      [&](size_t i) -> TaskRunner::TaskCommitFn {
+        auto local =
+            std::make_shared<std::vector<std::vector<Row>>>(num_out);
+        size_t cancel_check = 0;
+        for (const Row& row : partitions_[i]->rows) {
+          ctx.CheckCancelledEvery(&cancel_check);
+          (*local)[key_hash(row) % num_out].push_back(row);
+        }
+        return [&buckets, i, local]() { buckets[i] = std::move(*local); };
+      });
 
   // Track shuffle volume for benchmarks/tests; attributed to the operator
   // that launched the shuffle.
@@ -82,7 +94,10 @@ RowDataset RowDataset::ShuffleByHash(
 
   // Reduce side: concatenate bucket `p` from every mapper. The move below
   // consumes the buckets, so everything that can throw (allocation aside)
-  // must come before it — retries re-run the body from the top.
+  // must come before it — retries re-run the body from the top. Stays on
+  // plain RunStage: the compute phase itself move-consumes shared state, so
+  // two concurrent attempts of one partition would race; speculation is
+  // only for bodies whose compute phase is side-effect-free.
   std::vector<RowPartitionPtr> out(num_out);
   TaskRunner(ctx).RunStage(stage + ".reduce", num_out, [&](size_t p) {
     auto part = std::make_shared<RowPartition>();

@@ -34,6 +34,13 @@ void ValidateEngineConfig(const EngineConfig& config) {
   if (config.task_retry_backoff_ms < 0) {
     fail("task_retry_backoff_ms must be >= 0");
   }
+  if (config.speculation_quantile < 0.0 || config.speculation_quantile > 1.0) {
+    fail("speculation_quantile must be in [0, 1], got " +
+         std::to_string(config.speculation_quantile));
+  }
+  if (config.watchdog_interval_ms < 1) {
+    fail("watchdog_interval_ms must be >= 1 (the watchdog cannot spin)");
+  }
   if (config.io_max_retries < 0) {
     fail("io_max_retries must be >= 0 (use 0 to disable I/O retries)");
   }
@@ -131,15 +138,36 @@ ExecContext::ExecContext(EngineConfig config)
   faults_injected_ = &registry_.Counter(
       "ssql_faults_injected_total",
       "Errors thrown by configured fault-injection points");
+  tasks_speculated_ = &registry_.Counter(
+      "ssql_tasks_speculated_total",
+      "Speculative duplicate attempts launched for stragglers");
+  speculation_wins_ = &registry_.Counter(
+      "ssql_speculation_wins_total",
+      "Speculative duplicates that finished first");
+  tasks_timed_out_ = &registry_.Counter(
+      "ssql_tasks_timed_out_total",
+      "Task attempts abandoned past task_timeout_ms");
+  watchdog_kills_ = &registry_.Counter(
+      "ssql_watchdog_kills_total",
+      "Queries cancelled by the watchdog for stalled tasks");
   active_queries_gauge_ =
       &registry_.Gauge("ssql_active_queries", "Queries currently executing");
   spill_disk_used_gauge_ = &registry_.Gauge(
       "ssql_spill_disk_used_bytes",
       "Live spill bytes charged against spill_disk_limit_bytes");
   ApplyConfigLocked();
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
 }
 
 ExecContext::~ExecContext() {
+  // Stop the watchdog before anything else is torn down: its scan touches
+  // mu_, active_ and the registry.
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   // Queries hold a raw back-pointer; finishing them after the engine is
   // gone would be use-after-free. By contract every QueryContext must be
   // finished (or destroyed) before its engine — assert-by-cancel here so a
@@ -198,6 +226,63 @@ void ExecContext::SetConfig(const EngineConfig& config) {
     finished_.pop_front();
   }
   admission_cv_.notify_all();
+  // The watchdog re-reads the interval/timeout each pass; kick it so a
+  // shorter interval takes effect now rather than after the old sleep.
+  watchdog_cv_.notify_all();
+}
+
+void ExecContext::WatchdogLoop() {
+  while (true) {
+    int64_t interval_ms = 100;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      interval_ms = config_.watchdog_interval_ms;
+      if (config_.stuck_task_timeout_ms >= 0 && !active_.empty()) {
+        ScanForStalledQueriesLocked(config_.stuck_task_timeout_ms);
+      }
+    }
+    std::unique_lock<std::mutex> wlock(watchdog_mu_);
+    watchdog_cv_.wait_for(wlock, std::chrono::milliseconds(interval_ms),
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+  }
+}
+
+void ExecContext::ScanForStalledQueriesLocked(int64_t stuck_ms) {
+  const int64_t now_ns = TraceNowNs();
+  for (QueryContext* query : active_) {
+    const QueryContext::TaskStallInfo info = query->OldestTaskBeat();
+    if (!info.has_attempt) {
+      // No task in flight (between stages, or driver-side work): the query
+      // is not wedged in a task, so clear any earlier stall mark — unless
+      // the watchdog already killed it (sticky by design).
+      if (!query->watchdog_killed()) query->set_stalled(false);
+      continue;
+    }
+    const int64_t age_ms = (now_ns - info.oldest_beat_ns) / 1'000'000;
+    if (age_ms >= stuck_ms) {
+      // Kill once: after our Cancel the token reads cancelled and we skip
+      // (re-cancelling is harmless but would double-count the kill).
+      if (!query->cancellation()->IsCancelled()) {
+        query->MarkWatchdogKilled();
+        watchdog_kills_->Increment();
+        LogEvent(LogLevel::kWarn, "watchdog.kill",
+                 {{"query", query->query_id()},
+                  {"stage", info.stage},
+                  {"partition", static_cast<int64_t>(info.partition)},
+                  {"stalled_ms", age_ms}});
+        query->Cancel("watchdog: task for stage '" + info.stage +
+                      "' partition " + std::to_string(info.partition) +
+                      " made no progress for " + std::to_string(age_ms) +
+                      " ms (stuck_task_timeout_ms=" +
+                      std::to_string(stuck_ms) +
+                      "); cancelling the query to reclaim its resources");
+      }
+      query->set_stalled(true);
+    } else {
+      query->set_stalled(age_ms * 2 >= stuck_ms);
+    }
+  }
 }
 
 std::string ExecContext::spill_root() const {
@@ -309,6 +394,11 @@ QueryRecord ExecContext::LiveRecordLocked(const QueryContext& query) {
   record.error = token.StatusMessage();
   record.start_unix_ms = query.start_unix_ms();
   record.duration_ms = query.ElapsedMs();
+  record.last_heartbeat_ms = query.LastHeartbeatAgeMs();
+  record.stalled = query.stalled();
+  if (query.watchdog_killed()) {
+    record.error_code = ErrorCodeName(ErrorCode::kResourceExhausted);
+  }
   if (query.profile().detailed()) {
     QueryProfile::Stats stats = query.profile().AggregateStats();
     record.rows_out = stats.rows_out;

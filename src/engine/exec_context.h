@@ -9,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +64,33 @@ struct EngineConfig {
   int task_max_retries = 2;
   /// Base backoff between task attempts; doubles per attempt (capped).
   int task_retry_backoff_ms = 1;
+  /// Straggler speculation for two-phase stages (RunStageSpeculatable):
+  /// once speculation_quantile of a stage's tasks have committed, any task
+  /// still running after median × speculation_multiplier gets ONE duplicate
+  /// attempt; the first copy to finish commits exactly once and the loser
+  /// is cancelled cooperatively through its attempt token. Negative =
+  /// speculation off (the default); 0 duplicates every running task as soon
+  /// as the quantile is reached (aggressive, useful in tests). The analogue
+  /// of spark.speculation.multiplier.
+  double speculation_multiplier = -1.0;
+  /// Fraction of a stage's tasks that must finish before stragglers are
+  /// considered (the runtime median needs a sample). The analogue of
+  /// spark.speculation.quantile.
+  double speculation_quantile = 0.75;
+  /// Per-attempt wall-clock deadline: an attempt running past it is
+  /// abandoned as runaway via RetryableError at its next cancellation poll
+  /// (a fresh attempt gets a fresh deadline; exhausted retries fail the
+  /// stage as usual). Negative = no per-task deadline (the default).
+  int64_t task_timeout_ms = -1;
+  /// How often the engine watchdog thread scans running queries' task
+  /// heartbeats (the scan is a few atomic loads per in-flight attempt).
+  int64_t watchdog_interval_ms = 100;
+  /// A query whose oldest in-flight task attempt published no progress
+  /// heartbeat for this long is cancelled by the watchdog with an error
+  /// naming the stuck stage/partition (recorded RESOURCE_EXHAUSTED in
+  /// system.queries); at half this age the query is marked stalled.
+  /// Negative = watchdog kills off (the default).
+  int64_t stuck_task_timeout_ms = -1;
   /// Per-query wall-clock budget enforced cooperatively between partitions
   /// and inside operator loops. Negative = unlimited; 0 expires instantly.
   /// The clock starts when the query is admitted, not while it queues
@@ -84,8 +112,10 @@ struct EngineConfig {
   ///     points — spill.write, spill.read, source.open, source.read,
   ///     metrics.snapshot, admission.enqueue, trace.write — with trigger
   ///     "*" | "n<first>[-<last>]" | "p<probability>" and kind
-  ///     retryable|io|enospc; "seed=<N>" makes the probability mode
-  ///     deterministic (see FaultPointSet).
+  ///     retryable|io|enospc|corrupt (corrupt flips a bit in the bytes the
+  ///     site just read — spill.read and source.read honor it — instead of
+  ///     throwing); "seed=<N>" makes the probability mode deterministic
+  ///     (see FaultPointSet).
   /// Empty = disabled.
   std::string fault_injection_spec;
   /// Per-query memory budget shared by all blocking operators (hash
@@ -221,8 +251,16 @@ struct QueryRecord {
   int64_t peak_memory_bytes = 0;
   std::string error;  // empty unless ERROR/CANCELLED/ABANDONED
   /// Structured taxonomy of the failure (ErrorCodeName: "IO_ERROR",
-  /// "RESOURCE_EXHAUSTED", ...); empty unless status is ERROR.
+  /// "RESOURCE_EXHAUSTED", ...); empty unless status is ERROR — or
+  /// CANCELLED by the engine watchdog, which records RESOURCE_EXHAUSTED.
   std::string error_code;
+  /// Milliseconds since the query's threads last made observable progress
+  /// (a cancellation poll, a task attempt starting or retiring); for
+  /// finished queries, the age at finish time.
+  int64_t last_heartbeat_ms = 0;
+  /// True once the watchdog saw a task heartbeat older than half of
+  /// stuck_task_timeout_ms; sticky for watchdog-killed queries.
+  bool stalled = false;
   std::vector<QueryProfile::OperatorActual> operators;  // finished only
 };
 
@@ -343,6 +381,17 @@ class ExecContext {
   /// hooks for the current config_. Shared by the constructor and SetConfig.
   void ApplyConfigLocked();
 
+  /// Body of the watchdog thread: every watchdog_interval_ms, scan the
+  /// running queries' task heartbeats, mark stalled ones, and cancel any
+  /// whose oldest heartbeat aged past stuck_task_timeout_ms. The thread
+  /// always runs (started by the constructor, joined by the destructor);
+  /// with stuck_task_timeout_ms < 0 it only sleeps, so an idle engine pays
+  /// one parked thread.
+  void WatchdogLoop();
+  /// One scan pass. Caller holds mu_; takes each query's attempts_mu_
+  /// inside (the documented mu_ → attempts_mu_ lock order).
+  void ScanForStalledQueriesLocked(int64_t stuck_ms);
+
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
@@ -364,6 +413,10 @@ class ExecContext {
   CounterMetric* admission_timeouts_ = nullptr;
   CounterMetric* io_retries_ = nullptr;
   CounterMetric* faults_injected_ = nullptr;
+  CounterMetric* tasks_speculated_ = nullptr;
+  CounterMetric* speculation_wins_ = nullptr;
+  CounterMetric* tasks_timed_out_ = nullptr;
+  CounterMetric* watchdog_kills_ = nullptr;
   GaugeMetric* active_queries_gauge_ = nullptr;
   GaugeMetric* spill_disk_used_gauge_ = nullptr;
 
@@ -380,6 +433,13 @@ class ExecContext {
   std::deque<uint64_t> waiting_;
   std::vector<QueryContext*> active_;
   std::deque<QueryRecord> finished_;  // ring buffer, oldest first
+
+  // Watchdog thread. Its stop flag/cv live on their own mutex so stopping
+  // never has to touch mu_ (the scan itself takes mu_ briefly per pass).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_thread_;
 };
 
 }  // namespace ssql

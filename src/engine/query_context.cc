@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 
@@ -38,6 +39,9 @@ QueryContext::QueryContext(ExecContext& engine, uint64_t query_id,
   // The timeout clock starts at admission: time spent queued behind the
   // admission gate does not count against the query's wall-clock budget.
   cancellation_->SetTimeout(config_.query_timeout_ms);
+  // The heartbeat clock also starts at admission, so a query that stalls
+  // before its first poll (e.g. wedged in a source open) still ages out.
+  last_beat_ns_.store(start_steady_ns_, std::memory_order_relaxed);
 }
 
 QueryContext::~QueryContext() {
@@ -49,6 +53,51 @@ QueryContext::~QueryContext() {
 
 int64_t QueryContext::ElapsedMs() const {
   return (TraceNowNs() - start_steady_ns_) / 1'000'000;
+}
+
+void QueryContext::CheckCancelled() const {
+  // Order matters: publish the heartbeat first so a query that unwinds on
+  // the very poll that observed the cancel still reads as having made
+  // progress; then the query token (cancel/timeout outranks task state);
+  // then the per-attempt poll (attempt heartbeat, lost speculation race,
+  // per-task deadline).
+  last_beat_ns_.store(TraceNowNs(), std::memory_order_relaxed);
+  cancellation_->ThrowIfCancelled();
+  PollCurrentTaskAttempt();
+}
+
+void QueryContext::RegisterTaskAttempt(TaskAttemptState* attempt) {
+  attempt->last_beat_ns.store(TraceNowNs(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(attempts_mu_);
+  attempts_.push_back(attempt);
+}
+
+void QueryContext::UnregisterTaskAttempt(TaskAttemptState* attempt) {
+  // An attempt retiring is itself progress (a stage of serial quick tasks
+  // may never hit a poll site between them).
+  last_beat_ns_.store(TraceNowNs(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(attempts_mu_);
+  attempts_.erase(std::find(attempts_.begin(), attempts_.end(), attempt));
+}
+
+QueryContext::TaskStallInfo QueryContext::OldestTaskBeat() const {
+  TaskStallInfo info;
+  std::lock_guard<std::mutex> lock(attempts_mu_);
+  for (const TaskAttemptState* attempt : attempts_) {
+    const int64_t beat = attempt->last_beat_ns.load(std::memory_order_relaxed);
+    if (!info.has_attempt || beat < info.oldest_beat_ns) {
+      info.has_attempt = true;
+      info.stage = attempt->stage;
+      info.partition = attempt->partition;
+      info.oldest_beat_ns = beat;
+    }
+  }
+  return info;
+}
+
+int64_t QueryContext::LastHeartbeatAgeMs() const {
+  return (TraceNowNs() - last_beat_ns_.load(std::memory_order_relaxed)) /
+         1'000'000;
 }
 
 std::string QueryContext::spill_dir() const {
@@ -146,6 +195,12 @@ void QueryContext::Finish(const std::string& status, ErrorCode code) {
     // exception text the unwind produced.
     record.status = "CANCELLED";
     record.error = cancellation_->StatusMessage();
+    if (watchdog_killed()) {
+      // A watchdog kill is a resource-exhaustion event (a wedged task held
+      // its slot past stuck_task_timeout_ms), not a user cancel: give the
+      // record the structured code so operators can tell them apart.
+      record.error_code = ErrorCodeName(ErrorCode::kResourceExhausted);
+    }
   } else if (status == "abandoned") {
     record.status = "ABANDONED";
   } else {
@@ -160,6 +215,8 @@ void QueryContext::Finish(const std::string& status, ErrorCode code) {
   }
   record.start_unix_ms = start_unix_ms_;
   record.duration_ms = ElapsedMs();
+  record.last_heartbeat_ms = LastHeartbeatAgeMs();
+  record.stalled = stalled();
   if (profile_->detailed()) {
     QueryProfile::Stats stats = profile_->AggregateStats();
     record.rows_out = stats.rows_out;

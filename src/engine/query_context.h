@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/exec_context.h"
 #include "engine/memory_manager.h"
@@ -87,8 +89,12 @@ class QueryContext {
   /// Cancels this query (cooperative; idempotent).
   void Cancel(const std::string& reason) { cancellation_->Cancel(reason); }
 
-  /// Throws ExecutionError if this query was cancelled or timed out.
-  void CheckCancelled() const { cancellation_->ThrowIfCancelled(); }
+  /// Throws ExecutionError if this query was cancelled or timed out. Also
+  /// the progress-heartbeat site: each call bumps the query-level beat and
+  /// polls the calling thread's task attempt (heartbeat + lost-race +
+  /// per-task deadline), so any loop that polls cancellation is automatically
+  /// visible to the engine watchdog.
+  void CheckCancelled() const;
 
   /// Cheap form for tight row loops: polls the token every
   /// kCancellationCheckInterval increments of `*counter`.
@@ -143,6 +149,48 @@ class QueryContext {
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
+  // ---- task heartbeats (engine watchdog) --------------------------------
+
+  /// Registers/unregisters one in-flight task attempt so the watchdog can
+  /// scan its heartbeat. Called by TaskAttemptScope, never directly.
+  void RegisterTaskAttempt(TaskAttemptState* attempt);
+  void UnregisterTaskAttempt(TaskAttemptState* attempt);
+
+  /// The oldest progress heartbeat among this query's in-flight task
+  /// attempts — what the watchdog compares against stuck_task_timeout_ms.
+  struct TaskStallInfo {
+    bool has_attempt = false;
+    std::string stage;
+    size_t partition = 0;
+    int64_t oldest_beat_ns = 0;
+  };
+  TaskStallInfo OldestTaskBeat() const;
+
+  /// Milliseconds since any of this query's threads last made observable
+  /// progress (a CheckCancelled poll or a task attempt starting); admission
+  /// age until the first poll. The last_heartbeat_ms column of
+  /// system.queries.
+  int64_t LastHeartbeatAgeMs() const;
+
+  /// Stall flag maintained by the watchdog (set once a task's heartbeat age
+  /// crosses half of stuck_task_timeout_ms). The stalled column of
+  /// system.queries.
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+  void set_stalled(bool stalled) {
+    stalled_.store(stalled, std::memory_order_release);
+  }
+
+  /// Marks this query as killed by the watchdog, so its finished record
+  /// carries error_code RESOURCE_EXHAUSTED (and stalled=true) instead of a
+  /// plain cancellation. Called just before the watchdog cancels the token.
+  void MarkWatchdogKilled() {
+    watchdog_killed_.store(true, std::memory_order_release);
+    stalled_.store(true, std::memory_order_release);
+  }
+  bool watchdog_killed() const {
+    return watchdog_killed_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class ExecContext;
   QueryContext(ExecContext& engine, uint64_t query_id, EngineConfig config);
@@ -158,6 +206,16 @@ class QueryContext {
   MemoryManager memory_;
   DiskQuota disk_;  // per-query level over the engine pool
   std::atomic<bool> finished_{false};
+
+  // Watchdog state. attempts_ holds the in-flight TaskAttemptStates (stack
+  // storage in TaskRunner, valid while registered). Lock order: an engine
+  // watchdog scan takes ExecContext::mu_ then attempts_mu_; nothing takes
+  // them in the other order.
+  mutable std::mutex attempts_mu_;
+  std::vector<TaskAttemptState*> attempts_;
+  mutable std::atomic<int64_t> last_beat_ns_{0};
+  std::atomic<bool> stalled_{false};
+  std::atomic<bool> watchdog_killed_{false};
 };
 
 /// Resolves the per-query trace file path: inserts "-q<id>" before the

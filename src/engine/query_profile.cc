@@ -33,6 +33,9 @@ const char* ProfileCounterName(ProfileCounter c) {
     case ProfileCounter::kAttempts: return "attempts";
     case ProfileCounter::kRetries: return "retries";
     case ProfileCounter::kFailures: return "failures";
+    case ProfileCounter::kSpeculated: return "speculated";
+    case ProfileCounter::kSpeculationWins: return "speculation_wins";
+    case ProfileCounter::kTaskTimeouts: return "task_timeouts";
     case ProfileCounter::kRowsScanned: return "rows_scanned";
     case ProfileCounter::kRowsReturned: return "rows_returned";
     case ProfileCounter::kRowsDropped: return "rows_dropped";
@@ -60,6 +63,9 @@ const char* LegacyKeyFor(ProfileCounter c) {
     case ProfileCounter::kAttempts: return "task.attempts";
     case ProfileCounter::kRetries: return "task.retries";
     case ProfileCounter::kFailures: return "task.failures";
+    case ProfileCounter::kSpeculated: return "task.speculated";
+    case ProfileCounter::kSpeculationWins: return "task.speculation_wins";
+    case ProfileCounter::kTaskTimeouts: return "task.timeouts";
     case ProfileCounter::kRowsScanned: return "source.rows_scanned";
     case ProfileCounter::kRowsReturned: return "source.rows_returned";
     case ProfileCounter::kRowsDropped: return "source.rows_dropped";

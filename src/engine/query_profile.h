@@ -46,6 +46,9 @@ enum class ProfileCounter : int {
   kAttempts,            // task attempts (first try + retries)
   kRetries,             // task re-attempts after RetryableError
   kFailures,            // task attempts that failed fatally
+  kSpeculated,          // speculative duplicate attempts launched
+  kSpeculationWins,     // duplicates that finished first and committed
+  kTaskTimeouts,        // attempts abandoned past task_timeout_ms
   kRowsScanned,         // data source: rows read from the raw input
   kRowsReturned,        // data source: rows shipped after pushdown
   kRowsDropped,         // data source: malformed rows dropped

@@ -1,0 +1,26 @@
+#ifndef SSQL_UTIL_CRC32_H_
+#define SSQL_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ssql {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// framing every spill-file record batch, so bit rot in spilled bytes
+/// surfaces as a detected IoError instead of silently wrong rows. A plain
+/// table-driven software implementation: spill frames are tens of KB and
+/// written once per batch, so the checksum is noise next to the disk I/O
+/// around it. `seed` chains incremental updates:
+///
+///   Crc32(b, n2, Crc32(a, n1)) == Crc32(concat(a, b), n1 + n2)
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_CRC32_H_

@@ -73,9 +73,11 @@ FaultPointSet FaultPointSet::Parse(const std::string& spec) {
         rule.kind = FaultKind::kIo;
       } else if (kind == "enospc") {
         rule.kind = FaultKind::kEnospc;
+      } else if (kind == "corrupt") {
+        rule.kind = FaultKind::kCorrupt;
       } else {
-        BadEntry(entry,
-                 "unknown error kind '" + kind + "' (retryable|io|enospc)");
+        BadEntry(entry, "unknown error kind '" + kind +
+                            "' (retryable|io|enospc|corrupt)");
       }
     }
     const std::string& trigger = parts[0];
@@ -115,27 +117,60 @@ FaultPointSet FaultPointSet::Parse(const std::string& spec) {
   return set;
 }
 
+bool FaultPointSet::ConsumeHitAndDecide(const Rule& rule, size_t rule_index,
+                                        uint64_t* hit_out) const {
+  uint64_t hit = rule.hits->fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit_out != nullptr) *hit_out = hit;
+  if (rule.always) return true;
+  if (rule.first_hit > 0) {
+    return hit >= rule.first_hit && hit <= rule.last_hit;
+  }
+  if (rule.probability >= 0.0) {
+    // Pure hash of (rule, hit, seed): the same seed replays the same
+    // decisions regardless of thread interleaving of *other* sites.
+    uint64_t r = Mix(Mix(seed_ ^ (rule_index * 0x51ed2701u)) ^ hit);
+    return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0) <
+           rule.probability;
+  }
+  return false;
+}
+
 void FaultPointSet::MaybeFail(const std::string& site,
                               const std::string& detail) const {
   if (rules_.empty()) return;
   for (size_t i = 0; i < rules_.size(); ++i) {
     const Rule& rule = rules_[i];
+    // Corrupt rules are MaybeCorrupt's alone; consuming their hits here
+    // would shift a corrupt rule's n<F>-<L> window by every co-located
+    // MaybeFail probe.
+    if (rule.kind == FaultKind::kCorrupt) continue;
     if (!SiteMatches(rule.site, site)) continue;
-    uint64_t hit = rule.hits->fetch_add(1, std::memory_order_relaxed) + 1;
-    bool fire = false;
-    if (rule.always) {
-      fire = true;
-    } else if (rule.first_hit > 0) {
-      fire = hit >= rule.first_hit && hit <= rule.last_hit;
-    } else if (rule.probability >= 0.0) {
-      // Pure hash of (rule, hit, seed): the same seed replays the same
-      // decisions regardless of thread interleaving of *other* sites.
-      uint64_t r = Mix(Mix(seed_ ^ (i * 0x51ed2701u)) ^ hit);
-      fire = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0) <
-             rule.probability;
-    }
-    if (fire) Throw(rule, site, detail);
+    if (ConsumeHitAndDecide(rule, i)) Throw(rule, site, detail);
   }
+}
+
+bool FaultPointSet::MaybeCorrupt(const std::string& site,
+                                 std::string* buffer) const {
+  if (rules_.empty()) return false;
+  bool corrupted = false;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.kind != FaultKind::kCorrupt) continue;
+    if (!SiteMatches(rule.site, site)) continue;
+    uint64_t hit = 0;
+    if (!ConsumeHitAndDecide(rule, i, &hit)) continue;
+    if (buffer->empty()) continue;  // nothing to rot
+    // Deterministic bit choice: a pure hash of (rule, hit, seed) again, so
+    // seeded chaos rounds flip the same bit of the same frame every run.
+    const uint64_t r = Mix(Mix(seed_ ^ (i * 0x2545f491u)) ^ hit);
+    const uint64_t bit = r % (static_cast<uint64_t>(buffer->size()) * 8);
+    (*buffer)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    fired_->fetch_add(1, std::memory_order_relaxed);
+    CounterMetric* counter = fired_counter_->load(std::memory_order_acquire);
+    if (counter != nullptr) counter->Increment();
+    corrupted = true;
+  }
+  return corrupted;
 }
 
 void FaultPointSet::Throw(const Rule& rule, const std::string& site,
@@ -152,6 +187,8 @@ void FaultPointSet::Throw(const Rule& rule, const std::string& site,
       throw IoError("injected I/O error at " + where);
     case FaultKind::kEnospc:
       throw ResourceExhausted("injected ENOSPC at " + where);
+    case FaultKind::kCorrupt:
+      break;  // corrupt rules never reach Throw (MaybeFail skips them)
   }
   throw IoError("injected I/O error at " + where);  // unreachable
 }

@@ -23,8 +23,13 @@ class CounterMetric;
 ///   * io — IoError, retried at source open/read boundaries (bounded, with
 ///     backoff) and fatal elsewhere; models flaky disks and NFS hiccups;
 ///   * enospc — ResourceExhausted, never retried; models a full disk /
-///     exhausted quota, which waiting will not fix.
-enum class FaultKind { kRetryable, kIo, kEnospc };
+///     exhausted quota, which waiting will not fix;
+///   * corrupt — throws nothing: flips one deterministic bit in the buffer
+///     a read boundary just produced (MaybeCorrupt), so the *detection*
+///     path is what gets exercised — a CRC-framed spill read must surface
+///     it as IoError, never as silently wrong rows; models bit rot and
+///     torn writes.
+enum class FaultKind { kRetryable, kIo, kEnospc, kCorrupt };
 
 /// Site-based fault injection: the generalization of the task-granularity
 /// FaultInjector to every I/O boundary in the engine. Sites are named
@@ -43,7 +48,8 @@ enum class FaultKind { kRetryable, kIo, kEnospc };
 ///   n<F>[-<L>]   hits F..L of this rule (1-based; "n3" = the 3rd hit only)
 ///   p<P>         each hit independently with probability P in [0,1]
 ///
-/// and <kind> is retryable | io | enospc (default io). A "seed=<N>" entry
+/// and <kind> is retryable | io | enospc | corrupt (default io). A
+/// "seed=<N>" entry
 /// seeds the probability mode: decisions are a pure hash of (rule, hit
 /// number, seed), so a given seed produces the same per-hit decisions on
 /// every run — the deterministic mode the chaos harness replays rounds
@@ -65,7 +71,17 @@ class FaultPointSet {
   /// Throws the configured error if a rule matching `site` fires on this
   /// hit. `detail` (a path, a stage name) is woven into the message so the
   /// failure names what was being touched. No-op when no rule matches.
+  /// kind=corrupt rules are invisible here — they neither throw nor consume
+  /// hits (their windows count MaybeCorrupt calls only).
   void MaybeFail(const std::string& site, const std::string& detail) const;
+
+  /// The corrupt-kind twin of MaybeFail: if a corrupt rule matching `site`
+  /// fires on this hit, flips one deterministically chosen bit of `*buffer`
+  /// (no-op on an empty buffer) and returns true. Call it on freshly read
+  /// bytes BEFORE integrity checks, so injected rot exercises the detection
+  /// path rather than producing wrong results. Non-corrupt rules neither
+  /// fire nor consume hits here.
+  bool MaybeCorrupt(const std::string& site, std::string* buffer) const;
 
   /// Total faults this set has thrown, for tests and chaos-round logging.
   uint64_t fired() const;
@@ -92,6 +108,12 @@ class FaultPointSet {
 
   [[noreturn]] void Throw(const Rule& rule, const std::string& site,
                           const std::string& detail) const;
+
+  /// Consumes one hit of `rule` (rules_[rule_index]) and decides whether it
+  /// fires — the shared trigger logic of MaybeFail and MaybeCorrupt. The
+  /// consumed 1-based hit number is written to `*hit_out` when non-null.
+  bool ConsumeHitAndDecide(const Rule& rule, size_t rule_index,
+                           uint64_t* hit_out = nullptr) const;
 
   std::vector<Rule> rules_;
   uint64_t seed_ = 0;

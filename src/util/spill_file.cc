@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include "util/crc32.h"
 #include "util/status.h"
 
 namespace ssql {
@@ -112,58 +113,79 @@ T ReadRaw(std::ifstream* in, const std::string& path) {
   return v;
 }
 
-Value DeserializeValue(std::ifstream* in, const std::string& path) {
-  uint8_t tag = ReadRaw<uint8_t>(in, path);
+/// Frame-payload cursor. Deserialization is buffer-based (the whole frame
+/// is read and checksum-verified before any value is parsed), so every read
+/// is bounds-checked against the frame — a lying length inside a frame that
+/// somehow passed the CRC still cannot read out of bounds.
+template <typename T>
+T ReadBuf(const std::string& buf, size_t* pos, const std::string& path) {
+  if (buf.size() - *pos < sizeof(T)) {
+    throw IoError("corrupt spill frame (truncated value): " + path);
+  }
+  T v;
+  std::memcpy(&v, buf.data() + *pos, sizeof(v));
+  *pos += sizeof(v);
+  return v;
+}
+
+Value DeserializeValue(const std::string& buf, size_t* pos,
+                       const std::string& path) {
+  uint8_t tag = ReadBuf<uint8_t>(buf, pos, path);
   switch (tag) {
     case kTagNull:
       return Value::Null();
     case kTagBool:
-      return Value(ReadRaw<uint8_t>(in, path) != 0);
+      return Value(ReadBuf<uint8_t>(buf, pos, path) != 0);
     case kTagInt32:
-      return Value(ReadRaw<int32_t>(in, path));
+      return Value(ReadBuf<int32_t>(buf, pos, path));
     case kTagInt64:
-      return Value(ReadRaw<int64_t>(in, path));
+      return Value(ReadBuf<int64_t>(buf, pos, path));
     case kTagDouble:
-      return Value(ReadRaw<double>(in, path));
+      return Value(ReadBuf<double>(buf, pos, path));
     case kTagString: {
-      uint32_t n = ReadRaw<uint32_t>(in, path);
-      std::string s(n, '\0');
-      if (n > 0 && !in->read(s.data(), n)) {
-        throw IoError("truncated spill file: " + path);
+      uint32_t n = ReadBuf<uint32_t>(buf, pos, path);
+      if (buf.size() - *pos < n) {
+        throw IoError("corrupt spill frame (truncated string): " + path);
       }
+      std::string s(buf, *pos, n);
+      *pos += n;
       return Value(std::move(s));
     }
     case kTagDecimal: {
-      int64_t unscaled = ReadRaw<int64_t>(in, path);
-      int32_t precision = ReadRaw<int32_t>(in, path);
-      int32_t scale = ReadRaw<int32_t>(in, path);
+      int64_t unscaled = ReadBuf<int64_t>(buf, pos, path);
+      int32_t precision = ReadBuf<int32_t>(buf, pos, path);
+      int32_t scale = ReadBuf<int32_t>(buf, pos, path);
       return Value(Decimal(unscaled, precision, scale));
     }
     case kTagDate:
-      return Value(DateValue{ReadRaw<int32_t>(in, path)});
+      return Value(DateValue{ReadBuf<int32_t>(buf, pos, path)});
     case kTagTimestamp:
-      return Value(TimestampValue{ReadRaw<int64_t>(in, path)});
+      return Value(TimestampValue{ReadBuf<int64_t>(buf, pos, path)});
     case kTagArray: {
-      uint32_t n = ReadRaw<uint32_t>(in, path);
+      uint32_t n = ReadBuf<uint32_t>(buf, pos, path);
       std::vector<Value> elems;
       elems.reserve(n);
-      for (uint32_t i = 0; i < n; ++i) elems.push_back(DeserializeValue(in, path));
+      for (uint32_t i = 0; i < n; ++i) {
+        elems.push_back(DeserializeValue(buf, pos, path));
+      }
       return Value::Array(std::move(elems));
     }
     case kTagStruct: {
-      uint32_t n = ReadRaw<uint32_t>(in, path);
+      uint32_t n = ReadBuf<uint32_t>(buf, pos, path);
       std::vector<Value> fields;
       fields.reserve(n);
-      for (uint32_t i = 0; i < n; ++i) fields.push_back(DeserializeValue(in, path));
+      for (uint32_t i = 0; i < n; ++i) {
+        fields.push_back(DeserializeValue(buf, pos, path));
+      }
       return Value::Struct(std::move(fields));
     }
     case kTagMap: {
-      uint32_t n = ReadRaw<uint32_t>(in, path);
+      uint32_t n = ReadBuf<uint32_t>(buf, pos, path);
       std::vector<std::pair<Value, Value>> entries;
       entries.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
-        Value k = DeserializeValue(in, path);
-        Value v = DeserializeValue(in, path);
+        Value k = DeserializeValue(buf, pos, path);
+        Value v = DeserializeValue(buf, pos, path);
         entries.emplace_back(std::move(k), std::move(v));
       }
       return Value::Map(std::move(entries));
@@ -172,6 +194,10 @@ Value DeserializeValue(std::ifstream* in, const std::string& path) {
       throw IoError("corrupt spill file (bad value tag): " + path);
   }
 }
+
+/// Upper bound on one frame's payload. A length past this is header rot,
+/// not a real row — fail before resize() tries to allocate a wild size.
+constexpr uint32_t kMaxSpillFrameBytes = 1u << 30;
 
 }  // namespace
 
@@ -316,16 +342,26 @@ int64_t SpillFile::Append(const Row& row) {
   buffer_.clear();
   PutRaw(&buffer_, static_cast<uint32_t>(row.size()));
   for (const Value& v : row.values()) SerializeValue(v, &buffer_);
+  // Frame header: payload length + CRC-32 of the payload, so any bit that
+  // rots on disk (or is flipped by a corrupt fault) surfaces as a checksum
+  // IoError on read — never as silently wrong rows.
+  char header[8];
+  const uint32_t len = static_cast<uint32_t>(buffer_.size());
+  const uint32_t crc = Crc32(buffer_);
+  std::memcpy(header, &len, sizeof(len));
+  std::memcpy(header + sizeof(len), &crc, sizeof(crc));
   // Charge the quota before the bytes land so exhaustion fails the append
   // without growing the file past the budget.
-  bytes_ += static_cast<int64_t>(buffer_.size());
+  const int64_t frame_bytes = static_cast<int64_t>(sizeof(header)) + len;
+  bytes_ += frame_bytes;
   ChargeQuota();
-  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out_.write(header, sizeof(header));
+  out_.write(buffer_.data(), static_cast<std::streamsize>(len));
   if (!out_) {
     throw IoError("write to spill file '" + path_ + "' failed (disk full?)");
   }
   ++rows_;
-  return static_cast<int64_t>(buffer_.size());
+  return frame_bytes;
 }
 
 void SpillFile::FinishWrites() {
@@ -357,10 +393,37 @@ bool SpillFile::Reader::Next(Row* row) {
   if (remaining_ == 0) return false;
   if (faults_ != nullptr) faults_->MaybeFail("spill.read", path_);
   --remaining_;
-  uint32_t n = ReadRaw<uint32_t>(&in_, path_);
+  const uint32_t len = ReadRaw<uint32_t>(&in_, path_);
+  const uint32_t expected_crc = ReadRaw<uint32_t>(&in_, path_);
+  if (len > kMaxSpillFrameBytes) {
+    throw IoError("corrupt spill file (implausible frame length " +
+                  std::to_string(len) + "): " + path_);
+  }
+  frame_.resize(len);
+  if (len > 0 && !in_.read(frame_.data(), len)) {
+    throw IoError("truncated spill file: " + path_);
+  }
+  // Injected rot flips a payload bit after the read and before the checksum
+  // below, so a corrupt fault exercises exactly the detection path real bit
+  // rot would take.
+  if (faults_ != nullptr) faults_->MaybeCorrupt("spill.read", &frame_);
+  const uint32_t actual_crc = Crc32(frame_);
+  if (actual_crc != expected_crc) {
+    throw IoError("spill frame checksum mismatch in '" + path_ +
+                  "' (stored " + std::to_string(expected_crc) + ", computed " +
+                  std::to_string(actual_crc) +
+                  "): corrupted spill bytes detected");
+  }
+  size_t pos = 0;
+  const uint32_t n = ReadBuf<uint32_t>(frame_, &pos, path_);
   Row out;
   out.Reserve(n);
-  for (uint32_t i = 0; i < n; ++i) out.Append(DeserializeValue(&in_, path_));
+  for (uint32_t i = 0; i < n; ++i) {
+    out.Append(DeserializeValue(frame_, &pos, path_));
+  }
+  if (pos != frame_.size()) {
+    throw IoError("corrupt spill frame (trailing bytes): " + path_);
+  }
   *row = std::move(out);
   return true;
 }

@@ -68,9 +68,15 @@ class DiskQuota {
 /// alike, so a query can never leave orphan scratch files behind.
 ///
 /// Lifecycle: Append() rows, FinishWrites(), then read back through one or
-/// more Readers. The serialization is a self-describing tag+payload binary
-/// format covering every Value alternative except opaque UDT objects
-/// (which cannot be spilled and raise ExecutionError).
+/// more Readers. Each appended row becomes one framed record batch
+///
+///   [u32 payload_len][u32 crc32][payload]
+///
+/// where the payload is a self-describing tag+payload serialization of the
+/// row covering every Value alternative except opaque UDT objects (which
+/// cannot be spilled and raise ExecutionError). The CRC-32 is verified on
+/// every read before any byte of the payload is parsed, so bit rot in
+/// spilled data surfaces as IoError — never as silently wrong rows.
 ///
 /// Every write and flush checks the stream's failure bits and surfaces
 /// IoError naming the path and operation — a full disk must fail the query
@@ -127,12 +133,16 @@ class SpillFile {
    public:
     explicit Reader(const SpillFile& file);
     /// Reads the next row into `*row`; false at end-of-file. Throws IoError
-    /// on truncation or corruption — a short file is an error, not an EOF.
+    /// on truncation, a frame checksum mismatch, or corruption — a short
+    /// file is an error, not an EOF. The fault site "spill.read" is probed
+    /// per frame (both MaybeFail throws and corrupt-kind bit flips, which
+    /// then trip the checksum).
     bool Next(Row* row);
 
    private:
     std::ifstream in_;
     std::string path_;  // for error messages
+    std::string frame_;  // per-frame payload scratch, reused across calls
     size_t remaining_;
     const FaultPointSet* faults_;
   };

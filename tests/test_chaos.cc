@@ -10,7 +10,10 @@
 // ticket is stuck, system.queries stays consistent, and a fresh query still
 // runs. Rounds are deterministic per seed (seed=<N> in the fault spec);
 // scripts/check.sh and CI run this binary under ASan and TSan with 10
-// distinct seeds via SSQL_CHAOS_SEED.
+// distinct seeds via SSQL_CHAOS_SEED. Speculative execution and the engine
+// watchdog are armed in every round (SSQL_CHAOS_SPECULATION=0 disarms
+// speculation for bisection), and a corrupt-kind fault rule flips spill
+// bits that the frame checksums must catch.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
@@ -53,6 +56,15 @@ uint64_t BaseSeed() {
     return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
   }
   return 1;
+}
+
+/// Speculation rides along in every chaos round by default — duplicate
+/// attempts racing primaries under fault fire is exactly the interleaving
+/// the exactly-once commit must survive. SSQL_CHAOS_SPECULATION=0 turns it
+/// off to bisect a failure down to the base fault matrix.
+bool SpeculationArmed() {
+  const char* env = std::getenv("SSQL_CHAOS_SPECULATION");
+  return env == nullptr || std::string(env) != "0";
 }
 
 void RegisterWorkload(SqlContext& ctx) {
@@ -102,13 +114,27 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
     config.io_max_retries = 2;
     config.io_retry_backoff_ms = 0;  // no sleeping under sanitizers
     config.task_retry_backoff_ms = 0;
+    // Straggler defense armed for the storm: eager speculation keeps
+    // duplicate attempts racing primaries while the faults fire, and the
+    // watchdog patrols every round — with a budget far above anything a
+    // sanitizer-slowed task legitimately needs, so it only ever fires on a
+    // real wedge (which would rightly fail the round).
+    if (SpeculationArmed()) {
+      config.speculation_multiplier = 2.0;
+      config.speculation_quantile = 0.5;
+    }
+    config.watchdog_interval_ms = 50;
+    config.stuck_task_timeout_ms = 30000;
     // Random faults at every hardened boundary, deterministic per seed:
     // retryable source faults are healed by the I/O retry loop, transient
     // spill faults fail individual queries, ENOSPC exercises the quota
-    // degradation path, and metrics/trace faults must be absorbed.
+    // degradation path, corrupt bit flips must trip the spill checksum
+    // (failing loudly as IoError, never as wrong rows), and metrics/trace
+    // faults must be absorbed.
     config.fault_injection_spec =
         "spill.write=p0.002,"
         "spill.read=p0.002,"
+        "spill.read=p0.002:corrupt,"
         "source.read=p0.001:retryable,"
         "spill.write=p0.0005:enospc,"
         "metrics.snapshot=p0.05,"

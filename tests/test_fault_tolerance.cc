@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <random>
 #include <thread>
 
 #include "api/sql_context.h"
@@ -19,6 +22,8 @@
 #include "engine/task_runner.h"
 #include "exec/interval_join_exec.h"
 #include "exec/scan_exec.h"
+#include "util/fault_points.h"
+#include "util/spill_file.h"
 #include "util/thread_pool.h"
 
 namespace ssql {
@@ -533,6 +538,591 @@ TEST(RecordErrorTest, ParseModeFromStringIsCaseInsensitive) {
   EXPECT_EQ(ParseModeFromString("DropMalformed"), ParseMode::kDropMalformed);
   EXPECT_EQ(ParseModeFromString("FAILFAST"), ParseMode::kFailFast);
   EXPECT_THROW(ParseModeFromString("whatever"), IoError);
+}
+
+// ---- cancellation token chaining -------------------------------------------
+
+TEST(CancellationTokenTest, ChildObservesParentCancelWithItsReason) {
+  auto parent = std::make_shared<CancellationToken>();
+  auto child = CancellationToken::MakeChild(parent);
+  EXPECT_FALSE(child->IsCancelled());
+  parent->Cancel("query killed");
+  EXPECT_TRUE(child->IsCancelled());
+  // The cancel was inherited, not local: the child can tell the difference
+  // (how a task attempt distinguishes query death from a lost race).
+  EXPECT_FALSE(child->LocalCancelRequested());
+  EXPECT_EQ(child->StatusMessage(), "query cancelled: query killed");
+  try {
+    child->ThrowIfCancelled();
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    EXPECT_EQ(std::string(e.what()), "query cancelled: query killed");
+  }
+}
+
+TEST(CancellationTokenTest, ChildCancelDoesNotPropagateUpAndOwnReasonWins) {
+  auto parent = std::make_shared<CancellationToken>();
+  auto child = CancellationToken::MakeChild(parent);
+  child->Cancel("lost speculation race for stage 'scan' partition 3");
+  EXPECT_TRUE(child->IsCancelled());
+  EXPECT_TRUE(child->LocalCancelRequested());
+  EXPECT_FALSE(parent->IsCancelled());  // siblings keep running
+  EXPECT_EQ(child->StatusMessage(),
+            "query cancelled: lost speculation race for stage 'scan' "
+            "partition 3");
+  // Even after the parent is cancelled too, the child's own (first) reason
+  // still wins — it describes what actually stopped this attempt.
+  parent->Cancel("user abort");
+  EXPECT_EQ(child->StatusMessage(),
+            "query cancelled: lost speculation race for stage 'scan' "
+            "partition 3");
+}
+
+TEST(CancellationTokenTest, ChildDeadlineIsLocalToTheChild) {
+  auto parent = std::make_shared<CancellationToken>();
+  auto child = CancellationToken::MakeChild(parent);
+  child->SetTimeout(0);  // instant expiry
+  EXPECT_TRUE(child->IsCancelled());
+  EXPECT_TRUE(child->LocalDeadlineExceeded());
+  EXPECT_FALSE(parent->IsCancelled());
+}
+
+// ---- per-task deadlines ----------------------------------------------------
+
+TEST(TaskDeadlineTest, RunawayAttemptIsRetriedWithAFreshDeadline) {
+  // Partition 3's first attempt crawls past task_timeout_ms; the poll site
+  // converts it into a RetryableError and the retry (fast) succeeds.
+  EngineConfig config;
+  config.num_threads = 2;
+  config.task_timeout_ms = 50;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  std::vector<Row> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 4);
+  std::vector<std::atomic<int>> attempts(4);
+  RowDataset out = d.MapPartitions(
+      ctx,
+      [&](size_t p, const RowPartition& part) {
+        if (p == 3 && attempts[p].fetch_add(1) == 0) {
+          for (int i = 0; i < 10000; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ctx.CheckCancelled();  // deadline converts to RetryableError here
+          }
+        }
+        return std::make_shared<RowPartition>(part);
+      },
+      "slow");
+  EXPECT_EQ(out.TotalRows(), 8u);
+  EXPECT_EQ(ctx.metrics().Get("task.timeouts"), 1);
+  EXPECT_EQ(ctx.metrics().Get("task.retries"), 1);
+  EXPECT_GE(engine.registry().Counter("ssql_tasks_timed_out_total").value(), 1);
+  query->Finish("ok");
+}
+
+TEST(TaskDeadlineTest, PersistentlyRunawayTaskFailsNamingTheDeadline) {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.task_timeout_ms = 30;
+  config.task_max_retries = 1;
+  config.task_retry_backoff_ms = 0;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  std::vector<Row> rows;
+  for (int i = 0; i < 2; ++i) rows.push_back(Row({Value(int32_t(i))}));
+  RowDataset d = RowDataset::FromRows(std::move(rows), 2);
+  try {
+    d.MapPartitions(
+        ctx,
+        [&](size_t p, const RowPartition& part) {
+          if (p == 1) {
+            for (int i = 0; i < 10000; ++i) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              ctx.CheckCancelled();
+            }
+          }
+          return std::make_shared<RowPartition>(part);
+        },
+        "runaway");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("gave up after 2 attempts"), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeded its task_timeout_ms deadline (30 ms)"),
+              std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(ctx.metrics().Get("task.timeouts"), 2);
+  query->Finish("error");
+}
+
+// ---- speculative execution -------------------------------------------------
+
+TEST(SpeculationTest, DuplicateWinsCommitsOnceAndLoserLearnsWhy) {
+  // Partition 7's first attempt crawls; every other task is quick, so once
+  // speculation_quantile of the stage has committed the coordinator races a
+  // duplicate against it. The duplicate (a fresh, fast attempt) must win,
+  // commit exactly once, and the losing primary must see a lost-race abort
+  // that names the stage and partition.
+  EngineConfig config;
+  config.num_threads = 4;
+  config.speculation_multiplier = 0.0;  // maximally eager
+  config.speculation_quantile = 0.25;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  std::vector<std::atomic<int>> commits(8);
+  std::vector<std::atomic<int>> attempts(8);
+  std::mutex reason_mu;
+  std::string loser_reason;
+  TaskRunner(ctx).RunStageSpeculatable(
+      "spec", 8, [&](size_t p) -> TaskRunner::TaskCommitFn {
+        if (p == 7 && attempts[p].fetch_add(1) == 0) {
+          try {
+            for (int i = 0; i < 10000; ++i) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              ctx.CheckCancelled();
+            }
+          } catch (const TaskAttemptAborted& e) {
+            std::lock_guard<std::mutex> lock(reason_mu);
+            loser_reason = e.what();
+            throw;
+          }
+        }
+        return [&commits, p] { commits[p].fetch_add(1); };
+      });
+  for (size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(commits[p].load(), 1) << "partition " << p;
+  }
+  EXPECT_GE(ctx.metrics().Get("task.speculated"), 1);
+  EXPECT_GE(ctx.metrics().Get("task.speculation_wins"), 1);
+  EXPECT_GE(engine.registry().Counter("ssql_tasks_speculated_total").value(),
+            1);
+  EXPECT_GE(engine.registry().Counter("ssql_speculation_wins_total").value(),
+            1);
+  {
+    std::lock_guard<std::mutex> lock(reason_mu);
+    EXPECT_NE(
+        loser_reason.find("lost speculation race for stage 'spec' partition 7"),
+        std::string::npos)
+        << loser_reason;
+  }
+  query->Finish("ok");
+}
+
+TEST(SpeculationTest, PrimaryWinCancelsTheDuplicateCooperatively) {
+  // Here the duplicate is the slow copy: the primary finishes first and the
+  // stage must not wait for the duplicate's multi-second sleep — the commit
+  // cancels it through its attempt token.
+  EngineConfig config;
+  config.num_threads = 4;
+  config.speculation_multiplier = 0.0;
+  config.speculation_quantile = 0.25;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  std::vector<std::atomic<int>> commits(8);
+  std::vector<std::atomic<int>> attempts(8);
+  auto started = std::chrono::steady_clock::now();
+  TaskRunner(ctx).RunStageSpeculatable(
+      "race", 8, [&](size_t p) -> TaskRunner::TaskCommitFn {
+        int attempt = attempts[p].fetch_add(1);
+        if (p == 7) {
+          // First attempt: slow enough to get speculated, then finishes.
+          // Speculative attempt: would take ~10 s if not cancelled.
+          int spins = attempt == 0 ? 60 : 10000;
+          for (int i = 0; i < spins; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            ctx.CheckCancelled();
+          }
+        }
+        return [&commits, p] { commits[p].fetch_add(1); };
+      });
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  for (size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(commits[p].load(), 1) << "partition " << p;
+  }
+  EXPECT_GE(ctx.metrics().Get("task.speculated"), 1);
+  EXPECT_EQ(ctx.metrics().Get("task.speculation_wins"), 0);
+  // The losing duplicate was cancelled cooperatively, not waited out.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            8);
+  query->Finish("ok");
+}
+
+TEST(SpeculationTest, EveryPartitionCommitsExactlyOnceUnderRacingDuplicates) {
+  // Stress the commit CAS: with quantile 0 and multiplier 0 nearly every
+  // task gets a duplicate, so primaries and duplicates race on most
+  // partitions every round. Exactly one commit per partition must survive —
+  // this is the double-commit / TSan test.
+  EngineConfig config;
+  config.num_threads = 4;
+  config.speculation_multiplier = 0.0;
+  config.speculation_quantile = 0.0;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  constexpr int kRounds = 25;
+  constexpr size_t kPartitions = 8;
+  std::vector<std::atomic<int>> commits(kPartitions);
+  for (int round = 0; round < kRounds; ++round) {
+    TaskRunner(ctx).RunStageSpeculatable(
+        "stress", kPartitions, [&](size_t p) -> TaskRunner::TaskCommitFn {
+          // Stagger runtimes so which copy wins varies across partitions.
+          std::this_thread::sleep_for(std::chrono::microseconds(300 * (p % 3)));
+          ctx.CheckCancelled();
+          return [&commits, p] { commits[p].fetch_add(1); };
+        });
+    for (size_t p = 0; p < kPartitions; ++p) {
+      ASSERT_EQ(commits[p].load(), round + 1)
+          << "double or lost commit on partition " << p << " in round "
+          << round;
+    }
+  }
+  query->Finish("ok");
+}
+
+TEST(SpeculationTest, DisabledSpeculationBehavesLikeRunStage) {
+  // speculation_multiplier < 0 (the default) must not spawn a coordinator
+  // or duplicates even for a straggler-shaped stage.
+  ExecContext engine;  // defaults: speculation off
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  std::vector<std::atomic<int>> commits(4);
+  TaskRunner(ctx).RunStageSpeculatable(
+      "plain", 4, [&](size_t p) -> TaskRunner::TaskCommitFn {
+        if (p == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return [&commits, p] { commits[p].fetch_add(1); };
+      });
+  for (size_t p = 0; p < 4; ++p) EXPECT_EQ(commits[p].load(), 1);
+  EXPECT_EQ(ctx.metrics().Get("task.speculated"), 0);
+  query->Finish("ok");
+}
+
+// ---- engine watchdog -------------------------------------------------------
+
+TEST(WatchdogTest, KillsQueryWhoseTaskStopsHeartbeating) {
+  EngineConfig config;
+  config.num_threads = 2;
+  config.watchdog_interval_ms = 10;
+  config.stuck_task_timeout_ms = 250;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  const uint64_t id = ctx.query_id();
+  std::vector<Row> rows;
+  rows.push_back(Row({Value(int32_t(1))}));
+  RowDataset d = RowDataset::SinglePartition(std::move(rows));
+  try {
+    d.MapPartitions(
+        ctx,
+        [&](size_t, const RowPartition& part) {
+          // A wedged task: never calls CheckCancelled, so it publishes no
+          // heartbeats — but it does notice the token eventually, which is
+          // how a watchdog-killed query actually unwinds in practice.
+          for (int i = 0; i < 10000; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            if (ctx.cancellation()->IsCancelled()) {
+              ctx.cancellation()->ThrowIfCancelled();
+            }
+          }
+          return std::make_shared<RowPartition>(part);
+        },
+        "stall");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("stage 'stall'"), std::string::npos) << what;
+    EXPECT_NE(what.find("partition 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("made no progress"), std::string::npos) << what;
+  }
+  query->Finish("killed");
+
+  bool found = false;
+  for (const QueryRecord& r : engine.QueryRecords()) {
+    if (r.id != id) continue;
+    found = true;
+    EXPECT_EQ(r.status, "CANCELLED");
+    EXPECT_EQ(r.error_code, "RESOURCE_EXHAUSTED");
+    EXPECT_TRUE(r.stalled);
+    EXPECT_NE(r.error.find("watchdog"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("stuck_task_timeout_ms=250"), std::string::npos)
+        << r.error;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(engine.registry().Counter("ssql_watchdog_kills_total").value(), 1);
+}
+
+TEST(WatchdogTest, HealthyPollingTaskIsNeverKilled) {
+  // A task that runs far longer than stuck_task_timeout_ms but heartbeats
+  // the whole way must not be touched: the watchdog measures progress, not
+  // runtime (that is task_timeout_ms's job).
+  EngineConfig config;
+  config.num_threads = 2;
+  config.watchdog_interval_ms = 10;
+  config.stuck_task_timeout_ms = 100;
+  ExecContext engine(config);
+  QueryContextPtr query = engine.BeginQuery();
+  QueryContext& ctx = *query;
+  const uint64_t id = ctx.query_id();
+  std::vector<Row> rows;
+  rows.push_back(Row({Value(int32_t(1))}));
+  RowDataset d = RowDataset::SinglePartition(std::move(rows));
+  RowDataset out = d.MapPartitions(
+      ctx,
+      [&](size_t, const RowPartition& part) {
+        for (int i = 0; i < 150; ++i) {  // ~300 ms, 3x the stuck budget
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          ctx.CheckCancelled();  // heartbeat
+        }
+        return std::make_shared<RowPartition>(part);
+      },
+      "healthy");
+  EXPECT_EQ(out.TotalRows(), 1u);
+  query->Finish("ok");
+  for (const QueryRecord& r : engine.QueryRecords()) {
+    if (r.id != id) continue;
+    EXPECT_EQ(r.status, "FINISHED");
+    EXPECT_FALSE(r.stalled);
+  }
+  EXPECT_EQ(engine.registry().Counter("ssql_watchdog_kills_total").value(), 0);
+}
+
+// ---- corrupt-kind fault rules ----------------------------------------------
+
+TEST(FaultPointSetCorruptTest, GrammarAcceptsCorruptAndRejectsUnknownKinds) {
+  EXPECT_NO_THROW(FaultPointSet::Parse("spill.read=n1:corrupt"));
+  EXPECT_NO_THROW(FaultPointSet::Parse("source.read=p0.5:corrupt,seed=7"));
+  try {
+    FaultPointSet::Parse("spill.read=n1:banana");
+    FAIL() << "expected ExecutionError";
+  } catch (const ExecutionError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("'spill.read=n1:banana'"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown error kind 'banana'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("corrupt"), std::string::npos) << what;  // listed
+  }
+}
+
+TEST(FaultPointSetCorruptTest, MaybeFailIgnoresCorruptRules) {
+  FaultPointSet set = FaultPointSet::Parse("spill.read=n1:corrupt");
+  // Throw-style probes at the same site neither fire the corrupt rule nor
+  // consume its hit window...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(set.MaybeFail("spill.read", "probe"));
+  }
+  EXPECT_EQ(set.fired(), 0u);
+  // ... so the first MaybeCorrupt call is still hit n1 and fires.
+  std::string buffer = "the quick brown fox";
+  const std::string original = buffer;
+  EXPECT_TRUE(set.MaybeCorrupt("spill.read", &buffer));
+  EXPECT_EQ(set.fired(), 1u);
+  ASSERT_EQ(buffer.size(), original.size());
+  int flipped_bits = 0;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    unsigned char diff =
+        static_cast<unsigned char>(buffer[i] ^ original[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);  // exactly one bit of rot
+  // The window is spent: later frames pass through untouched.
+  std::string later = buffer;
+  EXPECT_FALSE(set.MaybeCorrupt("spill.read", &buffer));
+  EXPECT_EQ(buffer, later);
+}
+
+TEST(FaultPointSetCorruptTest, CorruptRulesIgnoreOtherSites) {
+  FaultPointSet set = FaultPointSet::Parse("spill.read=*:corrupt");
+  std::string buffer = "payload";
+  EXPECT_FALSE(set.MaybeCorrupt("source.read", &buffer));
+  EXPECT_EQ(buffer, "payload");
+  EXPECT_TRUE(set.MaybeCorrupt("spill.read", &buffer));
+}
+
+// ---- checksummed spills ----------------------------------------------------
+
+TEST(SpillCrcTest, RowsRoundTripThroughTheChecksummedFrames) {
+  std::string dir = ::testing::TempDir() + "/spill_crc_roundtrip";
+  SpillFile file(dir, "rt");
+  std::vector<Row> rows;
+  rows.push_back(Row({Value("hello spill"), Value(int32_t(7)), Value()}));
+  rows.push_back(Row({Value(3.25), Value(true), Value(int64_t(1) << 40)}));
+  rows.push_back(Row({Value(std::string(1000, 'x')), Value(int32_t(-1)),
+                      Value("tail")}));
+  for (const Row& r : rows) file.Append(r);
+  file.FinishWrites();
+  SpillFile::Reader reader(file);
+  Row row;
+  size_t n = 0;
+  while (reader.Next(&row)) {
+    ASSERT_LT(n, rows.size());
+    EXPECT_EQ(row.ToString(), rows[n].ToString());
+    ++n;
+  }
+  EXPECT_EQ(n, rows.size());
+}
+
+TEST(SpillCrcTest, OnDiskBitRotSurfacesAsIoError) {
+  // Flip one payload byte of the finished file behind SpillFile's back: the
+  // reader must refuse the frame, never hand back silently wrong rows.
+  std::string dir = ::testing::TempDir() + "/spill_crc_rot";
+  SpillFile file(dir, "rot");
+  file.Append(Row({Value("a row long enough to have a payload to damage"),
+                   Value(int32_t(42))}));
+  file.FinishWrites();
+  {
+    std::fstream f(file.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(12);  // past the 8-byte frame header, inside the payload
+    char byte = 0;
+    f.seekg(12);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(12);
+    f.write(&byte, 1);
+  }
+  SpillFile::Reader reader(file);
+  Row row;
+  try {
+    reader.Next(&row);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+  }
+}
+
+TEST(SpillCrcTest, InjectedCorruptionTripsTheChecksum) {
+  // The corrupt fault kind flips a bit of the in-memory frame after the read
+  // but before verification — exercising the same detection path without
+  // touching the file.
+  std::string dir = ::testing::TempDir() + "/spill_crc_inject";
+  FaultPointSet faults = FaultPointSet::Parse("spill.read=n2:corrupt,seed=9");
+  SpillFile::Hooks hooks;
+  hooks.faults = &faults;
+  SpillFile file(dir, "inject", hooks);
+  for (int i = 0; i < 4; ++i) {
+    file.Append(Row({Value("frame payload number " + std::to_string(i))}));
+  }
+  file.FinishWrites();
+  SpillFile::Reader reader(file);
+  Row row;
+  EXPECT_TRUE(reader.Next(&row));  // frame 1 (hit n1) is clean
+  EXPECT_THROW(reader.Next(&row), IoError);  // frame 2 is rotted
+  EXPECT_EQ(faults.fired(), 1u);
+}
+
+// Spill-heavy queries with a corrupt rule armed at spill.read: each of the
+// three out-of-core consumers (hash aggregate, external sort, hash join)
+// must surface the rot as a loud checksum error, and run clean again once
+// the rule is removed. Mirrors test_memory.cc's SpillQueryTest data shape.
+class SpillCorruptionQueryTest : public ::testing::Test {
+ protected:
+  SpillCorruptionQueryTest() {
+    ctx_.UpdateConfig([&](EngineConfig& c) {
+      c.num_threads = 4;
+      c.default_parallelism = 4;
+    });
+    std::mt19937_64 rng(42);
+    auto schema = StructType::Make({
+        Field("k", DataType::String(), false),
+        Field("v", DataType::Int32(), false),
+    });
+    std::vector<Row> rows;
+    rows.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      rows.push_back(Row({Value("key_" + std::to_string(rng() % 2000)),
+                          Value(static_cast<int32_t>(rng() % 1000))}));
+    }
+    ctx_.CreateDataFrame(schema, std::move(rows)).RegisterTempTable("t");
+    auto dim = StructType::Make({
+        Field("k", DataType::String(), false),
+        Field("w", DataType::Int32(), false),
+    });
+    std::vector<Row> dim_rows;
+    dim_rows.reserve(6000);
+    for (int i = 0; i < 6000; ++i) {
+      dim_rows.push_back(Row({Value("key_" + std::to_string(rng() % 2500)),
+                              Value(static_cast<int32_t>(i))}));
+    }
+    ctx_.CreateDataFrame(dim, std::move(dim_rows)).RegisterTempTable("dim");
+  }
+
+  void ExpectChecksumFailureThenCleanRun(const std::string& sql,
+                                         int64_t limit_bytes) {
+    ctx_.UpdateConfig([&](EngineConfig& c) {
+      c.query_memory_limit_bytes = limit_bytes;
+      c.fault_injection_spec = "spill.read=n1:corrupt,seed=3";
+    });
+    try {
+      ctx_.Sql(sql).Collect();
+      FAIL() << "expected a checksum failure for: " << sql;
+    } catch (const SsqlError& e) {
+      EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+    // Same query, same memory pressure, no rot: must succeed and spill.
+    ctx_.UpdateConfig(
+        [&](EngineConfig& c) { c.fault_injection_spec.clear(); });
+    ctx_.exec().metrics().Reset();
+    EXPECT_FALSE(ctx_.Sql(sql).Collect().empty()) << sql;
+    EXPECT_GT(ctx_.exec().metrics().Get("memory.spill_bytes"), 0) << sql;
+    ctx_.UpdateConfig(
+        [&](EngineConfig& c) { c.query_memory_limit_bytes = -1; });
+  }
+
+  SqlContext ctx_;
+};
+
+TEST_F(SpillCorruptionQueryTest, AggregateSpillDetectsRot) {
+  ExpectChecksumFailureThenCleanRun(
+      "SELECT k, sum(v), count(*) FROM t GROUP BY k", 64 * 1024);
+}
+
+TEST_F(SpillCorruptionQueryTest, SortSpillDetectsRot) {
+  ExpectChecksumFailureThenCleanRun("SELECT k, v FROM t ORDER BY v, k",
+                                    64 * 1024);
+}
+
+TEST_F(SpillCorruptionQueryTest, JoinSpillDetectsRot) {
+  ExpectChecksumFailureThenCleanRun(
+      "SELECT t.k, t.v, dim.w FROM t JOIN dim ON t.k = dim.k", 48 * 1024);
+}
+
+// ---- straggler-defense config validation -----------------------------------
+
+TEST(StragglerConfigTest, KnobsAreValidated) {
+  {
+    EngineConfig c;
+    c.speculation_quantile = 1.5;
+    EXPECT_THROW(ExecContext e(c), ExecutionError);
+  }
+  {
+    EngineConfig c;
+    c.speculation_quantile = -0.1;
+    EXPECT_THROW(ExecContext e(c), ExecutionError);
+  }
+  {
+    EngineConfig c;
+    c.watchdog_interval_ms = 0;
+    try {
+      ExecContext e(c);
+      FAIL() << "expected ExecutionError";
+    } catch (const ExecutionError& e) {
+      EXPECT_NE(std::string(e.what()).find("watchdog_interval_ms"),
+                std::string::npos);
+    }
+  }
 }
 
 }  // namespace

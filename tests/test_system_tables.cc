@@ -370,10 +370,10 @@ TEST(SystemTablesTest, ColumnPruningOnSystemTablesIsObservable) {
   SqlContext ctx(SmallConfig());
   RegisterNumbers(ctx, 4);
   ctx.Sql("SELECT count(*) FROM numbers").Collect();
-  // system.queries has 9 columns; this query needs only `status`.
+  // system.queries has 11 columns; this query needs only `status`.
   ctx.Sql("SELECT status FROM system.queries").Collect();
   EXPECT_EQ(ctx.exec().metrics().Get("system.scans"), 1);
-  EXPECT_EQ(ctx.exec().metrics().Get("system.columns_pruned"), 8);
+  EXPECT_EQ(ctx.exec().metrics().Get("system.columns_pruned"), 10);
 
   // Filter pushdown reaches the source: scanned==all records, returned==
   // the matching subset (both recorded by the relation itself).
@@ -383,6 +383,27 @@ TEST(SystemTablesTest, ColumnPruningOnSystemTablesIsObservable) {
                   .Collect();
   EXPECT_GE(rows.size(), 1u);
   EXPECT_EQ(ctx.exec().metrics().Get("system.scans"), scans_before + 1);
+}
+
+TEST(SystemTablesTest, HeartbeatAndStallColumnsAreQueryable) {
+  SqlContext ctx(SmallConfig());
+  RegisterNumbers(ctx);
+  ctx.Sql("SELECT sum(v) FROM numbers").Collect();
+  // A healthy finished query: heartbeat age is a small non-negative number
+  // (the age at finish time) and the watchdog never marked it stalled.
+  auto rows = ctx.Sql("SELECT last_heartbeat_ms, stalled FROM system.queries "
+                      "WHERE status = 'FINISHED'")
+                  .Collect();
+  ASSERT_GE(rows.size(), 1u);
+  for (const Row& r : rows) {
+    EXPECT_GE(r.GetInt64(0), 0);
+    EXPECT_FALSE(r.GetBool(1));
+  }
+  // The stalled flag is filterable like any other column.
+  auto stalled = ctx.Sql("SELECT count(*) FROM system.queries "
+                         "WHERE stalled = true")
+                     .Collect();
+  EXPECT_EQ(stalled[0].GetInt64(0), 0);
 }
 
 // ---- Prometheus exposition -------------------------------------------------
@@ -400,6 +421,17 @@ TEST(SystemTablesTest, PrometheusExportIsWellFormed) {
             std::string::npos);
   EXPECT_NE(text.find("# TYPE ssql_active_queries gauge"), std::string::npos);
   EXPECT_NE(text.find("# TYPE ssql_query_latency_us histogram"),
+            std::string::npos);
+
+  // The straggler-defense counters are registered at engine construction,
+  // so they are scrapeable (as zeros) before anything speculates or stalls.
+  EXPECT_NE(text.find("# TYPE ssql_tasks_speculated_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ssql_speculation_wins_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ssql_tasks_timed_out_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ssql_watchdog_kills_total counter"),
             std::string::npos);
 
   // The latency histogram observed 3 queries: non-empty buckets, a +Inf
