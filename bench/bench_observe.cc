@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <random>
 #include <string>
 #include <thread>
@@ -130,6 +131,60 @@ void BM_MetricsAdd(benchmark::State& state) {
   benchmark::DoNotOptimize(metrics.Get("bench.counter"));
 }
 BENCHMARK(BM_MetricsAdd);
+
+// ---- ANALYZE TABLE cost and stats-aware planning ---------------------------
+
+const char* StatsCsvPath() { return "/tmp/ssql-bench-observe-stats.csv"; }
+
+/// A csv-backed twin of the `t` table — file-backed so ANALYZE records a
+/// source identity and the planner actually consults the stats.
+SqlContext* MakeCsvContext() {
+  std::mt19937_64 rng(11);
+  std::ofstream out(StatsCsvPath());
+  out << "k,v\n";
+  for (size_t i = 0; i < kRows; ++i) {
+    out << rng() % kKeys << "," << rng() % 1000 << "\n";
+  }
+  out.close();
+  auto* ctx = new SqlContext(SparkSqlConfig());
+  ctx->RegisterTable("t", ctx->ReadCsv(StatsCsvPath()));
+  return ctx;
+}
+
+// Price of ANALYZE TABLE ... FOR ALL COLUMNS on 100k x 2 columns: one full
+// scan plus, per non-null value, an HLL add, a min/max compare and a
+// histogram bucket increment. Sets the refresh budget for keeping stats
+// fresh on hot tables.
+void BM_AnalyzeTableAllColumns(benchmark::State& state) {
+  SqlContext* ctx = MakeCsvContext();
+  for (auto _ : state) {
+    ctx->Sql("ANALYZE TABLE t COMPUTE STATISTICS FOR ALL COLUMNS").Collect();
+  }
+  state.counters["rows"] = static_cast<double>(kRows);
+  delete ctx;
+  std::remove(StatsCsvPath());
+}
+BENCHMARK(BM_AnalyzeTableAllColumns)->Unit(benchmark::kMillisecond);
+
+// Physical planning of a join+filter+agg query without (0) and with (1)
+// analyzed stats: the per-node estimate annotation and StatsStore lookups
+// must stay microseconds — planning-path work, never per-row.
+void BM_PlanWithEstimates(benchmark::State& state) {
+  SqlContext* ctx = MakeCsvContext();
+  if (state.range(0) == 1) {
+    ctx->Sql("ANALYZE TABLE t COMPUTE STATISTICS FOR ALL COLUMNS").Collect();
+  }
+  DataFrame df = ctx->Sql(
+      "SELECT t1.k, count(*) FROM t t1 JOIN t t2 ON t1.k = t2.k "
+      "WHERE t1.v < 900 GROUP BY t1.k");
+  PlanPtr optimized = ctx->Optimize(df.plan());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx->PlanPhysical(optimized));
+  }
+  delete ctx;
+  std::remove(StatsCsvPath());
+}
+BENCHMARK(BM_PlanWithEstimates)->Arg(0)->Arg(1);
 
 // ---- system-table scan overhead --------------------------------------------
 

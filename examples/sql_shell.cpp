@@ -1,6 +1,6 @@
 // An interactive SQL console — the "command-line console" interface of
 // the paper's Figure 1. Reads one statement per line, prints results or
-// errors; meta-commands: .tables, .explain <sql>, .metrics, .quit.
+// errors; meta-commands: .tables, .explain <sql>, .metrics, .stats, .quit.
 //
 //   ./build/examples/sql_shell
 //   ssql> CREATE TEMPORARY TABLE t USING json OPTIONS (path 'data.json')
@@ -32,7 +32,7 @@ int main() {
   }
   SqlContext ctx(config);
   std::cout << "sparksql-cpp console — SQL statements, or .tables / "
-               ".explain <sql> / .metrics / .quit\n";
+               ".explain <sql> / .metrics / .stats / .quit\n";
   std::string line;
   while (true) {
     std::cout << "ssql> " << std::flush;
@@ -49,6 +49,10 @@ int main() {
       }
       if (trimmed == ".metrics") {
         std::cout << ctx.ExportMetricsText();
+        continue;
+      }
+      if (trimmed == ".stats") {
+        ctx.Sql("SELECT * FROM system.table_stats").Show(40);
         continue;
       }
       if (trimmed.rfind(".explain ", 0) == 0) {

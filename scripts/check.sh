@@ -14,11 +14,12 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=address >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables --target test_chaos >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables --target test_statistics --target test_chaos >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
 ./build-sanitize/tests/test_observability
 ./build-sanitize/tests/test_system_tables
+./build-sanitize/tests/test_statistics
 
 # The concurrency suite (N driver threads on one SqlContext) again under
 # ThreadSanitizer: races between QueryContexts, the admission gate, and the
@@ -27,12 +28,16 @@ cmake --build build-sanitize -j --target test_fault_tolerance --target test_memo
 # metrics registry, memory pool) while other threads mutate it, and the
 # fault-tolerance suite joins it because speculation deliberately races two
 # attempts of one partition against an exactly-once commit (plus the
-# watchdog thread scanning heartbeats that task threads publish).
+# watchdog thread scanning heartbeats that task threads publish). The
+# statistics suite joins both lanes: ANALYZE TABLE racing queries,
+# re-registration and the copy-on-write staleness swap are its TSan
+# surface, and the HLL/histogram buffers its ASan surface.
 cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_fault_tolerance --target test_chaos >/dev/null
+cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_fault_tolerance --target test_statistics --target test_chaos >/dev/null
 ./build-tsan/tests/test_concurrency
 ./build-tsan/tests/test_system_tables
 ./build-tsan/tests/test_fault_tolerance
+./build-tsan/tests/test_statistics
 
 # Chaos harness: seeded rounds of concurrent queries with random fault
 # injection at every I/O boundary — speculation, the watchdog and corrupt

@@ -180,6 +180,16 @@ Row DataFrame::First() const {
 void DataFrame::Save(const std::string& provider,
                      const std::map<std::string, std::string>& options) const {
   DataSourceRegistry::Global().Write(provider, options, schema(), Collect());
+  // Rewriting a destination through the write path invalidates any ANALYZE
+  // TABLE stats recorded against it; source display names are
+  // "<provider>:<location>", where the location option is provider-specific.
+  for (const char* key : {"path", "table", "name"}) {
+    auto it = options.find(key);
+    if (it != options.end()) {
+      ctx_->catalog().stats().MarkStaleBySourceName(provider + ":" +
+                                                    it->second);
+    }
+  }
 }
 
 std::shared_ptr<RDD<Row>> DataFrame::ToRdd() const {

@@ -1,10 +1,16 @@
 #include "api/sql_context.h"
 
+#include <chrono>
+#include <cmath>
+
 #include "catalyst/planner/planner.h"
 #include "columnar/column_vector.h"
 #include "datasources/system_tables.h"
 #include "exec/scan_exec.h"
 #include "sql/parser.h"
+#include "util/hll_sketch.h"
+#include "util/metrics_registry.h"
+#include "util/string_util.h"
 
 namespace ssql {
 
@@ -198,6 +204,9 @@ DataFrame SqlContext::Sql(const std::string& statement) {
     catalog_.RegisterTable(parsed.table_name, analyzed);
     return CreateDataFrame(StructType::Make({}), {});
   }
+  if (parsed.kind == ParsedStatement::Kind::kAnalyzeTable) {
+    return AnalyzeTableStats(parsed);
+  }
   if (parsed.kind == ParsedStatement::Kind::kExplain) {
     PlanPtr analyzed = Analyze(parsed.plan);
     std::string text = ExplainText(analyzed, parsed.explain_mode);
@@ -208,6 +217,117 @@ DataFrame SqlContext::Sql(const std::string& statement) {
         {std::move(row)});
   }
   return DataFrame(this, parsed.plan);
+}
+
+DataFrame SqlContext::AnalyzeTableStats(const ParsedStatement& parsed) {
+  PlanPtr plan = catalog_.Lookup(parsed.table_name);
+  if (!plan) {
+    throw AnalysisError("ANALYZE TABLE: table not found: '" +
+                        parsed.table_name + "'");
+  }
+  PlanPtr analyzed = Analyze(SubqueryAlias::Make(parsed.table_name, plan));
+
+  // The scanned source's identity — what lets the cost model match these
+  // stats against pruned copies of the scan. Views (anything that isn't a
+  // bare relation under the aliases) get no identity: their stats stay
+  // visible in system.table_stats but are never used for estimation.
+  std::shared_ptr<const SourceRelation> source;
+  {
+    PlanPtr p = analyzed;
+    while (const auto* alias = AsPlan<SubqueryAlias>(p)) p = alias->child();
+    if (const auto* rel = AsPlan<LogicalRelation>(p)) source = rel->source();
+  }
+
+  // Which columns get per-column stats.
+  AttributeVector output = analyzed->Output();
+  std::vector<size_t> column_ordinals;
+  if (parsed.analyze_all_columns) {
+    for (size_t i = 0; i < output.size(); ++i) column_ordinals.push_back(i);
+  } else {
+    for (const std::string& want : parsed.analyze_columns) {
+      std::string want_lower = ToLower(want);
+      bool found = false;
+      for (size_t i = 0; i < output.size(); ++i) {
+        if (ToLower(output[i]->name()) == want_lower) {
+          column_ordinals.push_back(i);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw AnalysisError("ANALYZE TABLE: column not found in '" +
+                            parsed.table_name + "': '" + want + "'");
+      }
+    }
+  }
+
+  // Scan the table as a regular query (admission, profile, cancellation
+  // and all), then fold the rows into the statistics.
+  std::vector<Row> rows = Execute(analyzed).Collect();
+
+  TableStats stats;
+  stats.table = parsed.table_name;
+  stats.row_count = static_cast<int64_t>(rows.size());
+  stats.analyzed_at_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  std::optional<uint64_t> source_bytes =
+      source ? source->EstimatedSizeBytes() : std::nullopt;
+  if (source_bytes) {
+    stats.size_bytes = static_cast<int64_t>(*source_bytes);
+  } else {
+    std::vector<Field> fields;
+    fields.reserve(output.size());
+    for (const auto& attr : output) {
+      fields.emplace_back(attr->name(), attr->data_type(), attr->nullable());
+    }
+    stats.size_bytes = static_cast<int64_t>(
+        rows.size() * EstimateBoxedRowBytes(*StructType::Make(fields)));
+  }
+
+  for (size_t ord : column_ordinals) {
+    ColumnStats cs;
+    cs.column = output[ord]->name();
+    cs.rows = stats.row_count;
+    cs.histogram.assign(HistogramMetric::kNumBuckets, 0);
+    HllSketch hll;
+    bool any_numeric = false;
+    for (const Row& row : rows) {
+      const Value& v = row.Get(ord);
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      hll.Add(Mix64(v.Hash()));
+      if (cs.min.is_null() || v.Compare(cs.min) < 0) cs.min = v;
+      if (cs.max.is_null() || v.Compare(cs.max) > 0) cs.max = v;
+      TypeId id = v.type_id();
+      if (id == TypeId::kInt32 || id == TypeId::kInt64 ||
+          id == TypeId::kDouble) {
+        any_numeric = true;
+        ++cs.histogram[HistogramMetric::BucketIndex(
+            static_cast<int64_t>(std::llround(v.AsDouble())))];
+      }
+    }
+    cs.ndv = hll.Estimate();
+    if (!any_numeric) cs.histogram.clear();
+    stats.columns[ToLower(cs.column)] = std::move(cs);
+  }
+
+  int64_t columns_analyzed = static_cast<int64_t>(stats.columns.size());
+  catalog_.stats().Put(parsed.table_name, std::move(stats), source);
+
+  Row summary;
+  summary.Append(Value(parsed.table_name));
+  summary.Append(Value(static_cast<int64_t>(rows.size())));
+  summary.Append(Value(columns_analyzed));
+  return CreateDataFrame(
+      StructType::Make({Field("table_name", DataType::String(), false),
+                        Field("row_count", DataType::Int64(), false),
+                        Field("columns_analyzed", DataType::Int64(), false)}),
+      {std::move(summary)});
 }
 
 std::string SqlContext::ExplainText(const PlanPtr& analyzed_plan,
@@ -266,7 +386,7 @@ PlanPtr SqlContext::Optimize(const PlanPtr& plan,
 
 PhysPtr SqlContext::PlanPhysical(const PlanPtr& optimized,
                                  std::vector<std::string>* decisions) const {
-  PhysicalPlanner planner(exec_.config());
+  PhysicalPlanner planner(exec_.config(), &catalog_.stats());
   return planner.Plan(optimized, decisions);
 }
 

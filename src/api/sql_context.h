@@ -20,6 +20,7 @@
 namespace ssql {
 
 class SqlContext;
+struct ParsedStatement;
 
 /// Fluent reader builder (Spark's `sqlContext.read.format("json")
 /// .option("mode", "PERMISSIVE").load(path)`): accumulates provider +
@@ -180,6 +181,11 @@ class SqlContext {
 
   /// Replaces cached subtrees with InMemoryRelation leaves.
   PlanPtr SubstituteCached(const PlanPtr& plan) const;
+
+  /// Runs an ANALYZE TABLE statement: scans the table as a regular query,
+  /// computes table-level (and per-column, when requested) statistics and
+  /// installs them in catalog().stats(). Returns a one-row summary frame.
+  DataFrame AnalyzeTableStats(const ParsedStatement& parsed);
 
   RowDataset ExecuteInternal(const PlanPtr& analyzed_plan,
                              const QueryOptions& options,

@@ -22,6 +22,9 @@ void Catalog::RegisterTable(const std::string& name, PlanPtr plan) {
                         "virtual tables");
   }
   tables_[key] = std::move(plan);
+  // The plan under this name just changed; any stats analyzed against the
+  // previous plan no longer describe what queries will scan.
+  stats_.MarkStale(key);
 }
 
 void Catalog::RegisterSystemTable(const std::string& name, PlanPtr plan) {
@@ -37,6 +40,7 @@ void Catalog::DropTable(const std::string& name) {
                         "': system tables are engine-owned");
   }
   tables_.erase(key);
+  stats_.Remove(key);
 }
 
 PlanPtr Catalog::Lookup(const std::string& name) const {

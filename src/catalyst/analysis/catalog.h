@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "catalyst/analysis/stats_store.h"
 #include "catalyst/plan/logical_plan.h"
 
 namespace ssql {
@@ -41,7 +42,13 @@ class Catalog {
   void RegisterUdt(std::shared_ptr<const UserDefinedType> udt);
   std::shared_ptr<const UserDefinedType> LookupUdt(const std::string& name) const;
 
+  /// ANALYZE TABLE statistics for the tables in this catalog. Re-registering
+  /// a name marks its stats stale; dropping removes them.
+  StatsStore& stats() { return stats_; }
+  const StatsStore& stats() const { return stats_; }
+
  private:
+  StatsStore stats_;
   mutable std::mutex mu_;
   std::map<std::string, PlanPtr> tables_;  // keys lower-cased
   std::map<std::string, std::shared_ptr<const UserDefinedType>> udts_;

@@ -1,0 +1,77 @@
+#include "catalyst/analysis/stats_store.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ssql {
+
+void StatsStore::Put(const std::string& table, TableStats stats,
+                     std::shared_ptr<const SourceRelation> source) {
+  Entry entry;
+  entry.source_name = source ? source->name() : "";
+  entry.source = std::move(source);
+  entry.stats = std::make_shared<const TableStats>(std::move(stats));
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[ToLower(table)] = std::move(entry);
+}
+
+std::shared_ptr<const TableStats> StatsStore::Lookup(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToLower(table));
+  return it == entries_.end() ? nullptr : it->second.stats;
+}
+
+std::shared_ptr<const TableStats> StatsStore::LookupBySource(
+    const SourceRelation* source) const {
+  if (source == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    if (entry.stats->stale) continue;
+    // The weak_ptr both identifies the source and proves it is still the
+    // live relation we analyzed — once the catalog drops its plan, the
+    // pointer may be reused by a new table and must not match.
+    std::shared_ptr<const SourceRelation> held = entry.source.lock();
+    if (held && held.get() == source) return entry.stats;
+  }
+  return nullptr;
+}
+
+void StatsStore::MarkStale(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(ToLower(table));
+  if (it == entries_.end() || it->second.stats->stale) return;
+  auto copy = std::make_shared<TableStats>(*it->second.stats);
+  copy->stale = true;
+  it->second.stats = std::move(copy);
+}
+
+int StatsStore::MarkStaleBySourceName(const std::string& source_name) {
+  if (source_name.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  int invalidated = 0;
+  for (auto& [name, entry] : entries_) {
+    if (entry.source_name != source_name || entry.stats->stale) continue;
+    auto copy = std::make_shared<TableStats>(*entry.stats);
+    copy->stale = true;
+    entry.stats = std::move(copy);
+    ++invalidated;
+  }
+  return invalidated;
+}
+
+void StatsStore::Remove(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(ToLower(table));
+}
+
+std::vector<std::shared_ptr<const TableStats>> StatsStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const TableStats>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.stats);
+  return out;
+}
+
+}  // namespace ssql

@@ -1,0 +1,106 @@
+#ifndef SSQL_CATALYST_ANALYSIS_STATS_STORE_H_
+#define SSQL_CATALYST_ANALYSIS_STATS_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalyst/plan/logical_plan.h"
+#include "types/value.h"
+
+namespace ssql {
+
+/// Per-column statistics computed by ANALYZE TABLE ... FOR COLUMNS: the
+/// inputs the cost model needs for selectivity and join-cardinality
+/// estimation (null fraction, NDV from a HyperLogLog sketch, min/max for
+/// range interpolation) plus a log2-bucketed value histogram sharing
+/// HistogramMetric's bucket layout (bucket i counts non-null numeric values
+/// <= 2^i; negatives clamp to bucket 0; empty for non-numeric columns).
+struct ColumnStats {
+  std::string column;      // field name as analyzed (original case)
+  int64_t rows = 0;        // table row count at analyze time
+  int64_t null_count = 0;
+  int64_t ndv = 0;         // HLL-estimated distinct non-null values
+  Value min;               // null Value when the column was all-null
+  Value max;
+  std::vector<int64_t> histogram;  // HistogramMetric::kNumBuckets entries
+
+  double NullFraction() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(null_count) /
+                           static_cast<double>(rows);
+  }
+};
+
+/// Table-level statistics recorded by ANALYZE TABLE (Section 4.3.3's
+/// missing cardinality input; Calcite-style CBO substrate). `stale` flips
+/// when the table is re-registered under the same name or its backing file
+/// is rewritten through the write path — stale stats stay visible in
+/// system.table_stats (flagged) but are never used for estimation.
+struct TableStats {
+  std::string table;  // catalog name as analyzed (original case)
+  int64_t row_count = 0;
+  int64_t size_bytes = 0;
+  int64_t analyzed_at_unix_ms = 0;
+  bool stale = false;
+  std::map<std::string, ColumnStats> columns;  // keyed by lower-cased name
+};
+
+/// Catalog-attached store of ANALYZE TABLE results. Entries are keyed by
+/// lower-cased table name for the system.table_stats view and additionally
+/// carry the identity of the SourceRelation that was scanned, so the cost
+/// model can find fresh stats for a LogicalRelation without knowing what
+/// the table is called (column pruning copies the relation node but shares
+/// the source). Snapshots are copy-on-write shared_ptrs: MarkStale swaps in
+/// a flagged copy instead of mutating, so concurrently running planners
+/// read a consistent TableStats without locks.
+class StatsStore {
+ public:
+  /// Installs (or replaces) stats for `table`. `source` is the scanned
+  /// relation's identity when the table is a plain data source scan (null
+  /// for views — their stats are visible but not used for estimation).
+  void Put(const std::string& table, TableStats stats,
+           std::shared_ptr<const SourceRelation> source);
+
+  /// Stats recorded for `table` (fresh or stale); null if never analyzed
+  /// or dropped.
+  std::shared_ptr<const TableStats> Lookup(const std::string& table) const;
+
+  /// Fresh (non-stale) stats whose recorded identity is `source`; null
+  /// otherwise. The cost-model entry point.
+  std::shared_ptr<const TableStats> LookupBySource(
+      const SourceRelation* source) const;
+
+  /// Marks `table`'s stats stale (no-op when absent). Called by the catalog
+  /// when a name is re-registered.
+  void MarkStale(const std::string& table);
+
+  /// Marks stale every entry whose recorded source display name matches
+  /// `source_name` (e.g. "csv:/tmp/users.csv") — the write-path hook: a
+  /// DataFrame.Save over a file invalidates stats of any table backed by
+  /// that file. Returns the number of entries invalidated.
+  int MarkStaleBySourceName(const std::string& source_name);
+
+  /// Removes `table`'s stats entirely (table dropped).
+  void Remove(const std::string& table);
+
+  /// All entries, sorted by table name — the system.table_stats /
+  /// system.column_stats snapshot.
+  std::vector<std::shared_ptr<const TableStats>> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TableStats> stats;
+    std::weak_ptr<const SourceRelation> source;  // empty for views
+    std::string source_name;                     // "" for views
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // keys lower-cased
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_CATALYST_ANALYSIS_STATS_STORE_H_

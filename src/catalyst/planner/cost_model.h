@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
+#include "catalyst/analysis/stats_store.h"
 #include "catalyst/plan/logical_plan.h"
 
 namespace ssql {
@@ -31,6 +33,41 @@ constexpr double kDefaultFilterSelectivity = 0.25;
 
 /// Average width guess used when converting row counts to bytes.
 constexpr uint64_t kDefaultRowWidthBytes = 64;
+
+/// Where a cardinality estimate came from, worst input wins: an estimate
+/// combining an ANALYZE'd table with a byte-heuristic table is itself
+/// byte-heuristic. Ordered weakest-first so provenance can merge with min().
+enum class EstimateSource {
+  kUnknown = 0,    // nothing known (e.g. missing file, no stats)
+  kHeuristic = 1,  // derived from EstimatedSizeBytes / default widths
+  kAnalyzed = 2,   // derived from ANALYZE TABLE statistics
+  kExact = 3,      // counted directly (local rows, cached tables)
+};
+
+/// Display string: "unknown" / "byte-heuristic" / "analyzed-stats" /
+/// "exact". Used by EXPLAIN, profiles, and system.query_operators.
+std::string EstimateSourceName(EstimateSource source);
+
+/// A plan node's estimated output cardinality and size, with provenance.
+struct PlanEstimate {
+  std::optional<uint64_t> rows;
+  std::optional<uint64_t> bytes;
+  EstimateSource source = EstimateSource::kUnknown;
+};
+
+/// Stats-aware estimator: row counts from the StatsStore when a scanned
+/// source has fresh ANALYZE statistics (filter selectivity from NDV /
+/// null-fraction / min-max, join cardinality from per-key NDV, aggregate
+/// cardinality from grouping NDV), today's byte heuristic otherwise, with
+/// provenance saying which path produced the number. `stats` may be null.
+/// `use_default_selectivity` mirrors EngineConfig::cbo_filter_selectivity:
+/// when false, filters without usable column stats do not shrink estimates
+/// (Spark 1.3 behaviour); stats-based selectivity applies regardless.
+/// Byte estimates are identical to EstimatePlanSizeBytes* unless analyzed
+/// statistics fill a gap the heuristic leaves (joins, aggregates), so
+/// broadcast decisions are unchanged on never-analyzed catalogs.
+PlanEstimate EstimatePlan(const PlanPtr& plan, const StatsStore* stats,
+                          bool use_default_selectivity);
 
 }  // namespace ssql
 

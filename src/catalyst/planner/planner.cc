@@ -96,12 +96,15 @@ std::optional<RangeJoinPattern> DetectRangeJoin(const ExprVector& conjuncts,
 PhysPtr PhysicalPlanner::Plan(const PlanPtr& logical,
                               std::vector<std::string>* decisions) const {
   decisions_ = decisions;
+  annotated_.clear();
   try {
     PhysPtr out = PlanNode(logical);
     decisions_ = nullptr;
+    annotated_.clear();
     return out;
   } catch (...) {
     decisions_ = nullptr;
+    annotated_.clear();
     throw;
   }
 }
@@ -110,7 +113,32 @@ void PhysicalPlanner::Note(const std::string& line) const {
   if (decisions_ != nullptr) decisions_->push_back(line);
 }
 
+PlanEstimate PhysicalPlanner::Estimate(const PlanPtr& plan) const {
+  return EstimatePlan(plan, stats_, config_.cbo_filter_selectivity);
+}
+
+void PhysicalPlanner::Annotate(const PhysPtr& node,
+                               const CardinalityEstimate& est) const {
+  if (!annotated_.insert(node.get()).second) return;
+  // Physical nodes are shared as const everywhere else; the planner is the
+  // single writer and stamps each node exactly once, before execution.
+  const_cast<PhysicalPlan*>(node.get())->set_estimate(est);
+  for (const PhysPtr& child : node->Children()) Annotate(child, est);
+}
+
 PhysPtr PhysicalPlanner::PlanNode(const PlanPtr& plan) const {
+  PhysPtr out = PlanNodeImpl(plan);
+  PlanEstimate est = Estimate(plan);
+  CardinalityEstimate card;
+  if (est.rows) {
+    card.rows = static_cast<int64_t>(*est.rows);
+    card.source = est.source;
+  }
+  Annotate(out, card);
+  return out;
+}
+
+PhysPtr PhysicalPlanner::PlanNodeImpl(const PlanPtr& plan) const {
   if (const auto* local = AsPlan<LocalRelation>(plan)) {
     return std::make_shared<LocalTableScanExec>(local->Output(),
                                                 local->shared_rows());
@@ -261,10 +289,8 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
                               join.join_type() == JoinType::kLeftSemi ||
                               join.join_type() == JoinType::kLeftAnti ||
                               join.join_type() == JoinType::kCross;
-    std::optional<uint64_t> right_size =
-        config_.cbo_filter_selectivity
-            ? EstimatePlanSizeBytesWithSelectivity(join.right())
-            : EstimatePlanSizeBytes(join.right());
+    PlanEstimate right_est = Estimate(join.right());
+    std::optional<uint64_t> right_size = right_est.bytes;
     // A broadcast build side cannot spill, so under a query memory budget
     // the effective threshold is capped at the budget; bigger build sides
     // route to the shuffle hash join, which degrades to a Grace join on
@@ -279,9 +305,17 @@ PhysPtr PhysicalPlanner::PlanJoin(const Join& join) const {
            std::to_string(config_.query_memory_limit_bytes) +
            " (broadcast builds cannot spill)");
     }
-    std::string size_text =
-        right_size ? std::to_string(*right_size) + " bytes (estimated)"
-                   : "unknown";
+    // Provenance makes the decision auditable: "analyzed-stats" means
+    // ANALYZE TABLE informed the size, "byte-heuristic" means file/memory
+    // sizes did, "unknown" means nothing was known.
+    std::string size_text = "unknown";
+    if (right_size) {
+      size_text = std::to_string(*right_size) + " bytes";
+      if (right_est.rows) {
+        size_text += ", ~" + std::to_string(*right_est.rows) + " rows";
+      }
+      size_text += " (" + EstimateSourceName(right_est.source) + ")";
+    }
     if (broadcastable_type && right_size &&
         *right_size <= broadcast_threshold) {
       Note("BroadcastHashJoin: build side " + size_text +

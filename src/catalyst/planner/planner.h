@@ -1,6 +1,9 @@
 #ifndef SSQL_CATALYST_PLANNER_PLANNER_H_
 #define SSQL_CATALYST_PLANNER_PLANNER_H_
 
+#include <set>
+
+#include "catalyst/analysis/stats_store.h"
 #include "catalyst/plan/logical_plan.h"
 #include "engine/exec_context.h"
 #include "exec/physical_plan.h"
@@ -17,7 +20,13 @@ namespace ssql {
 /// operation").
 class PhysicalPlanner {
  public:
-  explicit PhysicalPlanner(const EngineConfig& config) : config_(config) {}
+  /// `stats` (optional, unowned, must outlive the planner) supplies ANALYZE
+  /// TABLE statistics: cardinality estimates stamped on physical nodes and
+  /// the broadcast-side size then carry analyzed-stats provenance instead of
+  /// the byte heuristic.
+  explicit PhysicalPlanner(const EngineConfig& config,
+                           const StatsStore* stats = nullptr)
+      : config_(config), stats_(stats) {}
 
   /// Plans an optimized, resolved logical plan. Throws on unsupported
   /// shapes (e.g. full outer non-equi joins). When `decisions` is non-null
@@ -28,14 +37,25 @@ class PhysicalPlanner {
                std::vector<std::string>* decisions = nullptr) const;
 
  private:
+  /// Plans `plan` and stamps the subtree with its cardinality estimate.
   PhysPtr PlanNode(const PlanPtr& plan) const;
+  /// The strategy dispatch PlanNode wraps.
+  PhysPtr PlanNodeImpl(const PlanPtr& plan) const;
   PhysPtr PlanJoin(const Join& join) const;
   PhysPtr PlanAggregate(const Aggregate& agg) const;
   void Note(const std::string& line) const;
+  /// Stamps `est` on every node of the subtree not already stamped by a
+  /// nested PlanNode call — so intermediates a strategy inserts (partial
+  /// aggregates, exchanges) inherit their logical node's estimate.
+  void Annotate(const PhysPtr& node, const CardinalityEstimate& est) const;
+  /// The stats-aware estimate for `plan` under this planner's config.
+  PlanEstimate Estimate(const PlanPtr& plan) const;
 
   EngineConfig config_;
+  const StatsStore* stats_ = nullptr;
   // Valid only during a Plan() call; planning is single-threaded.
   mutable std::vector<std::string>* decisions_ = nullptr;
+  mutable std::set<const PhysicalPlan*> annotated_;
 };
 
 }  // namespace ssql

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "catalyst/analysis/catalog.h"
+#include "util/metrics_registry.h"
 #include "util/string_util.h"
 
 namespace ssql {
@@ -109,6 +110,9 @@ SchemaPtr QueryOperatorsSchema() {
       Field("rows_out", DataType::Int64(), false),
       Field("batches", DataType::Int64(), false),
       Field("spill_bytes", DataType::Int64(), false),
+      Field("est_rows", DataType::Int64(), true),
+      Field("est_source", DataType::String(), true),
+      Field("misestimate", DataType::Double(), true),
   });
 }
 
@@ -117,7 +121,7 @@ std::vector<Row> QueryOperatorsRows(QueryContext& ctx) {
   for (const QueryRecord& r : ctx.engine().QueryRecords()) {
     for (const QueryProfile::OperatorActual& op : r.operators) {
       Row row;
-      row.Reserve(12);
+      row.Reserve(15);
       row.Append(static_cast<int64_t>(r.id));
       row.Append(static_cast<int64_t>(op.id));
       row.Append(static_cast<int64_t>(op.parent_id));
@@ -130,6 +134,9 @@ std::vector<Row> QueryOperatorsRows(QueryContext& ctx) {
       row.Append(op.rows_out);
       row.Append(op.batches);
       row.Append(op.spill_bytes);
+      row.Append(op.est_rows >= 0 ? Value(op.est_rows) : Value());
+      row.Append(op.est_source.empty() ? Value() : Value(op.est_source));
+      row.Append(op.est_rows >= 0 ? Value(op.misestimate) : Value());
       rows.push_back(std::move(row));
     }
   }
@@ -237,6 +244,84 @@ bool IsSystemTableName(const std::string& name) {
   return name.rfind("system.", 0) == 0;
 }
 
+SchemaPtr TableStatsSchema() {
+  return StructType::Make({
+      Field("table_name", DataType::String(), false),
+      Field("row_count", DataType::Int64(), false),
+      Field("size_bytes", DataType::Int64(), false),
+      Field("analyzed_at_ms", DataType::Int64(), false),
+      Field("stale", DataType::Boolean(), false),
+      Field("columns_analyzed", DataType::Int64(), false),
+  });
+}
+
+std::vector<Row> TableStatsRows(QueryContext& ctx, Catalog* catalog) {
+  (void)ctx;
+  std::vector<Row> rows;
+  for (const auto& ts : catalog->stats().Snapshot()) {
+    Row row;
+    row.Reserve(6);
+    row.Append(ts->table);
+    row.Append(ts->row_count);
+    row.Append(ts->size_bytes);
+    row.Append(ts->analyzed_at_unix_ms);
+    row.Append(ts->stale);
+    row.Append(static_cast<int64_t>(ts->columns.size()));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SchemaPtr ColumnStatsSchema() {
+  return StructType::Make({
+      Field("table_name", DataType::String(), false),
+      Field("column_name", DataType::String(), false),
+      Field("null_count", DataType::Int64(), false),
+      Field("ndv", DataType::Int64(), false),
+      Field("min", DataType::String(), true),
+      Field("max", DataType::String(), true),
+      Field("histogram", DataType::String(), true),
+      Field("stale", DataType::Boolean(), false),
+  });
+}
+
+/// Nonzero log2 histogram buckets as "<=bound:count" pairs — compact enough
+/// for a cell, lossless for the buckets that matter.
+std::string RenderHistogram(const std::vector<int64_t>& buckets) {
+  std::string out;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (!out.empty()) out += ",";
+    out += "<=" +
+           std::to_string(HistogramMetric::BucketUpperBound(static_cast<int>(i))) +
+           ":" + std::to_string(buckets[i]);
+  }
+  return out;
+}
+
+std::vector<Row> ColumnStatsRows(QueryContext& ctx, Catalog* catalog) {
+  (void)ctx;
+  std::vector<Row> rows;
+  for (const auto& ts : catalog->stats().Snapshot()) {
+    for (const auto& [key, cs] : ts->columns) {
+      (void)key;
+      Row row;
+      row.Reserve(8);
+      row.Append(ts->table);
+      row.Append(cs.column);
+      row.Append(cs.null_count);
+      row.Append(cs.ndv);
+      row.Append(cs.min.is_null() ? Value() : Value(cs.min.ToString()));
+      row.Append(cs.max.is_null() ? Value() : Value(cs.max.ToString()));
+      std::string hist = RenderHistogram(cs.histogram);
+      row.Append(hist.empty() ? Value() : Value(hist));
+      row.Append(ts->stale);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 /// Output attributes of a catalog plan, or empty when the stored plan is
 /// not self-describing (an unresolved view over a dropped table, say) —
 /// introspection must not fail the introspecting query.
@@ -307,6 +392,10 @@ void RegisterSystemTables(Catalog& catalog, ExecContext& engine) {
       [cat](QueryContext& ctx) { return TablesRows(ctx, cat); });
   add("system.columns", ColumnsSchema(),
       [cat](QueryContext& ctx) { return ColumnsRows(ctx, cat); });
+  add("system.table_stats", TableStatsSchema(),
+      [cat](QueryContext& ctx) { return TableStatsRows(ctx, cat); });
+  add("system.column_stats", ColumnStatsSchema(),
+      [cat](QueryContext& ctx) { return ColumnStatsRows(ctx, cat); });
 }
 
 }  // namespace ssql

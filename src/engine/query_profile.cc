@@ -180,7 +180,9 @@ void QueryProfile::EndSpan(ProfileSpan* span, const std::string& status) {
 }
 
 ProfileSpan* QueryProfile::BeginOperator(const std::string& name,
-                                         const std::string& detail) {
+                                         const std::string& detail,
+                                         int64_t est_rows,
+                                         const std::string& est_source) {
   if (!detailed_) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   ProfileSpan* parent = operator_stack_.empty()
@@ -189,6 +191,8 @@ ProfileSpan* QueryProfile::BeginOperator(const std::string& name,
   if (parent == nullptr) parent = root_;
   ProfileSpan* span =
       AllocateSpanLocked(SpanKind::kOperator, name, parent, detail);
+  span->est_rows = est_rows;
+  span->est_source = est_source;
   operator_stack_.push_back(span);
   current_operator_.store(span, std::memory_order_release);
   return span;
@@ -313,6 +317,11 @@ void FlattenOperators(const ProfileSpan* span, uint32_t parent_id, int depth,
     row.rows_out = child->Counter(ProfileCounter::kRowsOut);
     row.batches = child->Counter(ProfileCounter::kBatches);
     row.spill_bytes = SubtreeSpillBytes(child);
+    row.est_rows = child->est_rows;
+    row.est_source = child->est_source;
+    if (child->est_rows >= 0) {
+      row.misestimate = MisestimateRatio(child->est_rows, row.rows_out);
+    }
     out->push_back(std::move(row));
     FlattenOperators(child, child->id, depth + 1, out);
   }
@@ -490,6 +499,15 @@ void RenderOperatorTree(const ProfileSpan* span, const std::string& indent,
             std::to_string(span->Counter(ProfileCounter::kRowsIn));
   }
   line += ", batches=" + std::to_string(span->Counter(ProfileCounter::kBatches));
+  if (span->est_rows >= 0) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.1f",
+                  MisestimateRatio(span->est_rows,
+                                   span->Counter(ProfileCounter::kRowsOut)));
+    line += ", est_rows=" + std::to_string(span->est_rows) + " (" +
+            (span->est_source.empty() ? "unknown" : span->est_source) +
+            ", ratio=" + ratio + ")";
+  }
   line += ", time=" + FormatMs(span->WallNs());
   AppendOperatorExtras(span, &line);
   if (!span->status.empty() && span->status != "ok") {
@@ -574,6 +592,7 @@ std::string QueryProfile::SummaryLine() const {
   if (root_ == nullptr) return "query: (profiling disabled)";
   int64_t spill_bytes = 0, retries = 0, rows_out = 0;
   int operators = 0;
+  double misest_max = 0.0;
   for (const ProfileSpan& span : spans_) {
     spill_bytes += span.Counter(ProfileCounter::kSpillBytes);
     retries += span.Counter(ProfileCounter::kRetries);
@@ -583,6 +602,12 @@ std::string QueryProfile::SummaryLine() const {
           span.parent->kind != SpanKind::kOperator) {
         rows_out += span.Counter(ProfileCounter::kRowsOut);
       }
+      if (span.est_rows >= 0) {
+        misest_max = std::max(
+            misest_max, MisestimateRatio(
+                            span.est_rows,
+                            span.Counter(ProfileCounter::kRowsOut)));
+      }
     }
   }
   std::ostringstream out;
@@ -590,6 +615,11 @@ std::string QueryProfile::SummaryLine() const {
       << " status=" << (root_->status.empty() ? "running" : root_->status)
       << " operators=" << operators << " rows_out=" << rows_out
       << " spill_bytes=" << spill_bytes << " retries=" << retries;
+  if (misest_max > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", misest_max);
+    out << " misest_max=" << buf;
+  }
   return out.str();
 }
 

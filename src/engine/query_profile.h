@@ -1,6 +1,7 @@
 #ifndef SSQL_ENGINE_QUERY_PROFILE_H_
 #define SSQL_ENGINE_QUERY_PROFILE_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -29,6 +30,15 @@ class Metrics;
 enum class SpanKind { kQuery, kPhase, kOperator, kStage, kTask };
 
 const char* SpanKindName(SpanKind kind);
+
+/// How far a cardinality estimate missed: (max+1)/(min+1) of estimated vs
+/// actual rows, >= 1.0, symmetric in direction (10x over and 10x under both
+/// read ~10). The +1 keeps zero-row operators meaningful.
+inline double MisestimateRatio(int64_t est_rows, int64_t actual_rows) {
+  const double hi = static_cast<double>(std::max(est_rows, actual_rows)) + 1.0;
+  const double lo = static_cast<double>(std::min(est_rows, actual_rows)) + 1.0;
+  return hi / lo;
+}
 
 /// Typed counters a span can carry. Adding is lock-free (one atomic add);
 /// the profile forwards counters that had a pre-profile global key to the
@@ -79,6 +89,8 @@ struct ProfileSpan {
   ProfileSpan* parent = nullptr;
   std::vector<ProfileSpan*> children;  // guarded by the profile mutex
   std::string status;                  // "" while open; "ok"/"error: ..."/...
+  int64_t est_rows = -1;    // planner cardinality estimate; -1 = none
+  std::string est_source;   // estimate provenance (EstimateSourceName)
   std::array<std::atomic<int64_t>, kNumProfileCounters> counters{};
 
   bool closed() const { return end_ns.load(std::memory_order_acquire) != 0; }
@@ -121,8 +133,13 @@ class QueryProfile {
 
   /// Opens an operator span and pushes it on the driver-side operator
   /// stack, so stages/tasks/spills launched while it runs attribute here.
+  /// `est_rows`/`est_source` carry the planner's cardinality estimate so
+  /// EXPLAIN ANALYZE and system.query_operators can show plan-vs-actual
+  /// (est_rows < 0 = no estimate).
   ProfileSpan* BeginOperator(const std::string& name,
-                             const std::string& detail);
+                             const std::string& detail,
+                             int64_t est_rows = -1,
+                             const std::string& est_source = "");
   /// Pops the operator stack, fills kRowsIn from the children's kRowsOut,
   /// and closes the span.
   void EndOperator(ProfileSpan* span, const std::string& status = "ok");
@@ -184,7 +201,10 @@ class QueryProfile {
     int64_t rows_in = 0;
     int64_t rows_out = 0;
     int64_t batches = 0;
-    int64_t spill_bytes = 0;  // incl. this operator's stage/task subtree
+    int64_t spill_bytes = 0;   // incl. this operator's stage/task subtree
+    int64_t est_rows = -1;     // planner estimate; -1 = none recorded
+    std::string est_source;    // estimate provenance; "" = none
+    double misestimate = 0.0;  // (max+1)/(min+1) of est vs actual; 0 = n/a
   };
   /// Pre-order (parents before children). Empty when detail recording is
   /// off.

@@ -1,8 +1,28 @@
 #include "exec/physical_plan.h"
 
+#include <cmath>
+
 #include "util/trace.h"
 
 namespace ssql {
+
+namespace {
+
+/// Feeds the plan-vs-actual gap of one finished operator into the
+/// misestimation histogram (ratio rounded to the nearest integer; always
+/// >= 1, so bucket 0/1 means "estimate was right").
+void RecordMisestimate(QueryContext& ctx, const CardinalityEstimate& est,
+                       int64_t actual_rows) {
+  if (est.rows < 0) return;
+  ctx.engine()
+      .registry()
+      .Histogram("ssql_cardinality_misestimate",
+                 "Ratio of planner cardinality estimates to actual rows "
+                 "per operator, (max+1)/(min+1)")
+      .Record(std::llround(MisestimateRatio(est.rows, actual_rows)));
+}
+
+}  // namespace
 
 RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
   QueryProfile& profile = ctx.profile();
@@ -12,9 +32,13 @@ RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
     const int64_t start_ns = TraceNowNs();
     RowDataset out = ExecuteImpl(ctx);
     op_wall.Record((TraceNowNs() - start_ns) / 1000);
+    RecordMisestimate(ctx, estimate_, static_cast<int64_t>(out.TotalRows()));
     return out;
   }
-  ProfileSpan* span = profile.BeginOperator(NodeName(), Describe());
+  ProfileSpan* span = profile.BeginOperator(
+      NodeName(), Describe(), estimate_.rows,
+      estimate_.rows >= 0 ? EstimateSourceName(estimate_.source)
+                          : std::string());
   const int64_t start_ns = TraceNowNs();
   try {
     RowDataset out = ExecuteImpl(ctx);
@@ -23,6 +47,7 @@ RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
                 static_cast<int64_t>(out.TotalRows()));
     profile.Add(span, ProfileCounter::kBatches,
                 static_cast<int64_t>(out.num_partitions()));
+    RecordMisestimate(ctx, estimate_, static_cast<int64_t>(out.TotalRows()));
     profile.EndOperator(span, "ok");
     return out;
   } catch (const std::exception& e) {

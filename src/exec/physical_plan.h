@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalyst/expr/attribute.h"
+#include "catalyst/planner/cost_model.h"
 #include "engine/dataset.h"
 #include "engine/query_context.h"
 
@@ -13,6 +14,14 @@ namespace ssql {
 
 class PhysicalPlan;
 using PhysPtr = std::shared_ptr<const PhysicalPlan>;
+
+/// The planner's cardinality guess for one physical operator, stamped on
+/// the node at planning time so execution can compare it against the rows
+/// actually produced (rows < 0 = no estimate).
+struct CardinalityEstimate {
+  int64_t rows = -1;
+  EstimateSource source = EstimateSource::kUnknown;
+};
 
 /// Base class of physical operators (the third tree family of Section 4.3:
 /// "physical operators that match the Spark execution engine"). Execute()
@@ -38,6 +47,12 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   /// One-line description for EXPLAIN.
   virtual std::string Describe() const { return NodeName(); }
 
+  /// Planner-stamped cardinality estimate (see PhysicalPlanner); flows into
+  /// the profile span so EXPLAIN ANALYZE / system.query_operators can show
+  /// plan-vs-actual, and feeds the ssql_cardinality_misestimate histogram.
+  const CardinalityEstimate& estimate() const { return estimate_; }
+  void set_estimate(const CardinalityEstimate& est) { estimate_ = est; }
+
   /// Indented physical plan rendering.
   std::string TreeString() const;
 
@@ -51,6 +66,8 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
 
  private:
   void TreeStringInternal(int indent, std::string* out) const;
+
+  CardinalityEstimate estimate_;
 };
 
 /// Pretty-prints an attribute list for Describe() implementations.

@@ -42,6 +42,11 @@ class Parser {
       ExpectEnd();
       return stmt;
     }
+    if (AcceptKeyword("ANALYZE")) {
+      ParseAnalyzeTable(&stmt);
+      ExpectEnd();
+      return stmt;
+    }
     if (AcceptKeyword("EXPLAIN")) {
       stmt.kind = ParsedStatement::Kind::kExplain;
       if (AcceptKeyword("ANALYZE")) {
@@ -160,6 +165,31 @@ class Parser {
         break;
       }
       ExpectSymbol(")");
+    }
+  }
+
+  // ANALYZE TABLE t[.part]* [COMPUTE STATISTICS [FOR COLUMNS c, ... |
+  //                                              FOR ALL COLUMNS]]
+  // Bare ANALYZE TABLE (or COMPUTE STATISTICS without FOR) records
+  // table-level stats only, matching Spark's statement shape.
+  void ParseAnalyzeTable(ParsedStatement* stmt) {
+    stmt->kind = ParsedStatement::Kind::kAnalyzeTable;
+    ExpectKeyword("TABLE");
+    std::string name = ExpectIdentifier();
+    while (AcceptSymbol(".")) name += "." + ExpectIdentifier();
+    stmt->table_name = name;
+    if (!AcceptKeyword("COMPUTE")) return;
+    ExpectKeyword("STATISTICS");
+    if (!AcceptKeyword("FOR")) return;
+    if (AcceptKeyword("ALL")) {
+      ExpectKeyword("COLUMNS");
+      stmt->analyze_all_columns = true;
+      return;
+    }
+    ExpectKeyword("COLUMNS");
+    while (true) {
+      stmt->analyze_columns.push_back(ExpectIdentifier());
+      if (!AcceptSymbol(",")) break;
     }
   }
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "catalyst/plan/logical_plan.h"
 
@@ -10,10 +11,17 @@ namespace ssql {
 
 /// The result of parsing one SQL statement: a query producing an
 /// unresolved logical plan, a CREATE TEMPORARY TABLE ... USING command
-/// (the data source registration syntax of Section 4.4.1), or an
-/// EXPLAIN [EXTENDED|ANALYZE] wrapper around a query.
+/// (the data source registration syntax of Section 4.4.1), an
+/// EXPLAIN [EXTENDED|ANALYZE] wrapper around a query, or an
+/// ANALYZE TABLE t [COMPUTE STATISTICS [FOR COLUMNS ...]] command.
 struct ParsedStatement {
-  enum class Kind { kQuery, kCreateTempTable, kCreateTempView, kExplain };
+  enum class Kind {
+    kQuery,
+    kCreateTempTable,
+    kCreateTempView,
+    kExplain,
+    kAnalyzeTable,
+  };
   Kind kind = Kind::kQuery;
 
   // kQuery/kExplain: the query plan. kCreateTempView: the view's plan.
@@ -22,11 +30,16 @@ struct ParsedStatement {
   // kExplain only
   ExplainMode explain_mode = ExplainMode::kSimple;
 
-  // kCreateTempTable / kCreateTempView
+  // kCreateTempTable / kCreateTempView / kAnalyzeTable
   std::string table_name;
   // kCreateTempTable only
   std::string provider;
   std::map<std::string, std::string> options;
+
+  // kAnalyzeTable only: explicit FOR COLUMNS list, or FOR ALL COLUMNS.
+  // Both empty/false = table-level statistics only.
+  std::vector<std::string> analyze_columns;
+  bool analyze_all_columns = false;
 };
 
 /// Recursive-descent SQL parser producing unresolved logical plans.

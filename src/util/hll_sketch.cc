@@ -1,0 +1,27 @@
+#include "util/hll_sketch.h"
+
+#include <cmath>
+
+namespace ssql {
+
+int64_t HllSketch::Estimate() const {
+  // Raw HLL estimate: alpha * m^2 / sum(2^-register).
+  const double m = static_cast<double>(kRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);  // alpha_m for m >= 128
+  double sum = 0.0;
+  int zero_registers = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  double estimate = alpha * m * m / sum;
+  // Small-range correction: below 2.5m the raw estimator is biased; linear
+  // counting over the empty registers is near-exact there (and exactly
+  // right for cardinalities up to a few hundred).
+  if (estimate <= 2.5 * m && zero_registers > 0) {
+    estimate = m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return static_cast<int64_t>(estimate + 0.5);
+}
+
+}  // namespace ssql

@@ -1,0 +1,65 @@
+#ifndef SSQL_UTIL_HLL_SKETCH_H_
+#define SSQL_UTIL_HLL_SKETCH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace ssql {
+
+/// Finalizer from splitmix64: turns any 64-bit input (including weak hashes
+/// like small integers) into uniformly distributed bits. HyperLogLog needs
+/// uniform bits — Value::Hash() keeps numerically-equal values colliding on
+/// purpose, which is fine, but its low entropy for small ints would wreck
+/// the register distribution without this mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// HyperLogLog cardinality sketch (Flajolet et al. 2007) with the standard
+/// small-range linear-counting correction. 2^12 = 4096 registers give a
+/// relative standard error of 1.04/sqrt(4096) ~ 1.6%, comfortably inside
+/// the 10% NDV accuracy budget of ANALYZE TABLE, for 4 KiB per column.
+/// Add() is branch-light and allocation-free; Merge() takes per-register
+/// max, so per-partition sketches can be combined.
+class HllSketch {
+ public:
+  static constexpr int kPrecision = 12;  // register-index bits
+  static constexpr int kRegisters = 1 << kPrecision;
+
+  /// Records one already-well-mixed 64-bit hash (callers pass
+  /// Mix64(value_hash)).
+  void Add(uint64_t hash) {
+    uint32_t index = static_cast<uint32_t>(hash >> (64 - kPrecision));
+    // Rank = leading-zero count of the remaining bits + 1, capped so it
+    // fits a uint8_t register.
+    uint64_t rest = hash << kPrecision | (1ull << (kPrecision - 1));
+    uint8_t rank = 1;
+    while ((rest & (1ull << 63)) == 0 && rank < 64 - kPrecision + 1) {
+      rest <<= 1;
+      ++rank;
+    }
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  /// Estimated number of distinct hashes added so far.
+  int64_t Estimate() const;
+
+  /// Per-register max with `other` — the union of the two multisets.
+  void Merge(const HllSketch& other) {
+    for (int i = 0; i < kRegisters; ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+      }
+    }
+  }
+
+ private:
+  std::array<uint8_t, kRegisters> registers_{};
+};
+
+}  // namespace ssql
+
+#endif  // SSQL_UTIL_HLL_SKETCH_H_

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "api/sql_context.h"
+#include "columnar/column_vector.h"
 #include "catalyst/expr/literal.h"
 #include "catalyst/expr/predicates.h"
 #include "catalyst/expr/string_ops.h"
@@ -507,6 +508,99 @@ TEST_F(ColfIoFailureTest, TruncatedFileThrowsIoErrorUnderAllModes) {
 TEST_F(ColfIoFailureTest, TruncatedSchemaThrowsIoError) {
   std::filesystem::resize_file(path_, 6);  // magic survives, schema does not
   EXPECT_THROW(ReadColfSchema(path_), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// EstimatedSizeBytes (the broadcast-join and ANALYZE TABLE size input)
+// ---------------------------------------------------------------------------
+
+TEST(EstimatedSizeTest, FileSourcesReportFileSizeAndNulloptWhenGone) {
+  const std::string dir = ::testing::TempDir();
+  // csv / json: one file each, estimate == exact on-disk size.
+  const std::string csv = dir + "/est.csv";
+  std::ofstream(csv) << "a,b\n1,x\n2,y\n";
+  const std::string json = dir + "/est.json";
+  std::ofstream(json) << "{\"a\": 1}\n{\"a\": 2}\n";
+
+  auto csv_rel = DataSourceRegistry::Global().CreateRelation(
+      "csv", {{"path", csv}});
+  ASSERT_TRUE(csv_rel->EstimatedSizeBytes().has_value());
+  EXPECT_EQ(*csv_rel->EstimatedSizeBytes(),
+            std::filesystem::file_size(csv));
+
+  auto json_rel = DataSourceRegistry::Global().CreateRelation(
+      "json", {{"path", json}});
+  ASSERT_TRUE(json_rel->EstimatedSizeBytes().has_value());
+  EXPECT_EQ(*json_rel->EstimatedSizeBytes(),
+            std::filesystem::file_size(json));
+
+  // colf: written through the writer, same contract.
+  const std::string colf = dir + "/est.colf";
+  auto schema = StructType::Make({Field("id", DataType::Int64(), false)});
+  std::vector<Row> rows;
+  for (int i = 0; i < 50; ++i) rows.push_back(Row({Value(int64_t{i})}));
+  WriteColfFile(colf, schema, rows, /*row_group_size=*/10);
+  auto colf_rel = DataSourceRegistry::Global().CreateRelation(
+      "colf", {{"path", colf}});
+  ASSERT_TRUE(colf_rel->EstimatedSizeBytes().has_value());
+  EXPECT_EQ(*colf_rel->EstimatedSizeBytes(),
+            std::filesystem::file_size(colf));
+
+  // A file deleted after open: the estimate degrades to "unknown" rather
+  // than throwing — the planner treats it as not broadcastable.
+  std::filesystem::remove(csv);
+  std::filesystem::remove(json);
+  std::filesystem::remove(colf);
+  EXPECT_FALSE(csv_rel->EstimatedSizeBytes().has_value());
+  EXPECT_FALSE(json_rel->EstimatedSizeBytes().has_value());
+  EXPECT_FALSE(colf_rel->EstimatedSizeBytes().has_value());
+}
+
+TEST(EstimatedSizeTest, EmptyTableEstimatesHeaderOnly) {
+  const std::string csv = ::testing::TempDir() + "/est-empty.csv";
+  std::ofstream(csv) << "a,b\n";
+  auto rel = DataSourceRegistry::Global().CreateRelation(
+      "csv", {{"path", csv}});
+  ASSERT_TRUE(rel->EstimatedSizeBytes().has_value());
+  EXPECT_EQ(*rel->EstimatedSizeBytes(), std::filesystem::file_size(csv));
+
+  SqlContext ctx;
+  ctx.RegisterTable("e", ctx.ReadCsv(csv));
+  EXPECT_TRUE(ctx.Sql("SELECT * FROM e").Collect().empty());
+  std::filesystem::remove(csv);
+}
+
+TEST(EstimatedSizeTest, KvdbEstimatesBoxedRowsAndNulloptAfterDrop) {
+  auto schema = StructType::Make({Field("id", DataType::Int32(), false),
+                                  Field("name", DataType::String(), false)});
+  std::vector<Row> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back(Row({Value(int32_t{i}), Value("u" + std::to_string(i))}));
+  }
+  KvdbDatabase::Global().CreateTable("est_kv", schema, rows);
+  auto rel = DataSourceRegistry::Global().CreateRelation(
+      "kvdb", {{"table", "est_kv"}});
+  ASSERT_TRUE(rel->EstimatedSizeBytes().has_value());
+  EXPECT_EQ(*rel->EstimatedSizeBytes(), 40 * EstimateBoxedRowBytes(*schema));
+
+  // Dropped out from under the relation: unknown, not a crash.
+  KvdbDatabase::Global().DropTable("est_kv");
+  EXPECT_FALSE(rel->EstimatedSizeBytes().has_value());
+}
+
+TEST(EstimatedSizeTest, CachedTableReportsMemoryBytes) {
+  // The in-memory cache source reports its compressed columnar footprint;
+  // reachable through SqlContext::CachePlan.
+  SqlContext ctx;
+  const std::string csv = ::testing::TempDir() + "/est-cache.csv";
+  std::ofstream out(csv);
+  out << "a\n";
+  for (int i = 0; i < 200; ++i) out << i << "\n";
+  out.close();
+  DataFrame df = ctx.ReadCsv(csv);
+  ctx.CachePlan(df.plan());
+  EXPECT_GT(ctx.cache_manager().TotalMemoryBytes(), 0u);
+  std::filesystem::remove(csv);
 }
 
 }  // namespace
