@@ -62,6 +62,15 @@ EngineConfig CboConfig() {
   return config;
 }
 
+EngineConfig RowExecConfig() {
+  // The Spark SQL engine with vectorized execution disabled: the volcano
+  // row-at-a-time baseline, for a direct batched-vs-row comparison on the
+  // same queries and data.
+  EngineConfig config = Fig8SparkSqlConfig();
+  config.vectorized_enabled = false;
+  return config;
+}
+
 struct Fixture {
   RankingsData rankings = GenerateRankings(kRankings);
   UserVisitsData visits = GenerateUserVisits(kUserVisits, kRankings);
@@ -69,12 +78,14 @@ struct Fixture {
   SqlContext shark{Fig8SharkConfig()};
   SqlContext sparksql{Fig8SparkSqlConfig()};
   SqlContext sparksql_cbo{CboConfig()};
+  SqlContext sparksql_rows{RowExecConfig()};
 
   Fixture() {
     const std::string dir = "/tmp";
     SetupAmplabTables(shark, rankings, visits, dir);
     SetupAmplabTables(sparksql, rankings, visits, dir);
     SetupAmplabTables(sparksql_cbo, rankings, visits, dir);
+    SetupAmplabTables(sparksql_rows, rankings, visits, dir);
   }
 };
 
@@ -129,7 +140,11 @@ void BM_Q1_Engine(benchmark::State& state, const char* engine, int cutoff) {
     state.counters["result_rows"] = static_cast<double>(hits);
     return;
   }
-  SqlContext& ctx = std::string(engine) == "shark" ? F().shark : F().sparksql;
+  SqlContext& ctx = std::string(engine) == "shark"
+                        ? F().shark
+                        : std::string(engine) == "sparksql_rows"
+                              ? F().sparksql_rows
+                              : F().sparksql;
   RunSql(state, ctx, Q1(cutoff));
 }
 
@@ -151,7 +166,11 @@ void BM_Q2_Engine(benchmark::State& state, const char* engine, int prefix) {
     state.counters["result_rows"] = static_cast<double>(groups);
     return;
   }
-  SqlContext& ctx = std::string(engine) == "shark" ? F().shark : F().sparksql;
+  SqlContext& ctx = std::string(engine) == "shark"
+                        ? F().shark
+                        : std::string(engine) == "sparksql_rows"
+                              ? F().sparksql_rows
+                              : F().sparksql;
   RunSql(state, ctx, Q2(prefix));
 }
 
@@ -272,6 +291,19 @@ SSQL_FIG8(BM_Q2_Engine, q2c, 12)
 SSQL_FIG8(BM_Q3_Engine, q3a, "1980-04-01")
 SSQL_FIG8(BM_Q3_Engine, q3b, "1983-01-01")
 SSQL_FIG8(BM_Q3_Engine, q3c, "2010-01-01")
+
+// Batched-vs-row A/B on the same engine, queries and data: the only
+// difference is vectorized_enabled (row-at-a-time volcano vs RowBatch
+// pipeline with the vector evaluator).
+BENCHMARK_CAPTURE(BM_Q1_Engine, sparksql_rows_q1c, "sparksql_rows", 100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_Q2_Engine, sparksql_rows_q2a, "sparksql_rows", 4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK_CAPTURE(BM_Q2_Engine, sparksql_rows_q2c, "sparksql_rows", 12)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 // The future-work cost model (filter-selectivity aware): where the paper
 // notes Spark SQL loses Q3a to Impala's better join plan, this variant

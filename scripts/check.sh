@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 check: full build + test suite, then the fault-tolerance,
-# memory/spill and observability tests again under AddressSanitizer/UBSan
-# (retry, cancellation, reservation accounting, spill-file cleanup and the
-# concurrent span/counter updates exercise concurrent code and raw buffers
-# worth running instrumented), then the concurrency suite under
-# ThreadSanitizer. Finishes with a quick overhead sanity pass of
-# bench_observe (profiled vs un-profiled execution).
+# memory/spill, observability and vectorized/columnar tests again under
+# AddressSanitizer/UBSan (retry, cancellation, reservation accounting,
+# spill-file cleanup, concurrent span/counter updates, and selection-vector
+# indexing into raw column banks exercise concurrent code and raw buffers
+# worth running instrumented), then the concurrency + vectorized suites
+# under ThreadSanitizer, then the chaos harness under both — including a
+# batch_size=1 lane over cached (natively columnar) tables. Finishes with a
+# quick overhead sanity pass of bench_observe (profiled vs un-profiled
+# execution).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,12 +17,21 @@ cmake --build build -j >/dev/null
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 cmake -B build-sanitize -S . -DSSQL_SANITIZE=address >/dev/null
-cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables --target test_statistics --target test_chaos >/dev/null
+cmake --build build-sanitize -j --target test_fault_tolerance --target test_memory --target test_observability --target test_system_tables --target test_statistics --target test_chaos --target test_vectorized --target test_columnar --target test_property_end_to_end >/dev/null
 ./build-sanitize/tests/test_fault_tolerance
 ./build-sanitize/tests/test_memory
 ./build-sanitize/tests/test_observability
 ./build-sanitize/tests/test_system_tables
 ./build-sanitize/tests/test_statistics
+# The vectorized/columnar suites under ASan: selection vectors index into
+# raw column banks, null slots must hold defined zeros, and FilterView
+# windows alias parent batches — all pointer-arithmetic surface. The
+# end-to-end property suite rides along because its batched-vs-row
+# equivalence sweep (batch_size 1 and 1024) is the strongest detector of
+# out-of-bounds lane reads turning into wrong-but-plausible answers.
+./build-sanitize/tests/test_vectorized
+./build-sanitize/tests/test_columnar
+./build-sanitize/tests/test_property_end_to_end
 
 # The concurrency suite (N driver threads on one SqlContext) again under
 # ThreadSanitizer: races between QueryContexts, the admission gate, and the
@@ -33,11 +45,17 @@ cmake --build build-sanitize -j --target test_fault_tolerance --target test_memo
 # re-registration and the copy-on-write staleness swap are its TSan
 # surface, and the HLL/histogram buffers its ASan surface.
 cmake -B build-tsan -S . -DSSQL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_fault_tolerance --target test_statistics --target test_chaos >/dev/null
+cmake --build build-tsan -j --target test_concurrency --target test_system_tables --target test_fault_tolerance --target test_statistics --target test_chaos --target test_vectorized --target test_property_end_to_end >/dev/null
 ./build-tsan/tests/test_concurrency
 ./build-tsan/tests/test_system_tables
 ./build-tsan/tests/test_fault_tolerance
 ./build-tsan/tests/test_statistics
+# Vectorized suites under TSan: batch partitions are produced by parallel
+# tasks sharing decoded column vectors (shared_ptr columns aliased by
+# FilterView windows across task boundaries), and the property sweep runs
+# the same shapes through the speculatable task runner.
+./build-tsan/tests/test_vectorized
+./build-tsan/tests/test_property_end_to_end
 
 # Chaos harness: seeded rounds of concurrent queries with random fault
 # injection at every I/O boundary — speculation, the watchdog and corrupt
@@ -52,6 +70,17 @@ for seed in 1 2 3 4 5 6 7 8 9 10; do
   SSQL_CHAOS_SEED="${seed}" ./build-sanitize/tests/test_chaos
   echo "chaos seed ${seed} (TSan)"
   SSQL_CHAOS_SEED="${seed}" ./build-tsan/tests/test_chaos
+done
+
+# Vectorized chaos lane: same fault storm over the batched pipeline with a
+# degenerate batch size (SSQL_BATCH_SIZE=1 caches the workload tables and
+# forces one row per batch — the maximum rate of batch-boundary crossings,
+# where selection-vector and null-mask bugs live).
+for seed in 1 2 3; do
+  echo "chaos seed ${seed} batch_size=1 (ASan)"
+  SSQL_BATCH_SIZE=1 SSQL_CHAOS_SEED="${seed}" ./build-sanitize/tests/test_chaos
+  echo "chaos seed ${seed} batch_size=1 (TSan)"
+  SSQL_BATCH_SIZE=1 SSQL_CHAOS_SEED="${seed}" ./build-tsan/tests/test_chaos
 done
 
 # Smoke the instrumentation-overhead benchmark (a few quick repetitions; the

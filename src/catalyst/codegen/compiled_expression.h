@@ -11,6 +11,9 @@
 
 namespace ssql {
 
+class ColumnVector;
+class RowBatch;
+
 /// The code-generation phase (Section 4.3.4), transposed to C++.
 ///
 /// The paper lowers expression trees to Scala ASTs via quasiquotes and
@@ -65,6 +68,50 @@ class CompiledExpression {
   };
 
   Evaluator NewEvaluator() const { return Evaluator(this); }
+
+  /// Per-thread vectorized evaluation state: one dense lane-vector per
+  /// register, evaluated with one tight loop per instruction over the live
+  /// rows of a RowBatch instead of re-entering the program per row. Null
+  /// semantics mirror Evaluator op for op (same three-valued logic, same
+  /// division-by-zero nulling), so batched and row execution produce
+  /// bit-identical results. Column loads gather from the ColumnVector banks
+  /// unconditionally — legal because null bank slots hold defined zeros —
+  /// and interpreter fallbacks (kCallExpr) box the live rows lazily, once
+  /// per batch.
+  class VectorEvaluator {
+   public:
+    /// Evaluates the program over the live rows of `batch`, appending one
+    /// value per live row to `out` (whose type must be result_type()).
+    void EvaluateColumn(const RowBatch& batch, ColumnVector* out);
+
+    /// Predicate form: appends the physical indices of live rows where the
+    /// program yields true-and-not-null (SQL WHERE semantics) to
+    /// `sel_out`. Requires result_kind() == kBool.
+    void EvaluateSelection(const RowBatch& batch,
+                           std::vector<uint32_t>* sel_out);
+
+   private:
+    friend class CompiledExpression;
+    explicit VectorEvaluator(const CompiledExpression* program);
+    void Run(const RowBatch& batch);
+    /// Boxes the batch's live rows into rows_ for interpreter fallbacks
+    /// (at most once per Run).
+    void EnsureRowsBoxed(const RowBatch& batch);
+
+    const CompiledExpression* program_;
+    size_t n_ = 0;  // live rows in the current Run
+    // Register banks, register-major: bank[reg][lane].
+    std::vector<std::vector<int64_t>> i64_;
+    std::vector<std::vector<double>> f64_;
+    std::vector<std::vector<const std::string*>> str_;
+    std::vector<std::vector<std::string>> scratch_;
+    std::vector<std::vector<uint8_t>> null_;
+    std::vector<std::vector<Value>> boxed_;
+    std::vector<Row> rows_;  // boxed live rows for fallbacks
+    bool rows_boxed_ = false;
+  };
+
+  VectorEvaluator NewVectorEvaluator() const { return VectorEvaluator(this); }
 
   /// Result type classes of the register program.
   enum class Kind : uint8_t { kBool, kI64, kF64, kStr, kBoxed };

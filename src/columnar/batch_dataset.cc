@@ -1,0 +1,71 @@
+#include "columnar/batch_dataset.h"
+
+#include "engine/query_context.h"
+
+namespace ssql {
+
+size_t BatchDataset::TotalRows() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->TotalRows();
+  return n;
+}
+
+size_t BatchDataset::TotalBatches() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->batches.size();
+  return n;
+}
+
+BatchDataset BatchDataset::FromRowDataset(QueryContext& ctx,
+                                          const RowDataset& rows,
+                                          const std::vector<DataTypePtr>& types,
+                                          size_t batch_size,
+                                          const std::string& stage) {
+  std::vector<BatchPartitionPtr> out(rows.num_partitions());
+  TaskRunner(ctx).RunStageSpeculatable(
+      stage, rows.num_partitions(), [&](size_t i) -> TaskRunner::TaskCommitFn {
+        auto part = std::make_shared<BatchPartition>();
+        const auto& in_rows = rows.partition(i)->rows;
+        size_t cancel_rows = 0;
+        if (batch_size == 0) {
+          PackRowsIntoBatches(in_rows, types, 1, &part->batches);
+        } else {
+          PackRowsIntoBatches(in_rows, types, batch_size, &part->batches);
+        }
+        ctx.CheckCancelledEveryRows(&cancel_rows, in_rows.size());
+        return [&out, i, part]() { out[i] = part; };
+      });
+  return BatchDataset(std::move(out));
+}
+
+RowDataset BatchDataset::ToRowDataset(QueryContext& ctx,
+                                      const std::string& stage) const {
+  std::vector<RowPartitionPtr> out(partitions_.size());
+  TaskRunner(ctx).RunStageSpeculatable(
+      stage, partitions_.size(), [&](size_t i) -> TaskRunner::TaskCommitFn {
+        auto part = std::make_shared<RowPartition>();
+        size_t cancel_rows = 0;
+        part->rows.reserve(partitions_[i]->TotalRows());
+        for (const auto& batch : partitions_[i]->batches) {
+          ctx.CheckCancelledEveryRows(&cancel_rows, batch->ActiveRows());
+          batch->AppendActiveRowsTo(&part->rows);
+        }
+        return [&out, i, part]() { out[i] = part; };
+      });
+  return RowDataset(std::move(out));
+}
+
+BatchDataset BatchDataset::MapPartitions(
+    QueryContext& ctx,
+    const std::function<BatchPartitionPtr(size_t, const BatchPartition&)>& fn,
+    const std::string& stage) const {
+  std::vector<BatchPartitionPtr> out(partitions_.size());
+  TaskRunner(ctx).RunStageSpeculatable(
+      stage, partitions_.size(), [&](size_t i) -> TaskRunner::TaskCommitFn {
+        BatchPartitionPtr part = fn(i, *partitions_[i]);
+        return [&out, i, part]() { out[i] = part; };
+      });
+  return BatchDataset(std::move(out));
+}
+
+}  // namespace ssql

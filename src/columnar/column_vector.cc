@@ -46,6 +46,8 @@ void ColumnVector::Append(const Value& v) {
   nulls_.push_back(is_null ? 1 : 0);
   switch (bank_) {
     case Bank::kInt:
+      // Null slots get a defined zero so kernels can read the bank
+      // unconditionally (the class-level null convention).
       if (is_null) {
         ints_.push_back(0);
       } else if (type_->id() == TypeId::kDecimal) {
@@ -65,9 +67,46 @@ void ColumnVector::Append(const Value& v) {
       break;
   }
   ++size_;
+  assert(nulls_.size() == size_ &&
+         (bank_ != Bank::kInt || ints_.size() == size_) &&
+         (bank_ != Bank::kDouble || doubles_.size() == size_) &&
+         (bank_ != Bank::kString || strings_.size() == size_) &&
+         (bank_ != Bank::kBoxed || boxed_.size() == size_) &&
+         "ColumnVector banks out of lockstep");
+}
+
+void ColumnVector::AppendNull() { Append(Value::Null()); }
+
+void ColumnVector::AppendInt64(int64_t v) {
+  assert(bank_ == Bank::kInt && "AppendInt64 on a non-int bank");
+  nulls_.push_back(0);
+  ints_.push_back(v);
+  ++size_;
+}
+
+void ColumnVector::AppendDouble(double v) {
+  assert(bank_ == Bank::kDouble && "AppendDouble on a non-double bank");
+  nulls_.push_back(0);
+  doubles_.push_back(v);
+  ++size_;
+}
+
+void ColumnVector::AppendString(const std::string& v) {
+  assert(bank_ == Bank::kString && "AppendString on a non-string bank");
+  nulls_.push_back(0);
+  strings_.push_back(v);
+  ++size_;
+}
+
+void ColumnVector::AppendString(std::string&& v) {
+  assert(bank_ == Bank::kString && "AppendString on a non-string bank");
+  nulls_.push_back(0);
+  strings_.push_back(std::move(v));
+  ++size_;
 }
 
 Value ColumnVector::GetValue(size_t i) const {
+  assert(i < size_ && "ColumnVector::GetValue index out of range");
   if (nulls_[i] != 0) return Value::Null();
   switch (bank_) {
     case Bank::kInt:

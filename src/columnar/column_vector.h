@@ -1,6 +1,7 @@
 #ifndef SSQL_COLUMNAR_COLUMN_VECTOR_H_
 #define SSQL_COLUMNAR_COLUMN_VECTOR_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,9 +12,15 @@
 namespace ssql {
 
 /// A decoded, typed column of values — the unit the in-memory columnar
-/// cache (Section 3.6) and the colf file format exchange. Atomic types are
-/// stored unboxed (int64/double/string banks); complex types fall back to
-/// boxed Values.
+/// cache (Section 3.6), the colf file format, and the vectorized execution
+/// engine (RowBatch) exchange. Atomic types are stored unboxed
+/// (int64/double/string banks); complex types fall back to boxed Values.
+///
+/// Null convention: every bank slot is written, null or not. A null entry
+/// holds a defined zero value (0 / 0.0 / "" / null Value) in its bank, so
+/// vectorized kernels may read banks unconditionally under the null mask —
+/// the unboxed accessors return that zero for null slots rather than
+/// touching uninitialized memory.
 class ColumnVector {
  public:
   explicit ColumnVector(DataTypePtr type);
@@ -22,22 +29,48 @@ class ColumnVector {
   size_t size() const { return size_; }
 
   void Append(const Value& v);
+
+  /// Unboxed appenders for vectorized kernels (no Value construction).
+  /// The caller must match the column's bank: int-like types (bool, int32,
+  /// int64, date, timestamp, decimal-unscaled) take AppendInt64.
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+  void AppendString(std::string&& v);
+
+  /// Reserves capacity in every bank this column can touch: the null bank
+  /// plus the active value bank (both grow in lockstep on Append).
   void Reserve(size_t n);
 
-  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+  bool IsNull(size_t i) const {
+    assert(i < size_ && "ColumnVector::IsNull index out of range");
+    return nulls_[i] != 0;
+  }
   /// Boxes the value at `i` (null-aware).
   Value GetValue(size_t i) const;
 
-  // Unboxed accessors for hot paths; undefined when null.
-  int64_t GetInt64(size_t i) const { return ints_[i]; }
-  double GetDouble(size_t i) const { return doubles_[i]; }
-  const std::string& GetString(size_t i) const { return strings_[i]; }
+  // Unboxed accessors for hot paths; return the defined zero slot when null.
+  int64_t GetInt64(size_t i) const {
+    assert(i < size_ && "ColumnVector::GetInt64 index out of range");
+    return ints_[i];
+  }
+  double GetDouble(size_t i) const {
+    assert(i < size_ && "ColumnVector::GetDouble index out of range");
+    return doubles_[i];
+  }
+  const std::string& GetString(size_t i) const {
+    assert(i < size_ && "ColumnVector::GetString index out of range");
+    return strings_[i];
+  }
 
   /// Approximate in-memory footprint in bytes (used by the columnar-cache
   /// vs row-cache comparison).
   size_t MemoryBytes() const;
 
-  // Raw banks, used by the encoder.
+  // Raw banks, used by the encoder and the vectorized kernels. Every bank
+  // slot is defined (see the null convention above), so kernels may gather
+  // from these unconditionally and mask with nulls() afterwards.
   const std::vector<uint8_t>& nulls() const { return nulls_; }
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }

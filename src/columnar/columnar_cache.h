@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/batch_dataset.h"
 #include "columnar/encoding.h"
 #include "engine/dataset.h"
 #include "engine/exec_context.h"
@@ -34,6 +35,15 @@ class CachedTable {
   /// decode in parallel on the engine's worker pool.
   RowDataset Scan(const std::vector<int>& columns,
                   ExecContext* ctx = nullptr) const;
+
+  /// Batched form of Scan(): decodes the requested columns of each chunk
+  /// straight into ColumnVectors — no boxed rows at all — and exposes each
+  /// chunk as RowBatches of at most `batch_size` rows (zero-copy range
+  /// views over the decoded chunk columns). One partition per chunk, rows
+  /// in chunk order, so results match Scan() exactly. `columns` must be
+  /// non-empty (COUNT(*)-style no-column scans stay on the row path).
+  BatchDataset ScanBatches(const std::vector<int>& columns, size_t batch_size,
+                           ExecContext* ctx = nullptr) const;
 
   /// Total compressed footprint in bytes.
   size_t MemoryBytes() const;

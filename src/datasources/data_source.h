@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "catalyst/plan/logical_plan.h"
+#include "columnar/batch_dataset.h"
 #include "columnar/encoding.h"
 #include "engine/dataset.h"
 #include "engine/query_context.h"
@@ -104,6 +105,21 @@ class PartitionedScan {
   virtual RowDataset ScanPartitions(
       QueryContext& ctx, const std::vector<int>& columns,
       const std::vector<FilterSpec>& filters) const = 0;
+};
+
+/// Columnar scan — the vectorized engine's extension of the Section 4.4.1
+/// scan ladder: the source returns decoded ColumnVector batches directly,
+/// never boxing a row at the scan boundary. `filters` must be evaluated
+/// exactly (via a selection vector, not by copying columns). Implemented
+/// by natively-columnar sources (the in-memory cache); the batched
+/// execution pipeline engages only over sources that provide it.
+class BatchedScan {
+ public:
+  virtual ~BatchedScan() = default;
+  virtual BatchDataset ScanBatches(QueryContext& ctx,
+                                   const std::vector<int>& columns,
+                                   const std::vector<FilterSpec>& filters,
+                                   size_t batch_size) const = 0;
 };
 
 /// Full Catalyst expression pushdown (paper: CatalystScan): the source

@@ -28,6 +28,12 @@ void ValidateEngineConfig(const EngineConfig& config) {
          std::to_string(config.broadcast_threshold_bytes) +
          "); was a negative value cast to unsigned?");
   }
+  if (config.batch_size < 1 || config.batch_size > 65536) {
+    fail("batch_size must be in [1, 65536], got " +
+         std::to_string(config.batch_size) +
+         " (0 would make no progress; larger batches defeat the "
+         "cache-resident working set vectorization relies on)");
+  }
   if (config.task_max_retries < 0) {
     fail("task_max_retries must be >= 0 (use 0 to disable retries)");
   }

@@ -39,6 +39,16 @@ struct EngineConfig {
   uint64_t broadcast_threshold_bytes = 10ull * 1024 * 1024;
   /// Use the compiled expression backend where possible (Section 4.3.4).
   bool codegen_enabled = true;
+  /// Run converted operators (scan, filter/project, hash aggregate, hash
+  /// join) over RowBatches of ColumnVectors instead of one boxed Row at a
+  /// time; unconverted operators keep working through the batch↔row
+  /// adapters. Off = the row-at-a-time engine everywhere (the comparison
+  /// baseline for the batched-vs-row property tests and benches).
+  bool vectorized_enabled = true;
+  /// Rows per RowBatch in vectorized execution. Validated to [1, 65536];
+  /// 1 is the degenerate lane the chaos/property suites keep covered, the
+  /// default keeps a batch's working set cache-resident.
+  size_t batch_size = 1024;
   /// Push filters/column pruning into data sources (Section 4.4.1).
   bool pushdown_enabled = true;
   /// Allow cost-based selection of join algorithms; when false every equi-

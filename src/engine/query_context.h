@@ -104,6 +104,17 @@ class QueryContext {
     }
   }
 
+  /// Batch-granularity form for vectorized loops: advances the counter by
+  /// `rows` processed (so the poll cadence still tracks rows, not batches)
+  /// and polls once kCancellationCheckInterval rows have accumulated.
+  void CheckCancelledEveryRows(size_t* counter, size_t rows) const {
+    *counter += rows;
+    if (*counter >= kCancellationCheckInterval) {
+      *counter = 0;
+      CheckCancelled();
+    }
+  }
+
   /// This query's private spill directory: "<spill root>/q<pid>-<id>".
   /// Created on first use by SpillFile; removed wholesale by Finish, which
   /// is safe precisely because no other query ever writes here.

@@ -424,6 +424,105 @@ bool CategorizeFastAggs(const std::vector<AggregatePtr>& agg_functions,
   return !specs->empty();
 }
 
+/// Column types for packing the *partial* stage's output into batches.
+/// Grouping columns are honestly typed, but accumulator columns carry
+/// whatever Value shape the aggregate's accumulator uses at runtime (e.g.
+/// Average's {sum, count} struct, CountDistinct's set) — not the finished
+/// type partial_output_ declares — so they must pack into the boxed bank,
+/// which round-trips any Value verbatim.
+std::vector<DataTypePtr> PartialPackTypes(const ExprVector& groupings,
+                                          size_t num_aggs) {
+  std::vector<DataTypePtr> types;
+  types.reserve(groupings.size() + num_aggs);
+  for (const auto& g : groupings) types.push_back(g->data_type());
+  DataTypePtr boxed = StructType::Make({});
+  for (size_t j = 0; j < num_aggs; ++j) types.push_back(boxed);
+  return types;
+}
+
+/// Shared group-index machinery of the typed fast paths: int64 key → bank
+/// index, null keys in their own slot, banks laid out group-major (m
+/// accumulators per group). Keys appear in `keys` in first-seen order.
+struct FastGroupTable {
+  explicit FastGroupTable(size_t m) : m(m) {}
+
+  FastAcc* SlotFor(int64_t key, bool key_null) {
+    uint32_t idx;
+    if (key_null) {
+      if (null_slot < 0) {
+        null_slot = static_cast<int32_t>(banks.size() / m);
+        banks.resize(banks.size() + m);
+        keys.push_back(0);
+      }
+      idx = static_cast<uint32_t>(null_slot);
+    } else {
+      auto it = index.find(key);
+      if (it == index.end()) {
+        idx = static_cast<uint32_t>(banks.size() / m);
+        index.emplace(key, idx);
+        banks.resize(banks.size() + m);
+        keys.push_back(key);
+      } else {
+        idx = it->second;
+      }
+    }
+    return &banks[static_cast<size_t>(idx) * m];
+  }
+
+  size_t m;
+  std::unordered_map<int64_t, uint32_t> index;
+  std::vector<FastAcc> banks;
+  std::vector<int64_t> keys;
+  int32_t null_slot = -1;
+};
+
+/// Boxes each group of a partial-stage fast table once, into exactly the
+/// accumulator layout the generic Final stage expects: [key?][acc...].
+void AppendPartialGroupRows(const std::vector<FastAggSpec>& specs,
+                            const FastGroupTable& table, bool has_key,
+                            TypeId key_type, std::vector<Row>* out) {
+  const size_t m = specs.size();
+  const size_t num_groups = table.banks.size() / m;
+  out->reserve(out->size() + num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    Row row;
+    row.Reserve((has_key ? 1 : 0) + m);
+    if (has_key) {
+      bool is_null_group =
+          table.null_slot >= 0 && g == static_cast<size_t>(table.null_slot);
+      row.Append(is_null_group ? Value::Null()
+                               : BoxIntLike(table.keys[g], key_type));
+    }
+    for (size_t j = 0; j < m; ++j) {
+      const FastAcc& acc = table.banks[g * m + j];
+      const FastAggSpec& spec = specs[j];
+      switch (spec.kind) {
+        case FastAggSpec::Kind::kCountStar:
+        case FastAggSpec::Kind::kCount:
+          row.Append(Value(acc.count));
+          break;
+        case FastAggSpec::Kind::kSumI64:
+          row.Append(acc.has ? Value(acc.i64) : Value::Null());
+          break;
+        case FastAggSpec::Kind::kSumF64:
+          row.Append(acc.has ? Value(acc.f64) : Value::Null());
+          break;
+        case FastAggSpec::Kind::kAvg:
+          row.Append(Value::Struct({Value(acc.f64), Value(acc.count)}));
+          break;
+        case FastAggSpec::Kind::kMinMaxI64:
+          row.Append(acc.has ? BoxIntLike(acc.i64, spec.box_type)
+                             : Value::Null());
+          break;
+        case FastAggSpec::Kind::kMinMaxF64:
+          row.Append(acc.has ? Value(acc.f64) : Value::Null());
+          break;
+      }
+    }
+    out->push_back(std::move(row));
+  }
+}
+
 }  // namespace
 
 bool HashAggregateExec::TryExecutePartialFast(QueryContext& ctx,
@@ -460,37 +559,12 @@ bool HashAggregateExec::TryExecutePartialFast(QueryContext& ctx,
       if (specs[j].compiled) arg_evals[j].emplace(specs[j].compiled->NewEvaluator());
     }
 
-    // groups[idx] = accumulator bank; key -> idx. Null keys get their own
-    // slot. Without groupings there is exactly one bank.
-    std::unordered_map<int64_t, uint32_t> index;
-    std::vector<FastAcc> banks;
-    std::vector<int64_t> keys;
-    int32_t null_slot = -1;
-    auto slot_for = [&](int64_t key, bool key_null) -> FastAcc* {
-      uint32_t idx;
-      if (key_null) {
-        if (null_slot < 0) {
-          null_slot = static_cast<int32_t>(banks.size() / m);
-          banks.resize(banks.size() + m);
-          keys.push_back(0);
-        }
-        idx = static_cast<uint32_t>(null_slot);
-      } else {
-        auto it = index.find(key);
-        if (it == index.end()) {
-          idx = static_cast<uint32_t>(banks.size() / m);
-          index.emplace(key, idx);
-          banks.resize(banks.size() + m);
-          keys.push_back(key);
-        } else {
-          idx = it->second;
-        }
-      }
-      return &banks[static_cast<size_t>(idx) * m];
-    };
+    // Null keys get their own slot. Without groupings there is exactly one
+    // bank.
+    FastGroupTable table(m);
     if (!has_key) {
-      banks.resize(m);
-      keys.push_back(0);
+      table.banks.resize(m);
+      table.keys.push_back(0);
     }
 
     size_t cancel_check = 0;
@@ -500,9 +574,9 @@ bool HashAggregateExec::TryExecutePartialFast(QueryContext& ctx,
       if (has_key) {
         bool key_null = false;
         int64_t key = key_eval->EvaluateInt64(row, &key_null);
-        bank = slot_for(key, key_null);
+        bank = table.SlotFor(key, key_null);
       } else {
-        bank = banks.data();
+        bank = table.banks.data();
       }
       for (size_t j = 0; j < m; ++j) {
         FastAcc& acc = bank[j];
@@ -574,51 +648,236 @@ bool HashAggregateExec::TryExecutePartialFast(QueryContext& ctx,
       }
     }
 
-    // Box each group once, into exactly the accumulator layout the generic
-    // Final stage expects.
     auto result = std::make_shared<RowPartition>();
-    size_t num_groups = banks.size() / std::max<size_t>(m, 1);
-    if (m == 0) num_groups = keys.size();
-    result->rows.reserve(num_groups);
-    for (size_t g = 0; g < num_groups; ++g) {
-      Row row;
-      row.Reserve((has_key ? 1 : 0) + m);
-      if (has_key) {
-        bool is_null_group =
-            null_slot >= 0 && g == static_cast<size_t>(null_slot);
-        row.Append(is_null_group ? Value::Null() : BoxIntLike(keys[g], key_type));
-      }
-      for (size_t j = 0; j < m; ++j) {
-        const FastAcc& acc = banks[g * m + j];
-        const FastAggSpec& spec = specs[j];
-        switch (spec.kind) {
-          case FastAggSpec::Kind::kCountStar:
-          case FastAggSpec::Kind::kCount:
-            row.Append(Value(acc.count));
-            break;
-          case FastAggSpec::Kind::kSumI64:
-            row.Append(acc.has ? Value(acc.i64) : Value::Null());
-            break;
-          case FastAggSpec::Kind::kSumF64:
-            row.Append(acc.has ? Value(acc.f64) : Value::Null());
-            break;
-          case FastAggSpec::Kind::kAvg:
-            row.Append(Value::Struct({Value(acc.f64), Value(acc.count)}));
-            break;
-          case FastAggSpec::Kind::kMinMaxI64:
-            row.Append(acc.has ? BoxIntLike(acc.i64, spec.box_type)
-                               : Value::Null());
-            break;
-          case FastAggSpec::Kind::kMinMaxF64:
-            row.Append(acc.has ? Value(acc.f64) : Value::Null());
-            break;
-        }
-      }
-      result->rows.push_back(std::move(row));
-    }
+    AppendPartialGroupRows(specs, table, has_key, key_type, &result->rows);
     return result;
   }, "aggregate.partial");
   return true;
+}
+
+bool HashAggregateExec::TryExecutePartialFastBatched(
+    QueryContext& ctx, const BatchDataset& input,
+    const AttributeVector& child_out, BatchDataset* out) const {
+  // Same shape conditions as the row fast path.
+  if (groupings_.size() > 1) return false;
+  std::optional<CompiledExpression> key_program;
+  if (groupings_.size() == 1) {
+    TypeId kt = groupings_[0]->data_type()->id();
+    if (!IsIntLikeType(kt)) return false;
+    key_program =
+        CompiledExpression::Compile(BindReferences(groupings_[0], child_out));
+    if (!key_program) return false;
+  }
+  std::vector<FastAggSpec> specs;
+  if (!CategorizeFastAggs(agg_functions_, &child_out, &specs)) return false;
+
+  const size_t m = specs.size();
+  const bool has_key = key_program.has_value();
+  const CompiledExpression* key_prog_ptr = has_key ? &*key_program : nullptr;
+  const TypeId key_type =
+      has_key ? groupings_[0]->data_type()->id() : TypeId::kNull;
+  const std::vector<DataTypePtr> out_types =
+      PartialPackTypes(groupings_, agg_functions_.size());
+  const size_t batch_size = ctx.config().batch_size;
+
+  *out = input.MapPartitions(ctx, [&](size_t, const BatchPartition& part) {
+    std::optional<CompiledExpression::VectorEvaluator> key_eval;
+    if (key_prog_ptr != nullptr) {
+      key_eval.emplace(key_prog_ptr->NewVectorEvaluator());
+    }
+    std::vector<std::optional<CompiledExpression::VectorEvaluator>> arg_evals(
+        m);
+    for (size_t j = 0; j < m; ++j) {
+      if (specs[j].compiled) {
+        arg_evals[j].emplace(specs[j].compiled->NewVectorEvaluator());
+      }
+    }
+    FastGroupTable table(m);
+    if (!has_key) {
+      table.banks.resize(m);
+      table.keys.push_back(0);
+    }
+
+    // Lanes of one evaluated argument column (i64 xor f64, plus nulls).
+    struct ArgLanes {
+      const int64_t* i64 = nullptr;
+      const double* f64 = nullptr;
+      const uint8_t* nulls = nullptr;
+    };
+
+    size_t cancel_rows = 0;
+    for (const RowBatchPtr& batch : part.batches) {
+      const size_t n = batch->ActiveRows();
+      if (n == 0) continue;
+      ctx.CheckCancelledEveryRows(&cancel_rows, n);
+
+      // Evaluate the grouping key and every aggregate argument as whole
+      // columns, then fold them with one tight lane loop.
+      std::optional<ColumnVector> key_col;
+      const int64_t* key_vals = nullptr;
+      const uint8_t* key_nulls = nullptr;
+      if (has_key) {
+        key_col.emplace(key_prog_ptr->result_type());
+        key_col->Reserve(n);
+        key_eval->EvaluateColumn(*batch, &*key_col);
+        key_vals = key_col->ints().data();
+        key_nulls = key_col->nulls().data();
+      }
+      std::vector<std::optional<ColumnVector>> arg_cols(m);
+      std::vector<ArgLanes> lanes(m);
+      for (size_t j = 0; j < m; ++j) {
+        if (!specs[j].compiled) continue;  // count(*): no argument
+        arg_cols[j].emplace(specs[j].compiled->result_type());
+        arg_cols[j]->Reserve(n);
+        arg_evals[j]->EvaluateColumn(*batch, &*arg_cols[j]);
+        lanes[j].nulls = arg_cols[j]->nulls().data();
+        if (specs[j].compiled->result_kind() ==
+            CompiledExpression::Kind::kF64) {
+          lanes[j].f64 = arg_cols[j]->doubles().data();
+        } else {
+          lanes[j].i64 = arg_cols[j]->ints().data();
+        }
+      }
+
+      for (size_t k = 0; k < n; ++k) {
+        FastAcc* bank = has_key
+                            ? table.SlotFor(key_vals[k], key_nulls[k] != 0)
+                            : table.banks.data();
+        for (size_t j = 0; j < m; ++j) {
+          FastAcc& acc = bank[j];
+          const ArgLanes& lane = lanes[j];
+          switch (specs[j].kind) {
+            case FastAggSpec::Kind::kCountStar:
+              acc.count += 1;
+              break;
+            case FastAggSpec::Kind::kCount:
+              if (!lane.nulls[k]) acc.count += 1;
+              break;
+            case FastAggSpec::Kind::kSumI64:
+              if (!lane.nulls[k]) {
+                acc.i64 += lane.i64[k];
+                acc.has = true;
+              }
+              break;
+            case FastAggSpec::Kind::kSumF64:
+              if (!lane.nulls[k]) {
+                acc.f64 += lane.f64[k];
+                acc.has = true;
+              }
+              break;
+            case FastAggSpec::Kind::kAvg:
+              // Average's accumulator sums as double regardless of input.
+              if (!lane.nulls[k]) {
+                acc.f64 += lane.f64 != nullptr
+                               ? lane.f64[k]
+                               : static_cast<double>(lane.i64[k]);
+                acc.count += 1;
+              }
+              break;
+            case FastAggSpec::Kind::kMinMaxI64:
+              if (!lane.nulls[k]) {
+                int64_t v = lane.i64[k];
+                if (!acc.has ||
+                    (specs[j].is_min ? v < acc.i64 : v > acc.i64)) {
+                  acc.i64 = v;
+                }
+                acc.has = true;
+              }
+              break;
+            case FastAggSpec::Kind::kMinMaxF64:
+              if (!lane.nulls[k]) {
+                double v = lane.f64[k];
+                if (!acc.has ||
+                    (specs[j].is_min ? v < acc.f64 : v > acc.f64)) {
+                  acc.f64 = v;
+                }
+                acc.has = true;
+              }
+              break;
+          }
+        }
+      }
+    }
+
+    std::vector<Row> rows;
+    AppendPartialGroupRows(specs, table, has_key, key_type, &rows);
+    auto result = std::make_shared<BatchPartition>();
+    PackRowsIntoBatches(rows, out_types, batch_size, &result->batches);
+    return result;
+  }, "aggregate.partial");
+  return true;
+}
+
+BatchDataset HashAggregateExec::ExecuteBatchesImpl(QueryContext& ctx) const {
+  // Only the partial stage is batched (see SupportsBatches()): it consumes
+  // the columnar scan→filter→project pipeline directly.
+  BatchDataset input = child_->ExecuteBatches(ctx);
+  AttributeVector child_out = child_->Output();
+
+  if (ctx.config().codegen_enabled && !ctx.memory().limited()) {
+    BatchDataset fast;
+    if (TryExecutePartialFastBatched(ctx, input, child_out, &fast)) {
+      return fast;
+    }
+  }
+
+  // Generic shape: box each batch's live rows and fold them into the same
+  // spilling group map as the row path — results are identical; the win is
+  // that the pipeline below stayed columnar.
+  ExprVector bound_groupings;
+  bound_groupings.reserve(groupings_.size());
+  for (const auto& g : groupings_) {
+    bound_groupings.push_back(BindReferences(g, child_out));
+  }
+  std::vector<AggregatePtr> bound_aggs;
+  bound_aggs.reserve(agg_functions_.size());
+  for (const auto& agg : agg_functions_) {
+    ExprPtr bound = BindReferences(agg, child_out);
+    bound_aggs.push_back(
+        std::static_pointer_cast<const AggregateFunction>(bound));
+  }
+  const std::vector<DataTypePtr> out_types =
+      PartialPackTypes(groupings_, agg_functions_.size());
+  const size_t batch_size = ctx.config().batch_size;
+
+  return input.MapPartitions(ctx, [&](size_t, const BatchPartition& part) {
+    SpillingGroupMap groups(ctx, "aggregate.partial", bound_groupings.size(),
+                            bound_aggs);
+    size_t cancel_check = 0;
+    for (const RowBatchPtr& batch : part.batches) {
+      for (size_t r = 0; r < batch->ActiveRows(); ++r) {
+        ctx.CheckCancelledEvery(&cancel_check);
+        Row row = batch->BoxRow(batch->ActiveIndex(r));
+        GroupKey key;
+        key.values.reserve(bound_groupings.size());
+        for (const auto& g : bound_groupings) {
+          key.values.push_back(g->Eval(row));
+        }
+        std::vector<Value>* accs = groups.FindOrInsert(std::move(key), [&] {
+          std::vector<Value> init;
+          init.reserve(bound_aggs.size());
+          for (const auto& agg : bound_aggs) {
+            init.push_back(agg->InitAccumulator());
+          }
+          return init;
+        });
+        for (size_t j = 0; j < bound_aggs.size(); ++j) {
+          bound_aggs[j]->Update(&(*accs)[j], row);
+        }
+      }
+    }
+    std::vector<Row> rows;
+    groups.Drain([&](GroupKey key, std::vector<Value> accs) {
+      Row row;
+      row.Reserve(key.values.size() + accs.size());
+      for (auto& v : key.values) row.Append(std::move(v));
+      for (auto& a : accs) row.Append(std::move(a));
+      rows.push_back(std::move(row));
+    });
+    auto out = std::make_shared<BatchPartition>();
+    PackRowsIntoBatches(rows, out_types, batch_size, &out->batches);
+    return out;
+  }, "aggregate.partial");
 }
 
 RowDataset HashAggregateExec::ExecuteFinal(QueryContext& ctx) const {

@@ -44,6 +44,24 @@ class HashAggregateExec : public PhysicalPlan {
   /// The grouping attrs are the Exchange keys between the stages.
   const AttributeVector& partial_output() const { return partial_output_; }
 
+  /// Only the map-side (partial) stage is vectorized: it sits on top of the
+  /// batched scan/filter/project pipeline. The final stage's input always
+  /// crosses the shuffle as rows, so batching it would be pure adapter
+  /// overhead; its (small) output still packs on demand via the adapter.
+  bool SupportsBatches() const override {
+    return mode_ == AggregateMode::kPartial;
+  }
+
+ protected:
+  BatchDataset ExecuteBatchesImpl(QueryContext& ctx) const override;
+  /// Vectorize the map-side combine only when the input pipeline is
+  /// natively columnar; over a row source the pack costs more than the
+  /// lane loops save. Output (accumulator rows) packs, so this node never
+  /// reports BatchesAreNative() itself.
+  bool PreferBatchExecution() const override {
+    return SupportsBatches() && child_->BatchesAreNative();
+  }
+
  private:
   RowDataset ExecutePartial(QueryContext& ctx) const;
   RowDataset ExecuteFinal(QueryContext& ctx) const;
@@ -58,6 +76,15 @@ class HashAggregateExec : public PhysicalPlan {
   bool TryExecutePartialFast(QueryContext& ctx, const RowDataset& input,
                              const AttributeVector& child_out,
                              RowDataset* out) const;
+
+  /// Batched form of the partial fast path: grouping key and aggregate
+  /// arguments evaluate as whole columns per batch (vector evaluator), then
+  /// a tight lane loop folds them into the typed accumulator banks. Same
+  /// shape conditions and bit-identical results as the row fast path.
+  bool TryExecutePartialFastBatched(QueryContext& ctx,
+                                    const BatchDataset& input,
+                                    const AttributeVector& child_out,
+                                    BatchDataset* out) const;
 
   /// Matching fast path for the reduce side: merges the typed partial
   /// accumulators without boxed group keys. Same shape conditions as the

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "catalyst/codegen/compiled_expression.h"
 #include "exec/exchange_exec.h"
 #include "util/spill_file.h"
 
@@ -205,6 +206,153 @@ RowDataset BroadcastHashJoinExec::ExecuteImpl(QueryContext& ctx) const {
         out->rows.push_back(NullExtendRight(row, right_width));
       }
     }
+    return out;
+  }, "join.probe");
+}
+
+BatchDataset BroadcastHashJoinExec::ExecuteBatchesImpl(QueryContext& ctx) const {
+  AttributeVector left_out = left_->Output();
+  AttributeVector right_out = right_->Output();
+  AttributeVector joined_out = left_out;
+  joined_out.insert(joined_out.end(), right_out.begin(), right_out.end());
+
+  ExprVector bound_left, bound_right;
+  for (const auto& k : left_keys_) {
+    bound_left.push_back(BindReferences(k, left_out));
+  }
+  for (const auto& k : right_keys_) {
+    bound_right.push_back(BindReferences(k, right_out));
+  }
+  ExprPtr bound_residual =
+      residual_ ? BindReferences(residual_, joined_out) : nullptr;
+
+  // Build side: collected and hashed as rows, exactly like the row probe —
+  // it is small by the planner's construction, so columnarizing it buys
+  // nothing. Same no-spill contract.
+  std::vector<Row> build = right_->Execute(ctx).Collect();
+  ctx.profile().Add(nullptr, ProfileCounter::kBroadcastRows,
+                    static_cast<int64_t>(build.size()));
+  ctx.profile().Add(nullptr, ProfileCounter::kBuildRows,
+                    static_cast<int64_t>(build.size()));
+  MemoryReservation reservation = ctx.memory().CreateReservation();
+  int64_t build_bytes = EstimateBuildBytes(build);
+  if (!reservation.EnsureReserved(build_bytes)) {
+    throw ExecutionError(
+        "query memory limit of " + std::to_string(ctx.memory().limit_bytes()) +
+        " bytes exceeded by join.broadcast build side (~" +
+        std::to_string(build_bytes) +
+        " bytes); broadcast joins cannot spill — raise "
+        "query_memory_limit_bytes or lower broadcast_threshold_bytes so the "
+        "planner picks a shuffle join");
+  }
+  BuildMap table = BuildHashTable(build, bound_right);
+
+  // When every probe key compiles, keys evaluate as whole columns per
+  // batch; rows box lazily, so non-matching inner rows never box at all.
+  std::vector<std::optional<CompiledExpression>> key_programs;
+  bool keys_compiled = ctx.config().codegen_enabled;
+  if (keys_compiled) {
+    for (const auto& bk : bound_left) {
+      auto prog = CompiledExpression::Compile(bk);
+      if (!prog) {
+        keys_compiled = false;
+        break;
+      }
+      key_programs.push_back(std::move(prog));
+    }
+  }
+
+  BatchDataset stream = left_->ExecuteBatches(ctx);
+  ctx.profile().Add(nullptr, ProfileCounter::kProbeRows,
+                    static_cast<int64_t>(stream.TotalRows()));
+  const bool semi = join_type_ == JoinType::kLeftSemi;
+  const bool anti = join_type_ == JoinType::kLeftAnti;
+  const bool left_outer = join_type_ == JoinType::kLeftOuter;
+  const size_t right_width = right_out.size();
+  const std::vector<DataTypePtr> out_types = OutputTypes();
+  const size_t batch_size = ctx.config().batch_size;
+
+  return stream.MapPartitions(ctx, [&](size_t, const BatchPartition& part) {
+    auto out = std::make_shared<BatchPartition>();
+    std::shared_ptr<RowBatch> builder;
+    size_t builder_rows = 0;
+    auto emit = [&](const Row& row) {
+      if (!builder) {
+        builder = std::make_shared<RowBatch>(out_types);
+        builder_rows = 0;
+      }
+      builder->AppendRow(row);
+      if (++builder_rows >= batch_size) {
+        out->batches.push_back(std::move(builder));
+        builder.reset();
+      }
+    };
+    std::vector<std::optional<CompiledExpression::VectorEvaluator>> key_evals(
+        key_programs.size());
+    if (keys_compiled) {
+      for (size_t j = 0; j < key_programs.size(); ++j) {
+        key_evals[j].emplace(key_programs[j]->NewVectorEvaluator());
+      }
+    }
+    size_t cancel_rows = 0;
+    for (const RowBatchPtr& batch : part.batches) {
+      const size_t n = batch->ActiveRows();
+      if (n == 0) continue;
+      ctx.CheckCancelledEveryRows(&cancel_rows, n);
+      std::vector<ColumnVector> key_cols;
+      if (keys_compiled) {
+        key_cols.reserve(key_evals.size());
+        for (size_t j = 0; j < key_evals.size(); ++j) {
+          ColumnVector col(key_programs[j]->result_type());
+          col.Reserve(n);
+          key_evals[j]->EvaluateColumn(*batch, &col);
+          key_cols.push_back(std::move(col));
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        const size_t phys = batch->ActiveIndex(k);
+        JoinKey key;
+        std::optional<Row> boxed;  // only rows that produce output box
+        if (keys_compiled) {
+          key.values.reserve(key_cols.size());
+          for (const auto& col : key_cols) {
+            Value v = col.GetValue(k);
+            key.has_null = key.has_null || v.is_null();
+            key.values.push_back(std::move(v));
+          }
+        } else {
+          boxed = batch->BoxRow(phys);
+          key = EvalKey(*boxed, bound_left);
+        }
+        const std::vector<size_t>* matches = nullptr;
+        if (!key.has_null) {
+          auto it = table.find(key);
+          if (it != table.end()) matches = &it->second;
+        }
+        bool matched = false;
+        if (matches != nullptr) {
+          if (!boxed) boxed = batch->BoxRow(phys);
+          for (size_t idx : *matches) {
+            Row joined = Row::Concat(*boxed, build[idx]);
+            if (bound_residual && !EvalPredicate(*bound_residual, joined)) {
+              continue;
+            }
+            matched = true;
+            if (semi || anti) break;
+            emit(joined);
+          }
+        }
+        if ((semi && matched) || (anti && !matched)) {
+          if (!boxed) boxed = batch->BoxRow(phys);
+          emit(*boxed);
+        }
+        if (left_outer && !matched) {
+          if (!boxed) boxed = batch->BoxRow(phys);
+          emit(NullExtendRight(*boxed, right_width));
+        }
+      }
+    }
+    if (builder && builder_rows > 0) out->batches.push_back(std::move(builder));
     return out;
   }, "join.probe");
 }

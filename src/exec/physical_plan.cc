@@ -24,32 +24,36 @@ void RecordMisestimate(QueryContext& ctx, const CardinalityEstimate& est,
 
 }  // namespace
 
-RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
+/// Shared profiling shell of Execute/ExecuteBatches: runs `work` inside an
+/// operator span, recording wall time, rows_out (live rows in either mode),
+/// batches (RowBatches in batch mode, partitions in row mode), and the
+/// misestimation ratio. `work` returns (dataset, rows, batches).
+template <typename Work>
+static auto RunProfiled(const PhysicalPlan& node,
+                        const CardinalityEstimate& est, QueryContext& ctx,
+                        Work&& work) {
   QueryProfile& profile = ctx.profile();
   HistogramMetric& op_wall = ctx.engine().registry().Histogram(
       "ssql_operator_wall_us", "Per-operator wall time, microseconds");
   if (!profile.detailed()) {
     const int64_t start_ns = TraceNowNs();
-    RowDataset out = ExecuteImpl(ctx);
+    auto out = work();
     op_wall.Record((TraceNowNs() - start_ns) / 1000);
-    RecordMisestimate(ctx, estimate_, static_cast<int64_t>(out.TotalRows()));
-    return out;
+    RecordMisestimate(ctx, est, out.rows);
+    return std::move(out.data);
   }
   ProfileSpan* span = profile.BeginOperator(
-      NodeName(), Describe(), estimate_.rows,
-      estimate_.rows >= 0 ? EstimateSourceName(estimate_.source)
-                          : std::string());
+      node.NodeName(), node.Describe(), est.rows,
+      est.rows >= 0 ? EstimateSourceName(est.source) : std::string());
   const int64_t start_ns = TraceNowNs();
   try {
-    RowDataset out = ExecuteImpl(ctx);
+    auto out = work();
     op_wall.Record((TraceNowNs() - start_ns) / 1000);
-    profile.Add(span, ProfileCounter::kRowsOut,
-                static_cast<int64_t>(out.TotalRows()));
-    profile.Add(span, ProfileCounter::kBatches,
-                static_cast<int64_t>(out.num_partitions()));
-    RecordMisestimate(ctx, estimate_, static_cast<int64_t>(out.TotalRows()));
+    profile.Add(span, ProfileCounter::kRowsOut, out.rows);
+    profile.Add(span, ProfileCounter::kBatches, out.batches);
+    RecordMisestimate(ctx, est, out.rows);
     profile.EndOperator(span, "ok");
-    return out;
+    return std::move(out.data);
   } catch (const std::exception& e) {
     op_wall.Record((TraceNowNs() - start_ns) / 1000);
     profile.EndOperator(span, std::string("error: ") + e.what());
@@ -61,6 +65,64 @@ RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
   }
 }
 
+RowDataset PhysicalPlan::Execute(QueryContext& ctx) const {
+  struct Out {
+    RowDataset data;
+    int64_t rows;
+    int64_t batches;
+  };
+  return RunProfiled(*this, estimate_, ctx, [&]() -> Out {
+    if (SupportsBatches() && PreferBatchExecution() &&
+        ctx.config().vectorized_enabled) {
+      // Vectorized internals, row-demanding caller: run batched, unpack at
+      // the operator boundary. rows_out/batches describe the batched
+      // output the operator actually produced.
+      BatchDataset batches = ExecuteBatchesImpl(ctx);
+      int64_t rows = static_cast<int64_t>(batches.TotalRows());
+      int64_t nbatches = static_cast<int64_t>(batches.TotalBatches());
+      return Out{batches.ToRowDataset(ctx), rows, nbatches};
+    }
+    RowDataset out = ExecuteImpl(ctx);
+    int64_t rows = static_cast<int64_t>(out.TotalRows());
+    int64_t parts = static_cast<int64_t>(out.num_partitions());
+    return Out{std::move(out), rows, parts};
+  });
+}
+
+BatchDataset PhysicalPlan::ExecuteBatches(QueryContext& ctx) const {
+  struct Out {
+    BatchDataset data;
+    int64_t rows;
+    int64_t batches;
+  };
+  return RunProfiled(*this, estimate_, ctx, [&]() -> Out {
+    BatchDataset out;
+    if (SupportsBatches() && ctx.config().vectorized_enabled) {
+      out = ExecuteBatchesImpl(ctx);
+    } else {
+      // Row-only operator under a batch-demanding parent: pack.
+      out = BatchDataset::FromRowDataset(ctx, ExecuteImpl(ctx), OutputTypes(),
+                                         ctx.config().batch_size);
+    }
+    int64_t rows = static_cast<int64_t>(out.TotalRows());
+    int64_t nbatches = static_cast<int64_t>(out.TotalBatches());
+    return Out{std::move(out), rows, nbatches};
+  });
+}
+
+BatchDataset PhysicalPlan::ExecuteBatchesImpl(QueryContext& ctx) const {
+  return BatchDataset::FromRowDataset(ctx, ExecuteImpl(ctx), OutputTypes(),
+                                      ctx.config().batch_size);
+}
+
+std::vector<DataTypePtr> PhysicalPlan::OutputTypes() const {
+  std::vector<DataTypePtr> types;
+  AttributeVector attrs = Output();
+  types.reserve(attrs.size());
+  for (const auto& a : attrs) types.push_back(a->data_type());
+  return types;
+}
+
 std::string PhysicalPlan::TreeString() const {
   std::string out;
   TreeStringInternal(0, &out);
@@ -70,6 +132,10 @@ std::string PhysicalPlan::TreeString() const {
 void PhysicalPlan::TreeStringInternal(int indent, std::string* out) const {
   for (int i = 0; i < indent; ++i) *out += "  ";
   *out += Describe();
+  // The planner's batched stamp, so EXPLAIN shows which operators run
+  // vectorized (physical plans only; logical TreeStrings are untouched —
+  // they key the columnar cache).
+  if (runs_batched_) *out += " [batched]";
   *out += "\n";
   for (const auto& c : Children()) c->TreeStringInternal(indent + 1, out);
 }

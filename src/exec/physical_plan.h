@@ -7,6 +7,7 @@
 
 #include "catalyst/expr/attribute.h"
 #include "catalyst/planner/cost_model.h"
+#include "columnar/batch_dataset.h"
 #include "engine/dataset.h"
 #include "engine/query_context.h"
 
@@ -27,6 +28,15 @@ struct CardinalityEstimate {
 /// "physical operators that match the Spark execution engine"). Execute()
 /// pulls the children's datasets and produces this operator's output; the
 /// per-partition work runs on the engine's worker pool.
+///
+/// Operators come in two execution modes. Row mode moves one boxed Row at a
+/// time (the original volcano engine). Batch mode moves RowBatches of
+/// ColumnVectors with a selection vector; converted operators override
+/// ExecuteBatchesImpl/SupportsBatches. The two modes compose freely: a
+/// batch-demanding parent over a row-only child gets its rows packed
+/// (batch.pack), a row-demanding parent over a batch-preferring child gets
+/// the batches unpacked (batch.unpack) — so unconverted operators (sort,
+/// exchange, interval join, online agg) keep working unchanged.
 class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
  public:
   virtual ~PhysicalPlan() = default;
@@ -41,8 +51,46 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   /// operator's rows_out/batches and wall time are recorded on the query
   /// profile, stages/tasks/spills started while it runs attribute to it,
   /// and an exception closes the span with an error status before
-  /// propagating. The actual work is ExecuteImpl().
+  /// propagating. The actual work is ExecuteImpl() — or, when this operator
+  /// prefers batch execution and the config enables it, ExecuteBatchesImpl()
+  /// followed by the batch→row adapter.
   RowDataset Execute(QueryContext& ctx) const;
+
+  /// Batch-demanding form of Execute(), same profiling contract: rows_out
+  /// counts live rows (not batches), batches counts RowBatches produced.
+  /// Row-only operators are adapted via the row→batch packer.
+  BatchDataset ExecuteBatches(QueryContext& ctx) const;
+
+  /// True when this operator has a native batched implementation
+  /// (ExecuteBatchesImpl). Drives both runtime dispatch (with
+  /// config.vectorized_enabled) and the planner's EXPLAIN stamp.
+  virtual bool SupportsBatches() const { return false; }
+
+  /// True when ExecuteBatches() yields batches with no row→batch pack
+  /// anywhere underneath — the data is columnar at the source (cached
+  /// columnar scan) and stays columnar through zero-copy/vector operators.
+  /// Parents use this to decide whether extending the batched pipeline
+  /// downward is profitable: over a row-native source, packing costs more
+  /// than vectorized evaluation saves.
+  virtual bool BatchesAreNative() const { return false; }
+
+  /// The dispatch decision Execute()/ExecuteBatches() make at runtime,
+  /// exposed for the planner's EXPLAIN stamp: an operator runs batched when
+  /// it supports batches and either a batch-demanding parent pulls it or it
+  /// prefers batch execution on its own.
+  bool WouldRunBatched(bool parent_pulls_batches) const {
+    return SupportsBatches() &&
+           (parent_pulls_batches || PreferBatchExecution());
+  }
+
+  /// Whether a batched run of this operator pulls child `child_index` via
+  /// ExecuteBatches(). Default: all children. The broadcast join overrides
+  /// this — its build side is always collected as rows. Only consulted for
+  /// the EXPLAIN stamp; the runtime simply calls the form it needs.
+  virtual bool PullsChildBatched(size_t child_index) const {
+    (void)child_index;
+    return true;
+  }
 
   /// One-line description for EXPLAIN.
   virtual std::string Describe() const { return NodeName(); }
@@ -53,6 +101,12 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
   const CardinalityEstimate& estimate() const { return estimate_; }
   void set_estimate(const CardinalityEstimate& est) { estimate_ = est; }
 
+  /// Planner-stamped "this node runs batched" flag, rendered in the
+  /// physical plan / EXPLAIN output (display-only; runtime dispatch
+  /// re-checks SupportsBatches() against the query's config snapshot).
+  bool runs_batched() const { return runs_batched_; }
+  void set_runs_batched(bool batched) { runs_batched_ = batched; }
+
   /// Indented physical plan rendering.
   std::string TreeString() const;
 
@@ -61,13 +115,30 @@ class PhysicalPlan : public std::enable_shared_from_this<PhysicalPlan> {
  protected:
   /// The operator's execution logic; subclasses override this instead of
   /// Execute() so every operator is instrumented uniformly. Children must
-  /// be pulled with child->Execute(ctx) (the wrapper), never ExecuteImpl.
+  /// be pulled with child->Execute(ctx) / child->ExecuteBatches(ctx) (the
+  /// wrappers), never the Impl forms.
   virtual RowDataset ExecuteImpl(QueryContext& ctx) const = 0;
+
+  /// Native batched execution logic for operators that SupportsBatches().
+  /// The default adapts the row implementation by packing its partitions
+  /// into batches of config.batch_size rows.
+  virtual BatchDataset ExecuteBatchesImpl(QueryContext& ctx) const;
+
+  /// Whether a row-demanding Execute() should still run the batched
+  /// implementation and unpack at the top. Vectorized operators return true
+  /// only when their input is natively columnar (BatchesAreNative() on the
+  /// child): over a row-native source the row→batch pack at the boundary
+  /// costs more than the vector kernels save, so the row path stays.
+  virtual bool PreferBatchExecution() const { return false; }
+
+  /// Row-layout types of Output(), for packing batches.
+  std::vector<DataTypePtr> OutputTypes() const;
 
  private:
   void TreeStringInternal(int indent, std::string* out) const;
 
   CardinalityEstimate estimate_;
+  bool runs_batched_ = false;
 };
 
 /// Pretty-prints an attribute list for Describe() implementations.

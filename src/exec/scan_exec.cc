@@ -168,6 +168,26 @@ RowDataset DataSourceScanExec::ExecuteImpl(QueryContext& ctx) const {
   return RowDataset::FromRows(std::move(rows), ctx.config().default_parallelism);
 }
 
+bool DataSourceScanExec::SupportsBatches() const {
+  if (required_columns_.empty()) return false;
+  if (dynamic_cast<const BatchedScan*>(source_.get()) == nullptr) return false;
+  for (const auto& f : pushed_filters_) {
+    if (!TranslateFilter(*f).has_value()) return false;
+  }
+  return true;
+}
+
+BatchDataset DataSourceScanExec::ExecuteBatchesImpl(QueryContext& ctx) const {
+  const auto* batched = dynamic_cast<const BatchedScan*>(source_.get());
+  std::vector<FilterSpec> specs;
+  specs.reserve(pushed_filters_.size());
+  for (const auto& f : pushed_filters_) {
+    specs.push_back(*TranslateFilter(*f));  // checked by SupportsBatches()
+  }
+  return batched->ScanBatches(ctx, required_columns_, specs,
+                              ctx.config().batch_size);
+}
+
 std::string DataSourceScanExec::Describe() const {
   std::string s = "Scan " + source_->name() + " " + FormatAttributes(Output());
   if (!pushed_filters_.empty()) {
@@ -184,6 +204,11 @@ std::string DataSourceScanExec::Describe() const {
 RowDataset CachedScanExec::ExecuteImpl(QueryContext& ctx) const {
   ctx.metrics().Add("cache.scans", 1);
   return table_->Scan(columns_, &ctx.engine());
+}
+
+BatchDataset CachedScanExec::ExecuteBatchesImpl(QueryContext& ctx) const {
+  ctx.metrics().Add("cache.scans", 1);
+  return table_->ScanBatches(columns_, ctx.config().batch_size, &ctx.engine());
 }
 
 ProjectFilterExec::ProjectFilterExec(std::vector<NamedExprPtr> projections,
@@ -262,6 +287,90 @@ RowDataset ProjectFilterExec::ExecuteImpl(QueryContext& ctx) const {
         }
       }
       out->rows.push_back(std::move(result));
+    }
+    return out;
+  }, "project");
+}
+
+BatchDataset ProjectFilterExec::ExecuteBatchesImpl(QueryContext& ctx) const {
+  BatchDataset input = child_->ExecuteBatches(ctx);
+  AttributeVector child_out = child_->Output();
+  bool codegen = ctx.config().codegen_enabled;
+
+  // Bind once; compile once — exactly the row path's programs, evaluated
+  // with the vector evaluator instead (one lane loop per instruction).
+  std::optional<BoundCompiled> cond;
+  if (condition_) cond = BindAndCompile(condition_, child_out, codegen);
+  std::vector<BoundCompiled> projs;
+  projs.reserve(projections_.size());
+  for (const auto& p : projections_) {
+    ExprPtr value = p;
+    if (const auto* alias = As<Alias>(value)) value = alias->child();
+    projs.push_back(BindAndCompile(value, child_out, codegen));
+  }
+  std::vector<DataTypePtr> out_types = OutputTypes();
+
+  return input.MapPartitions(ctx, [&](size_t, const BatchPartition& part) {
+    auto out = std::make_shared<BatchPartition>();
+    out->batches.reserve(part.batches.size());
+    size_t cancel_rows = 0;
+    // Per-task evaluators (lane banks are scratch, not shareable).
+    std::optional<CompiledExpression::VectorEvaluator> cond_eval;
+    if (cond && cond->compiled) {
+      cond_eval.emplace(cond->compiled->NewVectorEvaluator());
+    }
+    std::vector<std::optional<CompiledExpression::VectorEvaluator>> proj_evals(
+        projs.size());
+    for (size_t i = 0; i < projs.size(); ++i) {
+      if (projs[i].compiled) {
+        proj_evals[i].emplace(projs[i].compiled->NewVectorEvaluator());
+      }
+    }
+
+    for (const RowBatchPtr& batch : part.batches) {
+      ctx.CheckCancelledEveryRows(&cancel_rows, batch->ActiveRows());
+      RowBatchPtr cur = batch;
+      if (cond) {
+        std::vector<uint32_t> sel;
+        if (cond_eval) {
+          cond_eval->EvaluateSelection(*cur, &sel);
+        } else {
+          // Interpreted predicate: box each live row, keep survivors'
+          // physical indices (same WHERE semantics: true-and-not-null).
+          sel.reserve(cur->ActiveRows());
+          for (size_t k = 0; k < cur->ActiveRows(); ++k) {
+            size_t i = cur->ActiveIndex(k);
+            if (EvalPredicate(*cond->bound, cur->BoxRow(i))) {
+              sel.push_back(static_cast<uint32_t>(i));
+            }
+          }
+        }
+        if (sel.empty()) continue;  // fully filtered: emit no batch
+        cur = RowBatch::FilterView(cur, std::move(sel));
+      }
+      if (cur->ActiveRows() == 0) continue;
+      if (projections_.empty()) {
+        // Pure filter: the view shares the input columns — zero copies.
+        out->batches.push_back(std::move(cur));
+        continue;
+      }
+      // Projection: evaluate one dense output column per expression.
+      std::vector<std::shared_ptr<ColumnVector>> cols;
+      cols.reserve(projs.size());
+      for (size_t i = 0; i < projs.size(); ++i) {
+        auto col = std::make_shared<ColumnVector>(out_types[i]);
+        col->Reserve(cur->ActiveRows());
+        if (proj_evals[i]) {
+          proj_evals[i]->EvaluateColumn(*cur, col.get());
+        } else {
+          for (size_t k = 0; k < cur->ActiveRows(); ++k) {
+            col->Append(projs[i].bound->Eval(cur->BoxRow(cur->ActiveIndex(k))));
+          }
+        }
+        cols.push_back(std::move(col));
+      }
+      out->batches.push_back(
+          std::make_shared<const RowBatch>(std::move(cols)));
     }
     return out;
   }, "project");

@@ -50,6 +50,18 @@ class DataSourceScanExec : public PhysicalPlan {
   RowDataset ExecuteImpl(QueryContext& ctx) const override;
   std::string Describe() const override;
 
+  /// Native batched scan when the source implements the BatchedScan
+  /// capability and every pushed filter translates to a FilterSpec (so the
+  /// source evaluates them exactly — no row-at-a-time recheck needed).
+  /// COUNT(*)-style scans (no required columns) stay row-based.
+  bool SupportsBatches() const override;
+  /// A BatchedScan source decodes straight into ColumnVectors: this is a
+  /// root of the natively-columnar pipeline, like InMemoryColumnarScan.
+  bool BatchesAreNative() const override { return SupportsBatches(); }
+
+ protected:
+  BatchDataset ExecuteBatchesImpl(QueryContext& ctx) const override;
+
  private:
   std::shared_ptr<SourceRelation> source_;
   AttributeVector full_output_;
@@ -106,6 +118,19 @@ class CachedScanExec : public PhysicalPlan {
     return "InMemoryColumnarScan " + FormatAttributes(output_);
   }
 
+  /// Native batch scan: cached chunks decode straight into ColumnVectors,
+  /// never boxing a row. COUNT(*)-style scans (no columns) stay row-based.
+  bool SupportsBatches() const override { return !columns_.empty(); }
+  /// The root of every natively-columnar pipeline: batches come straight
+  /// from the compressed cache, no pack anywhere.
+  bool BatchesAreNative() const override { return SupportsBatches(); }
+
+ protected:
+  BatchDataset ExecuteBatchesImpl(QueryContext& ctx) const override;
+  /// Row-demanding parents keep the direct decode-and-box scan; the native
+  /// batch scan pays off when a vectorized parent consumes the columns.
+  bool PreferBatchExecution() const override { return false; }
+
  private:
   AttributeVector output_;
   std::vector<int> columns_;
@@ -135,6 +160,22 @@ class ProjectFilterExec : public PhysicalPlan {
   const ExprPtr& condition() const { return condition_; }
   const std::vector<NamedExprPtr>& projections() const { return projections_; }
   const PhysPtr& child() const { return child_; }
+
+  /// Vectorized filter/project: conditions refine the selection vector
+  /// (zero-copy), projections evaluate whole output columns per batch.
+  bool SupportsBatches() const override { return true; }
+  /// Filters pass the child's columns through a selection view and
+  /// projections evaluate into fresh vectors — columnar in, columnar out.
+  bool BatchesAreNative() const override { return child_->BatchesAreNative(); }
+
+ protected:
+  BatchDataset ExecuteBatchesImpl(QueryContext& ctx) const override;
+  /// Vectorize only when the input is natively columnar; over a row source
+  /// the pack at the scan boundary outweighs the vector kernels (measured
+  /// on the AMPLab colf workload, bench_fig8_amplab).
+  bool PreferBatchExecution() const override {
+    return child_->BatchesAreNative();
+  }
 
  private:
   std::vector<NamedExprPtr> projections_;  // bound to child output

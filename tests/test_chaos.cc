@@ -13,7 +13,9 @@
 // distinct seeds via SSQL_CHAOS_SEED. Speculative execution and the engine
 // watchdog are armed in every round (SSQL_CHAOS_SPECULATION=0 disarms
 // speculation for bisection), and a corrupt-kind fault rule flips spill
-// bits that the frame checksums must catch.
+// bits that the frame checksums must catch. SSQL_BATCH_SIZE=<n> switches
+// the rounds onto the vectorized path (tables cached, engine batch size
+// overridden) — CI runs a batch_size=1 lane under both sanitizers.
 
 #include <gtest/gtest.h>
 #include <unistd.h>
@@ -22,6 +24,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -67,6 +70,19 @@ bool SpeculationArmed() {
   return env == nullptr || std::string(env) != "0";
 }
 
+/// Optional batch-size override for the vectorized chaos lane. When set
+/// (CI runs SSQL_BATCH_SIZE=1 under both sanitizers), the round's engine
+/// uses that batch size AND the workload tables are cached, because
+/// batches only flow over natively-columnar sources — without the cache
+/// the rounds would silently exercise the row path and prove nothing
+/// about the batched operators under fault fire.
+std::optional<size_t> BatchSizeOverride() {
+  if (const char* env = std::getenv("SSQL_BATCH_SIZE")) {
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return std::nullopt;
+}
+
 void RegisterWorkload(SqlContext& ctx) {
   // "t": 12000 rows over 1500 string keys — spills under a 64 KiB budget.
   auto keyed = StructType::Make({Field("k", DataType::String(), false),
@@ -77,7 +93,8 @@ void RegisterWorkload(SqlContext& ctx) {
     keyed_rows.push_back(Row({Value("key_" + std::to_string(i % 1500)),
                               Value(int32_t(i % 700))}));
   }
-  ctx.CreateDataFrame(keyed, std::move(keyed_rows)).RegisterTempTable("t");
+  DataFrame keyed_df = ctx.CreateDataFrame(keyed, std::move(keyed_rows));
+  keyed_df.RegisterTempTable("t");
 
   // "n": x = 0..999 — cheap scan/filter workload.
   auto numbers = StructType::Make({Field("x", DataType::Int32(), false)});
@@ -86,7 +103,17 @@ void RegisterWorkload(SqlContext& ctx) {
   for (int i = 0; i < 1000; ++i) {
     number_rows.push_back(Row({Value(int32_t(i))}));
   }
-  ctx.CreateDataFrame(numbers, std::move(number_rows)).RegisterTempTable("n");
+  DataFrame numbers_df = ctx.CreateDataFrame(numbers, std::move(number_rows));
+  numbers_df.RegisterTempTable("n");
+
+  // Vectorized lane: cache the tables so the batched scan → partial
+  // aggregate pipeline is what the faults land on. The cache build runs
+  // before the worker storm starts, over plain local scans (no spill, no
+  // source reads), so it cannot trip the fault matrix itself.
+  if (BatchSizeOverride()) {
+    keyed_df.Cache();
+    numbers_df.Cache();
+  }
 }
 
 // ---- the chaos rounds ------------------------------------------------------
@@ -125,6 +152,12 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
     }
     config.watchdog_interval_ms = 50;
     config.stuck_task_timeout_ms = 30000;
+    // Vectorized lane: a degenerate batch size maximizes batch-boundary
+    // crossings per row, the spot where selection-vector and null-mask
+    // bugs live.
+    if (auto batch = BatchSizeOverride()) {
+      config.batch_size = *batch;
+    }
     // Random faults at every hardened boundary, deterministic per seed:
     // retryable source faults are healed by the I/O retry loop, transient
     // spill faults fail individual queries, ENOSPC exercises the quota
@@ -141,6 +174,14 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
         "seed=" + std::to_string(seed);
     SqlContext ctx(config);
     RegisterWorkload(ctx);
+    if (BatchSizeOverride()) {
+      // The lane must actually exercise the batched operators: over the
+      // cached tables the map-side group-by pipeline plans batched. Guards
+      // against the lane silently degrading to the row path.
+      std::string plan =
+          ctx.Sql("SELECT k, count(*) FROM t GROUP BY k").Explain(true);
+      ASSERT_NE(plan.find("[batched]"), std::string::npos) << plan;
+    }
 
     std::atomic<int> ok{0};
     std::atomic<int> failed{0};

@@ -10,6 +10,7 @@
 #include "columnar/column_vector.h"
 #include "columnar/columnar_cache.h"
 #include "columnar/encoding.h"
+#include "columnar/row_batch.h"
 #include "util/status.h"
 
 namespace ssql {
@@ -255,6 +256,110 @@ TEST(CacheManagerTest, PutGetRemove) {
   EXPECT_EQ(manager.Get("key"), nullptr);
   manager.Clear();
   EXPECT_EQ(manager.TotalMemoryBytes(), 0u);
+}
+
+// ---- Null-slot and RowBatch regressions (vectorized engine hazards) ----
+
+TEST(ColumnVectorTest, NullSlotsHoldDefinedZeros) {
+  // Every bank writes a defined zero for a null entry, so vectorized
+  // kernels may gather from banks unconditionally under the null mask.
+  ColumnVector ints(DataType::Int64());
+  ints.Append(Value(int64_t{42}));
+  ints.Append(Value::Null());
+  ints.AppendNull();
+  ASSERT_EQ(ints.size(), 3u);
+  EXPECT_TRUE(ints.IsNull(1));
+  EXPECT_TRUE(ints.IsNull(2));
+  EXPECT_EQ(ints.ints()[1], 0);
+  EXPECT_EQ(ints.ints()[2], 0);
+  EXPECT_EQ(ints.GetInt64(1), 0);
+  EXPECT_TRUE(ints.GetValue(1).is_null());
+
+  ColumnVector doubles(DataType::Double());
+  doubles.Append(Value::Null());
+  EXPECT_EQ(doubles.doubles()[0], 0.0);
+  EXPECT_TRUE(doubles.GetValue(0).is_null());
+
+  ColumnVector strings(DataType::String());
+  strings.Append(Value("x"));
+  strings.Append(Value::Null());
+  EXPECT_EQ(strings.strings()[1], "");
+  EXPECT_TRUE(strings.GetValue(1).is_null());
+
+  ColumnVector boxed(StructType::Make({}));
+  boxed.Append(Value::Null());
+  EXPECT_TRUE(boxed.boxed()[0].is_null());
+  EXPECT_TRUE(boxed.GetValue(0).is_null());
+}
+
+TEST(ColumnVectorTest, ReserveCoversActiveAndNullBanks) {
+  ColumnVector strings(DataType::String());
+  strings.Reserve(100);
+  EXPECT_GE(strings.strings().capacity(), 100u);
+  EXPECT_GE(strings.nulls().capacity(), 100u);
+
+  ColumnVector nums(DataType::Int32());
+  nums.Reserve(50);
+  EXPECT_GE(nums.ints().capacity(), 50u);
+  EXPECT_GE(nums.nulls().capacity(), 50u);
+
+  ColumnVector dbls(DataType::Double());
+  dbls.Reserve(50);
+  EXPECT_GE(dbls.doubles().capacity(), 50u);
+  EXPECT_GE(dbls.nulls().capacity(), 50u);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(ColumnVectorDeathTest, OutOfRangeAccessAssertsInDebug) {
+  ColumnVector col(DataType::Int64());
+  col.Append(Value(int64_t{1}));
+  EXPECT_DEATH(col.GetInt64(5), "out of range");
+  EXPECT_DEATH(col.IsNull(5), "out of range");
+}
+#endif
+
+TEST(RowBatchTest, FilterViewSharesColumnsAndSelectsPhysicalRows) {
+  auto col = std::make_shared<ColumnVector>(DataType::Int64());
+  for (int i = 0; i < 6; ++i) col->Append(Value(int64_t{i * 10}));
+  auto base = std::make_shared<const RowBatch>(
+      std::vector<std::shared_ptr<ColumnVector>>{col});
+  auto view = RowBatch::FilterView(base, {1, 3, 5});
+  EXPECT_EQ(view->num_rows(), 6u);
+  EXPECT_EQ(view->ActiveRows(), 3u);
+  EXPECT_EQ(view->ActiveIndex(2), 5u);
+  EXPECT_EQ(&view->column(0), col.get());  // shared, not copied
+  std::vector<Row> out;
+  view->AppendActiveRowsTo(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].GetInt64(0), 10);
+  EXPECT_EQ(out[2].GetInt64(0), 50);
+  // A view of a view still carries physical indices into the base columns.
+  auto narrower = RowBatch::FilterView(view, {3});
+  EXPECT_EQ(narrower->ActiveRows(), 1u);
+  EXPECT_EQ(narrower->BoxRow(narrower->ActiveIndex(0)).GetInt64(0), 30);
+}
+
+TEST(RowBatchTest, PackRowsIntoBatchesSplitsAndRoundTrips) {
+  std::vector<DataTypePtr> types = {DataType::Int32(), DataType::String()};
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) {
+    Value a = i % 4 == 0 ? Value::Null() : Value(static_cast<int32_t>(i));
+    rows.push_back(Row({a, Value("r" + std::to_string(i))}));
+  }
+  std::vector<RowBatchPtr> batches;
+  PackRowsIntoBatches(rows, types, 4, &batches);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0]->ActiveRows(), 4u);
+  EXPECT_EQ(batches[2]->ActiveRows(), 2u);
+  std::vector<Row> round;
+  for (const auto& b : batches) b->AppendActiveRowsTo(&round);
+  ASSERT_EQ(round.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(round[i].Equals(rows[i])) << "row " << i;
+  }
+  batches.clear();
+  PackRowsIntoBatches({}, types, 4, &batches);
+  EXPECT_TRUE(batches.empty());  // zero rows → zero batches
 }
 
 }  // namespace

@@ -449,5 +449,51 @@ TEST(CostModelTest, EstimatesFollowPlanShape) {
                    .has_value());
 }
 
+// ---- Vectorized batch-tail sweep ---------------------------------------
+
+/// Empty relation, single row, and batch_size ± 1 rows all flow through
+/// the batched pipeline (native columnar scan → vector filter → partial
+/// aggregate) with results identical to the row path. Tables are cached so
+/// the source is natively columnar — the shape that engages batching.
+TEST(VectorizedTailTest, BatchBoundarySizesMatchRowPath) {
+  constexpr size_t kBatchSize = 8;
+  for (size_t n : {size_t{0}, size_t{1}, kBatchSize - 1, kBatchSize,
+                   kBatchSize + 1, 3 * kBatchSize + 1}) {
+    EngineConfig batched_config = TestConfig();
+    batched_config.batch_size = kBatchSize;
+    batched_config.vectorized_enabled = true;
+    EngineConfig row_config = TestConfig();
+    row_config.vectorized_enabled = false;
+    SqlContext batched(batched_config);
+    SqlContext row_path(row_config);
+    for (SqlContext* ctx : {&batched, &row_path}) {
+      auto schema = StructType::Make({
+          Field("k", DataType::Int32(), true),
+          Field("v", DataType::Int64(), true),
+      });
+      std::mt19937_64 rng(77);
+      std::vector<Row> rows;
+      for (size_t i = 0; i < n; ++i) {
+        Value k = rng() % 5 == 0 ? Value::Null()
+                                 : Value(static_cast<int32_t>(rng() % 4));
+        Value v = rng() % 7 == 0 ? Value::Null()
+                                 : Value(static_cast<int64_t>(rng() % 100));
+        rows.push_back(Row({k, v}));
+      }
+      DataFrame df = ctx->CreateDataFrame(schema, rows);
+      df.RegisterTempTable("t");
+      df.Cache();
+    }
+    for (const char* sql :
+         {"SELECT sum(v), count(*) FROM t",
+          "SELECT k, sum(v) FROM t WHERE v > 10 GROUP BY k",
+          "SELECT k + 1, v FROM t WHERE k IS NOT NULL"}) {
+      auto a = Canonical(batched.Sql(sql).Collect());
+      auto b = Canonical(row_path.Sql(sql).Collect());
+      EXPECT_EQ(a, b) << sql << " with n=" << n;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssql
