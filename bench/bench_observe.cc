@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/workloads.h"
+#include "util/event_journal.h"
 #include "util/metrics_registry.h"
 
 namespace ssql {
@@ -220,6 +221,80 @@ void BM_SystemTableScan(benchmark::State& state) {
   delete ctx;
 }
 BENCHMARK(BM_SystemTableScan)
+    ->Arg(0)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- flight recorder -------------------------------------------------------
+
+// Raw cost of one journal Emit: disabled (capacity 0 — one relaxed atomic
+// load) vs enabled (fetch_add + slot copy under an uncontended shard
+// mutex). This is the per-event price every task attempt / spill / query
+// pays; both must stay in the nanoseconds.
+void BM_JournalEmit(benchmark::State& state) {
+  EventJournal journal(static_cast<size_t>(state.range(0)));
+  int64_t v = 0;
+  for (auto _ : state) {
+    journal.Emit(EngineEventKind::kTaskStart, EventSeverity::kDebug, 1, v++,
+                 "stage");
+  }
+  state.counters["appended"] = static_cast<double>(journal.appended());
+}
+BENCHMARK(BM_JournalEmit)->Arg(0)->Arg(4096);
+
+// End-to-end query cost with the flight recorder off (0) vs on (4096, the
+// default). The recorder emits per task attempt and per query — never per
+// row — so the two must be within noise of each other; a gap means an
+// emission landed on a per-row path.
+void BM_QueryWithJournal(benchmark::State& state) {
+  SqlContext* ctx = MakeContext(kProfiled);
+  ctx->UpdateConfig([&](EngineConfig& c) {
+    c.event_journal_capacity = static_cast<size_t>(state.range(0));
+  });
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = ctx->Sql("SELECT k, sum(v), count(*) FROM t WHERE v < 900 "
+                    "GROUP BY k")
+               .Collect()
+               .size();
+  }
+  state.counters["result_rows"] = static_cast<double>(rows);
+  delete ctx;
+}
+BENCHMARK(BM_QueryWithJournal)->Arg(0)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// SELECT over system.events (with a kind filter pushed down) while
+// state.range(0) background query threads keep the journal churning — the
+// cost of watching the flight recorder on a busy engine.
+void BM_EventsScanUnderLoad(benchmark::State& state) {
+  const int background = static_cast<int>(state.range(0));
+  SqlContext* ctx = MakeContext(kProfiled);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < background; ++i) {
+    workers.emplace_back([ctx, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ctx->Sql("SELECT k, sum(v) FROM t WHERE v < 900 GROUP BY k")
+            .Collect();
+      }
+    });
+  }
+
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = ctx->Sql("SELECT kind, count(*) FROM system.events "
+                    "WHERE severity = 'DEBUG' GROUP BY kind")
+               .Collect()
+               .size();
+  }
+  state.counters["kind_groups"] = static_cast<double>(rows);
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  delete ctx;
+}
+BENCHMARK(BM_EventsScanUnderLoad)
     ->Arg(0)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

@@ -1,6 +1,7 @@
 // An interactive SQL console — the "command-line console" interface of
 // the paper's Figure 1. Reads one statement per line, prints results or
-// errors; meta-commands: .tables, .explain <sql>, .metrics, .stats, .quit.
+// errors; meta-commands: .tables, .explain <sql>, .metrics, .stats,
+// .diag [reason], .quit.
 //
 //   ./build/examples/sql_shell
 //   ssql> CREATE TEMPORARY TABLE t USING json OPTIONS (path 'data.json')
@@ -32,7 +33,7 @@ int main() {
   }
   SqlContext ctx(config);
   std::cout << "sparksql-cpp console — SQL statements, or .tables / "
-               ".explain <sql> / .metrics / .stats / .quit\n";
+               ".explain <sql> / .metrics / .stats / .diag / .quit\n";
   std::string line;
   while (true) {
     std::cout << "ssql> " << std::flush;
@@ -53,6 +54,17 @@ int main() {
       }
       if (trimmed == ".stats") {
         ctx.Sql("SELECT * FROM system.table_stats").Show(40);
+        continue;
+      }
+      if (trimmed == ".diag" || trimmed.rfind(".diag ", 0) == 0) {
+        std::string reason(Trim(trimmed.size() > 5 ? trimmed.substr(6) : ""));
+        if (reason.empty()) reason = "manual";
+        std::string dir = ctx.WriteDiagnosticsBundle(reason);
+        if (dir.empty()) {
+          std::cout << "error: could not write diagnostics bundle\n";
+        } else {
+          std::cout << "diagnostics bundle written to " << dir << "\n";
+        }
         continue;
       }
       if (trimmed.rfind(".explain ", 0) == 0) {

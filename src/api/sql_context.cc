@@ -527,6 +527,9 @@ RowDataset SqlContext::ExecuteInternal(const PlanPtr& analyzed_plan,
 
     phase = profile.BeginSpan(SpanKind::kPhase, "planning");
     PhysPtr physical = PlanPhysical(optimized);
+    // Stashed for diagnostics: a bundle written at Finish (failure, kill,
+    // slow query) includes the physical plan that actually ran.
+    query->set_plan_text(physical->TreeString());
     profile.EndSpan(phase);
 
     phase = profile.BeginSpan(SpanKind::kPhase, "execution");

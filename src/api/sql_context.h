@@ -148,6 +148,14 @@ class SqlContext {
   /// legacy counter bag — the programmatic twin of
   /// EngineConfig::metrics_path.
   std::string ExportMetricsText() const;
+
+  /// Writes an on-demand diagnostics bundle (journal tail, metrics
+  /// snapshot, config) under EngineConfig::diag_dir and returns its
+  /// directory, or "" on failure. The engine-level twin of the automatic
+  /// bundle a failing query writes at Finish; the shell's `.diag` command.
+  std::string WriteDiagnosticsBundle(const std::string& reason) {
+    return exec_.WriteDiagnosticsBundle(reason);
+  }
   const EngineConfig& config() const { return exec_.config(); }
   const Analyzer& analyzer() const { return analyzer_; }
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "catalyst/analysis/catalog.h"
+#include "engine/exec_context.h"
+#include "util/event_journal.h"
 #include "util/metrics_registry.h"
 #include "util/string_util.h"
 
@@ -322,6 +324,78 @@ std::vector<Row> ColumnStatsRows(QueryContext& ctx, Catalog* catalog) {
   return rows;
 }
 
+SchemaPtr EventsSchema() {
+  return StructType::Make({
+      Field("seq", DataType::Int64(), false),
+      Field("unix_ms", DataType::Int64(), false),
+      Field("query_id", DataType::Int64(), false),
+      Field("kind", DataType::String(), false),
+      Field("severity", DataType::String(), false),
+      Field("value", DataType::Int64(), false),
+      Field("detail", DataType::String(), true),
+  });
+}
+
+std::vector<Row> EventsRows(QueryContext& ctx) {
+  // One bounded snapshot of the flight recorder: at most
+  // event_journal_capacity rows, ordered oldest-first by seq. The scanning
+  // query's own begin/task events may appear — the recorder is always on,
+  // and observing the observer is a feature, not a bug.
+  std::vector<Row> rows;
+  for (const EngineEvent& e : ctx.engine().journal().Snapshot()) {
+    Row row;
+    row.Reserve(7);
+    row.Append(static_cast<int64_t>(e.seq));
+    row.Append(e.unix_ms);
+    row.Append(static_cast<int64_t>(e.query_id));
+    row.Append(std::string(EngineEventKindName(
+        static_cast<EngineEventKind>(e.kind))));
+    row.Append(std::string(EventSeverityName(
+        static_cast<EventSeverity>(e.severity))));
+    row.Append(e.value);
+    row.Append(e.detail[0] == '\0' ? Value() : Value(std::string(e.detail)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SchemaPtr MetricsHistorySchema() {
+  return StructType::Make({
+      Field("sample_unix_ms", DataType::Int64(), false),
+      Field("name", DataType::String(), false),
+      Field("kind", DataType::String(), false),
+      Field("value", DataType::Int64(), false),
+      Field("sum", DataType::Int64(), true),
+      Field("p50", DataType::Int64(), true),
+      Field("p95", DataType::Int64(), true),
+      Field("p99", DataType::Int64(), true),
+  });
+}
+
+std::vector<Row> MetricsHistoryRows(QueryContext& ctx) {
+  // Flattened sampler ring: one row per (sample, metric). Bounded by
+  // kMetricsHistoryCapacity samples × registry size; filter pushdown on
+  // `name` prunes before the row ever reaches the query.
+  std::vector<Row> rows;
+  for (const ExecContext::MetricsSample& s : ctx.engine().MetricsHistory()) {
+    for (const MetricSnapshot& m : s.metrics) {
+      const bool hist = m.kind == "histogram";
+      Row row;
+      row.Reserve(8);
+      row.Append(s.unix_ms);
+      row.Append(m.name);
+      row.Append(m.kind);
+      row.Append(m.value);
+      row.Append(hist ? Value(m.sum) : Value());
+      row.Append(hist ? Value(m.p50) : Value());
+      row.Append(hist ? Value(m.p95) : Value());
+      row.Append(hist ? Value(m.p99) : Value());
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 /// Output attributes of a catalog plan, or empty when the stored plan is
 /// not self-describing (an unresolved view over a dropped table, say) —
 /// introspection must not fail the introspecting query.
@@ -387,6 +461,8 @@ void RegisterSystemTables(Catalog& catalog, ExecContext& engine) {
   add("system.queries", QueriesSchema(), QueriesRows);
   add("system.query_operators", QueryOperatorsSchema(), QueryOperatorsRows);
   add("system.metrics", MetricsSchema(), MetricsRows);
+  add("system.events", EventsSchema(), EventsRows);
+  add("system.metrics_history", MetricsHistorySchema(), MetricsHistoryRows);
   add("system.memory", MemorySchema(), MemoryRows);
   add("system.tables", TablesSchema(),
       [cat](QueryContext& ctx) { return TablesRows(ctx, cat); });

@@ -49,6 +49,8 @@ class SystemTableRelation : public BaseRelation, public PrunedFilteredScan {
 ///   system.queries          running + retained finished queries
 ///   system.query_operators  per-operator actuals of retained queries
 ///   system.metrics          registry + legacy counter snapshot
+///   system.metrics_history  sampler ring: registry snapshots over time
+///   system.events           flight-recorder journal tail (seq order)
 ///   system.memory           engine pool and per-query reservations
 ///   system.tables           catalog table listing
 ///   system.columns          catalog column listing

@@ -1,0 +1,49 @@
+#pragma once
+// Dump-on-anomaly diagnostics bundles: when a query fails, is killed by
+// the watchdog, or crosses the slow-query threshold (and on demand via
+// the sql_shell `.diag` command), the engine writes a bundle directory
+// capturing everything needed to diagnose it after the fact — the flight
+// recorder tail, the query's profile JSON and EXPLAIN, a metrics
+// snapshot, and the engine configuration. Bundle writing is pure
+// telemetry: it never throws and never fails a query.
+
+#include <string>
+#include <vector>
+
+#include "util/event_journal.h"
+
+namespace ssql {
+
+struct EngineConfig;
+
+/// Everything one bundle captures. Empty strings simply omit the file.
+struct DiagBundleInput {
+  std::string dir;     // bundle directory to create (created recursively)
+  std::string reason;  // query_failure | watchdog_kill | slow_query | manual
+  std::string status;  // FINISHED | ERROR | CANCELLED | ... | ENGINE
+  std::string error;
+  std::string error_code;
+  uint64_t query_id = 0;
+  int64_t duration_ms = 0;
+  std::string plan_text;      // EXPLAIN of the physical plan
+  std::string profile_json;   // QueryProfile::ToJson()
+  std::string metrics_text;   // Prometheus exposition
+  std::string config_text;    // RenderEngineConfig()
+  std::vector<EngineEvent> events;  // flight-recorder tail
+};
+
+/// Writes the bundle directory (MANIFEST.txt, events.jsonl, profile.json,
+/// plan.txt, metrics.prom, config.txt, error.txt). Best-effort: returns
+/// the bundle directory on success, "" if the directory could not be
+/// created; individual file failures are logged and skipped. Never throws.
+std::string WriteDiagnosticsBundle(const DiagBundleInput& input);
+
+/// Renders a journal tail as JSON lines (one event per line), the
+/// events.jsonl format inside bundles.
+std::string RenderEventsJsonl(const std::vector<EngineEvent>& events);
+
+/// Key=value rendering of an EngineConfig, one knob per line (the
+/// config.txt inside bundles).
+std::string RenderEngineConfig(const EngineConfig& config);
+
+}  // namespace ssql

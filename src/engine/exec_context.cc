@@ -1,9 +1,12 @@
 #include "engine/exec_context.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
 
+#include "engine/diagnostics.h"
 #include "engine/query_context.h"
 #include "util/log.h"
 #include "util/trace.h"
@@ -73,6 +76,14 @@ void ValidateEngineConfig(const EngineConfig& config) {
   }
   if (!config.trace_path.empty() && !config.profiling_enabled) {
     fail("trace_path requires profiling_enabled (a trace needs spans)");
+  }
+  // Same unsigned-wrap guard as broadcast_threshold_bytes: a "negative"
+  // capacity would try to allocate petabytes of journal slots.
+  if (config.event_journal_capacity > (1ull << 24)) {
+    fail("event_journal_capacity is implausibly large (" +
+         std::to_string(config.event_journal_capacity) +
+         "); was a negative value cast to unsigned? (use 0 to disable "
+         "the flight recorder)");
   }
   if (!config.log_level.empty()) {
     try {
@@ -163,11 +174,19 @@ ExecContext::ExecContext(EngineConfig config)
       "Live spill bytes charged against spill_disk_limit_bytes");
   ApplyConfigLocked();
   watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  sampler_thread_ = std::thread([this] { SamplerLoop(); });
 }
 
 ExecContext::~ExecContext() {
-  // Stop the watchdog before anything else is torn down: its scan touches
-  // mu_, active_ and the registry.
+  // Stop the sampler and watchdog before anything else is torn down: the
+  // sampler touches the registry and history ring, the watchdog's scan
+  // touches mu_, active_ and the registry.
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (sampler_thread_.joinable()) sampler_thread_.join();
   {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
     watchdog_stop_ = true;
@@ -190,6 +209,7 @@ void ExecContext::ApplyConfigLocked() {
   if (!config_.log_level.empty()) {
     SetLogLevel(ParseLogLevel(config_.log_level));
   }
+  journal_.Configure(config_.event_journal_capacity);
   engine_memory_.Configure(config_.total_memory_limit_bytes,
                            config_.spill_enabled, /*profile=*/nullptr);
   disk_quota_.Configure(config_.spill_disk_limit_bytes);
@@ -232,9 +252,10 @@ void ExecContext::SetConfig(const EngineConfig& config) {
     finished_.pop_front();
   }
   admission_cv_.notify_all();
-  // The watchdog re-reads the interval/timeout each pass; kick it so a
-  // shorter interval takes effect now rather than after the old sleep.
+  // The watchdog and sampler re-read their intervals each pass; kick them
+  // so a shorter interval takes effect now rather than after the old sleep.
   watchdog_cv_.notify_all();
+  sampler_cv_.notify_all();
 }
 
 void ExecContext::WatchdogLoop() {
@@ -277,6 +298,14 @@ void ExecContext::ScanForStalledQueriesLocked(int64_t stuck_ms) {
                   {"stage", info.stage},
                   {"partition", static_cast<int64_t>(info.partition)},
                   {"stalled_ms", age_ms}});
+        journal_.Emit(EngineEventKind::kWatchdogKill, EventSeverity::kError,
+                      query->query_id(), age_ms,
+                      info.stage + ":" + std::to_string(info.partition));
+        query->profile().AddInstant(
+            "watchdog.kill", "watchdog",
+            {{"stage", info.stage},
+             {"partition", std::to_string(info.partition)},
+             {"stalled_ms", std::to_string(age_ms)}});
         query->Cancel("watchdog: task for stage '" + info.stage +
                       "' partition " + std::to_string(info.partition) +
                       " made no progress for " + std::to_string(age_ms) +
@@ -286,14 +315,76 @@ void ExecContext::ScanForStalledQueriesLocked(int64_t stuck_ms) {
       }
       query->set_stalled(true);
     } else {
-      query->set_stalled(age_ms * 2 >= stuck_ms);
+      const bool now_stalled = age_ms * 2 >= stuck_ms;
+      if (now_stalled && !query->stalled()) {
+        journal_.Emit(EngineEventKind::kWatchdogStall, EventSeverity::kWarn,
+                      query->query_id(), age_ms,
+                      info.stage + ":" + std::to_string(info.partition));
+      }
+      query->set_stalled(now_stalled);
     }
   }
+}
+
+void ExecContext::SamplerLoop() {
+  while (true) {
+    int64_t interval_ms = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      interval_ms = config_.metrics_sample_interval_ms;
+    }
+    if (interval_ms > 0) SampleMetricsNow();
+    // Disabled samplers still wake periodically to notice a re-enable.
+    const int64_t sleep_ms = interval_ms > 0 ? interval_ms : 200;
+    std::unique_lock<std::mutex> slock(sampler_mu_);
+    sampler_cv_.wait_for(slock, std::chrono::milliseconds(sleep_ms),
+                         [this] { return sampler_stop_; });
+    if (sampler_stop_) return;
+  }
+}
+
+void ExecContext::SampleMetricsNow() {
+  MetricsSample sample;
+  sample.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+  sample.metrics = registry_.Snapshot();
+  std::lock_guard<std::mutex> lock(history_mu_);
+  metrics_history_.push_back(std::move(sample));
+  while (metrics_history_.size() > kMetricsHistoryCapacity) {
+    metrics_history_.pop_front();
+  }
+}
+
+std::vector<ExecContext::MetricsSample> ExecContext::MetricsHistory() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return {metrics_history_.begin(), metrics_history_.end()};
 }
 
 std::string ExecContext::spill_root() const {
   if (!config_.spill_dir.empty()) return config_.spill_dir;
   return (std::filesystem::temp_directory_path() / "ssql-spill").string();
+}
+
+std::string ExecContext::diag_root() const {
+  if (!config_.diag_dir.empty()) return config_.diag_dir;
+  return (std::filesystem::temp_directory_path() / "ssql-diag").string();
+}
+
+std::string ExecContext::WriteDiagnosticsBundle(const std::string& reason) {
+  static std::atomic<uint64_t> g_bundle_ids{0};
+  const uint64_t n = g_bundle_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+  DiagBundleInput input;
+  input.dir = (std::filesystem::path(diag_root()) /
+               ("engine-" + std::to_string(::getpid()) + "-" +
+                std::to_string(n) + "-" + reason))
+                  .string();
+  input.reason = reason;
+  input.status = "ENGINE";
+  input.config_text = RenderEngineConfig(config_);
+  input.metrics_text = ExportMetricsText();
+  input.events = journal_.Snapshot();
+  return ssql::WriteDiagnosticsBundle(input);
 }
 
 QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
@@ -307,6 +398,9 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
     if (config_.max_queued_queries > 0 &&
         waiting_.size() >= static_cast<size_t>(config_.max_queued_queries)) {
       admission_rejected_->Increment();
+      journal_.Emit(EngineEventKind::kAdmissionShed, EventSeverity::kWarn, 0,
+                    static_cast<int64_t>(waiting_.size()),
+                    "admission queue full");
       throw ResourceExhausted(
           "admission queue full: " + std::to_string(waiting_.size()) +
           " query(ies) already waiting (max_queued_queries=" +
@@ -314,6 +408,8 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
     }
     const uint64_t ticket = next_ticket_++;
     waiting_.push_back(ticket);
+    journal_.Emit(EngineEventKind::kAdmissionEnqueue, EventSeverity::kDebug, 0,
+                  static_cast<int64_t>(waiting_.size()), "");
     auto ready = [&] { return waiting_.front() == ticket && slot_free(); };
     if (config_.admission_timeout_ms < 0) {
       admission_cv_.wait(lock, ready);
@@ -326,6 +422,8 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
         // leave the line) and wake whoever is now at the front.
         waiting_.erase(std::find(waiting_.begin(), waiting_.end(), ticket));
         admission_timeouts_->Increment();
+        journal_.Emit(EngineEventKind::kAdmissionTimeout, EventSeverity::kWarn,
+                      0, config_.admission_timeout_ms, "");
         admission_cv_.notify_all();
         throw ResourceExhausted(
             "query admission timed out after " +
@@ -336,12 +434,15 @@ QueryContextPtr ExecContext::BeginQuery(const QueryOptions& options) {
     }
     waiting_.pop_front();
   }
-  admission_wait_hist_->Record((TraceNowNs() - wait_start_ns) / 1000);
+  const int64_t wait_us = (TraceNowNs() - wait_start_ns) / 1000;
+  admission_wait_hist_->Record(wait_us);
   queries_started_->Increment();
   // Process-unique (not merely engine-unique): two SqlContexts in one
   // process share the spill root, so ids must not collide across engines.
   static std::atomic<uint64_t> g_query_ids{0};
   const uint64_t id = g_query_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+  journal_.Emit(EngineEventKind::kQueryBegin, EventSeverity::kInfo, id,
+                wait_us, "");
 
   EngineConfig snapshot = config_;
   if (options.timeout_ms.has_value()) {

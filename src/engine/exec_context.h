@@ -18,6 +18,7 @@
 #include "engine/memory_manager.h"
 #include "engine/query_profile.h"
 #include "engine/task_runner.h"
+#include "util/event_journal.h"
 #include "util/metrics_registry.h"
 #include "util/spill_file.h"
 #include "util/thread_pool.h"
@@ -197,6 +198,29 @@ struct EngineConfig {
   /// retain (a ring buffer: oldest evicted first). 0 disables retention —
   /// only running queries are visible.
   size_t finished_query_retention = 128;
+  /// Total capacity (events) of the engine flight recorder — the bounded
+  /// journal of structured engine events (admission, tasks, spills,
+  /// memory, watchdog, query lifecycle) served by system.events and
+  /// dumped into diagnostics bundles. Split evenly over the journal's
+  /// shards; oldest events are overwritten (the drop counter advances).
+  /// 0 disables emission entirely.
+  size_t event_journal_capacity = 4096;
+  /// Period of the background sampler thread that snapshots the metrics
+  /// registry into the bounded ring served by system.metrics_history, so
+  /// rate/derivative queries become plain SQL. <= 0 disables sampling
+  /// (the thread only sleeps).
+  int64_t metrics_sample_interval_ms = 1000;
+  /// Directory for dump-on-anomaly diagnostics bundles. A query that
+  /// fails, is watchdog-killed, or crosses slow_query_threshold_ms writes
+  /// a bundle subdirectory here (journal tail, profile JSON, metrics
+  /// snapshot, config, EXPLAIN) when diag_on_failure is set; the shell's
+  /// `.diag` command writes one on demand. Empty disables the automatic
+  /// dumps (on-demand bundles then land under "<system temp>/ssql-diag").
+  std::string diag_dir;
+  /// Write a diagnostics bundle automatically when a query finishes in
+  /// ERROR, is killed by the watchdog, or exceeds the slow-query
+  /// threshold. Requires a non-empty diag_dir to take effect.
+  bool diag_on_failure = true;
 };
 
 /// Validates an EngineConfig, throwing ExecutionError with a descriptive
@@ -336,6 +360,38 @@ class ExecContext {
   /// counters are engine-wide). Never null.
   const FaultPointSet& fault_points() const { return *fault_points_; }
 
+  /// The engine flight recorder (see util/event_journal.h): every
+  /// subsystem emits structured events here; system.events and the
+  /// diagnostics bundles read it.
+  EventJournal& journal() { return journal_; }
+  const EventJournal& journal() const { return journal_; }
+
+  /// One background-sampler observation of the metrics registry.
+  struct MetricsSample {
+    int64_t unix_ms = 0;
+    std::vector<MetricSnapshot> metrics;
+  };
+  /// How many samples the metrics-history ring retains (~12 minutes at
+  /// the default 1s cadence); oldest evicted first.
+  static constexpr size_t kMetricsHistoryCapacity = 720;
+
+  /// Copy of the sampler's ring, oldest first (system.metrics_history).
+  std::vector<MetricsSample> MetricsHistory() const;
+
+  /// Takes one metrics sample immediately (what the sampler thread does
+  /// every metrics_sample_interval_ms). Exposed for tests and bundles.
+  void SampleMetricsNow();
+
+  /// Writes an on-demand diagnostics bundle (journal tail, metrics
+  /// snapshot, config) under diag_dir — or "<system temp>/ssql-diag"
+  /// when unset — and returns the bundle directory, or "" on failure.
+  /// Never throws; backs the sql_shell `.diag` command.
+  std::string WriteDiagnosticsBundle(const std::string& reason);
+
+  /// Root directory for diagnostics bundles (config.diag_dir, or the
+  /// default under the system temp directory).
+  std::string diag_root() const;
+
   /// Root scratch directory for spill files (config.spill_dir, or a default
   /// under the system temp directory). Queries spill into per-query
   /// subdirectories beneath it — see QueryContext::spill_dir().
@@ -402,6 +458,12 @@ class ExecContext {
   /// inside (the documented mu_ → attempts_mu_ lock order).
   void ScanForStalledQueriesLocked(int64_t stuck_ms);
 
+  /// Body of the metrics-sampler thread: every metrics_sample_interval_ms
+  /// snapshot the registry into the bounded history ring. Started by the
+  /// constructor, joined by the destructor; with the interval <= 0 it
+  /// only sleeps.
+  void SamplerLoop();
+
   EngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   Metrics metrics_;
@@ -411,6 +473,7 @@ class ExecContext {
   // shared_ptr so the process-global Open-time I/O hooks (see
   // SetGlobalIoHooks) can outlive this engine safely.
   std::shared_ptr<FaultPointSet> fault_points_;
+  EventJournal journal_;
 
   // Hot-path instrument handles, resolved once at construction.
   HistogramMetric* admission_wait_hist_ = nullptr;
@@ -450,6 +513,16 @@ class ExecContext {
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
   std::thread watchdog_thread_;
+
+  // Metrics-sampler thread and its bounded history ring (same stop
+  // pattern as the watchdog; the ring has its own mutex so readers never
+  // touch mu_).
+  mutable std::mutex history_mu_;
+  std::deque<MetricsSample> metrics_history_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_thread_;
 };
 
 }  // namespace ssql

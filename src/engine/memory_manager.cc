@@ -66,11 +66,25 @@ std::string MemoryManager::OverBudgetMessage(const std::string& consumer) const 
          "spill_enabled";
 }
 
+void MemoryManager::JournalDeny(int64_t bytes, const char* level) {
+  // Edge-triggered: one pressure episode (deny → spill/force loop → clean
+  // grant) journals one deny, however many chunk-sized grows it denied —
+  // an over-budget merge denies per group entry and would flood the ring.
+  if (journal_ == nullptr) return;
+  if (!under_pressure_.exchange(true, std::memory_order_relaxed)) {
+    journal_->Emit(EngineEventKind::kMemoryDeny, EventSeverity::kWarn,
+                   query_id_, bytes, level);
+  }
+}
+
 bool MemoryManager::TryReserve(int64_t bytes) {
   int64_t limit = limit_.load(std::memory_order_relaxed);
   int64_t current = reserved_.load(std::memory_order_relaxed);
   while (true) {
-    if (limit >= 0 && current + bytes > limit) return false;
+    if (limit >= 0 && current + bytes > limit) {
+      JournalDeny(bytes, "query budget");
+      return false;
+    }
     if (reserved_.compare_exchange_weak(current, current + bytes,
                                         std::memory_order_relaxed)) {
       break;
@@ -81,7 +95,15 @@ bool MemoryManager::TryReserve(int64_t bytes) {
   // operator handles exactly like its own budget denial — by spilling.
   if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
     reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    JournalDeny(bytes, "engine pool");
     return false;
+  }
+  // A clean grant ends the pressure episode; journal the recovery so the
+  // deny/grant pairs bracket every spill cycle in system.events.
+  if (journal_ != nullptr &&
+      under_pressure_.exchange(false, std::memory_order_relaxed)) {
+    journal_->Emit(EngineEventKind::kMemoryGrant, EventSeverity::kDebug,
+                   query_id_, bytes, "recovered");
   }
   PublishPeak();
   return true;
@@ -90,6 +112,15 @@ bool MemoryManager::TryReserve(int64_t bytes) {
 void MemoryManager::ForceReserve(int64_t bytes) {
   reserved_.fetch_add(bytes, std::memory_order_relaxed);
   if (parent_ != nullptr) parent_->ForceReserve(bytes);
+  // Forced grants are the over-budget escape hatch (the irreducible
+  // working set). Journal only the ones outside a pressure episode: under
+  // pressure they fire per admitted entry and the episode's deny already
+  // marks the timeline.
+  if (journal_ != nullptr &&
+      !under_pressure_.load(std::memory_order_relaxed)) {
+    journal_->Emit(EngineEventKind::kMemoryGrant, EventSeverity::kInfo,
+                   query_id_, bytes, "forced");
+  }
   PublishPeak();
 }
 

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/event_journal.h"
+
 namespace ssql {
 
 class MemoryManager;
@@ -85,6 +87,17 @@ class MemoryManager {
   void Configure(int64_t limit_bytes, bool spill_enabled,
                  QueryProfile* profile, MemoryManager* parent = nullptr);
 
+  /// Attaches the engine flight recorder so denials (always) and forced
+  /// grants (rare, the irreducible working set) are journaled with this
+  /// query's id. Per-chunk TryReserve grants are deliberately NOT
+  /// journaled — a spilling query grows its grant thousands of times and
+  /// would flood the ring. Called by QueryContext on the per-query level
+  /// only; the engine pool stays detached (no query to attribute to).
+  void AttachJournal(EventJournal* journal, uint64_t query_id) {
+    journal_ = journal;
+    query_id_ = query_id;
+  }
+
   bool limited() const {
     return limit_.load(std::memory_order_relaxed) >= 0;
   }
@@ -106,6 +119,7 @@ class MemoryManager {
   void ForceReserve(int64_t bytes);
   void ReleaseBytes(int64_t bytes);
   void PublishPeak();
+  void JournalDeny(int64_t bytes, const char* level);
 
   std::atomic<int64_t> limit_{-1};
   bool spill_enabled_ = true;
@@ -114,6 +128,11 @@ class MemoryManager {
   std::atomic<int64_t> published_peak_{0};
   QueryProfile* profile_ = nullptr;
   MemoryManager* parent_ = nullptr;
+  EventJournal* journal_ = nullptr;
+  uint64_t query_id_ = 0;
+  // True between the first denial and the next clean grant — the window
+  // in which repeat denies/forced grants are suppressed from the journal.
+  std::atomic<bool> under_pressure_{false};
 };
 
 }  // namespace ssql

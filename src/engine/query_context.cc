@@ -6,6 +6,7 @@
 #include <chrono>
 #include <filesystem>
 
+#include "engine/diagnostics.h"
 #include "util/log.h"
 #include "util/trace.h"
 
@@ -33,6 +34,10 @@ QueryContext::QueryContext(ExecContext& engine, uint64_t query_id,
       std::make_unique<QueryProfile>(&metrics_, config_.profiling_enabled);
   memory_.Configure(config_.query_memory_limit_bytes, config_.spill_enabled,
                     profile_.get(), &engine_.engine_memory());
+  // Memory grants/denies for this query land in the engine flight recorder
+  // tagged with its id (only this per-query level emits; the engine pool
+  // has no query to attribute to).
+  memory_.AttachJournal(&engine_.journal(), query_id_);
   // Per-query disk level (unlimited; attribution only) over the engine-wide
   // spill_disk_limit_bytes pool — the disk mirror of the memory setup above.
   disk_.Configure(/*limit_bytes=*/-1, &engine_.disk_quota());
@@ -114,7 +119,19 @@ SpillFile QueryContext::MakeSpillFile(const std::string& prefix) {
   hooks.faults = &engine_.fault_points();
   hooks.quota = &disk_;
   hooks.consumer = prefix;
+  hooks.journal = &engine_.journal();
+  hooks.query_id = query_id_;
   return SpillFile(spill_dir(), prefix, std::move(hooks));
+}
+
+void QueryContext::set_plan_text(std::string text) {
+  std::lock_guard<std::mutex> lock(plan_text_mu_);
+  plan_text_ = std::move(text);
+}
+
+std::string QueryContext::plan_text() const {
+  std::lock_guard<std::mutex> lock(plan_text_mu_);
+  return plan_text_;
 }
 
 IoRetryPolicy QueryContext::io_retry_policy() {
@@ -127,13 +144,16 @@ IoRetryPolicy QueryContext::io_retry_policy() {
   const uint64_t id = query_id_;
   Metrics* metrics = &metrics_;
   MetricsRegistry* registry = &engine_.registry();
-  policy.on_retry = [id, metrics, registry](int retry,
-                                            const std::string& error) {
+  EventJournal* journal = &engine_.journal();
+  policy.on_retry = [id, metrics, registry, journal](int retry,
+                                                     const std::string& error) {
     metrics->Add("io.retries", 1);
     registry
         ->Counter("ssql_io_retries_total",
                   "Transient I/O failures retried with backoff")
         .Increment();
+    journal->Emit(EngineEventKind::kIoRetry, EventSeverity::kWarn, id, retry,
+                  error);
     LogEvent(LogLevel::kWarn, "io.retry",
              {{"query", id},
               {"attempt", static_cast<int64_t>(retry)},
@@ -160,6 +180,13 @@ void QueryContext::Finish(const std::string& status, ErrorCode code) {
   }
   profile_->Finish(status);
   if (!config_.trace_path.empty()) {
+    // Surface flight-recorder loss on the timeline: a query whose events
+    // were overwritten before anyone read them gets an instant marker.
+    const uint64_t journal_dropped = engine_.journal().dropped();
+    if (journal_dropped > 0) {
+      profile_->AddInstant("journal.dropped", "journal",
+                           {{"dropped_total", std::to_string(journal_dropped)}});
+    }
     const std::string path = ResolveTracePath(config_.trace_path, query_id_);
     try {
       engine_.fault_points().MaybeFail("trace.write", path);
@@ -172,11 +199,9 @@ void QueryContext::Finish(const std::string& status, ErrorCode code) {
                {{"query", query_id_}, {"path", path}, {"error", e.what()}});
     }
   }
-  if (config_.slow_query_threshold_ms >= 0 &&
-      profile_->WallNs() / 1'000'000 >= config_.slow_query_threshold_ms) {
-    LogEvent(LogLevel::kWarn, "query.slow",
-             {{"query", query_id_}, {"summary", profile_->SummaryLine()}});
-  }
+  const bool slow = config_.slow_query_threshold_ms >= 0 &&
+                    profile_->WallNs() / 1'000'000 >=
+                        config_.slow_query_threshold_ms;
   // Remove this query's private spill namespace. Operators have unwound by
   // the time Finish runs (their SpillFiles already deleted the run files),
   // so only the empty directory remains — and because the directory is
@@ -226,6 +251,55 @@ void QueryContext::Finish(const std::string& status, ErrorCode code) {
   } else {
     record.spill_bytes = metrics_.Get("memory.spill_bytes");
     record.peak_memory_bytes = metrics_.Get("memory.peak_reserved_bytes");
+  }
+
+  if (slow) {
+    // Enriched so a slow entry is actionable without re-running the query:
+    // what failed (error_code), whether it spilled, and how badly the
+    // planner's worst cardinality estimate missed.
+    LogEvent(LogLevel::kWarn, "query.slow",
+             {{"query", query_id_},
+              {"summary", profile_->SummaryLine()},
+              {"error_code",
+               record.error_code.empty() ? std::string("OK")
+                                         : record.error_code},
+              {"spill_bytes", record.spill_bytes},
+              {"worst_misestimate", profile_->WorstMisestimate()}});
+  }
+
+  EmitEvent(EngineEventKind::kQueryFinish,
+            record.status == "ERROR"       ? EventSeverity::kError
+            : record.status == "FINISHED"  ? EventSeverity::kInfo
+                                           : EventSeverity::kWarn,
+            record.duration_ms,
+            record.status +
+                (record.error_code.empty() ? "" : ":" + record.error_code));
+
+  // Dump-on-anomaly: a failed, watchdog-killed or slow query leaves a
+  // diagnostics bundle behind (journal tail, profile, plan, metrics,
+  // config). Gated on an explicit diag_dir so unit tests that fail
+  // queries on purpose don't litter the temp dir. Never throws.
+  if (config_.diag_on_failure && !config_.diag_dir.empty() &&
+      (record.status == "ERROR" || watchdog_killed() || slow)) {
+    DiagBundleInput input;
+    input.reason = watchdog_killed()              ? "watchdog_kill"
+                   : record.status == "ERROR"     ? "query_failure"
+                                                  : "slow_query";
+    input.dir = (std::filesystem::path(engine_.diag_root()) /
+                 ("q" + std::to_string(::getpid()) + "-" +
+                  std::to_string(query_id_) + "-" + input.reason))
+                    .string();
+    input.status = record.status;
+    input.error = record.error;
+    input.error_code = record.error_code;
+    input.query_id = query_id_;
+    input.duration_ms = record.duration_ms;
+    input.plan_text = plan_text();
+    input.profile_json = profile_->ToJson();
+    input.metrics_text = engine_.ExportMetricsText();
+    input.config_text = RenderEngineConfig(config_);
+    input.events = engine_.journal().Snapshot();
+    WriteDiagnosticsBundle(input);
   }
 
   LogEvent(LogLevel::kDebug, "query.finish",

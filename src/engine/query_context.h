@@ -136,6 +136,19 @@ class QueryContext {
   /// query so hit windows span concurrent queries.
   const FaultPointSet& fault_points() const { return engine_.fault_points(); }
 
+  /// Records one flight-recorder event attributed to this query — sugar
+  /// over engine().journal().Emit with the query id filled in.
+  void EmitEvent(EngineEventKind kind, EventSeverity severity, int64_t value,
+                 std::string_view detail = {}) const {
+    engine_.journal().Emit(kind, severity, query_id_, value, detail);
+  }
+
+  /// Stashes the EXPLAIN text of this query's physical plan (set by
+  /// SqlContext right after planning) so a diagnostics bundle written at
+  /// Finish can include the plan without re-planning.
+  void set_plan_text(std::string text);
+  std::string plan_text() const;
+
   /// I/O retry policy for this query's source reads: the config's
   /// io_max_retries / io_retry_backoff_ms with jitter seeded by the query id
   /// and an on_retry observer that bumps this query's "io.retries" metric,
@@ -217,6 +230,9 @@ class QueryContext {
   MemoryManager memory_;
   DiskQuota disk_;  // per-query level over the engine pool
   std::atomic<bool> finished_{false};
+
+  mutable std::mutex plan_text_mu_;
+  std::string plan_text_;  // EXPLAIN of the physical plan; may stay empty
 
   // Watchdog state. attempts_ holds the in-flight TaskAttemptStates (stack
   // storage in TaskRunner, valid while registered). Lock order: an engine

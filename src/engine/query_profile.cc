@@ -250,6 +250,20 @@ int64_t QueryProfile::Total(ProfileCounter c) const {
   return total;
 }
 
+void QueryProfile::AddInstant(
+    const std::string& name, const std::string& category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!detailed_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  InstantEvent event;
+  event.ts_ns = TraceNowNs();
+  event.tid = TidForThisThreadLocked();
+  event.name = name;
+  event.category = category;
+  event.args = std::move(args);
+  instants_.push_back(std::move(event));
+}
+
 void QueryProfile::AddRuleStat(const std::string& batch,
                                const std::string& rule, bool effective,
                                int64_t wall_ns) {
@@ -335,6 +349,14 @@ std::vector<QueryProfile::OperatorActual> QueryProfile::OperatorActuals()
   std::vector<OperatorActual> out;
   if (root_ != nullptr) FlattenOperators(root_, 0, 0, &out);
   return out;
+}
+
+double QueryProfile::WorstMisestimate() const {
+  double worst = 0.0;
+  for (const OperatorActual& op : OperatorActuals()) {
+    worst = std::max(worst, op.misestimate);
+  }
+  return worst;
 }
 
 void QueryProfile::Finish(const std::string& status) {
@@ -439,6 +461,16 @@ std::string QueryProfile::ToChromeTraceJson() const {
       e.args.emplace_back(ProfileCounterName(static_cast<ProfileCounter>(i)),
                           std::to_string(v));
     }
+    events.push_back(std::move(e));
+  }
+  for (const InstantEvent& instant : instants_) {
+    TraceEvent e;
+    e.name = instant.name;
+    e.category = instant.category;
+    e.phase = 'i';
+    e.ts_us = std::max<int64_t>((instant.ts_ns - origin) / 1000, 0);
+    e.tid = instant.tid;
+    e.args = instant.args;
     events.push_back(std::move(e));
   }
   return ChromeTraceJson(events);

@@ -161,6 +161,17 @@ class QueryProfile {
   /// Sum of `c` over every span (the per-query aggregate).
   int64_t Total(ProfileCounter c) const;
 
+  // ---- instant events ---------------------------------------------------
+
+  /// Records a zero-width marker (task retry, speculation win/loss,
+  /// watchdog kill, journal drops) exported as a Chrome-trace instant
+  /// event ("ph":"i") so Perfetto timelines show *why* a span stalled.
+  /// Timestamped now, attributed to the calling thread's lane. No-op when
+  /// detail recording is off; safe from any thread (one mutex, and these
+  /// fire on rare paths — never per row).
+  void AddInstant(const std::string& name, const std::string& category,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
   // ---- Catalyst rule statistics ----------------------------------------
 
   struct RuleStat {
@@ -210,6 +221,12 @@ class QueryProfile {
   /// off.
   std::vector<OperatorActual> OperatorActuals() const;
 
+  /// The worst (largest) per-operator cardinality misestimate ratio of any
+  /// operator that carried a planner estimate; 0 when none did (or detail
+  /// recording is off). What the slow-query log reports so a slow entry
+  /// points straight at the operator the planner got wrong.
+  double WorstMisestimate() const;
+
   // ---- finish + rendering ----------------------------------------------
 
   /// Closes the root span and force-closes any span left open (error and
@@ -248,6 +265,15 @@ class QueryProfile {
   std::atomic<ProfileSpan*> current_phase_{nullptr};
   std::map<std::thread::id, int> tids_;
   std::map<std::string, RuleStat> rule_stats_;
+
+  struct InstantEvent {
+    int64_t ts_ns = 0;
+    int tid = 0;
+    std::string name;
+    std::string category;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  std::vector<InstantEvent> instants_;  // guarded by mu_
 };
 
 }  // namespace ssql

@@ -266,6 +266,9 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
       return false;
     }
     if (commit) commit();
+    ctx_.EmitEvent(EngineEventKind::kTaskCommit, EventSeverity::kDebug,
+                   static_cast<int64_t>(p),
+                   speculative ? stage + " (spec)" : stage);
     if (speculating) {
       int64_t start = slot.start_ns.load(std::memory_order_acquire);
       CancellationTokenPtr loser;
@@ -311,6 +314,10 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
           return;
         }
         profile.Add(task_span, ProfileCounter::kAttempts, 1);
+        // One journal event per attempt (bounded by partitions × retries),
+        // never per row. value = partition; retries carry the attempt index.
+        ctx_.EmitEvent(EngineEventKind::kTaskStart, EventSeverity::kDebug,
+                       static_cast<int64_t>(p), stage);
         TaskAttemptState att;
         att.stage = stage;
         att.partition = p;
@@ -346,6 +353,8 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
                 .Counter("ssql_tasks_timed_out_total",
                          "Task attempts abandoned past task_timeout_ms")
                 .Increment();
+            ctx_.EmitEvent(EngineEventKind::kTaskTimeout, EventSeverity::kWarn,
+                           static_cast<int64_t>(p), stage);
           }
           if (slot.committed.load(std::memory_order_acquire) != 0) {
             profile.EndSpan(task_span, "lost speculation race");
@@ -359,6 +368,13 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
             done = true;
           } else {
             profile.Add(task_span, ProfileCounter::kRetries, 1);
+            ctx_.EmitEvent(EngineEventKind::kTaskRetry, EventSeverity::kWarn,
+                           static_cast<int64_t>(p),
+                           stage + " attempt " + std::to_string(attempt + 1));
+            profile.AddInstant("task.retry", "task",
+                               {{"stage", stage},
+                                {"partition", std::to_string(p)},
+                                {"attempt", std::to_string(attempt + 1)}});
             LogEvent(LogLevel::kDebug, "task.retry",
                      {{"query", ctx_.query_id()},
                       {"stage", stage},
@@ -389,7 +405,11 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
           std::lock_guard<std::mutex> lock(state->spec_mu);
           state->primary_tokens[p] = nullptr;
         }
-        if (done) return;
+        if (done) {
+          ctx_.EmitEvent(EngineEventKind::kTaskFinish, EventSeverity::kDebug,
+                         static_cast<int64_t>(p), stage);
+          return;
+        }
         if (backoff_ms > 0) {
           int shift = std::min(attempt, 6);  // cap exponential growth
           std::this_thread::sleep_for(
@@ -449,8 +469,16 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
                    {{"query", ctx_.query_id()},
                     {"stage", stage},
                     {"partition", p}});
+          ctx_.EmitEvent(EngineEventKind::kTaskSpeculationWin,
+                         EventSeverity::kInfo, static_cast<int64_t>(p), stage);
+          profile.AddInstant("task.speculation_win", "task",
+                             {{"stage", stage},
+                              {"partition", std::to_string(p)}});
           profile.EndSpan(spec_span, "ok (speculation win)");
         } else {
+          profile.AddInstant("task.speculation_loss", "task",
+                             {{"stage", stage},
+                              {"partition", std::to_string(p)}});
           profile.EndSpan(spec_span, "lost speculation race");
         }
       } catch (const TaskAttemptAborted& e) {
@@ -492,6 +520,10 @@ void TaskRunner::RunStageImpl(const std::string& stage, size_t num_partitions,
           const int64_t start = slot.start_ns.load(std::memory_order_acquire);
           if (start == 0 || now - start <= threshold_ns) continue;
           slot.speculated.store(true, std::memory_order_relaxed);
+          ctx_.EmitEvent(EngineEventKind::kTaskSpeculate, EventSeverity::kInfo,
+                         static_cast<int64_t>(p),
+                         stage + " runtime " +
+                             std::to_string((now - start) / 1'000'000) + "ms");
           LogEvent(LogLevel::kDebug, "task.speculate",
                    {{"query", ctx_.query_id()},
                     {"stage", stage},

@@ -1,0 +1,159 @@
+#include "util/event_journal.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ssql {
+
+namespace {
+
+int64_t JournalNowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Round-robin shard assignment: each thread grabs a stable cursor once.
+// The mapping is journal-independent, so one thread hits the same shard
+// index in every journal — fine, since shards are symmetric.
+std::atomic<uint32_t> g_shard_cursor{0};
+
+size_t ThisThreadShard() {
+  thread_local const uint32_t slot =
+      g_shard_cursor.fetch_add(1, std::memory_order_relaxed);
+  return slot % EventJournal::kShards;
+}
+
+}  // namespace
+
+const char* EngineEventKindName(EngineEventKind kind) {
+  switch (kind) {
+    case EngineEventKind::kQueryBegin:
+      return "query.begin";
+    case EngineEventKind::kQueryFinish:
+      return "query.finish";
+    case EngineEventKind::kAdmissionEnqueue:
+      return "admission.enqueue";
+    case EngineEventKind::kAdmissionShed:
+      return "admission.shed";
+    case EngineEventKind::kAdmissionTimeout:
+      return "admission.timeout";
+    case EngineEventKind::kTaskStart:
+      return "task.start";
+    case EngineEventKind::kTaskFinish:
+      return "task.finish";
+    case EngineEventKind::kTaskRetry:
+      return "task.retry";
+    case EngineEventKind::kTaskSpeculate:
+      return "task.speculate";
+    case EngineEventKind::kTaskSpeculationWin:
+      return "task.speculation_win";
+    case EngineEventKind::kTaskCommit:
+      return "task.commit";
+    case EngineEventKind::kTaskTimeout:
+      return "task.timeout";
+    case EngineEventKind::kSpillOpen:
+      return "spill.open";
+    case EngineEventKind::kSpillWrite:
+      return "spill.write";
+    case EngineEventKind::kSpillChecksumFail:
+      return "spill.checksum_fail";
+    case EngineEventKind::kIoRetry:
+      return "io.retry";
+    case EngineEventKind::kMemoryGrant:
+      return "memory.grant";
+    case EngineEventKind::kMemoryDeny:
+      return "memory.deny";
+    case EngineEventKind::kWatchdogStall:
+      return "watchdog.stall";
+    case EngineEventKind::kWatchdogKill:
+      return "watchdog.kill";
+    case EngineEventKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "DEBUG";
+    case EventSeverity::kInfo:
+      return "INFO";
+    case EventSeverity::kWarn:
+      return "WARN";
+    case EventSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void EventJournal::Configure(size_t capacity) {
+  const size_t per_shard =
+      capacity == 0 ? 0 : std::max<size_t>(1, capacity / kShards);
+  // Disable emission first so writers racing the reset see either the old
+  // ring or the new one, never a half-cleared shard.
+  shard_capacity_.store(0, std::memory_order_seq_cst);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.slots.clear();
+    if (per_shard > 0) shard.slots.resize(per_shard);
+    shard.head = 0;
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+  appended_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  shard_capacity_.store(per_shard, std::memory_order_seq_cst);
+}
+
+void EventJournal::Emit(EngineEventKind kind, EventSeverity severity,
+                        uint64_t query_id, int64_t value,
+                        std::string_view detail) {
+  const size_t per_shard = shard_capacity_.load(std::memory_order_relaxed);
+  if (per_shard == 0) return;  // disabled: this load is the whole cost
+
+  EngineEvent event;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.unix_ms = JournalNowUnixMs();
+  event.query_id = query_id;
+  event.kind = kind;
+  event.severity = severity;
+  event.value = value;
+  const size_t n = std::min(detail.size(), sizeof(event.detail) - 1);
+  if (n > 0) std::memcpy(event.detail, detail.data(), n);
+  event.detail[n] = '\0';
+
+  Shard& shard = shards_[ThisThreadShard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Configure may have swapped capacity under us; honour whatever the
+  // shard actually holds right now.
+  const size_t slots = shard.slots.size();
+  if (slots == 0) return;
+  if (shard.head >= slots) dropped_.fetch_add(1, std::memory_order_relaxed);
+  shard.slots[shard.head % slots] = event;
+  ++shard.head;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<EngineEvent> EventJournal::Snapshot() const {
+  std::vector<EngineEvent> out;
+  out.reserve(capacity());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t slots = shard.slots.size();
+    if (slots == 0) continue;  // disabled (head >= slots would div-by-zero)
+    const size_t valid = std::min<uint64_t>(shard.head, slots);
+    // Oldest-first within the shard; the global sort below interleaves.
+    const size_t start = shard.head >= slots ? shard.head % slots : 0;
+    for (size_t i = 0; i < valid; ++i) {
+      out.push_back(shard.slots[(start + i) % slots]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EngineEvent& a, const EngineEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace ssql

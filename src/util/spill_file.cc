@@ -293,6 +293,11 @@ SpillFile::SpillFile(const std::string& dir, const std::string& prefix,
   if (!out_) {
     throw IoError("cannot open spill file '" + path_ + "' for writing");
   }
+  if (hooks_.journal != nullptr) {
+    hooks_.journal->Emit(EngineEventKind::kSpillOpen, EventSeverity::kInfo,
+                         hooks_.query_id, 0,
+                         hooks_.consumer.empty() ? "spill" : hooks_.consumer);
+  }
 }
 
 SpillFile::~SpillFile() {
@@ -376,12 +381,21 @@ void SpillFile::FinishWrites() {
     throw IoError("close of spill file '" + path_ +
                   "' failed (deferred write error?)");
   }
+  if (hooks_.journal != nullptr) {
+    // One write-summary event per finished run (per-Append events would
+    // flood the ring); `value` carries the run's total bytes.
+    hooks_.journal->Emit(EngineEventKind::kSpillWrite, EventSeverity::kDebug,
+                         hooks_.query_id, bytes_,
+                         hooks_.consumer.empty() ? "spill" : hooks_.consumer);
+  }
 }
 
 SpillFile::Reader::Reader(const SpillFile& file)
     : path_(file.path()),
       remaining_(file.row_count()),
-      faults_(file.hooks_.faults) {
+      faults_(file.hooks_.faults),
+      journal_(file.hooks_.journal),
+      query_id_(file.hooks_.query_id) {
   if (faults_ != nullptr) faults_->MaybeFail("spill.read", path_);
   in_.open(path_, std::ios::binary);
   if (!in_) {
@@ -409,6 +423,11 @@ bool SpillFile::Reader::Next(Row* row) {
   if (faults_ != nullptr) faults_->MaybeCorrupt("spill.read", &frame_);
   const uint32_t actual_crc = Crc32(frame_);
   if (actual_crc != expected_crc) {
+    if (journal_ != nullptr) {
+      journal_->Emit(EngineEventKind::kSpillChecksumFail,
+                     EventSeverity::kError, query_id_,
+                     static_cast<int64_t>(len), path_);
+    }
     throw IoError("spill frame checksum mismatch in '" + path_ +
                   "' (stored " + std::to_string(expected_crc) + ", computed " +
                   std::to_string(actual_crc) +

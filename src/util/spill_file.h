@@ -7,6 +7,7 @@
 #include <string>
 
 #include "types/row.h"
+#include "util/event_journal.h"
 #include "util/fault_points.h"
 
 namespace ssql {
@@ -85,12 +86,16 @@ class SpillFile {
  public:
   /// Optional I/O instrumentation threaded in by QueryContext::MakeSpillFile:
   /// the engine's fault-point set (sites "spill.write" / "spill.read"), the
-  /// query's disk quota, and the consumer label ("agg-partial", "sort",
-  /// "join-build") that exhaustion errors name as the stage.
+  /// query's disk quota, the consumer label ("agg-partial", "sort",
+  /// "join-build") that exhaustion errors name as the stage, and the engine
+  /// flight recorder (spill open / write-summary / checksum-fail events
+  /// tagged with the owning query).
   struct Hooks {
     const FaultPointSet* faults = nullptr;
     DiskQuota* quota = nullptr;
     std::string consumer;
+    EventJournal* journal = nullptr;
+    uint64_t query_id = 0;
   };
 
   /// Creates and opens the file; throws IoError if the directory cannot be
@@ -145,6 +150,8 @@ class SpillFile {
     std::string frame_;  // per-frame payload scratch, reused across calls
     size_t remaining_;
     const FaultPointSet* faults_;
+    EventJournal* journal_;
+    uint64_t query_id_;
   };
 
  private:

@@ -71,11 +71,13 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
-    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    const bool instant = e.phase == 'i';
+    out += instant ? "{\"ph\":\"i\",\"s\":\"t\"" : "{\"ph\":\"X\"";
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
     out += ",\"name\":\"" + JsonEscape(e.name) + "\"";
     out += ",\"cat\":\"" + JsonEscape(e.category) + "\"";
     out += ",\"ts\":" + std::to_string(e.ts_us);
-    out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (!instant) out += ",\"dur\":" + std::to_string(e.dur_us);
     if (!e.args.empty()) {
       out += ",\"args\":{";
       for (size_t i = 0; i < e.args.size(); ++i) {

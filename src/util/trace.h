@@ -22,8 +22,11 @@ int64_t TraceThreadCpuNs();
 /// backslashes, control characters).
 std::string JsonEscape(const std::string& s);
 
-/// One complete ("ph":"X") event of the Chrome trace-event format, the
-/// interchange format Perfetto / chrome://tracing load directly. Times are
+/// One event of the Chrome trace-event format, the interchange format
+/// Perfetto / chrome://tracing load directly. Complete events ("ph":"X",
+/// the default) are spans with a duration; instant events ("ph":"i") are
+/// zero-width markers — task retries, speculation wins, watchdog kills —
+/// drawn as ticks on the timeline where a span stalled. Times are
 /// microseconds relative to an arbitrary origin shared by all events of one
 /// trace; `tid` is a synthetic lane — events on the same lane must nest by
 /// containment, which the profiler guarantees by assigning one lane per OS
@@ -32,8 +35,10 @@ struct TraceEvent {
   std::string name;
   std::string category;  // "query", "phase", "stage", "task", "operator"
   int64_t ts_us = 0;
-  int64_t dur_us = 0;
+  int64_t dur_us = 0;  // ignored for instant events
   int tid = 0;
+  /// 'X' = complete (span); 'i' = instant (rendered thread-scoped).
+  char phase = 'X';
   /// Extra key/value annotations rendered under "args". Values are emitted
   /// verbatim when they parse as integers, as JSON strings otherwise.
   std::vector<std::pair<std::string, std::string>> args;

@@ -152,6 +152,21 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
     }
     config.watchdog_interval_ms = 50;
     config.stuck_task_timeout_ms = 30000;
+    // Flight recorder under fire: the default journal rides along in every
+    // round (emitting from every task/spill/admission path the faults
+    // hit), the sampler churns the metrics-history ring at a tight
+    // cadence, and every ERROR query must leave a diagnostics bundle.
+    // SSQL_CHAOS_DIAG_DIR redirects the bundles somewhere CI can upload
+    // as a workflow artifact (kept, not removed, in that case).
+    config.metrics_sample_interval_ms = 20;
+    const char* diag_env = std::getenv("SSQL_CHAOS_DIAG_DIR");
+    const std::string diag_scratch =
+        diag_env != nullptr
+            ? std::string(diag_env) + "/round" + std::to_string(round) +
+                  "-seed" + std::to_string(seed)
+            : scratch + "-diag";
+    std::filesystem::remove_all(diag_scratch);
+    config.diag_dir = diag_scratch;
     // Vectorized lane: a degenerate batch size maximizes batch-boundary
     // crossings per row, the spot where selection-vector and null-mask
     // bugs live.
@@ -272,7 +287,30 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
     }
     EXPECT_GE(finished, ok.load());  // ok queries all retired as FINISHED
     EXPECT_GE(errored, failed.load());
-    // 6. The engine still works: a fresh query succeeds after the storm
+    // 6. Flight recorder leaked nothing: with the emitters quiesced the
+    //    journal accounting is exact and the ring stayed bounded; the
+    //    sampler ring respects its capacity.
+    const EventJournal& journal = engine.journal();
+    auto events = journal.Snapshot();
+    EXPECT_LE(events.size(), journal.capacity());
+    EXPECT_EQ(journal.appended() - journal.dropped(), events.size());
+    EXPECT_GT(journal.appended(), 0u) << "no events journaled all round";
+    EXPECT_LE(engine.MetricsHistory().size(),
+              ExecContext::kMetricsHistoryCapacity);
+    // 7. Every ERROR query left exactly one diagnostics bundle, and each
+    //    bundle is complete enough to act on (manifest + journal tail).
+    EXPECT_EQ(FilesIn(diag_scratch), static_cast<size_t>(errored))
+        << "bundle count != errored queries in " << diag_scratch;
+    if (errored > 0) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(diag_scratch)) {
+        EXPECT_TRUE(std::filesystem::exists(entry.path() / "MANIFEST.txt"))
+            << entry.path();
+        EXPECT_TRUE(std::filesystem::exists(entry.path() / "events.jsonl"))
+            << entry.path();
+      }
+    }
+    // 8. The engine still works: a fresh query succeeds after the storm
     //    (fault points keep firing probabilistically, so allow retry).
     bool fresh_ok = false;
     for (int attempt = 0; attempt < 20 && !fresh_ok; ++attempt) {
@@ -285,6 +323,8 @@ TEST(ChaosTest, SeededRoundsPreserveEngineInvariants) {
     EXPECT_TRUE(fresh_ok) << "engine unusable after chaos round";
 
     std::filesystem::remove_all(scratch);
+    // Bundles are kept for CI artifact upload when redirected via env.
+    if (diag_env == nullptr) std::filesystem::remove_all(diag_scratch);
   }
 }
 
@@ -459,6 +499,15 @@ TEST(ChaosConfigTest, NewKnobsAreValidated) {
   config.fault_injection_spec = "spill.write=banana";
   EXPECT_THROW(ValidateEngineConfig(config), ExecutionError);
   config.fault_injection_spec = "spill.write=p0.5:io,stage:0:1,seed=9";
+  EXPECT_NO_THROW(ValidateEngineConfig(config));
+  // Observability knobs from the flight-recorder PR.
+  config = EngineConfig();
+  config.event_journal_capacity = (size_t{1} << 24) + 1;
+  EXPECT_THROW(ValidateEngineConfig(config), ExecutionError);
+  config = EngineConfig();
+  config.event_journal_capacity = 0;    // disabled
+  config.metrics_sample_interval_ms = -1;  // sampler off
+  config.diag_dir = "";                 // no auto bundles
   EXPECT_NO_THROW(ValidateEngineConfig(config));
 }
 

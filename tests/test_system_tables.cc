@@ -158,11 +158,12 @@ TEST(SystemTablesTest, TablesAndColumnsDescribeTheCatalog) {
   EXPECT_EQ(cols[0].GetInt64(1), 0);
 
   // The system tables list themselves (queries, query_operators, metrics,
-  // memory, tables, columns, table_stats, column_stats).
+  // memory, tables, columns, table_stats, column_stats, events,
+  // metrics_history).
   auto sys = ctx.Sql("SELECT count(*) FROM system.tables WHERE is_system")
                  .Collect();
   ASSERT_EQ(sys.size(), 1u);
-  EXPECT_EQ(sys[0].GetInt64(0), 8);
+  EXPECT_EQ(sys[0].GetInt64(0), 10);
 }
 
 TEST(SystemTablesTest, RetentionBoundsTheRing) {
